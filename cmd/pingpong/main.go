@@ -1,0 +1,85 @@
+// Command pingpong measures one-way message latency on any testbed
+// network, at the messaging-API layer or the MPI layer, over a range of
+// message sizes — the tool behind Figures 1–3.
+//
+// Usage:
+//
+//	pingpong [-net scramnet|fastethernet|atm|myrinet-api|myrinet-tcp]
+//	         [-layer api|mpi] [-min 0] [-max 1024] [-points 16]
+//
+// Sizes are swept geometrically (plus zero) from -min to -max.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+func main() {
+	net := flag.String("net", "scramnet", "network: scramnet, fastethernet, atm, myrinet-api, myrinet-tcp")
+	layer := flag.String("layer", "api", "measurement layer: api or mpi")
+	minSize := flag.Int("min", 4, "smallest non-zero message size")
+	maxSize := flag.Int("max", 1024, "largest message size")
+	points := flag.Int("points", 12, "number of sizes to sweep")
+	flag.Parse()
+
+	nw := cluster.Network(*net)
+	found := false
+	for _, n := range cluster.Networks {
+		if n == nw {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown network %q; one of %v\n", *net, cluster.Networks)
+		os.Exit(2)
+	}
+	if *layer == "mpi" && (nw == cluster.MyrinetAPI || nw == cluster.MyrinetTCP) {
+		// Supported, but note it is an extension beyond the paper's
+		// Figure 3, which covers SCRAMNet, Fast Ethernet and ATM.
+		fmt.Fprintln(os.Stderr, "note: MPI over Myrinet is an extension beyond the paper's Figure 3")
+	}
+
+	measure := bench.OneWayAPI
+	if *layer == "mpi" {
+		measure = bench.OneWayMPI
+	} else if *layer != "api" {
+		fmt.Fprintf(os.Stderr, "unknown layer %q; api or mpi\n", *layer)
+		os.Exit(2)
+	}
+
+	fmt.Printf("one-way latency, %s, %s layer (%d-trip average)\n", nw, *layer, bench.Iters)
+	fmt.Printf("%10s  %12s\n", "bytes", "latency")
+	for _, n := range sweep(*minSize, *maxSize, *points) {
+		fmt.Printf("%10d  %10.2fµs\n", n, measure(nw, n))
+	}
+}
+
+// sweep returns {0} ∪ a geometric ramp from min to max with the given
+// number of points.
+func sweep(min, max, points int) []int {
+	out := []int{0}
+	if min < 1 {
+		min = 1
+	}
+	if points < 2 {
+		return append(out, max)
+	}
+	step := math.Pow(float64(max)/float64(min), 1/float64(points-1))
+	last := -1
+	f := float64(min)
+	for i := 0; i < points; i++ {
+		n := int(f + 0.5)
+		if n != last {
+			out = append(out, n)
+			last = n
+		}
+		f *= step
+	}
+	return out
+}

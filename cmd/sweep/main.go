@@ -1,0 +1,129 @@
+// Command sweep finds the SCRAMNet crossover sizes against every other
+// network — the quantitative core of Figures 2 and 3 — and prints the
+// extension studies: streaming bandwidth, collective scaling with
+// cluster size, and the hierarchy-of-rings latency penalty.
+//
+// Usage:
+//
+//	sweep [-crossovers] [-bandwidth] [-scaling] [-hierarchy]  (default: all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+func main() {
+	cross := flag.Bool("crossovers", false, "crossover table only")
+	bw := flag.Bool("bandwidth", false, "bandwidth sweep only")
+	scaling := flag.Bool("scaling", false, "collective scaling only")
+	hier := flag.Bool("hierarchy", false, "hierarchy study only")
+	flag.Parse()
+	all := !*cross && !*bw && !*scaling && !*hier
+
+	if all || *cross {
+		fmt.Println("SCRAMNet crossover sizes (first size at which the other network wins)")
+		fmt.Println("---------------------------------------------------------------------")
+		scrAPI := func(n int) float64 { return bench.OneWayAPI(cluster.SCRAMNet, n) }
+		scrMPI := func(n int) float64 { return bench.OneWayMPI(cluster.SCRAMNet, n) }
+		type row struct {
+			name  string
+			net   cluster.Network
+			paper string
+		}
+		apiRows := []row{
+			{"Fast Ethernet (TCP)", cluster.FastEthernet, "several thousand B"},
+			{"ATM (TCP)", cluster.ATM, "~1000 B"},
+			{"Myrinet API", cluster.MyrinetAPI, "~500 B"},
+			{"Myrinet (TCP)", cluster.MyrinetTCP, "(not stated)"},
+		}
+		fmt.Printf("%-22s  %14s  %20s\n", "API layer vs", "measured", "paper")
+		for _, r := range apiRows {
+			net := r.net
+			x := bench.Crossover(scrAPI, func(n int) float64 { return bench.OneWayAPI(net, n) }, 0, 16384, 256)
+			fmt.Printf("%-22s  %12s B  %20s\n", r.name, fmtX(x), r.paper)
+		}
+		mpiRows := []row{
+			{"Fast Ethernet (TCP)", cluster.FastEthernet, "~512 B"},
+			{"ATM (TCP)", cluster.ATM, "~580 B"},
+		}
+		fmt.Printf("\n%-22s  %14s  %20s\n", "MPI layer vs", "measured", "paper")
+		for _, r := range mpiRows {
+			net := r.net
+			x := bench.Crossover(scrMPI, func(n int) float64 { return bench.OneWayMPI(net, n) }, 0, 16384, 128)
+			fmt.Printf("%-22s  %12s B  %20s\n", r.name, fmtX(x), r.paper)
+		}
+		fmt.Println()
+	}
+
+	if all || *bw {
+		fmt.Println("Extension E4: the §7 hybrid subsystem (BBP ≤512B, Myrinet API above)")
+		fmt.Println("---------------------------------------------------------------------")
+		fmt.Printf("%8s  %14s  %14s  %14s\n", "bytes", "SCRAMNet", "Myrinet API", "hybrid")
+		for _, n := range []int{4, 256, 1024, 8192} {
+			fmt.Printf("%8d  %12.1fµs  %12.1fµs  %12.1fµs\n", n,
+				bench.OneWayAPI(cluster.SCRAMNet, n),
+				bench.OneWayAPI(cluster.MyrinetAPI, n),
+				bench.OneWayAPI(cluster.Hybrid, n))
+		}
+		fmt.Println()
+		fmt.Println("Extension E2: streaming bandwidth (32 back-to-back messages)")
+		s := bench.FigBandwidth([]int{256, 1024, 4096, 16384, 65536})
+		fmt.Printf("%8s", "bytes")
+		for _, ser := range s {
+			fmt.Printf("  %20s", ser.Label)
+		}
+		fmt.Println()
+		for i := range s[0].X {
+			fmt.Printf("%8d", s[0].X[i])
+			for _, ser := range s {
+				fmt.Printf("  %15.2f MB/s", ser.Y[i])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if all || *scaling {
+		fmt.Println("Extension E5: incast (N senders → 1 receiver, 256-byte messages)")
+		fmt.Println("-----------------------------------------------------------------")
+		fmt.Printf("%8s  %14s  %14s\n", "senders", "SCRAMNet", "Fast Ethernet")
+		for _, s := range []int{1, 3, 7, 15} {
+			fmt.Printf("%8d  %12.1fµs  %12.1fµs\n", s,
+				bench.Incast(cluster.SCRAMNet, s, 256),
+				bench.Incast(cluster.FastEthernet, s, 256))
+		}
+		fmt.Println()
+		sizes := []int{2, 4, 8, 12, 16}
+		m, tr := bench.BarrierScaling(sizes)
+		bench.RenderScaling(os.Stdout, "Extension E1a: MPI_Barrier vs cluster size", []bench.Series{m, tr})
+		m, tr = bench.BcastScaling(sizes, 256)
+		bench.RenderScaling(os.Stdout, "Extension E1b: 256-byte MPI_Bcast vs cluster size", []bench.Series{m, tr})
+	}
+
+	if all || *hier {
+		fmt.Println("Extension E3: hierarchy of rings (§2), 4-byte BBP one-way latency")
+		fmt.Println("------------------------------------------------------------------")
+		flat := bench.OneWayAPI(cluster.SCRAMNet, 4)
+		fmt.Printf("%-36s  %8.2fµs\n", "flat 4-node ring", flat)
+		for _, cfgCase := range []struct {
+			leaves, hosts int
+		}{{2, 2}, {2, 4}, {4, 4}} {
+			us := bench.HierarchyPingPong(cfgCase.leaves, cfgCase.hosts, 4)
+			fmt.Printf("%d leaves x %d hosts (farthest pair)      %8.2fµs\n",
+				cfgCase.leaves, cfgCase.hosts, us)
+		}
+		fmt.Println()
+	}
+}
+
+func fmtX(x int) string {
+	if x < 0 {
+		return "none ≤16K"
+	}
+	return fmt.Sprintf("%d", x)
+}

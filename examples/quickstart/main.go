@@ -1,0 +1,63 @@
+// Quickstart: bring up a 4-node SCRAMNet cluster, exchange messages
+// with the BillBoard Protocol, and broadcast with single-step hardware
+// multicast.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	k := repro.NewKernel()
+	tb, err := repro.NewTestbed(k, repro.SCRAMNet, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps := tb.Endpoints
+
+	// Node 0 sends a greeting to node 1, then broadcasts to everyone.
+	k.Spawn("node0", func(p *sim.Proc) {
+		if err := eps[0].Send(p, 1, []byte("hello, node 1")); err != nil {
+			log.Fatal(err)
+		}
+		if err := eps[0].Mcast(p, []int{1, 2, 3}, []byte("hello, everyone")); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8s] node 0: posted a unicast and a 3-way multicast\n", sim.Duration(p.Now()))
+	})
+
+	for r := 1; r < 4; r++ {
+		r := r
+		k.Spawn(fmt.Sprintf("node%d", r), func(p *sim.Proc) {
+			buf := make([]byte, 64)
+			if r == 1 { // node 1 gets the unicast first (in-order per sender)
+				n, err := eps[1].Recv(p, 0, buf)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("[%8s] node 1: %q\n", sim.Duration(p.Now()), buf[:n])
+			}
+			n, err := eps[r].Recv(p, 0, buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[%8s] node %d: %q\n", sim.Duration(p.Now()), r, buf[:n])
+		})
+	}
+
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := tb.Ring.NIC(0).Stats()
+	fmt.Printf("\nnode 0 NIC: %d ring packets, %d bytes replicated to all banks\n",
+		st.PacketsSent, st.BytesSent)
+	fmt.Println("note: the multicast cost one buffer write + three flag words —")
+	fmt.Println("each extra receiver added a single word of SCRAMNet traffic.")
+}

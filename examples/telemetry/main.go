@@ -1,0 +1,121 @@
+// Telemetry: SCRAMNet's original habitat — hard-real-time state sharing
+// for simulators, process control and telemetry (§2). No protocol at
+// all: each producer owns a region of the replicated memory and stores
+// sensor words straight into its NIC; every consumer sees them within a
+// bounded, predictable number of ring hops.
+//
+// A flight-simulation-style setup: node 0 produces aircraft state at
+// 1 kHz, nodes 1..3 (visual, motion, instructor stations) sample it and
+// record staleness. The demo then bypasses a failed node on the dual
+// ring mid-run — replication continues for the survivors.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+const (
+	frames  = 50
+	stateHz = 1000
+	// stateBase is where the producer's state vector lives in the
+	// replicated address space: 6 words (xyz position + attitude) and a
+	// frame counter word.
+	stateBase   = 0x1000
+	frameOff    = stateBase + 6*4
+	periodNanos = sim.Second / stateHz
+)
+
+func main() {
+	k := repro.NewKernel()
+	tb, err := repro.NewTestbed(k, repro.SCRAMNet, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring := tb.Ring
+
+	// Producer: write the state vector then the frame counter (the ring
+	// preserves per-sender order, so a consumer that sees frame N also
+	// sees frame N's state — a seqlock with no lock word).
+	k.Spawn("dynamics", func(p *sim.Proc) {
+		for f := 1; f <= frames; f++ {
+			for wIdx := 0; wIdx < 6; wIdx++ {
+				ring.NIC(0).WriteWord(p, stateBase+4*wIdx, uint32(f*100+wIdx))
+			}
+			ring.NIC(0).WriteWord(p, frameOff, uint32(f))
+			p.Delay(periodNanos)
+		}
+	})
+
+	type sample struct {
+		node    int
+		frame   uint32
+		stale   sim.Duration
+		samples int
+	}
+	results := make([]sample, 4)
+	for node := 1; node <= 3; node++ {
+		node := node
+		k.Spawn(fmt.Sprintf("station%d", node), func(p *sim.Proc) {
+			var last uint32
+			var worst sim.Duration
+			count := 0
+			// A bypassed station stops seeing frames; give up shortly
+			// after the producer must have finished.
+			deadline := sim.Time((frames + 5) * int64(periodNanos))
+			for int(last) < frames && p.Now() < deadline {
+				f := ring.NIC(node).ReadWord(p, frameOff)
+				if f != last {
+					last = f
+					count++
+					// Staleness: how far behind the producer's frame
+					// clock this station is when it first sees frame f.
+					produced := sim.Time(int64(f-1) * int64(periodNanos))
+					if lag := p.Now().Sub(produced); lag > worst {
+						worst = lag
+					}
+					// Consistency check: state words must belong to
+					// frame f (per-sender FIFO guarantees it).
+					for wIdx := 0; wIdx < 6; wIdx++ {
+						v := ring.NIC(node).ReadWord(p, stateBase+4*wIdx)
+						if v != f*100+uint32(wIdx) {
+							log.Fatalf("station %d: torn frame %d (word %d = %d)", node, f, wIdx, v)
+						}
+					}
+				}
+				p.Delay(50 * sim.Microsecond) // 20 kHz sampling
+			}
+			results[node] = sample{node, last, worst, count}
+		})
+	}
+
+	// Mid-run, bypass station 2's node on the dual ring: the rest keep
+	// receiving frames.
+	k.At(sim.Time(20*periodNanos), func() {
+		fmt.Println("t=20ms: node 2 failed — optical bypass engaged (dual ring)")
+		ring.FailNode(2)
+	})
+
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+	k.Close()
+
+	fmt.Printf("\n%-10s  %8s  %10s  %14s\n", "station", "frames", "seen", "worst staleness")
+	for node := 1; node <= 3; node++ {
+		r := results[node]
+		status := "ok"
+		if r.samples < frames {
+			status = fmt.Sprintf("bypassed after frame %d", r.frame)
+		}
+		fmt.Printf("station %-3d  %8d  %10d  %14s  %s\n", node, frames, r.samples, r.stale, status)
+	}
+	fmt.Println("\nEvery surviving station saw every frame un-torn: single-writer")
+	fmt.Println("regions + per-sender FIFO replication make the frame counter a")
+	fmt.Println("free seqlock, and staleness stays bounded by design (§2).")
+}

@@ -1,0 +1,331 @@
+// Package bench is the measurement harness behind every figure and
+// table of the paper's §5. Each primitive builds a fresh testbed,
+// drives a standard micro-benchmark (ping-pong, broadcast, barrier) in
+// virtual time, and returns microsecond latencies. Because the
+// simulation is deterministic, repeated runs reproduce results exactly.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// clusterRingConfig returns the testbed ring in the requested
+// transmission mode.
+func clusterRingConfig(variable bool) scramnet.Config {
+	cfg := scramnet.DefaultConfig(4)
+	if variable {
+		cfg.Mode = scramnet.VariablePackets
+	}
+	return cfg
+}
+
+// Iters is how many measured round trips each latency point averages
+// over (after one warmup).
+const Iters = 8
+
+// OneWayAPI measures one-way latency at the messaging-API layer (the
+// BillBoard API on SCRAMNet, sockets or the native API elsewhere) for an
+// n-byte message between two nodes of a 4-node testbed, via ping-pong.
+func OneWayAPI(net cluster.Network, n int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: net})
+	if err != nil {
+		panic(err)
+	}
+	return pingPong(k, c.Endpoints[0], c.Endpoints[1], n)
+}
+
+// pingPong runs warmup+Iters round trips between a and b and returns
+// the average one-way latency in microseconds.
+func pingPong(k *sim.Kernel, a, b xport.Endpoint, n int) float64 {
+	var total sim.Duration
+	buf0 := make([]byte, n+1)
+	buf1 := make([]byte, n+1)
+	msg := make([]byte, n)
+	k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < Iters+1; i++ {
+			start := p.Now()
+			if err := a.Send(p, b.Rank(), msg); err != nil {
+				panic(err)
+			}
+			if _, err := a.Recv(p, b.Rank(), buf0); err != nil {
+				panic(err)
+			}
+			if i > 0 { // skip warmup
+				total += p.Now().Sub(start)
+			}
+		}
+	})
+	k.Spawn("pong", func(p *sim.Proc) {
+		for i := 0; i < Iters+1; i++ {
+			if _, err := b.Recv(p, a.Rank(), buf1); err != nil {
+				panic(err)
+			}
+			if err := b.Send(p, a.Rank(), msg); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return total.Microseconds() / float64(2*Iters)
+}
+
+// OneWayMPI measures MPI-level one-way latency for an n-byte message on
+// a 4-node testbed.
+func OneWayMPI(net cluster.Network, n int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w, err := cluster.NewMPIWorld(k, net, 4, false)
+	if err != nil {
+		panic(err)
+	}
+	var total sim.Duration
+	w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+		buf := make([]byte, n+1)
+		msg := make([]byte, n)
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < Iters+1; i++ {
+				start := p.Now()
+				if err := c.Send(p, 1, 0, msg); err != nil {
+					panic(err)
+				}
+				if _, err := c.Recv(p, 1, 0, buf); err != nil {
+					panic(err)
+				}
+				if i > 0 {
+					total += p.Now().Sub(start)
+				}
+			}
+		case 1:
+			for i := 0; i < Iters+1; i++ {
+				if _, err := c.Recv(p, 0, 0, buf); err != nil {
+					panic(err)
+				}
+				if err := c.Send(p, 0, 0, msg); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return total.Microseconds() / float64(2*Iters)
+}
+
+// BroadcastAPI measures the BillBoard API broadcast latency on a
+// SCRAMNet testbed of the given size: from the root's bbp_Mcast call to
+// the LAST receiver completing bbp_Recv, averaged over Iters rounds
+// (receivers acknowledge between rounds, which is also what keeps the
+// sender's garbage collector fed).
+func BroadcastAPI(nodes, n int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	c, err := cluster.New(k, cluster.Options{Nodes: nodes, Net: cluster.SCRAMNet})
+	if err != nil {
+		panic(err)
+	}
+	eps := c.Endpoints
+	var total sim.Duration
+	msg := make([]byte, n)
+	lastDone := make([]sim.Time, Iters+1)
+	arrived := make([]int, Iters+1)
+	roundStart := make([]sim.Time, Iters+1)
+	done := sim.NewCond(k)
+	k.Spawn("root", func(p *sim.Proc) {
+		for i := 0; i <= Iters; i++ {
+			roundStart[i] = p.Now()
+			if err := eps[0].Mcast(p, others(nodes, 0), msg); err != nil {
+				panic(err)
+			}
+			for arrived[i] < nodes-1 {
+				done.Wait(p)
+			}
+			if i > 0 {
+				total += lastDone[i].Sub(roundStart[i])
+			}
+		}
+	})
+	for r := 1; r < nodes; r++ {
+		r := r
+		k.Spawn(fmt.Sprintf("rx%d", r), func(p *sim.Proc) {
+			buf := make([]byte, n+1)
+			for i := 0; i <= Iters; i++ {
+				if _, err := eps[r].Recv(p, 0, buf); err != nil {
+					panic(err)
+				}
+				if p.Now() > lastDone[i] {
+					lastDone[i] = p.Now()
+				}
+				arrived[i]++
+				done.Broadcast()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return total.Microseconds() / float64(Iters)
+}
+
+// UnicastAPI is the point-to-point half of Figure 4: the same
+// measurement protocol as BroadcastAPI but with a single receiver, on
+// the same 4-node ring.
+func UnicastAPI(n int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet})
+	if err != nil {
+		panic(err)
+	}
+	return pingPong(k, c.Endpoints[0], c.Endpoints[1], n)
+}
+
+func others(nodes, not int) []int {
+	var out []int
+	for i := 0; i < nodes; i++ {
+		if i != not {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BcastImpl names an MPI_Bcast implementation of Figure 5.
+type BcastImpl int
+
+const (
+	// BcastP2P is stock MPICH's binomial tree over point-to-point.
+	BcastP2P BcastImpl = iota
+	// BcastNative uses the BBP API multicast (SCRAMNet only).
+	BcastNative
+)
+
+// MPIBcast measures MPI_Bcast latency — root call start to last rank's
+// return — on `nodes` ranks with an n-byte payload.
+func MPIBcast(net cluster.Network, impl BcastImpl, nodes, n int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w, err := cluster.NewMPIWorld(k, net, nodes, impl == BcastNative)
+	if err != nil {
+		panic(err)
+	}
+	var total sim.Duration
+	lastDone := make([]sim.Time, Iters+1)
+	start := make([]sim.Time, Iters+1)
+	w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+		buf := make([]byte, n)
+		for i := 0; i <= Iters; i++ {
+			if c.Rank() == 0 {
+				start[i] = p.Now()
+			}
+			var err error
+			if impl == BcastNative {
+				err = c.BcastMcast(p, 0, buf)
+			} else {
+				err = c.BcastTree(p, 0, buf)
+			}
+			if err != nil {
+				panic(err)
+			}
+			if p.Now() > lastDone[i] {
+				lastDone[i] = p.Now()
+			}
+			// Re-synchronize so every round starts together.
+			if err := c.BarrierTree(p); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	for i := 1; i <= Iters; i++ {
+		total += lastDone[i].Sub(start[i])
+	}
+	return total.Microseconds() / float64(Iters)
+}
+
+// BarrierImpl names an MPI_Barrier implementation of Figure 6.
+type BarrierImpl int
+
+const (
+	// BarrierP2P is the stock point-to-point algorithm.
+	BarrierP2P BarrierImpl = iota
+	// BarrierNative is the coordinator + bbp_Mcast release (SCRAMNet).
+	BarrierNative
+)
+
+// MPIBarrier measures barrier latency — simultaneous entry to last
+// exit — on `nodes` ranks.
+func MPIBarrier(net cluster.Network, impl BarrierImpl, nodes int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w, err := cluster.NewMPIWorld(k, net, nodes, impl == BarrierNative)
+	if err != nil {
+		panic(err)
+	}
+	lastDone := make([]sim.Time, Iters+1)
+	start := make([]sim.Time, Iters+1)
+	w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+		for i := 0; i <= Iters; i++ {
+			if start[i] == 0 || p.Now() > start[i] {
+				start[i] = p.Now() // all ranks enter at (nearly) the same time
+			}
+			var err error
+			if impl == BarrierNative {
+				err = c.BarrierMcast(p)
+			} else {
+				err = c.BarrierTree(p)
+			}
+			if err != nil {
+				panic(err)
+			}
+			if p.Now() > lastDone[i] {
+				lastDone[i] = p.Now()
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	var total sim.Duration
+	for i := 1; i <= Iters; i++ {
+		total += lastDone[i].Sub(start[i])
+	}
+	return total.Microseconds() / float64(Iters)
+}
+
+// RingThroughput measures sustained SCRAMNet throughput (MB/s) for a
+// bulk write in the given transmission mode — the §2 table: 6.5 MB/s
+// fixed, 16.7 MB/s variable.
+func RingThroughput(variable bool) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	cfg := clusterRingConfig(variable)
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet, Ring: &cfg})
+	if err != nil {
+		panic(err)
+	}
+	const size = 1 << 16
+	var elapsed sim.Duration
+	k.Spawn("writer", func(p *sim.Proc) {
+		start := p.Now()
+		c.Ring.NIC(0).WriteDMA(p, 1<<20, make([]byte, size))
+		elapsed = p.Now().Sub(start)
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return float64(size) / (float64(elapsed) / 1e9) / 1e6
+}

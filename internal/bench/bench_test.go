@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// These tests pin the paper's headline claims — anchors, orderings and
+// crossovers — so that a calibration regression in any substrate fails
+// loudly. EXPERIMENTS.md records the quantitative residuals.
+
+func TestAnchorsFig1(t *testing.T) {
+	api0 := OneWayAPI(cluster.SCRAMNet, 0)
+	api4 := OneWayAPI(cluster.SCRAMNet, 4)
+	mpi0 := OneWayMPI(cluster.SCRAMNet, 0)
+	mpi4 := OneWayMPI(cluster.SCRAMNet, 4)
+	if api0 < 5.0 || api0 > 8.5 {
+		t.Errorf("API 0-byte = %.1fµs, paper anchor 6.5µs", api0)
+	}
+	if api4 < 6.5 || api4 > 10.0 {
+		t.Errorf("API 4-byte = %.1fµs, paper anchor 7.8µs", api4)
+	}
+	if mpi0 < 37 || mpi0 > 51 {
+		t.Errorf("MPI 0-byte = %.1fµs, paper anchor 44µs", mpi0)
+	}
+	if mpi4 < 42 || mpi4 > 56 {
+		t.Errorf("MPI 4-byte = %.1fµs, paper anchor 49µs", mpi4)
+	}
+	if api4 <= api0 || mpi4 <= mpi0 {
+		t.Error("latency must grow with message size")
+	}
+}
+
+func TestMPIAddsRoughlyConstantOverhead(t *testing.T) {
+	// Paper, Fig 1: "the MPI layer only adds a constant overhead to the
+	// API layer latency" (for the small-message panel).
+	d0 := OneWayMPI(cluster.SCRAMNet, 0) - OneWayAPI(cluster.SCRAMNet, 0)
+	d64 := OneWayMPI(cluster.SCRAMNet, 64) - OneWayAPI(cluster.SCRAMNet, 64)
+	if d0 < 25 || d0 > 50 {
+		t.Errorf("MPI-over-API overhead at 0B = %.1fµs, want ≈37", d0)
+	}
+	if diff := d64 - d0; diff < -18 || diff > 18 {
+		t.Errorf("overhead drifts %.1fµs between 0B and 64B; should be ≈constant", diff)
+	}
+}
+
+func TestFig2SmallMessageOrdering(t *testing.T) {
+	// At 4 bytes the paper's API-layer ordering is SCRAMNet ≪ Myrinet
+	// API < TCP/IP stacks.
+	scr := OneWayAPI(cluster.SCRAMNet, 4)
+	myr := OneWayAPI(cluster.MyrinetAPI, 4)
+	myrT := OneWayAPI(cluster.MyrinetTCP, 4)
+	fe := OneWayAPI(cluster.FastEthernet, 4)
+	atm := OneWayAPI(cluster.ATM, 4)
+	if !(scr < myr && myr < myrT && myrT < fe && fe < atm) {
+		t.Errorf("4-byte ordering broken: scr=%.1f myrAPI=%.1f myrTCP=%.1f fe=%.1f atm=%.1f",
+			scr, myr, myrT, fe, atm)
+	}
+}
+
+func TestFig2Crossovers(t *testing.T) {
+	scr := func(n int) float64 { return OneWayAPI(cluster.SCRAMNet, n) }
+	check := func(name string, other func(int) float64, winAt, loseAt int) {
+		t.Helper()
+		if s, o := scr(winAt), other(winAt); s >= o {
+			t.Errorf("SCRAMNet should beat %s at %dB: %.1f vs %.1f", name, winAt, s, o)
+		}
+		if s, o := scr(loseAt), other(loseAt); s <= o {
+			t.Errorf("%s should beat SCRAMNet at %dB: %.1f vs %.1f", name, loseAt, o, s)
+		}
+	}
+	// Paper: SCRAMNet wins vs Fast Ethernet up to several thousand
+	// bytes, vs ATM below ~1000B, vs Myrinet API below ~500B.
+	check("Fast Ethernet", func(n int) float64 { return OneWayAPI(cluster.FastEthernet, n) }, 2048, 16384)
+	check("ATM", func(n int) float64 { return OneWayAPI(cluster.ATM, n) }, 1024, 4096)
+	check("Myrinet API", func(n int) float64 { return OneWayAPI(cluster.MyrinetAPI, n) }, 256, 1024)
+}
+
+func TestFig3Crossovers(t *testing.T) {
+	scr := func(n int) float64 { return OneWayMPI(cluster.SCRAMNet, n) }
+	fe := func(n int) float64 { return OneWayMPI(cluster.FastEthernet, n) }
+	atm := func(n int) float64 { return OneWayMPI(cluster.ATM, n) }
+	// SCRAMNet wins for small messages at the MPI layer too...
+	if scr(256) >= fe(256) || scr(256) >= atm(256) {
+		t.Errorf("SCRAMNet MPI should win at 256B: scr=%.1f fe=%.1f atm=%.1f", scr(256), fe(256), atm(256))
+	}
+	// ...and each TCP network has a threshold beyond which it wins
+	// (paper: ≈512B FE, ≈580B ATM; measured larger — see EXPERIMENTS.md).
+	if scr(4096) <= fe(4096) {
+		t.Errorf("Fast Ethernet MPI should win at 4KB: scr=%.1f fe=%.1f", scr(4096), fe(4096))
+	}
+	if scr(2048) <= atm(2048) {
+		t.Errorf("ATM MPI should win at 2KB: scr=%.1f atm=%.1f", scr(2048), atm(2048))
+	}
+}
+
+func TestFig4BroadcastNearUnicast(t *testing.T) {
+	// Paper: a 4-node broadcast adds very little over point-to-point;
+	// short broadcast ≈ 10.1µs.
+	b0, u0 := BroadcastAPI(4, 0), UnicastAPI(0)
+	if b0-u0 > 6 {
+		t.Errorf("0-byte broadcast %.1fµs adds %.1fµs over unicast %.1fµs; want small", b0, b0-u0, u0)
+	}
+	if b0 < 7 || b0 > 14 {
+		t.Errorf("0-byte 4-node broadcast = %.1fµs, paper anchor ≈10.1µs", b0)
+	}
+	b1k, u1k := BroadcastAPI(4, 1000), UnicastAPI(1000)
+	if (b1k-u1k)/u1k > 0.15 {
+		t.Errorf("1000-byte broadcast overhead %.0f%% too high (b=%.1f u=%.1f)", 100*(b1k-u1k)/u1k, b1k, u1k)
+	}
+}
+
+func TestFig5BcastOrdering(t *testing.T) {
+	for _, n := range []int{0, 256, 1000} {
+		fe := MPIBcast(cluster.FastEthernet, BcastP2P, 4, n)
+		sp := MPIBcast(cluster.SCRAMNet, BcastP2P, 4, n)
+		sm := MPIBcast(cluster.SCRAMNet, BcastNative, 4, n)
+		// Paper: the multicast implementation is much faster than the
+		// point-to-point one and beats Fast Ethernet up to 1 KB.
+		if !(sm < sp && sp < fe) {
+			t.Errorf("%dB bcast ordering broken: mcast=%.1f p2p=%.1f fe=%.1f", n, sm, sp, fe)
+		}
+	}
+	// The multicast advantage over the tree grows with fanout work:
+	// at 1 KB it should be at least ~1.5x.
+	sp := MPIBcast(cluster.SCRAMNet, BcastP2P, 4, 1000)
+	sm := MPIBcast(cluster.SCRAMNet, BcastNative, 4, 1000)
+	if sp/sm < 1.5 {
+		t.Errorf("mcast speedup at 1KB only %.2fx", sp/sm)
+	}
+}
+
+func TestFig6BarrierOrderingAndAnchors(t *testing.T) {
+	smc3 := MPIBarrier(cluster.SCRAMNet, BarrierNative, 3)
+	smc4 := MPIBarrier(cluster.SCRAMNet, BarrierNative, 4)
+	sp3 := MPIBarrier(cluster.SCRAMNet, BarrierP2P, 3)
+	sp4 := MPIBarrier(cluster.SCRAMNet, BarrierP2P, 4)
+	fe3 := MPIBarrier(cluster.FastEthernet, BarrierP2P, 3)
+	atm3 := MPIBarrier(cluster.ATM, BarrierP2P, 3)
+	// Paper anchors: 37µs (mcast), 179µs (SCRAMNet p2p), 554µs (FE),
+	// 660µs (ATM) for small clusters; ordering must hold exactly.
+	if !(smc3 < sp3 && sp3 < fe3 && fe3 < atm3) {
+		t.Errorf("barrier ordering broken: mcast=%.1f p2p=%.1f fe=%.1f atm=%.1f", smc3, sp3, fe3, atm3)
+	}
+	if smc4 < 20 || smc4 > 55 {
+		t.Errorf("4-node mcast barrier = %.1fµs, paper anchor 37µs", smc4)
+	}
+	if sp4 < 120 || sp4 > 260 {
+		t.Errorf("4-node p2p barrier = %.1fµs, paper anchor ≈179µs", sp4)
+	}
+	if ratio := fe3 / sp3; ratio < 2 || ratio > 5 {
+		t.Errorf("FE/SCRAMNet 3-node barrier ratio %.1f, paper ≈3.1", ratio)
+	}
+	if smc3 >= smc4 {
+		t.Errorf("mcast barrier should grow with nodes: 3-node %.1f vs 4-node %.1f", smc3, smc4)
+	}
+}
+
+func TestRawThroughputTable(t *testing.T) {
+	fixed, variable := RingThroughput(false), RingThroughput(true)
+	if fixed < 5.8 || fixed > 7.2 {
+		t.Errorf("fixed mode %.2f MB/s, paper 6.5", fixed)
+	}
+	if variable < 15.0 || variable > 18.0 {
+		t.Errorf("variable mode %.2f MB/s, paper 16.7", variable)
+	}
+}
+
+func TestCrossoverHelper(t *testing.T) {
+	a := func(n int) float64 { return 10 + float64(n) }
+	b := func(n int) float64 { return 100 + 0.5*float64(n) }
+	// b < a strictly first holds at n=190 (they tie at 180).
+	if x := Crossover(a, b, 0, 1000, 10); x != 190 {
+		t.Errorf("crossover = %d, want 190", x)
+	}
+	if x := Crossover(b, a, 0, 100, 10); x != 0 {
+		t.Errorf("crossover = %d, want 0 (a cheaper from the start)", x)
+	}
+	if x := Crossover(a, func(n int) float64 { return 1e9 }, 0, 100, 10); x != -1 {
+		t.Errorf("crossover = %d, want -1", x)
+	}
+}
+
+func TestDeterministicMeasurements(t *testing.T) {
+	if a, b := OneWayAPI(cluster.SCRAMNet, 100), OneWayAPI(cluster.SCRAMNet, 100); a != b {
+		t.Errorf("measurement not reproducible: %.3f vs %.3f", a, b)
+	}
+	if a, b := MPIBarrier(cluster.FastEthernet, BarrierP2P, 4), MPIBarrier(cluster.FastEthernet, BarrierP2P, 4); a != b {
+		t.Errorf("barrier not reproducible: %.3f vs %.3f", a, b)
+	}
+}

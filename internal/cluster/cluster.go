@@ -1,0 +1,200 @@
+// Package cluster assembles the paper's testbed: four dual-Pentium-II
+// workstations wired, in turn, to SCRAMNet, Fast Ethernet, ATM, and
+// Myrinet. It builds the chosen fabric, attaches the matching messaging
+// substrate to every node, and exposes uniform xport.Endpoint handles —
+// so benchmarks and MPI worlds are constructed identically regardless of
+// the network under test.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/hybrid"
+	"repro/internal/mpi"
+	"repro/internal/myrinet"
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+	"repro/internal/xport"
+)
+
+// Network names a testbed interconnect.
+type Network string
+
+// The five network configurations of Figures 2 and 3, plus the hybrid
+// subsystem the paper's conclusion proposes.
+const (
+	SCRAMNet     Network = "scramnet"     // BillBoard Protocol on the replicated ring
+	FastEthernet Network = "fastethernet" // TCP-lite on 100 Mb/s switched Ethernet
+	ATM          Network = "atm"          // TCP-lite on OC-3 ATM
+	MyrinetAPI   Network = "myrinet-api"  // vendor user-level API
+	MyrinetTCP   Network = "myrinet-tcp"  // TCP-lite over the Myrinet driver
+	// Hybrid routes small messages over the BillBoard Protocol and
+	// large ones over the Myrinet API — the §7 "SCRAMNet together with
+	// a high bandwidth network within the same cluster" proposal.
+	Hybrid Network = "hybrid"
+)
+
+// Networks lists the paper's five measured configurations, in figure
+// order; AllNetworks additionally includes the hybrid extension.
+var (
+	Networks    = []Network{SCRAMNet, FastEthernet, ATM, MyrinetAPI, MyrinetTCP}
+	AllNetworks = []Network{SCRAMNet, FastEthernet, ATM, MyrinetAPI, MyrinetTCP, Hybrid}
+)
+
+// Options configures a testbed build.
+type Options struct {
+	Nodes int
+	Net   Network
+	// BBP optionally overrides the BillBoard Protocol configuration
+	// (SCRAMNet only).
+	BBP *core.Config
+	// Ring optionally overrides the SCRAMNet hardware configuration.
+	Ring *scramnet.Config
+	// Hierarchy, when set, builds a bridged ring-of-rings instead of a
+	// flat ring (SCRAMNet only); Nodes must equal the total host count.
+	Hierarchy *scramnet.HierarchyConfig
+	// PIOOnlyBBP forces the BBP endpoints onto the programmed-I/O path,
+	// as the paper's minimal MPICH channel device does.
+	PIOOnlyBBP bool
+}
+
+// Cluster is a built testbed.
+type Cluster struct {
+	K         *sim.Kernel
+	Net       Network
+	Endpoints []xport.Endpoint
+	// Ring and BBP are set for flat-ring SCRAMNet clusters; Hier for
+	// hierarchical ones.
+	Ring *scramnet.Network
+	Hier *scramnet.Hierarchy
+	BBP  *core.System
+}
+
+// New builds a testbed per opts.
+func New(k *sim.Kernel, opts Options) (*Cluster, error) {
+	if opts.Nodes < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 nodes, got %d", opts.Nodes)
+	}
+	c := &Cluster{K: k, Net: opts.Net}
+	switch opts.Net {
+	case SCRAMNet:
+		var topo core.RingNetwork
+		if opts.Hierarchy != nil {
+			h, err := scramnet.NewHierarchy(k, *opts.Hierarchy)
+			if err != nil {
+				return nil, err
+			}
+			if h.Nodes() != opts.Nodes {
+				return nil, fmt.Errorf("cluster: hierarchy has %d hosts, want %d", h.Nodes(), opts.Nodes)
+			}
+			h.SetSingleWriterCheck(true)
+			c.Hier = h
+			topo = h
+		} else {
+			ringCfg := scramnet.DefaultConfig(opts.Nodes)
+			if opts.Ring != nil {
+				ringCfg = *opts.Ring
+			}
+			ring, err := scramnet.New(k, ringCfg)
+			if err != nil {
+				return nil, err
+			}
+			ring.SetSingleWriterCheck(true)
+			c.Ring = ring
+			topo = ring
+		}
+		bbpCfg := core.DefaultConfig()
+		if opts.BBP != nil {
+			bbpCfg = *opts.BBP
+		}
+		if opts.PIOOnlyBBP {
+			bbpCfg.SendDMAThreshold = 1 << 30
+			bbpCfg.RecvDMAThreshold = 1 << 30
+		}
+		sys, err := core.New(topo, bbpCfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			ep, err := sys.Attach(i)
+			if err != nil {
+				return nil, err
+			}
+			c.Endpoints = append(c.Endpoints, ep)
+		}
+		c.BBP = sys
+	case FastEthernet:
+		fab, err := ethernet.New(k, ethernet.DefaultConfig(opts.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fab, i, tcpip.FastEthernetProfile()))
+		}
+	case ATM:
+		fab, err := atm.New(k, atm.DefaultConfig(opts.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fab, i, tcpip.ATMProfile()))
+		}
+	case MyrinetAPI:
+		fab, err := myrinet.New(k, myrinet.DefaultConfig(opts.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			c.Endpoints = append(c.Endpoints, myrinet.OpenAPI(fab, i, myrinet.DefaultAPIConfig()))
+		}
+	case MyrinetTCP:
+		fab, err := myrinet.New(k, myrinet.DefaultConfig(opts.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fab, i, tcpip.MyrinetProfile()))
+		}
+	case Hybrid:
+		// Both NICs in every workstation: a SCRAMNet ring for latency
+		// and a Myrinet SAN for bandwidth.
+		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring})
+		if err != nil {
+			return nil, err
+		}
+		c.Ring, c.BBP = low.Ring, low.BBP
+		fab, err := myrinet.New(k, myrinet.DefaultConfig(opts.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.Nodes; i++ {
+			high := myrinet.OpenAPI(fab, i, myrinet.DefaultAPIConfig())
+			ep, err := hybrid.New(low.Endpoints[i], high, hybrid.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			c.Endpoints = append(c.Endpoints, ep)
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown network %q", opts.Net)
+	}
+	return c, nil
+}
+
+// NewMPIWorld builds a testbed on net and an MPI world over it. On
+// SCRAMNet the channel device runs the BBP in PIO-only mode, as in the
+// paper's minimal channel implementation; mcast selects the
+// multicast-based collectives (meaningful only on SCRAMNet).
+func NewMPIWorld(k *sim.Kernel, net Network, nodes int, mcast bool) (*Cluster, *mpi.World, error) {
+	c, err := New(k, Options{Nodes: nodes, Net: net, PIOOnlyBBP: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := mpi.DefaultConfig()
+	cfg.McastCollectives = mcast
+	return c, mpi.NewWorld(c.Endpoints, cfg), nil
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+)
+
+func TestEveryNetworkBuildsAndDelivers(t *testing.T) {
+	for _, net := range AllNetworks {
+		net := net
+		t.Run(string(net), func(t *testing.T) {
+			k := sim.NewKernel()
+			c, err := New(k, Options{Nodes: 4, Net: net})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Endpoints) != 4 {
+				t.Fatalf("%d endpoints", len(c.Endpoints))
+			}
+			msg := []byte("probe")
+			var got []byte
+			k.Spawn("tx", func(p *sim.Proc) {
+				if err := c.Endpoints[0].Send(p, 3, msg); err != nil {
+					t.Error(err)
+				}
+			})
+			k.Spawn("rx", func(p *sim.Proc) {
+				buf := make([]byte, 16)
+				n, err := c.Endpoints[3].Recv(p, 0, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got = buf[:n]
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("got %q", got)
+			}
+			wantNative := net == SCRAMNet || net == Hybrid // hybrid inherits BBP multicast
+			if native := c.Endpoints[0].NativeMcast(); native != wantNative {
+				t.Errorf("NativeMcast = %v on %s", native, net)
+			}
+		})
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := New(k, Options{Nodes: 1, Net: SCRAMNet}); err == nil {
+		t.Error("1-node cluster accepted")
+	}
+	if _, err := New(k, Options{Nodes: 4, Net: "token-ring"}); err == nil {
+		t.Error("unknown network accepted")
+	}
+	h := scramnet.DefaultHierarchyConfig(2, 2)
+	if _, err := New(k, Options{Nodes: 5, Net: SCRAMNet, Hierarchy: &h}); err == nil {
+		t.Error("hierarchy host-count mismatch accepted")
+	}
+}
+
+func TestPIOOnlyBBPDisablesDMA(t *testing.T) {
+	k := sim.NewKernel()
+	c, err := New(k, Options{Nodes: 2, Net: SCRAMNet, PIOOnlyBBP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BBP.Config().SendDMAThreshold; got != 1<<30 {
+		t.Errorf("SendDMAThreshold = %d", got)
+	}
+}
+
+func TestHierarchyClusterEndToEnd(t *testing.T) {
+	k := sim.NewKernel()
+	h := scramnet.DefaultHierarchyConfig(2, 3)
+	c, err := New(k, Options{Nodes: 6, Net: SCRAMNet, Hierarchy: &h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hier == nil || c.Ring != nil {
+		t.Fatal("hierarchy cluster should set Hier, not Ring")
+	}
+	ok := false
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := c.Endpoints[0].Send(p, 5, []byte("far")); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 8)
+		n, err := c.Endpoints[5].Recv(p, 0, buf)
+		ok = err == nil && string(buf[:n]) == "far"
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("cross-leaf delivery failed")
+	}
+}
+
+func TestNewMPIWorldAllNetworks(t *testing.T) {
+	for _, net := range Networks {
+		k := sim.NewKernel()
+		if _, _, err := NewMPIWorld(k, net, 3, true); err != nil {
+			t.Errorf("%s: %v", net, err)
+		}
+	}
+}

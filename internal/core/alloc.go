@@ -1,0 +1,80 @@
+package core
+
+// allocator is a first-fit free-list allocator over one process's data
+// partition. It is purely local state: the owner is the only process
+// that ever allocates from or frees into its partition, which is what
+// keeps the protocol lock-free.
+type allocator struct {
+	free []span // sorted by off, non-adjacent
+	size int
+}
+
+type span struct{ off, n int }
+
+func newAllocator(size int) *allocator {
+	return &allocator{free: []span{{0, size}}, size: size}
+}
+
+// alloc reserves n bytes (rounded up to a word) first-fit. ok is false
+// when no free span is large enough.
+func (a *allocator) alloc(n int) (off int, ok bool) {
+	n = (n + 3) &^ 3
+	if n == 0 {
+		n = 4
+	}
+	for i, s := range a.free {
+		if s.n >= n {
+			a.free[i].off += n
+			a.free[i].n -= n
+			if a.free[i].n == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return s.off, true
+		}
+	}
+	return 0, false
+}
+
+// release returns [off, off+n) to the free list, coalescing neighbors.
+func (a *allocator) release(off, n int) {
+	n = (n + 3) &^ 3
+	if n == 0 {
+		n = 4
+	}
+	i := 0
+	for i < len(a.free) && a.free[i].off < off {
+		i++
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{off, n}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].n == a.free[i+1].off {
+		a.free[i].n += a.free[i+1].n
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].n == a.free[i].off {
+		a.free[i-1].n += a.free[i].n
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// largestFree returns the biggest allocatable block.
+func (a *allocator) largestFree() int {
+	max := 0
+	for _, s := range a.free {
+		if s.n > max {
+			max = s.n
+		}
+	}
+	return max
+}
+
+// totalFree returns the sum of free bytes.
+func (a *allocator) totalFree() int {
+	t := 0
+	for _, s := range a.free {
+		t += s.n
+	}
+	return t
+}

@@ -1,0 +1,249 @@
+// Package core implements the BillBoard Protocol (BBP), the paper's
+// primary contribution: a user-level, zero-copy, lock-free message
+// passing protocol for SCRAMNet replicated shared memory (§3).
+//
+// The SCRAMNet memory is divided equally among the participating
+// processes. Each process's partition holds a control partition —
+// MESSAGE toggle flags (set by senders), ACK toggle flags (set by
+// receivers), and buffer descriptors (offset/length/sequence, written by
+// the owner) — followed by a data partition of message buffers.
+//
+// A send "posts the message on a billboard": the sender allocates a
+// buffer in its own data partition, writes the message and a descriptor,
+// and toggles a MESSAGE flag bit in each receiver's control partition.
+// Because every SCRAMNet word is written by exactly one process, no
+// locks are ever needed, and because the data partition is visible to
+// every node, multicast costs one extra flag-word write per extra
+// receiver — a single-step multicast, unlike point-to-point binomial
+// trees.
+//
+// Receivers poll their MESSAGE flag words, diff them against a shadow
+// copy to find newly posted buffers, read the descriptor and the data
+// straight into the user buffer, and toggle an ACK flag bit in the
+// sender's control partition. Senders garbage-collect buffers whose ACK
+// toggles from every addressed receiver match the MESSAGE toggles —
+// which is attempted only when an allocation fails, as in the paper.
+//
+// The five-call API of [8] — bbp_init, bbp_Send, bbp_Recv, bbp_Mcast,
+// bbp_MsgAvail — maps to New/Attach, Endpoint.Send, Endpoint.Recv,
+// Endpoint.Mcast and Endpoint.MsgAvail; TryRecv, RecvAny and Bcast are
+// convenience extensions, and interrupt-driven receive (the paper's §7
+// "future work") is available behind Config.InterruptDriven.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MaxProcs bounds the number of BBP processes: MESSAGE/ACK flags are one
+// 32-bit toggle word per peer with one bit per buffer slot.
+const MaxProcs = 32
+
+// descWords is the portion of a descriptor actually transferred:
+// offset, length, sequence. A fourth word is reserved.
+const (
+	descWords = 3
+	descSize  = 16
+)
+
+// Costs are the software-path CPU costs charged by the protocol,
+// separate from the bus and wire costs charged by the hardware models.
+type Costs struct {
+	// SendSetup covers argument checks, buffer allocation bookkeeping
+	// and descriptor marshalling on the send side.
+	SendSetup sim.Duration
+	// RecvBookkeeping covers descriptor decode, pending-queue insertion
+	// and shadow-flag update per received message.
+	RecvBookkeeping sim.Duration
+	// PollOverhead is the per-iteration loop cost of polling, on top of
+	// the PIO flag read itself.
+	PollOverhead sim.Duration
+	// GCPass is the fixed software cost of one garbage-collection sweep,
+	// on top of the ACK-word PIO reads.
+	GCPass sim.Duration
+	// AllocRetryDelay is how long a sender backs off when the data
+	// partition is exhausted even after GC.
+	AllocRetryDelay sim.Duration
+}
+
+// DefaultCosts returns the calibrated software costs (DESIGN.md §5).
+func DefaultCosts() Costs {
+	return Costs{
+		SendSetup:       250 * sim.Nanosecond,
+		RecvBookkeeping: 300 * sim.Nanosecond,
+		PollOverhead:    100 * sim.Nanosecond,
+		GCPass:          500 * sim.Nanosecond,
+		AllocRetryDelay: 2 * sim.Microsecond,
+	}
+}
+
+// Config parameterizes a BBP system.
+type Config struct {
+	// Buffers is the number of message buffer slots per process (1..32).
+	Buffers int
+	// SendDMAThreshold / RecvDMAThreshold are the message lengths at or
+	// above which the data crosses the I/O bus by DMA instead of PIO,
+	// per direction. They differ because posted PIO writes are ~5x
+	// cheaper than PIO reads on the testbed's PCI, so DMA pays off far
+	// earlier on the receive side. Set them above MaxMessage for a
+	// PIO-only endpoint (the minimal MPICH channel device does this).
+	SendDMAThreshold int
+	RecvDMAThreshold int
+	// RecvTimeout bounds blocking receives and allocation stalls in
+	// virtual time; 0 means wait forever. A finite default keeps a
+	// protocol bug from spinning the simulation indefinitely.
+	RecvTimeout sim.Duration
+	// InterruptDriven makes senders set the SCRAMNet interrupt bit on
+	// MESSAGE flag writes and receivers sleep on the interrupt instead
+	// of polling (§7 future work; ablated in the benchmarks).
+	InterruptDriven bool
+	// Costs are the software path costs.
+	Costs Costs
+}
+
+// DefaultConfig returns the configuration used for the paper figures.
+func DefaultConfig() Config {
+	return Config{
+		Buffers:          16,
+		SendDMAThreshold: 128,
+		RecvDMAThreshold: 64,
+		RecvTimeout:      5 * sim.Second,
+		Costs:            DefaultCosts(),
+	}
+}
+
+// Protocol errors.
+var (
+	ErrTooLarge  = errors.New("bbp: message exceeds data partition capacity")
+	ErrTimeout   = errors.New("bbp: operation timed out")
+	ErrTruncated = errors.New("bbp: receive buffer smaller than message")
+	ErrBadRank   = errors.New("bbp: destination rank out of range or self")
+)
+
+// layout computes the SCRAMNet memory map. All processes share the same
+// arithmetic, so no layout information ever crosses the network.
+type layout struct {
+	nprocs   int
+	buffers  int
+	partSize int
+	ctrlSize int
+	dataSize int
+}
+
+func newLayout(nprocs, buffers, memBytes int) (layout, error) {
+	l := layout{nprocs: nprocs, buffers: buffers}
+	l.partSize = (memBytes / nprocs) &^ 63
+	l.ctrlSize = (8*nprocs + descSize*buffers + 63) &^ 63
+	l.dataSize = l.partSize - l.ctrlSize
+	if l.dataSize < 256 {
+		return l, fmt.Errorf("bbp: %d bytes of SCRAMNet memory leaves only %d data bytes per process", memBytes, l.dataSize)
+	}
+	return l, nil
+}
+
+func (l layout) base(i int) int         { return i * l.partSize }
+func (l layout) msgFlags(i, s int) int  { return l.base(i) + 4*s }
+func (l layout) ackFlags(i, r int) int  { return l.base(i) + 4*l.nprocs + 4*r }
+func (l layout) desc(i, b int) int      { return l.base(i) + 8*l.nprocs + descSize*b }
+func (l layout) dataBase(i int) int     { return l.base(i) + l.ctrlSize }
+func (l layout) dataOff(i, rel int) int { return l.dataBase(i) + rel }
+
+// RingNetwork is the replicated-memory hardware the protocol runs on: a
+// flat SCRAMNet ring (*scramnet.Network) or a bridged ring-of-rings
+// (*scramnet.Hierarchy).
+type RingNetwork interface {
+	Kernel() *sim.Kernel
+	Nodes() int
+	NIC(i int) *scramnet.NIC
+	MemBytes() int
+}
+
+// System is one BBP deployment over a SCRAMNet topology: one process
+// per host (bbp_init).
+type System struct {
+	net    RingNetwork
+	cfg    Config
+	lay    layout
+	eps    []*Endpoint
+	tracer *trace.Recorder
+}
+
+// SetTracer installs a protocol event recorder (nil disables tracing).
+func (s *System) SetTracer(r *trace.Recorder) { s.tracer = r }
+
+// New divides the replicated memory among the hosts and prepares one
+// endpoint slot per host.
+func New(net RingNetwork, cfg Config) (*System, error) {
+	n := net.Nodes()
+	if n > MaxProcs {
+		return nil, fmt.Errorf("bbp: %d processes exceeds MaxProcs %d", n, MaxProcs)
+	}
+	if cfg.Buffers < 1 || cfg.Buffers > 32 {
+		return nil, fmt.Errorf("bbp: Buffers %d outside 1..32", cfg.Buffers)
+	}
+	lay, err := newLayout(n, cfg.Buffers, net.MemBytes())
+	if err != nil {
+		return nil, err
+	}
+	return &System{net: net, cfg: cfg, lay: lay, eps: make([]*Endpoint, n)}, nil
+}
+
+// Network returns the underlying ring topology.
+func (s *System) Network() RingNetwork { return s.net }
+
+// Config returns the protocol configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Procs returns the number of participating processes.
+func (s *System) Procs() int { return s.lay.nprocs }
+
+// MaxMessage returns the largest message a single buffer can carry.
+func (s *System) MaxMessage() int { return s.lay.dataSize }
+
+// Attach binds the BBP endpoint for ring node `rank` (each node attaches
+// exactly once).
+func (s *System) Attach(rank int) (*Endpoint, error) {
+	if rank < 0 || rank >= s.lay.nprocs {
+		return nil, ErrBadRank
+	}
+	if s.eps[rank] != nil {
+		return nil, fmt.Errorf("bbp: rank %d already attached", rank)
+	}
+	e := &Endpoint{
+		sys:        s,
+		me:         rank,
+		nic:        s.net.NIC(rank),
+		outToggles: make([]uint32, s.lay.nprocs),
+		lastSeen:   make([]uint32, s.lay.nprocs),
+		ackOut:     make([]uint32, s.lay.nprocs),
+		pending:    make([][]message, s.lay.nprocs),
+		alloc:      newAllocator(s.lay.dataSize),
+		intrWake:   sim.NewCond(s.net.Kernel()),
+	}
+	for b := s.cfg.Buffers - 1; b >= 0; b-- {
+		e.freeSlots = append(e.freeSlots, b)
+	}
+	e.live = make([]liveBuf, s.cfg.Buffers)
+	if s.cfg.InterruptDriven {
+		e.nic.EnableInterrupts(true, func(off int) { e.intrWake.Broadcast() })
+	}
+	s.eps[rank] = e
+	return e, nil
+}
+
+// Stats counts protocol-level activity on one endpoint.
+type Stats struct {
+	Sent         int64
+	McastSent    int64
+	Received     int64
+	BytesSent    int64
+	BytesRecv    int64
+	Polls        int64
+	GCPasses     int64
+	AllocRetries int64
+}

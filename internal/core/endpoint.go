@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Endpoint is one process's handle on the BillBoard. All methods taking
+// a *sim.Proc must be called from that process's simulation coroutine.
+type Endpoint struct {
+	sys *System
+	me  int
+	nic *scramnet.NIC
+
+	// Sender state. outToggles[r] shadows the MESSAGE flag word this
+	// process writes into r's control partition; sendSeq is the global
+	// send sequence, strictly increasing across Send and Mcast.
+	outToggles []uint32
+	sendSeq    uint32
+	live       []liveBuf
+	freeSlots  []int
+	alloc      *allocator
+
+	// Receiver state. lastSeen[s] shadows the last observed value of
+	// sender s's MESSAGE flag word; ackOut[s] shadows the ACK word this
+	// process writes into s's partition; pending[s] holds detected-but-
+	// not-consumed messages from s in sequence order; rrNext implements
+	// round-robin fairness for RecvAny.
+	lastSeen []uint32
+	ackOut   []uint32
+	pending  [][]message
+	rrNext   int
+
+	intrWake *sim.Cond
+	stats    Stats
+}
+
+// liveBuf tracks an occupied buffer slot until every addressed receiver
+// acknowledges it.
+type liveBuf struct {
+	used   bool
+	off, n int    // data-partition segment
+	dests  uint32 // bitmask of addressed receivers
+	acked  uint32 // receivers whose ACK toggle already matched
+}
+
+// message is a detected incoming message: descriptor contents plus the
+// slot to acknowledge.
+type message struct {
+	slot   int
+	off, n int
+	seq    uint32
+}
+
+// Rank returns this endpoint's process number.
+func (e *Endpoint) Rank() int { return e.me }
+
+// MaxMessage returns the largest payload one buffer can carry.
+func (e *Endpoint) MaxMessage() int { return e.sys.lay.dataSize }
+
+// NativeMcast reports that BBP multicast is a single-step hardware
+// operation (it satisfies xport.Endpoint).
+func (e *Endpoint) NativeMcast() bool { return true }
+
+// Procs returns the number of processes in the system.
+func (e *Endpoint) Procs() int { return e.sys.lay.nprocs }
+
+// Stats returns a copy of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Send posts data to process dst (bbp_Send).
+func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
+	if dst == e.me || dst < 0 || dst >= e.Procs() {
+		return ErrBadRank
+	}
+	return e.post(p, 1<<uint(dst), data)
+}
+
+// Mcast posts one copy of data, visible to every process in dsts
+// (bbp_Mcast). Each extra receiver costs one additional flag-word write.
+func (e *Endpoint) Mcast(p *sim.Proc, dsts []int, data []byte) error {
+	var mask uint32
+	for _, d := range dsts {
+		if d == e.me || d < 0 || d >= e.Procs() {
+			return ErrBadRank
+		}
+		mask |= 1 << uint(d)
+	}
+	if mask == 0 {
+		return ErrBadRank
+	}
+	return e.post(p, mask, data)
+}
+
+// Bcast posts data to every other process.
+func (e *Endpoint) Bcast(p *sim.Proc, data []byte) error {
+	mask := uint32(1<<uint(e.Procs())) - 1
+	mask &^= 1 << uint(e.me)
+	return e.post(p, mask, data)
+}
+
+// post is the shared billboard write path: allocate, write data, write
+// descriptor, toggle MESSAGE flags.
+func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	if len(data) > lay.dataSize {
+		return ErrTooLarge
+	}
+	p.Delay(cfg.Costs.SendSetup)
+
+	slot, off, err := e.allocate(p, len(data))
+	if err != nil {
+		return err
+	}
+	e.live[slot] = liveBuf{used: true, off: off, n: len(data), dests: dests}
+	e.sendSeq++
+	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "post", "slot=%d off=%d len=%d dests=%#x seq=%d", slot, off, len(data), dests, e.sendSeq)
+
+	// Message body straight from the user buffer into SCRAMNet memory
+	// (the zero-copy path), then the descriptor, then the flags; the
+	// ring's per-sender FIFO guarantees receivers see them in order.
+	if len(data) > 0 {
+		if len(data) >= cfg.SendDMAThreshold {
+			e.nic.WriteDMA(p, lay.dataOff(e.me, off), data)
+		} else {
+			e.nic.Write(p, lay.dataOff(e.me, off), data)
+		}
+	}
+	var desc [descWords * 4]byte
+	putWord(desc[0:], uint32(off))
+	putWord(desc[4:], uint32(len(data)))
+	putWord(desc[8:], e.sendSeq)
+	e.nic.Write(p, lay.desc(e.me, slot), desc[:])
+
+	multicast := false
+	for r := 0; r < e.Procs(); r++ {
+		if dests&(1<<uint(r)) == 0 {
+			continue
+		}
+		e.outToggles[r] ^= 1 << uint(slot)
+		if cfg.InterruptDriven {
+			e.nic.WriteWordInterrupt(p, lay.msgFlags(r, e.me), e.outToggles[r])
+		} else {
+			e.nic.WriteWord(p, lay.msgFlags(r, e.me), e.outToggles[r])
+		}
+		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "flag-set", "receiver=%d slot=%d", r, slot)
+		if multicast {
+			e.stats.McastSent++
+		}
+		multicast = true
+	}
+	e.stats.Sent++
+	e.stats.BytesSent += int64(len(data))
+	return nil
+}
+
+// allocate obtains a free slot and data segment, running garbage
+// collection — and then backing off — only when space is exhausted, as
+// in the paper (§3 footnote: "If a buffer cannot be allocated garbage
+// collection is first done ... and then a buffer is allocated").
+func (e *Endpoint) allocate(p *sim.Proc, n int) (slot, off int, err error) {
+	cfg := e.sys.cfg
+	deadline := sim.Time(-1)
+	if cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(cfg.RecvTimeout)
+	}
+	for {
+		if len(e.freeSlots) > 0 {
+			if o, ok := e.alloc.alloc(n); ok {
+				s := e.freeSlots[len(e.freeSlots)-1]
+				e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
+				return s, o, nil
+			}
+		}
+		e.collect(p)
+		if len(e.freeSlots) > 0 {
+			if o, ok := e.alloc.alloc(n); ok {
+				s := e.freeSlots[len(e.freeSlots)-1]
+				e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
+				return s, o, nil
+			}
+		}
+		if n > e.sys.lay.dataSize {
+			return 0, 0, ErrTooLarge
+		}
+		e.stats.AllocRetries++
+		if deadline >= 0 && p.Now().Add(cfg.Costs.AllocRetryDelay) > deadline {
+			return 0, 0, ErrTimeout
+		}
+		p.Delay(cfg.Costs.AllocRetryDelay)
+	}
+}
+
+// collect is the garbage collector: read the ACK toggle words receivers
+// write into our control partition and free every buffer whose addressed
+// receivers have all caught up with the MESSAGE toggles.
+func (e *Endpoint) collect(p *sim.Proc) {
+	lay := e.sys.lay
+	p.Delay(e.sys.cfg.Costs.GCPass)
+	e.stats.GCPasses++
+	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "gc", "pass=%d", e.stats.GCPasses)
+	// One ACK word per peer that any live buffer is still waiting on.
+	var need uint32
+	for s := range e.live {
+		if e.live[s].used {
+			need |= e.live[s].dests &^ e.live[s].acked
+		}
+	}
+	if need == 0 {
+		return
+	}
+	acks := make([]uint32, e.Procs())
+	for r := 0; r < e.Procs(); r++ {
+		if need&(1<<uint(r)) != 0 {
+			acks[r] = e.nic.ReadWord(p, lay.ackFlags(e.me, r))
+		}
+	}
+	for s := range e.live {
+		lb := &e.live[s]
+		if !lb.used {
+			continue
+		}
+		for r := 0; r < e.Procs(); r++ {
+			bit := uint32(1) << uint(r)
+			if lb.dests&bit == 0 || lb.acked&bit != 0 {
+				continue
+			}
+			if acks[r]&(1<<uint(s)) == e.outToggles[r]&(1<<uint(s)) {
+				lb.acked |= bit
+			}
+		}
+		if lb.acked == lb.dests {
+			e.alloc.release(lb.off, lb.n)
+			e.freeSlots = append(e.freeSlots, s)
+			lb.used = false
+		}
+	}
+}
+
+func putWord(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getWord(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// seqLess compares sequence numbers with wraparound.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("bbp[%d/%d]", e.me, e.Procs())
+}

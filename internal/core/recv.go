@@ -1,0 +1,216 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// pollSender reads sender s's MESSAGE flag word, diffs it against the
+// shadow copy, and moves any newly posted buffers onto the pending queue
+// in sequence order. One PIO read across the I/O bus per call — the
+// receive overhead §7 of the paper attributes to polling.
+func (e *Endpoint) pollSender(p *sim.Proc, s int) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	e.stats.Polls++
+	p.Delay(cfg.Costs.PollOverhead)
+	flags := e.nic.ReadWord(p, lay.msgFlags(e.me, s))
+	diff := flags ^ e.lastSeen[s]
+	if diff == 0 {
+		return
+	}
+	for b := 0; b < cfg.Buffers; b++ {
+		if diff&(1<<uint(b)) == 0 {
+			continue
+		}
+		var desc [descWords * 4]byte
+		e.nic.Read(p, lay.desc(s, b), desc[:])
+		m := message{
+			slot: b,
+			off:  int(getWord(desc[0:])),
+			n:    int(getWord(desc[4:])),
+			seq:  getWord(desc[8:]),
+		}
+		p.Delay(cfg.Costs.RecvBookkeeping)
+		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "detect", "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
+		e.insertPending(s, m)
+		e.lastSeen[s] ^= 1 << uint(b)
+	}
+}
+
+// insertPending keeps pending[s] sorted by sequence so consumption is
+// in-order even when several flags flip between two polls.
+func (e *Endpoint) insertPending(s int, m message) {
+	q := e.pending[s]
+	i := len(q)
+	for i > 0 && seqLess(m.seq, q[i-1].seq) {
+		i--
+	}
+	q = append(q, message{})
+	copy(q[i+1:], q[i:])
+	q[i] = m
+	e.pending[s] = q
+}
+
+// consume reads message m's payload from sender s's data partition into
+// buf and toggles the ACK flag bit in s's control partition, completing
+// the transfer.
+func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, error) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	if m.n > len(buf) {
+		return 0, ErrTruncated
+	}
+	if m.n > 0 {
+		src := lay.dataOff(s, m.off)
+		if m.n >= cfg.RecvDMAThreshold {
+			e.nic.ReadDMA(p, src, buf[:m.n])
+		} else {
+			e.nic.Read(p, src, buf[:m.n])
+		}
+	}
+	// ACK toggle: this word in s's control partition is written only by
+	// this process, preserving the single-writer discipline.
+	e.ackToggle(p, s, m.slot)
+	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "consume", "sender=%d slot=%d len=%d", s, m.slot, m.n)
+	e.stats.Received++
+	e.stats.BytesRecv += int64(m.n)
+	return m.n, nil
+}
+
+// ackToggle flips this process's ACK bit for s's buffer slot.
+func (e *Endpoint) ackToggle(p *sim.Proc, s, slot int) {
+	e.ackOut[s] ^= 1 << uint(slot)
+	e.nic.WriteWord(p, e.sys.lay.ackFlags(s, e.me), e.ackOut[s])
+}
+
+// popPending removes the lowest-sequence pending message from s.
+func (e *Endpoint) popPending(s int) (message, bool) {
+	q := e.pending[s]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	m := q[0]
+	e.pending[s] = q[1:]
+	return m, true
+}
+
+// Recv blocks until the next in-order message from src arrives, copies
+// it into buf, acknowledges it, and returns its length (bbp_Recv).
+func (e *Endpoint) Recv(p *sim.Proc, src int, buf []byte) (int, error) {
+	if src == e.me || src < 0 || src >= e.Procs() {
+		return 0, ErrBadRank
+	}
+	cfg := e.sys.cfg
+	deadline := sim.Time(-1)
+	if cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(cfg.RecvTimeout)
+	}
+	for {
+		if m, ok := e.popPending(src); ok {
+			return e.consume(p, src, m, buf)
+		}
+		e.pollSender(p, src)
+		if len(e.pending[src]) > 0 {
+			continue
+		}
+		if deadline >= 0 && p.Now() > deadline {
+			return 0, ErrTimeout
+		}
+		if cfg.InterruptDriven {
+			// Sleep until any MESSAGE-flag interrupt; re-poll then.
+			if deadline >= 0 {
+				e.intrWake.WaitTimeout(p, deadline.Sub(p.Now()))
+			} else {
+				e.intrWake.Wait(p)
+			}
+		}
+	}
+}
+
+// TryRecv is Recv without blocking: it performs one poll and reports
+// ok=false if no message from src is ready.
+func (e *Endpoint) TryRecv(p *sim.Proc, src int, buf []byte) (n int, ok bool, err error) {
+	if src == e.me || src < 0 || src >= e.Procs() {
+		return 0, false, ErrBadRank
+	}
+	if m, found := e.popPending(src); found {
+		n, err = e.consume(p, src, m, buf)
+		return n, err == nil, err
+	}
+	e.pollSender(p, src)
+	if m, found := e.popPending(src); found {
+		n, err = e.consume(p, src, m, buf)
+		return n, err == nil, err
+	}
+	return 0, false, nil
+}
+
+// RecvAny blocks for the next message from any sender (round-robin fair
+// across senders), returning the source and length.
+func (e *Endpoint) RecvAny(p *sim.Proc, buf []byte) (src, n int, err error) {
+	cfg := e.sys.cfg
+	deadline := sim.Time(-1)
+	if cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(cfg.RecvTimeout)
+	}
+	for {
+		for i := 0; i < e.Procs(); i++ {
+			s := (e.rrNext + i) % e.Procs()
+			if s == e.me {
+				continue
+			}
+			if m, ok := e.popPending(s); ok {
+				e.rrNext = (s + 1) % e.Procs()
+				n, err = e.consume(p, s, m, buf)
+				return s, n, err
+			}
+		}
+		for s := 0; s < e.Procs(); s++ {
+			if s != e.me {
+				e.pollSender(p, s)
+			}
+		}
+		if e.anyPending() {
+			continue
+		}
+		if deadline >= 0 && p.Now() > deadline {
+			return 0, 0, ErrTimeout
+		}
+		if cfg.InterruptDriven {
+			if deadline >= 0 {
+				e.intrWake.WaitTimeout(p, deadline.Sub(p.Now()))
+			} else {
+				e.intrWake.Wait(p)
+			}
+		}
+	}
+}
+
+// MsgAvail polls every sender once and reports whether any message is
+// waiting (bbp_MsgAvail).
+func (e *Endpoint) MsgAvail(p *sim.Proc) bool {
+	for s := 0; s < e.Procs(); s++ {
+		if s != e.me {
+			e.pollSender(p, s)
+		}
+	}
+	return e.anyPending()
+}
+
+// MsgAvailFrom polls a single sender and reports whether a message from
+// it is waiting.
+func (e *Endpoint) MsgAvailFrom(p *sim.Proc, src int) bool {
+	if src == e.me || src < 0 || src >= e.Procs() {
+		return false
+	}
+	e.pollSender(p, src)
+	return len(e.pending[src]) > 0
+}
+
+func (e *Endpoint) anyPending() bool {
+	for _, q := range e.pending {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}

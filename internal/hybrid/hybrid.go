@@ -1,0 +1,259 @@
+// Package hybrid implements the communication subsystem the paper's
+// conclusion (§7) proposes: SCRAMNet for latency, a high-bandwidth
+// network for volume, in the same cluster. "We conclude that SCRAMNet
+// has characteristics complementary to those of networks usually used
+// in clusters. This makes SCRAMNet a good candidate for use with a high
+// bandwidth network within the same cluster."
+//
+// An Endpoint routes each message by size: at or below Threshold it
+// travels over the low-latency transport (the BillBoard Protocol);
+// above, over the high-bandwidth one (e.g. the Myrinet API). Because
+// the two substrates have wildly different latencies, a small message
+// sent after a large one could overtake it; every message therefore
+// carries a per-(sender,receiver) sequence number, and the receiver
+// releases messages strictly in sequence, holding early arrivals in a
+// reorder buffer.
+package hybrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// hdrBytes prefixes every routed message: 4-byte sequence number.
+const hdrBytes = 4
+
+// ErrTimeout is returned when a blocking receive exceeds the timeout.
+var ErrTimeout = errors.New("hybrid: receive timed out")
+
+// Config parameterizes the router.
+type Config struct {
+	// Threshold is the largest payload routed over the low-latency
+	// transport. The natural setting is the measured latency crossover
+	// of the two substrates (≈500 B for BBP vs Myrinet API, Figure 2).
+	Threshold int
+	// ReorderCost is the software cost of holding/releasing one message
+	// in the resequencing buffer.
+	ReorderCost sim.Duration
+	// RecvTimeout bounds blocking receives (0 = forever).
+	RecvTimeout sim.Duration
+}
+
+// DefaultConfig returns the Figure-2-crossover threshold.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:   512,
+		ReorderCost: 300 * sim.Nanosecond,
+		RecvTimeout: 5 * sim.Second,
+	}
+}
+
+// Endpoint routes messages across two transports; it implements
+// xport.Endpoint itself.
+type Endpoint struct {
+	low, high xport.Endpoint // same rank on both substrates
+	cfg       Config
+
+	sendSeq []uint32 // per destination
+	nextSeq []uint32 // per source: next sequence to release
+	held    []map[uint32][]byte
+	scratch []byte
+}
+
+// New combines a low-latency and a high-bandwidth endpoint of the same
+// rank and world size.
+func New(low, high xport.Endpoint, cfg Config) (*Endpoint, error) {
+	if low.Rank() != high.Rank() || low.Procs() != high.Procs() {
+		return nil, fmt.Errorf("hybrid: endpoints disagree: rank %d/%d procs %d/%d",
+			low.Rank(), high.Rank(), low.Procs(), high.Procs())
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > low.MaxMessage()-hdrBytes {
+		return nil, fmt.Errorf("hybrid: threshold %d outside the low-latency transport's range", cfg.Threshold)
+	}
+	n := low.Procs()
+	e := &Endpoint{
+		low:     low,
+		high:    high,
+		cfg:     cfg,
+		sendSeq: make([]uint32, n),
+		nextSeq: make([]uint32, n),
+		held:    make([]map[uint32][]byte, n),
+		scratch: make([]byte, maxInt(low.MaxMessage(), high.MaxMessage())+hdrBytes),
+	}
+	for i := range e.held {
+		e.held[i] = map[uint32][]byte{}
+	}
+	return e, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Rank returns the endpoint's process number.
+func (e *Endpoint) Rank() int { return e.low.Rank() }
+
+// Procs returns the world size.
+func (e *Endpoint) Procs() int { return e.low.Procs() }
+
+// MaxMessage is bounded by the high-bandwidth substrate.
+func (e *Endpoint) MaxMessage() int { return e.high.MaxMessage() - hdrBytes }
+
+// NativeMcast reports whether the low-latency substrate replicates in
+// hardware (it does, for BBP); multicasts route over it regardless of
+// size threshold only when they fit.
+func (e *Endpoint) NativeMcast() bool { return e.low.NativeMcast() }
+
+// route picks the substrate for a payload size.
+func (e *Endpoint) route(n int) xport.Endpoint {
+	if n <= e.cfg.Threshold {
+		return e.low
+	}
+	return e.high
+}
+
+// Send routes data to dst by size, tagging it with the stream sequence.
+func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
+	if dst == e.Rank() || dst < 0 || dst >= e.Procs() {
+		return fmt.Errorf("hybrid: bad destination %d", dst)
+	}
+	seq := e.sendSeq[dst]
+	e.sendSeq[dst]++
+	msg := make([]byte, hdrBytes+len(data))
+	binary.LittleEndian.PutUint32(msg, seq)
+	copy(msg[hdrBytes:], data)
+	return e.route(len(data)).Send(p, dst, msg)
+}
+
+// Mcast replicates one message to several destinations over the
+// low-latency substrate when it fits, else loops over Send.
+func (e *Endpoint) Mcast(p *sim.Proc, dsts []int, data []byte) error {
+	if len(data) <= e.cfg.Threshold && e.low.NativeMcast() {
+		// One posted buffer, but per-destination sequence numbers must
+		// still advance identically; BBP flags already fan out, so tag
+		// with each stream's sequence only if they agree — otherwise
+		// fall back to unicasts.
+		seq := e.sendSeq[dsts[0]]
+		agree := true
+		for _, d := range dsts {
+			if e.sendSeq[d] != seq {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			for _, d := range dsts {
+				e.sendSeq[d]++
+			}
+			msg := make([]byte, hdrBytes+len(data))
+			binary.LittleEndian.PutUint32(msg, seq)
+			copy(msg[hdrBytes:], data)
+			return e.low.Mcast(p, dsts, msg)
+		}
+	}
+	for _, d := range dsts {
+		if err := e.Send(p, d, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// poll pulls at most one message from each substrate for src into the
+// reorder buffer.
+func (e *Endpoint) poll(p *sim.Proc, src int) {
+	for _, sub := range []xport.Endpoint{e.low, e.high} {
+		n, ok, err := sub.TryRecv(p, src, e.scratch)
+		if err != nil {
+			panic(fmt.Sprintf("hybrid: substrate recv: %v", err))
+		}
+		if !ok {
+			continue
+		}
+		if n < hdrBytes {
+			panic("hybrid: runt message")
+		}
+		seq := binary.LittleEndian.Uint32(e.scratch)
+		p.Delay(e.cfg.ReorderCost)
+		e.held[src][seq] = append([]byte(nil), e.scratch[hdrBytes:n]...)
+	}
+}
+
+// TryRecv polls once for the next in-sequence message from src.
+func (e *Endpoint) TryRecv(p *sim.Proc, src int, buf []byte) (int, bool, error) {
+	if src == e.Rank() || src < 0 || src >= e.Procs() {
+		return 0, false, fmt.Errorf("hybrid: bad source %d", src)
+	}
+	if msg, ok := e.held[src][e.nextSeq[src]]; ok {
+		return e.release(src, msg, buf)
+	}
+	e.poll(p, src)
+	if msg, ok := e.held[src][e.nextSeq[src]]; ok {
+		return e.release(src, msg, buf)
+	}
+	return 0, false, nil
+}
+
+func (e *Endpoint) release(src int, msg []byte, buf []byte) (int, bool, error) {
+	if len(msg) > len(buf) {
+		return 0, false, fmt.Errorf("hybrid: %d-byte message into %d-byte buffer", len(msg), len(buf))
+	}
+	delete(e.held[src], e.nextSeq[src])
+	e.nextSeq[src]++
+	copy(buf, msg)
+	return len(msg), true, nil
+}
+
+// Recv blocks for the next in-sequence message from src.
+func (e *Endpoint) Recv(p *sim.Proc, src int, buf []byte) (int, error) {
+	deadline := sim.Time(-1)
+	if e.cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(e.cfg.RecvTimeout)
+	}
+	for {
+		n, ok, err := e.TryRecv(p, src, buf)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return n, nil
+		}
+		if deadline >= 0 && p.Now() > deadline {
+			return 0, ErrTimeout
+		}
+	}
+}
+
+// RecvAny blocks for the next releasable message from any source.
+func (e *Endpoint) RecvAny(p *sim.Proc, buf []byte) (src, n int, err error) {
+	deadline := sim.Time(-1)
+	if e.cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(e.cfg.RecvTimeout)
+	}
+	for {
+		for s := 0; s < e.Procs(); s++ {
+			if s == e.Rank() {
+				continue
+			}
+			n, ok, err := e.TryRecv(p, s, buf)
+			if err != nil {
+				return 0, 0, err
+			}
+			if ok {
+				return s, n, nil
+			}
+		}
+		if deadline >= 0 && p.Now() > deadline {
+			return 0, 0, ErrTimeout
+		}
+	}
+}
+
+var _ xport.Endpoint = (*Endpoint)(nil)

@@ -1,0 +1,327 @@
+package hybrid_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/hybrid"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func world(t testing.TB, nodes int) (*sim.Kernel, *cluster.Cluster) {
+	t.Helper()
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: nodes, Net: cluster.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, c
+}
+
+func TestSmallAndLargeRoundtrip(t *testing.T) {
+	k, c := world(t, 2)
+	small := []byte("tiny")
+	large := make([]byte, 8000)
+	sim.NewRNG(3).Bytes(large)
+	var gotSmall, gotLarge []byte
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := c.Endpoints[0].Send(p, 1, small); err != nil {
+			t.Error(err)
+		}
+		if err := c.Endpoints[0].Send(p, 1, large); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 16000)
+		n, err := c.Endpoints[1].Recv(p, 0, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		gotSmall = append([]byte(nil), buf[:n]...)
+		n, err = c.Endpoints[1].Recv(p, 0, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		gotLarge = append([]byte(nil), buf[:n]...)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSmall, small) || !bytes.Equal(gotLarge, large) {
+		t.Fatal("payload mismatch across substrates")
+	}
+}
+
+func TestResequencingAcrossSubstrates(t *testing.T) {
+	// A large message (slow Myrinet path for the first bytes, then
+	// fast) followed by a small one (fast BBP path): the small message
+	// physically arrives first but must be delivered second.
+	k, c := world(t, 2)
+	var order []int
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := c.Endpoints[0].Send(p, 1, make([]byte, 4000)); err != nil {
+			t.Error(err) // routed high: ~85µs+ path
+		}
+		if err := c.Endpoints[0].Send(p, 1, []byte{9}); err != nil {
+			t.Error(err) // routed low: ~8µs path — overtakes on the wire
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 8000)
+		for i := 0; i < 2; i++ {
+			n, err := c.Endpoints[1].Recv(p, 0, buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order = append(order, n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 4000 || order[1] != 1 {
+		t.Fatalf("delivery order %v; resequencing failed", order)
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	// Property: any interleaving of sizes straddling the threshold is
+	// delivered in send order, bit-exact.
+	f := func(seed uint64) bool {
+		k, c := world(t, 2)
+		defer k.Close()
+		rng := sim.NewRNG(seed)
+		const count = 15
+		sizes := make([]int, count)
+		for i := range sizes {
+			if rng.Intn(2) == 0 {
+				sizes[i] = rng.Intn(500) // low road
+			} else {
+				sizes[i] = 600 + rng.Intn(3000) // high road
+			}
+		}
+		payload := func(i int) []byte {
+			b := make([]byte, sizes[i])
+			sim.NewRNG(uint64(i) + seed).Bytes(b)
+			return b
+		}
+		ok := true
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i := 0; i < count; i++ {
+				if err := c.Endpoints[0].Send(p, 1, payload(i)); err != nil {
+					ok = false
+					return
+				}
+				p.Delay(sim.Duration(rng.Intn(20)) * sim.Microsecond)
+			}
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, 8000)
+			for i := 0; i < count; i++ {
+				n, err := c.Endpoints[1].Recv(p, 0, buf)
+				if err != nil || n != sizes[i] || !bytes.Equal(buf[:n], payload(i)) {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestOfBothWorlds(t *testing.T) {
+	// The hybrid's small-message latency must be close to SCRAMNet's
+	// (far below Myrinet API's), and its large-message latency close to
+	// Myrinet's (far below SCRAMNet's).
+	oneWay := func(net cluster.Network, n int) float64 {
+		k := sim.NewKernel()
+		defer k.Close()
+		c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sent, recvd sim.Time
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, n+8)
+			if _, err := c.Endpoints[1].Recv(p, 0, buf); err != nil {
+				t.Error(err)
+			}
+			recvd = p.Now()
+		})
+		k.Spawn("tx", func(p *sim.Proc) {
+			p.Delay(10 * sim.Microsecond)
+			sent = p.Now()
+			if err := c.Endpoints[0].Send(p, 1, make([]byte, n)); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return recvd.Sub(sent).Microseconds()
+	}
+	smallHybrid := oneWay(cluster.Hybrid, 4)
+	smallMyr := oneWay(cluster.MyrinetAPI, 4)
+	if smallHybrid > smallMyr/3 {
+		t.Errorf("hybrid 4B = %.1fµs, not ≪ Myrinet's %.1fµs", smallHybrid, smallMyr)
+	}
+	largeHybrid := oneWay(cluster.Hybrid, 32<<10)
+	largeScr := oneWay(cluster.SCRAMNet, 32<<10)
+	if largeHybrid > largeScr/3 {
+		t.Errorf("hybrid 32K = %.1fµs, not ≪ SCRAMNet's %.1fµs", largeHybrid, largeScr)
+	}
+}
+
+func TestMcastOverHybrid(t *testing.T) {
+	k, c := world(t, 4)
+	msg := []byte("to everyone")
+	ok := make([]bool, 4)
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := c.Endpoints[0].Mcast(p, []int{1, 2, 3}, msg); err != nil {
+			t.Error(err)
+		}
+	})
+	for r := 1; r < 4; r++ {
+		r := r
+		k.Spawn(fmt.Sprintf("rx%d", r), func(p *sim.Proc) {
+			buf := make([]byte, 64)
+			n, err := c.Endpoints[r].Recv(p, 0, buf)
+			ok[r] = err == nil && bytes.Equal(buf[:n], msg)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if !ok[r] {
+			t.Errorf("node %d missed hybrid multicast", r)
+		}
+	}
+}
+
+func TestMPIOverHybrid(t *testing.T) {
+	// The full MPI stack, including multicast collectives, runs over
+	// the hybrid transport.
+	k := sim.NewKernel()
+	_, w, err := cluster.NewMPIWorld(k, cluster.Hybrid, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+		buf := make([]byte, 2000)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := c.Bcast(p, 0, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range buf {
+			if buf[i] != byte(i) {
+				t.Errorf("rank %d: bcast corrupted at %d", c.Rank(), i)
+				return
+			}
+		}
+		if err := c.Barrier(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyAcrossSubstrates(t *testing.T) {
+	// Messages from two sources on different roads (small via BBP,
+	// large via Myrinet) are both collectable with RecvAny.
+	k, c := world(t, 3)
+	counts := map[int]int{}
+	k.Spawn("tx1", func(p *sim.Proc) {
+		if err := c.Endpoints[1].Send(p, 0, []byte("small")); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("tx2", func(p *sim.Proc) {
+		if err := c.Endpoints[2].Send(p, 0, make([]byte, 3000)); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 8000)
+		for i := 0; i < 2; i++ {
+			src, n, err := c.Endpoints[0].RecvAny(p, buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			counts[src] = n
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 5 || counts[2] != 3000 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	// Assemble a hybrid endpoint directly so the timeout is short.
+	k := sim.NewKernel()
+	c2, err := cluster.New(k, cluster.Options{Nodes: 2, Net: cluster.SCRAMNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := cluster.New(k, cluster.Options{Nodes: 2, Net: cluster.MyrinetAPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hybrid.DefaultConfig()
+	cfg.RecvTimeout = 300 * sim.Microsecond
+	ep, err := hybrid.New(c2.Endpoints[0], c3.Endpoints[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recvErr, anyErr error
+	k.Spawn("rx", func(p *sim.Proc) {
+		_, recvErr = ep.Recv(p, 1, make([]byte, 8))
+		_, _, anyErr = ep.RecvAny(p, make([]byte, 8))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvErr != hybrid.ErrTimeout || anyErr != hybrid.ErrTimeout {
+		t.Fatalf("errors = %v, %v; want ErrTimeout", recvErr, anyErr)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k, c := world(t, 2)
+	defer k.Close()
+	// Mismatched ranks are rejected (endpoint 0 paired with endpoint 1).
+	if _, err := hybrid.New(c.Endpoints[0], c.Endpoints[1], hybrid.DefaultConfig()); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	// A threshold beyond the low substrate's capacity is rejected.
+	bad := hybrid.DefaultConfig()
+	bad.Threshold = 1 << 30
+	if _, err := hybrid.New(c.Endpoints[0], c.Endpoints[0], bad); err == nil {
+		t.Error("oversized threshold accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package mpi_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestBarrierDisseminationSynchronizes(t *testing.T) {
+	for _, nodes := range []int{3, 4, 7, 8} {
+		nodes := nodes
+		k := sim.NewKernel()
+		_, w, err := cluster.NewMPIWorld(k, cluster.SCRAMNet, nodes, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastArrive sim.Time
+		exits := make([]sim.Time, nodes)
+		w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+			p.Delay(sim.Duration(c.Rank()*137) * sim.Microsecond)
+			if p.Now() > lastArrive {
+				lastArrive = p.Now()
+			}
+			if err := c.BarrierDissemination(p); err != nil {
+				t.Error(err)
+				return
+			}
+			exits[c.Rank()] = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for r, e := range exits {
+			if e < lastArrive {
+				t.Errorf("%d nodes: rank %d exited at %d before last arrival %d", nodes, r, e, lastArrive)
+			}
+		}
+	}
+}
+
+func sumInt64s(t *testing.T, c *mpi.Comm, p *sim.Proc, algo func(*sim.Proc, mpi.Op, []byte, []byte) error, vals int) []int64 {
+	t.Helper()
+	send := make([]byte, 8*vals)
+	for i := 0; i < vals; i++ {
+		binary.LittleEndian.PutUint64(send[8*i:], uint64(int64((c.Rank()+1)*(i+1))))
+	}
+	recv := make([]byte, 8*vals)
+	if err := algo(p, mpi.SumI64, send, recv); err != nil {
+		t.Error(err)
+		return nil
+	}
+	out := make([]int64, vals)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(recv[8*i:]))
+	}
+	return out
+}
+
+func TestAllreduceRDMatchesTreeAllSizes(t *testing.T) {
+	// Recursive doubling must agree with reduce+bcast on power-of-two
+	// and odd communicator sizes alike.
+	for _, nodes := range []int{2, 3, 4, 5, 6, 8} {
+		nodes := nodes
+		k := sim.NewKernel()
+		_, w, err := cluster.NewMPIWorld(k, cluster.SCRAMNet, nodes, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+			rd := sumInt64s(t, c, p, c.AllreduceRD, 4)
+			tree := sumInt64s(t, c, p, c.Allreduce, 4)
+			if rd == nil || tree == nil {
+				return
+			}
+			// Expected: sum over ranks of (r+1)*(i+1).
+			base := int64(0)
+			for r := 0; r < nodes; r++ {
+				base += int64(r + 1)
+			}
+			for i := range rd {
+				want := base * int64(i+1)
+				if rd[i] != want || tree[i] != want {
+					t.Errorf("%d nodes elem %d: rd=%d tree=%d want=%d", nodes, i, rd[i], tree[i], want)
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceScatterBlocks(t *testing.T) {
+	run(t, cluster.SCRAMNet, 4, false, func(p *sim.Proc, c *mpi.Comm) {
+		n := c.Size()
+		send := make([]byte, 8*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(send[8*i:], uint64(int64(c.Rank()+10*i)))
+		}
+		recv := make([]byte, 8)
+		if err := c.ReduceScatter(p, mpi.SumI64, send, recv); err != nil {
+			t.Error(err)
+			return
+		}
+		got := int64(binary.LittleEndian.Uint64(recv))
+		// Block r sums (rank + 10*r) over ranks = (0+1+2+3) + 4*10*r.
+		want := int64(6 + 40*c.Rank())
+		if got != want {
+			t.Errorf("rank %d: got %d want %d", c.Rank(), got, want)
+		}
+	})
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	run(t, cluster.SCRAMNet, 4, false, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		if err := c.ReduceScatter(p, mpi.SumI64, make([]byte, 10), make([]byte, 8)); err == nil {
+			t.Error("non-divisible send buffer accepted")
+		}
+		if err := c.ReduceScatter(p, mpi.SumI64, make([]byte, 32), make([]byte, 4)); err == nil {
+			t.Error("undersized receive buffer accepted")
+		}
+	})
+}
+
+func TestDisseminationVsTreeLatency(t *testing.T) {
+	// On a root-bottlenecked medium the dissemination barrier's extra
+	// parallelism can win for larger node counts; at minimum both must
+	// synchronize and stay within a small factor of each other.
+	measure := func(dissem bool, nodes int) float64 {
+		k := sim.NewKernel()
+		_, w, err := cluster.NewMPIWorld(k, cluster.SCRAMNet, nodes, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last sim.Time
+		w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+			var err error
+			if dissem {
+				err = c.BarrierDissemination(p)
+			} else {
+				err = c.BarrierTree(p)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last.Sub(0).Microseconds()
+	}
+	tree, diss := measure(false, 8), measure(true, 8)
+	if ratio := diss / tree; ratio < 0.3 || ratio > 3.0 {
+		t.Errorf("8-node dissemination %.1fµs vs tree %.1fµs: implausible ratio", diss, tree)
+	}
+}

@@ -1,0 +1,465 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Collective fast-path message ops.
+const (
+	opBcast          = 1
+	opBarrierArrive  = 2
+	opBarrierRelease = 3
+)
+
+const collHdrBytes = 4
+
+func collHdr(op byte, seq uint16) []byte {
+	return []byte{collMagic, op, byte(seq), byte(seq >> 8)}
+}
+
+// recvColl receives the next multicast fast-path message with the given
+// op and sequence from srcWorld, steering any interleaved point-to-point
+// envelopes through the normal engine path. Returns the payload length
+// copied into out.
+func (e *Engine) recvColl(p *sim.Proc, srcWorld int, op byte, seq uint16, out []byte) int {
+	accept := func(msg []byte) int {
+		gotOp := msg[1]
+		gotSeq := uint16(msg[2]) | uint16(msg[3])<<8
+		if gotOp != op || gotSeq != seq {
+			panic(fmt.Sprintf("mpi: collective out of step: got op=%d seq=%d want op=%d seq=%d", gotOp, gotSeq, op, seq))
+		}
+		payload := len(msg) - collHdrBytes
+		p.Delay(sim.Duration(payload) * e.cfg.Costs.CopyPerByte)
+		copy(out, msg[collHdrBytes:])
+		return payload
+	}
+	// A rank running ahead may have parked this message in the engine's
+	// collective queue during general progress.
+	if q := e.collQ[srcWorld]; len(q) > 0 {
+		msg := q[0]
+		e.collQ[srcWorld] = q[1:]
+		return accept(msg)
+	}
+	for {
+		n, err := e.ep.Recv(p, srcWorld, e.scratch)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: collective recv from %d: %v", srcWorld, err))
+		}
+		if n >= collHdrBytes && e.scratch[0] == collMagic {
+			return accept(e.scratch[:n])
+		}
+		// A point-to-point envelope overtook the collective on this
+		// stream: process it and keep waiting.
+		e.handleRaw(p, srcWorld, append([]byte(nil), e.scratch[:n]...))
+	}
+}
+
+// othersWorld returns the group's world ranks except comm rank `not`.
+func (c *Comm) othersWorld(not int) []int {
+	var out []int
+	for r, w := range c.group {
+		if r != not {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Bcast broadcasts buf (same length on all ranks) from root, using the
+// transport's native multicast when configured, else a binomial tree —
+// the two implementations compared in Figure 5.
+func (c *Comm) Bcast(p *sim.Proc, root int, buf []byte) error {
+	if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
+		return c.BcastMcast(p, root, buf)
+	}
+	return c.BcastTree(p, root, buf)
+}
+
+// BcastMcast is the paper's MPI_Bcast over bbp_Mcast: the root posts
+// each chunk once and every receiver reads it from the root's data
+// partition — a single-step broadcast. It is not synchronizing: the
+// root does not wait for receivers (§4).
+func (c *Comm) BcastMcast(p *sim.Proc, root int, buf []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	seq := uint16(c.seq)
+	c.seq++
+	e := c.eng
+	chunk := e.cfg.CollChunk
+	nchunks := (len(buf) + chunk - 1) / chunk
+	if nchunks == 0 {
+		nchunks = 1
+	}
+	if c.rank == root {
+		p.Delay(e.cfg.Costs.CollOverhead)
+		dsts := c.othersWorld(root)
+		for i := 0; i < nchunks; i++ {
+			lo := i * chunk
+			hi := minInt(lo+chunk, len(buf))
+			msg := append(collHdr(opBcast, seq), buf[lo:hi]...)
+			p.Delay(e.cfg.Costs.PerChunk)
+			if err := e.ep.Mcast(p, dsts, msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p.Delay(e.cfg.Costs.CollOverhead)
+	rootWorld := c.group[root]
+	off := 0
+	for i := 0; i < nchunks; i++ {
+		n := e.recvColl(p, rootWorld, opBcast, seq, buf[off:])
+		off += n
+	}
+	if off != len(buf) {
+		return fmt.Errorf("%w: broadcast delivered %d of %d bytes", ErrProtocol, off, len(buf))
+	}
+	return nil
+}
+
+// BcastTree is stock MPICH's binomial-tree broadcast over point-to-point.
+func (c *Comm) BcastTree(p *sim.Proc, root int, buf []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	relrank := (c.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			src := c.rank - mask
+			if src < 0 {
+				src += size
+			}
+			if _, err := c.Recv(p, src, tagBcast, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relrank+mask < size {
+			dst := c.rank + mask
+			if dst >= size {
+				dst -= size
+			}
+			if err := c.Send(p, dst, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Barrier blocks until every member arrives, via the configured
+// implementation — the comparison of Figure 6.
+func (c *Comm) Barrier(p *sim.Proc) error {
+	if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
+		return c.BarrierMcast(p)
+	}
+	return c.BarrierTree(p)
+}
+
+// BarrierMcast is the paper's MPI_Barrier: rank 0 coordinates, waiting
+// for a null message from every other process and then releasing them
+// all with one bbp_Mcast (§4).
+func (c *Comm) BarrierMcast(p *sim.Proc) error {
+	seq := uint16(c.seq)
+	c.seq++
+	e := c.eng
+	p.Delay(e.cfg.Costs.CollOverhead)
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			e.recvColl(p, c.group[r], opBarrierArrive, seq, nil)
+		}
+		return e.ep.Mcast(p, c.othersWorld(0), collHdr(opBarrierRelease, seq))
+	}
+	if err := e.ep.Send(p, c.group[0], collHdr(opBarrierArrive, seq)); err != nil {
+		return err
+	}
+	e.recvColl(p, c.group[0], opBarrierRelease, seq, nil)
+	return nil
+}
+
+// BarrierTree is the point-to-point barrier: binomial gather of arrival
+// tokens to rank 0, then a binomial-tree release.
+func (c *Comm) BarrierTree(p *sim.Proc) error {
+	size := c.Size()
+	relrank := c.rank // root is always 0
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			parent := c.rank - mask
+			if err := c.Send(p, parent, tagBarrier, nil); err != nil {
+				return err
+			}
+			break
+		}
+		if relrank+mask < size {
+			child := c.rank + mask
+			if _, err := c.Recv(p, child, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	return c.BcastTree(p, 0, nil)
+}
+
+// Op combines an incoming contribution into an accumulator, in place.
+type Op func(acc, in []byte)
+
+// SumF64 adds float64 vectors.
+func SumF64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(a+b))
+	}
+}
+
+// MaxF64 takes the elementwise maximum of float64 vectors.
+func MaxF64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(b))
+		}
+	}
+}
+
+// SumI64 adds int64 vectors.
+func SumI64(acc, in []byte) {
+	for i := 0; i+8 <= len(acc) && i+8 <= len(in); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(acc[i:]))
+		b := int64(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(acc[i:], uint64(a+b))
+	}
+}
+
+// Reduce combines sendBuf from every rank with op (assumed commutative
+// and associative) into recvBuf at root, via a binomial tree.
+func (c *Comm) Reduce(p *sim.Proc, root int, op Op, sendBuf, recvBuf []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	size := c.Size()
+	relrank := (c.rank - root + size) % size
+	acc := append([]byte(nil), sendBuf...)
+	tmp := make([]byte, len(sendBuf))
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			parent := c.rank - mask
+			if parent < 0 {
+				parent += size
+			}
+			if err := c.Send(p, parent, tagReduce, acc); err != nil {
+				return err
+			}
+			break
+		}
+		if relrank+mask < size {
+			child := c.rank + mask
+			if child >= size {
+				child -= size
+			}
+			if _, err := c.Recv(p, child, tagReduce, tmp); err != nil {
+				return err
+			}
+			p.Delay(sim.Duration(len(tmp)) * c.eng.cfg.Costs.CopyPerByte)
+			op(acc, tmp)
+		}
+		mask <<= 1
+	}
+	if c.rank == root {
+		copy(recvBuf, acc)
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
+	if err := c.Reduce(p, 0, op, sendBuf, recvBuf); err != nil {
+		return err
+	}
+	return c.Bcast(p, 0, recvBuf)
+}
+
+// Gather concatenates equal-size contributions at root:
+// recvAll[r*len(send)] holds rank r's send buffer. recvAll may be nil on
+// non-root ranks.
+func (c *Comm) Gather(p *sim.Proc, root int, send, recvAll []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if c.rank != root {
+		return c.Send(p, root, tagGather, send)
+	}
+	n := len(send)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			copy(recvAll[r*n:], send)
+			continue
+		}
+		if _, err := c.Recv(p, r, tagGather, recvAll[r*n:(r+1)*n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes equal slices of sendAll from root; each rank
+// receives its slice into recv. sendAll may be nil on non-root ranks.
+func (c *Comm) Scatter(p *sim.Proc, root int, sendAll, recv []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	n := len(recv)
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				copy(recv, sendAll[r*n:(r+1)*n])
+				continue
+			}
+			if err := c.Send(p, r, tagScatter, sendAll[r*n:(r+1)*n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := c.Recv(p, root, tagScatter, recv)
+	return err
+}
+
+// Allgather gathers equal-size contributions everywhere.
+func (c *Comm) Allgather(p *sim.Proc, send, recvAll []byte) error {
+	return c.allgatherTag(p, tagGatherA, send, recvAll)
+}
+
+// allgatherTag implements Allgather with nonblocking sends to every peer
+// and per-peer receives, under the given tag (Split uses a private tag).
+func (c *Comm) allgatherTag(p *sim.Proc, tag int, send, recvAll []byte) error {
+	n := len(send)
+	copy(recvAll[c.rank*n:], send)
+	var reqs []*Request
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		req, err := c.isend(p, r, tag, send)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		if _, err := c.Recv(p, r, tag, recvAll[r*n:(r+1)*n]); err != nil {
+			return err
+		}
+	}
+	return c.Waitall(p, reqs)
+}
+
+// Scan computes the inclusive prefix reduction: rank r's recvBuf holds
+// send(0) op send(1) op ... op send(r), via a linear pipeline.
+func (c *Comm) Scan(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
+	acc := recvBuf[:len(sendBuf)]
+	copy(acc, sendBuf)
+	if c.rank > 0 {
+		partial := make([]byte, len(sendBuf))
+		if _, err := c.Recv(p, c.rank-1, tagScan, partial); err != nil {
+			return err
+		}
+		p.Delay(sim.Duration(len(partial)) * c.eng.cfg.Costs.CopyPerByte)
+		// acc = partial op send: combine into a copy of the upstream
+		// prefix so non-commutative ops keep rank order.
+		tmp := append([]byte(nil), partial...)
+		op(tmp, sendBuf)
+		copy(acc, tmp)
+	}
+	if c.rank < c.Size()-1 {
+		return c.Send(p, c.rank+1, tagScan, acc)
+	}
+	return nil
+}
+
+// Gatherv gathers variable-size contributions at root: recvs[r] (sized
+// by the caller) receives rank r's send buffer. recvs is only read at
+// the root.
+func (c *Comm) Gatherv(p *sim.Proc, root int, send []byte, recvs [][]byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if c.rank != root {
+		return c.Send(p, root, tagGather, send)
+	}
+	if len(recvs) != c.Size() {
+		return fmt.Errorf("%w: Gatherv needs one receive buffer per rank", ErrProtocol)
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			copy(recvs[r], send)
+			continue
+		}
+		if _, err := c.Recv(p, r, tagGather, recvs[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatterv distributes variable-size slices from root: rank r receives
+// sends[r] into recv and returns its length. sends is only read at the
+// root.
+func (c *Comm) Scatterv(p *sim.Proc, root int, sends [][]byte, recv []byte) (int, error) {
+	if err := c.checkRank(root); err != nil {
+		return 0, err
+	}
+	if c.rank == root {
+		if len(sends) != c.Size() {
+			return 0, fmt.Errorf("%w: Scatterv needs one send buffer per rank", ErrProtocol)
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(p, r, tagScatter, sends[r]); err != nil {
+				return 0, err
+			}
+		}
+		return copy(recv, sends[root]), nil
+	}
+	st, err := c.Recv(p, root, tagScatter, recv)
+	return st.Len, err
+}
+
+// Alltoall performs a pairwise personalized exchange: rank r's slice
+// send[d*n:(d+1)*n] lands in rank d's recv[r*n:(r+1)*n].
+func (c *Comm) Alltoall(p *sim.Proc, send, recv []byte) error {
+	size := c.Size()
+	n := len(send) / size
+	copy(recv[c.rank*n:(c.rank+1)*n], send[c.rank*n:(c.rank+1)*n])
+	for phase := 1; phase < size; phase++ {
+		dst := (c.rank + phase) % size
+		src := (c.rank - phase + size) % size
+		_, err := c.Sendrecv(p, dst, tagAll2All, send[dst*n:(dst+1)*n],
+			src, tagAll2All, recv[src*n:(src+1)*n])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

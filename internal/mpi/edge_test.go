@@ -1,0 +1,348 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestWaitanyReturnsFirstCompletion(t *testing.T) {
+	run(t, cluster.SCRAMNet, 3, false, func(p *sim.Proc, c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			buf1 := make([]byte, 8)
+			buf2 := make([]byte, 8)
+			r1, err := c.Irecv(p, 1, 0, buf1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r2, err := c.Irecv(p, 2, 0, buf2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Rank 2 sends much earlier: its request must win.
+			idx, st, err := c.Waitany(p, []*mpi.Request{r1, r2})
+			if err != nil || idx != 1 || st.Source != 2 {
+				t.Errorf("Waitany = (%d, %+v, %v), want index 1 from rank 2", idx, st, err)
+			}
+			if _, err := c.Wait(p, r1); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			p.Delay(3 * sim.Millisecond)
+			if err := c.Send(p, 0, 0, []byte{1}); err != nil {
+				t.Error(err)
+			}
+		case 2:
+			p.Delay(100 * sim.Microsecond)
+			if err := c.Send(p, 0, 0, []byte{2}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestProbeBlocksUntilMessage(t *testing.T) {
+	run(t, cluster.SCRAMNet, 2, false, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			p.Delay(500 * sim.Microsecond)
+			if err := c.Send(p, 1, 8, []byte{1, 2, 3, 4, 5}); err != nil {
+				t.Error(err)
+			}
+		} else {
+			st, err := c.Probe(p, 0, 8)
+			if err != nil || st.Len != 5 || st.Source != 0 {
+				t.Errorf("Probe = %+v, %v", st, err)
+				return
+			}
+			// Size the buffer from the probe, as MPI programs do.
+			buf := make([]byte, st.Len)
+			if _, err := c.Recv(p, 0, 8, buf); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestManySmallIsendsDrainInOrder(t *testing.T) {
+	// A burst of nonblocking sends larger than the BBP slot count
+	// forces sender-side GC inside the MPI stack.
+	const count = 60
+	run(t, cluster.SCRAMNet, 2, false, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			var reqs []*mpi.Request
+			for i := 0; i < count; i++ {
+				r, err := c.Isend(p, 1, 0, []byte{byte(i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+			if err := c.Waitall(p, reqs); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 4)
+			for i := 0; i < count; i++ {
+				if _, err := c.Recv(p, 0, 0, buf); err != nil || buf[0] != byte(i) {
+					t.Errorf("recv %d: got %d err=%v", i, buf[0], err)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestWaitTimeoutOnMissingMessage(t *testing.T) {
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: 2, Net: cluster.SCRAMNet, PIOOnlyBBP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mpi.DefaultConfig()
+	cfg.WaitTimeout = 2 * sim.Millisecond
+	w := mpi.NewWorld(c.Endpoints, cfg)
+	var recvErr error
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if cm.Rank() == 1 {
+			_, recvErr = cm.Recv(p, 0, 0, make([]byte, 8))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvErr != mpi.ErrTimeout {
+		t.Fatalf("recvErr = %v, want ErrTimeout", recvErr)
+	}
+}
+
+func TestCollectivesOnAllTransports(t *testing.T) {
+	// The same collective code must work over every substrate,
+	// including the hybrid extension.
+	for _, net := range cluster.AllNetworks {
+		net := net
+		t.Run(string(net), func(t *testing.T) {
+			run(t, net, 4, net == cluster.SCRAMNet || net == cluster.Hybrid,
+				func(p *sim.Proc, c *mpi.Comm) {
+					buf := make([]byte, 64)
+					if c.Rank() == 2 {
+						for i := range buf {
+							buf[i] = byte(i ^ 0x5a)
+						}
+					}
+					if err := c.Bcast(p, 2, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					for i := range buf {
+						if buf[i] != byte(i^0x5a) {
+							t.Errorf("rank %d corrupt at %d", c.Rank(), i)
+							return
+						}
+					}
+					if err := c.Barrier(p); err != nil {
+						t.Error(err)
+					}
+				})
+		})
+	}
+}
+
+func TestRendezvousBidirectionalExchange(t *testing.T) {
+	// Symmetric large-message Sendrecv: both sides in rendezvous at
+	// once — the pattern that deadlocks naive blocking protocols.
+	const size = 64 << 10
+	run(t, cluster.FastEthernet, 2, false, func(p *sim.Proc, c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		out := bytes.Repeat([]byte{byte(c.Rank() + 1)}, size)
+		in := make([]byte, size)
+		st, err := c.Sendrecv(p, peer, 0, out, peer, 0, in)
+		if err != nil || st.Len != size {
+			t.Errorf("rank %d: %+v %v", c.Rank(), st, err)
+			return
+		}
+		if in[0] != byte(peer+1) || in[size-1] != byte(peer+1) {
+			t.Errorf("rank %d got wrong payload", c.Rank())
+		}
+	})
+}
+
+func TestStressAllToAllOnSCRAMNet(t *testing.T) {
+	// Sustained all-pairs traffic through the BBP-backed MPI: every
+	// rank exchanges with every other rank repeatedly.
+	const rounds = 8
+	run(t, cluster.SCRAMNet, 4, false, func(p *sim.Proc, c *mpi.Comm) {
+		size := c.Size()
+		n := 32
+		for r := 0; r < rounds; r++ {
+			send := make([]byte, n*size)
+			for d := 0; d < size; d++ {
+				for j := 0; j < n; j++ {
+					send[d*n+j] = byte(c.Rank()*16 + d + r)
+				}
+			}
+			recv := make([]byte, n*size)
+			if err := c.Alltoall(p, send, recv); err != nil {
+				t.Errorf("round %d: %v", r, err)
+				return
+			}
+			for s := 0; s < size; s++ {
+				if recv[s*n] != byte(s*16+c.Rank()+r) {
+					t.Errorf("round %d slot %d: %d", r, s, recv[s*n])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	run(t, cluster.SCRAMNet, 4, false, func(p *sim.Proc, c *mpi.Comm) {
+		color := c.Rank() % 2
+		if c.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := c.Split(p, color, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("undefined color returned a communicator")
+			}
+			return
+		}
+		want := 2
+		if color == 1 {
+			want = 1 // only rank 1 has color 1 (rank 3 dropped out)
+		}
+		if sub.Size() != want {
+			t.Errorf("rank %d: sub size %d want %d", c.Rank(), sub.Size(), want)
+		}
+	})
+}
+
+func TestLargeWorld(t *testing.T) {
+	// 16 ranks on one ring: deeper trees, more polling, longer ring.
+	const nodes = 16
+	run(t, cluster.SCRAMNet, nodes, true, func(p *sim.Proc, c *mpi.Comm) {
+		// Ring pass: each rank forwards a counter.
+		buf := make([]byte, 4)
+		if c.Rank() == 0 {
+			buf[0] = 1
+			if err := c.Send(p, 1, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Recv(p, nodes-1, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if int(buf[0]) != nodes {
+				t.Errorf("counter = %d, want %d", buf[0], nodes)
+			}
+		} else {
+			if _, err := c.Recv(p, c.Rank()-1, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			buf[0]++
+			if err := c.Send(p, (c.Rank()+1)%nodes, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := c.Barrier(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestStatusSourceIsCommRankAfterSplit(t *testing.T) {
+	run(t, cluster.SCRAMNet, 4, false, func(p *sim.Proc, c *mpi.Comm) {
+		sub, err := c.Split(p, c.Rank()%2, c.Rank())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// In each subcomm, sub-rank 1 (world rank 2 or 3) sends to
+		// sub-rank 0; the status source must be the SUBCOMM rank.
+		if sub.Rank() == 1 {
+			if err := sub.Send(p, 0, 0, []byte{7}); err != nil {
+				t.Error(err)
+			}
+		} else {
+			st, err := sub.Recv(p, mpi.AnySource, 0, make([]byte, 4))
+			if err != nil || st.Source != 1 {
+				t.Errorf("world rank %d: status source %d want 1 (err %v)", c.Rank(), st.Source, err)
+			}
+		}
+	})
+}
+
+func TestManySimultaneousWorlds(t *testing.T) {
+	// Independent MPI worlds on independent rings in one simulation:
+	// kernels are not global state.
+	k := sim.NewKernel()
+	for wi := 0; wi < 3; wi++ {
+		_, w, err := cluster.NewMPIWorld(k, cluster.SCRAMNet, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wi := wi
+		w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				if err := c.Send(p, 1, wi, []byte{byte(wi)}); err != nil {
+					t.Error(err)
+				}
+			} else {
+				buf := make([]byte, 4)
+				st, err := c.Recv(p, 0, wi, buf)
+				if err != nil || st.Tag != wi || buf[0] != byte(wi) {
+					t.Errorf("world %d: %+v %v", wi, st, err)
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineStatsAccounting(t *testing.T) {
+	w := run(t, cluster.SCRAMNet, 2, false, func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				if err := c.Send(p, 1, 0, []byte{byte(i)}); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := c.Send(p, 1, 0, make([]byte, 100<<10)); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 100<<10)
+			for i := 0; i < 4; i++ {
+				if _, err := c.Recv(p, 0, 0, buf); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	})
+	s0, s1 := w.Engine(0).Stats(), w.Engine(1).Stats()
+	if s0.EagerSent != 3 || s0.RndvSent != 1 {
+		t.Errorf("sender stats: %+v", s0)
+	}
+	if s1.Received != 4 {
+		t.Errorf("receiver stats: %+v", s1)
+	}
+	_ = fmt.Sprintf("%+v", s0) // stats are printable
+}

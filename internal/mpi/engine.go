@@ -1,0 +1,329 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// Engine is one process's ADI instance: matching queues, the progress
+// loop, and the eager/rendezvous protocols over the channel interface.
+type Engine struct {
+	ep  xport.Endpoint
+	cfg Config
+
+	nextReq   uint32
+	posted    []*Request
+	unexpect  []*inMsg
+	pendSends map[uint32]*Request
+	pendRecvs map[uint32]*Request
+	comms     map[uint32]*Comm
+	nextCtx   uint32
+	// collQ[src] holds multicast fast-path messages that surfaced in
+	// the general progress loop before the collective call consumed
+	// them (a rank running ahead into its next collective).
+	collQ [][][]byte
+
+	scratch []byte
+	stats   EngineStats
+}
+
+// EngineStats counts protocol activity.
+type EngineStats struct {
+	EagerSent      int64
+	RndvSent       int64
+	Received       int64
+	UnexpectedMsgs int64
+	ChunksSent     int64
+}
+
+// inMsg is an arrived-but-unmatched message: a fully staged eager
+// payload, or a rendezvous request awaiting a matching receive.
+type inMsg struct {
+	env  envelope
+	src  int    // world rank
+	data []byte // staged eager payload (nil for RTS)
+}
+
+// newEngine wraps transport endpoint ep.
+func newEngine(ep xport.Endpoint, cfg Config) *Engine {
+	if cfg.DirectADI {
+		cfg.Costs.SendOverhead = cfg.Costs.SendOverhead * 6 / 10
+		cfg.Costs.RecvOverhead = cfg.Costs.RecvOverhead * 6 / 10
+		cfg.Costs.PerChunk /= 2
+	}
+	e := &Engine{
+		ep:        ep,
+		cfg:       cfg,
+		pendSends: map[uint32]*Request{},
+		pendRecvs: map[uint32]*Request{},
+		comms:     map[uint32]*Comm{},
+		nextCtx:   1,
+		collQ:     make([][][]byte, ep.Procs()),
+		scratch:   make([]byte, maxInt(cfg.CollChunk+8, envBytes)),
+	}
+	if cfg.ChunkSize <= 0 {
+		panic("mpi: ChunkSize must be positive")
+	}
+	return e
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Transport returns the underlying channel device.
+func (e *Engine) Transport() xport.Endpoint { return e.ep }
+
+// progressOnce polls every peer for one control packet each and handles
+// whatever arrived. It returns true if anything was processed.
+func (e *Engine) progressOnce(p *sim.Proc) bool {
+	any := false
+	for s := 0; s < e.ep.Procs(); s++ {
+		if s == e.ep.Rank() {
+			continue
+		}
+		n, ok, err := e.ep.TryRecv(p, s, e.scratch)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: transport error polling rank %d: %v", s, err))
+		}
+		if ok {
+			e.handleRaw(p, s, e.scratch[:n])
+			any = true
+		}
+	}
+	return any
+}
+
+// handleRaw dispatches one arrived transport message: an envelope or a
+// multicast fast-path message (data chunks are always drained
+// synchronously behind their envelope on the same FIFO stream, so they
+// never surface here).
+func (e *Engine) handleRaw(p *sim.Proc, src int, raw []byte) {
+	if len(raw) >= 1 && raw[0] == collMagic {
+		e.collQ[src] = append(e.collQ[src], append([]byte(nil), raw...))
+		return
+	}
+	env, err := decodeEnv(raw)
+	if err != nil {
+		panic(err)
+	}
+	p.Delay(e.cfg.Costs.MatchCost)
+	switch env.kind {
+	case kEager:
+		e.handleEager(p, src, env)
+	case kRTS:
+		e.handleRTS(p, src, env)
+	case kCTS:
+		e.handleCTS(p, src, env)
+	case kRData:
+		e.handleRData(p, src, env)
+	default:
+		panic(fmt.Sprintf("mpi: unknown packet kind %d from %d", env.kind, src))
+	}
+}
+
+func (e *Engine) handleEager(p *sim.Proc, src int, env envelope) {
+	if req := e.matchPosted(env, src); req != nil {
+		if int(env.total) > len(req.buf) {
+			e.drainDiscard(p, src, int(env.total))
+			e.complete(req, src, env, ErrTruncated)
+			return
+		}
+		e.drainInto(p, src, req.buf[:env.total])
+		e.complete(req, src, env, nil)
+		return
+	}
+	// Unexpected: stage the payload, pay the extra copy when matched.
+	stage := make([]byte, env.total)
+	e.drainInto(p, src, stage)
+	e.unexpect = append(e.unexpect, &inMsg{env: env, src: src, data: stage})
+	e.stats.UnexpectedMsgs++
+}
+
+func (e *Engine) handleRTS(p *sim.Proc, src int, env envelope) {
+	if req := e.matchPosted(env, src); req != nil {
+		e.sendCTS(p, src, env, req)
+		return
+	}
+	e.unexpect = append(e.unexpect, &inMsg{env: env, src: src})
+	e.stats.UnexpectedMsgs++
+}
+
+// sendCTS registers req to receive the rendezvous data and tells the
+// sender to go ahead.
+func (e *Engine) sendCTS(p *sim.Proc, src int, rts envelope, req *Request) {
+	if int(rts.total) > len(req.buf) {
+		// Still must clear the protocol: accept and discard.
+		req.err = ErrTruncated
+	}
+	id := e.nextReq
+	e.nextReq++
+	e.pendRecvs[id] = req
+	req.id = id
+	req.status = Status{Source: e.commRank(rts.ctx, src), Tag: int(rts.tag), Len: int(rts.total)}
+	cts := envelope{kind: kCTS, ctx: rts.ctx, tag: rts.tag, total: rts.total, reqID: rts.reqID, aux: id}
+	e.sendControl(p, src, cts)
+}
+
+func (e *Engine) handleCTS(p *sim.Proc, src int, env envelope) {
+	req := e.pendSends[env.reqID]
+	if req == nil {
+		panic(fmt.Sprintf("mpi: CTS for unknown send request %d", env.reqID))
+	}
+	delete(e.pendSends, env.reqID)
+	hdr := envelope{kind: kRData, ctx: env.ctx, tag: env.tag, total: uint32(len(req.data)), reqID: env.aux}
+	e.sendControl(p, src, hdr)
+	e.sendChunks(p, req.dst, req.data)
+	req.done = true
+}
+
+func (e *Engine) handleRData(p *sim.Proc, src int, env envelope) {
+	req := e.pendRecvs[env.reqID]
+	if req == nil {
+		panic(fmt.Sprintf("mpi: RDATA for unknown recv request %d", env.reqID))
+	}
+	delete(e.pendRecvs, env.reqID)
+	if req.err != nil { // truncation already flagged at CTS time
+		e.drainDiscard(p, src, int(env.total))
+	} else {
+		e.drainInto(p, src, req.buf[:env.total])
+	}
+	req.done = true
+	e.stats.Received++
+}
+
+// drainInto receives exactly len(buf) bytes of data chunks from src,
+// directly into buf (the zero-copy path for matched receives).
+func (e *Engine) drainInto(p *sim.Proc, src int, buf []byte) {
+	for off := 0; off < len(buf); {
+		m := len(buf) - off
+		if m > e.cfg.ChunkSize {
+			m = e.cfg.ChunkSize
+		}
+		p.Delay(e.cfg.Costs.PerChunk)
+		n, err := e.ep.Recv(p, src, buf[off:off+m])
+		if err != nil || n != m {
+			panic(fmt.Sprintf("mpi: chunk drain from %d: n=%d want=%d err=%v", src, n, m, err))
+		}
+		off += m
+	}
+}
+
+func (e *Engine) drainDiscard(p *sim.Proc, src int, total int) {
+	tmp := make([]byte, minInt(total, e.cfg.ChunkSize))
+	for off := 0; off < total; {
+		m := minInt(total-off, e.cfg.ChunkSize)
+		p.Delay(e.cfg.Costs.PerChunk)
+		if _, err := e.ep.Recv(p, src, tmp[:m]); err != nil {
+			panic(err)
+		}
+		off += m
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sendControl transmits one envelope packet.
+func (e *Engine) sendControl(p *sim.Proc, dstWorld int, env envelope) {
+	if err := e.ep.Send(p, dstWorld, encodeEnv(env)); err != nil {
+		panic(fmt.Sprintf("mpi: control send to %d: %v", dstWorld, err))
+	}
+}
+
+// sendChunks streams data to dstWorld in channel-size pieces.
+func (e *Engine) sendChunks(p *sim.Proc, dstWorld int, data []byte) {
+	for off := 0; off < len(data); {
+		m := minInt(len(data)-off, e.cfg.ChunkSize)
+		p.Delay(e.cfg.Costs.PerChunk)
+		if err := e.ep.Send(p, dstWorld, data[off:off+m]); err != nil {
+			panic(fmt.Sprintf("mpi: chunk send to %d: %v", dstWorld, err))
+		}
+		e.stats.ChunksSent++
+		off += m
+	}
+}
+
+// matchPosted removes and returns the first posted receive matching env.
+func (e *Engine) matchPosted(env envelope, srcWorld int) *Request {
+	cr := e.commRank(env.ctx, srcWorld)
+	for i, req := range e.posted {
+		if req.ctx != env.ctx {
+			continue
+		}
+		if req.src != AnySource && req.src != cr {
+			continue
+		}
+		if req.tag != AnyTag && req.tag != int(env.tag) {
+			continue
+		}
+		e.posted = append(e.posted[:i], e.posted[i+1:]...)
+		return req
+	}
+	return nil
+}
+
+// matchUnexpected removes and returns the earliest unexpected message
+// matching a newly posted receive.
+func (e *Engine) matchUnexpected(req *Request) *inMsg {
+	for i, m := range e.unexpect {
+		if m.env.ctx != req.ctx {
+			continue
+		}
+		cr := e.commRank(m.env.ctx, m.src)
+		if req.src != AnySource && req.src != cr {
+			continue
+		}
+		if req.tag != AnyTag && req.tag != int(m.env.tag) {
+			continue
+		}
+		e.unexpect = append(e.unexpect[:i], e.unexpect[i+1:]...)
+		return m
+	}
+	return nil
+}
+
+func (e *Engine) complete(req *Request, srcWorld int, env envelope, err error) {
+	req.status = Status{Source: e.commRank(env.ctx, srcWorld), Tag: int(env.tag), Len: int(env.total)}
+	req.err = err
+	req.done = true
+	e.stats.Received++
+}
+
+// commRank translates a world rank to the rank within the communicator
+// identified by ctx.
+func (e *Engine) commRank(ctx uint32, world int) int {
+	c := e.comms[ctx]
+	if c == nil {
+		panic(fmt.Sprintf("mpi: message for unknown context %d", ctx))
+	}
+	return c.rankOfWorld(world)
+}
+
+// wait progresses until req completes or the wait timeout expires (a
+// guard against protocol bugs spinning the simulation forever).
+func (e *Engine) wait(p *sim.Proc, req *Request) (Status, error) {
+	deadline := sim.Time(-1)
+	if e.cfg.WaitTimeout > 0 {
+		deadline = p.Now().Add(e.cfg.WaitTimeout)
+	}
+	for !req.done {
+		e.progressOnce(p)
+		if deadline >= 0 && p.Now() > deadline {
+			return Status{}, ErrTimeout
+		}
+	}
+	return req.status, req.err
+}

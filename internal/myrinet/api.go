@@ -1,0 +1,237 @@
+package myrinet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// APIConfig holds the host-side costs of the vendor user-level API.
+// MyriAPI of the era still crossed the kernel for some operations and
+// staged data through NIC SRAM, so its small-message latency is tens of
+// microseconds even though the wire is fast — exactly the regime in
+// which Figure 2 shows SCRAMNet winning below ≈500 bytes.
+type APIConfig struct {
+	// SendOverhead is the fixed host cost of posting one send.
+	SendOverhead sim.Duration
+	// RecvOverhead is the fixed host cost of completing one receive.
+	RecvOverhead sim.Duration
+	// CopyPerByte is the host↔NIC-SRAM staging cost per byte, charged
+	// on each side.
+	CopyPerByte sim.Duration
+	// PollCost is one receive-poll of the NIC status across the bus.
+	PollCost sim.Duration
+	// RecvTimeout bounds blocking receives (0 = forever).
+	RecvTimeout sim.Duration
+}
+
+// DefaultAPIConfig returns costs calibrated to an ≈85 µs one-way
+// short-message latency (DESIGN.md §5).
+func DefaultAPIConfig() APIConfig {
+	return APIConfig{
+		SendOverhead: 38 * sim.Microsecond,
+		RecvOverhead: 38 * sim.Microsecond,
+		CopyPerByte:  10 * sim.Nanosecond,
+		PollCost:     900 * sim.Nanosecond,
+		RecvTimeout:  5 * sim.Second,
+	}
+}
+
+// ErrTimeout is returned when a blocking API receive exceeds the
+// configured timeout.
+var ErrTimeout = errors.New("myrinet: receive timed out")
+
+type apiMsg struct {
+	src  int
+	data []byte
+}
+
+// fragHdr is the per-packet framing the API library prepends so that
+// messages longer than one network packet reassemble at the receiver:
+// message id, fragment offset, total length (4 bytes each).
+const fragHdr = 12
+
+type apiAsm struct {
+	total int
+	got   int
+	data  []byte
+}
+
+// API is the per-node native interface; it implements xport.Endpoint.
+type API struct {
+	net    *Network
+	cfg    APIConfig
+	rank   int
+	nextID []uint32
+	asm    []map[uint32]*apiAsm
+	rx     [][]apiMsg // per-source FIFO of completed messages
+}
+
+// OpenAPI attaches the native API on node rank. The node must not also
+// run an IP stack on the same NIC in this model.
+func OpenAPI(net *Network, rank int, cfg APIConfig) *API {
+	a := &API{
+		net:    net,
+		cfg:    cfg,
+		rank:   rank,
+		nextID: make([]uint32, net.Nodes()),
+		asm:    make([]map[uint32]*apiAsm, net.Nodes()),
+		rx:     make([][]apiMsg, net.Nodes()),
+	}
+	for i := range a.asm {
+		a.asm[i] = map[uint32]*apiAsm{}
+	}
+	net.SetHandler(rank, func(src int, frame []byte) {
+		id := getU32(frame[0:])
+		off := int(getU32(frame[4:]))
+		total := int(getU32(frame[8:]))
+		as := a.asm[src][id]
+		if as == nil {
+			as = &apiAsm{total: total, data: make([]byte, total)}
+			a.asm[src][id] = as
+		}
+		payload := frame[fragHdr:]
+		copy(as.data[off:], payload)
+		as.got += len(payload)
+		if as.got >= as.total {
+			delete(a.asm[src], id)
+			a.rx[src] = append(a.rx[src], apiMsg{src, as.data})
+		}
+	})
+	return a
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Rank returns this endpoint's node number.
+func (a *API) Rank() int { return a.rank }
+
+// Procs returns the node count.
+func (a *API) Procs() int { return a.net.Nodes() }
+
+// MaxMessage returns the largest message the API library accepts;
+// longer messages are fragmented across packets transparently.
+func (a *API) MaxMessage() int { return 1 << 20 }
+
+// NativeMcast reports false: Myrinet multicast is sender-looped.
+func (a *API) NativeMcast() bool { return false }
+
+// Send stages data into NIC SRAM and injects it, fragmenting at the
+// packet limit.
+func (a *API) Send(p *sim.Proc, dst int, data []byte) error {
+	if dst == a.rank || dst < 0 || dst >= a.Procs() {
+		return fmt.Errorf("myrinet: bad destination %d", dst)
+	}
+	if len(data) > a.MaxMessage() {
+		return fmt.Errorf("myrinet: %d bytes exceeds message limit %d", len(data), a.MaxMessage())
+	}
+	p.Delay(a.cfg.SendOverhead + sim.Duration(len(data))*a.cfg.CopyPerByte)
+	id := a.nextID[dst]
+	a.nextID[dst]++
+	maxPayload := a.net.MTU() - fragHdr
+	off := 0
+	for {
+		m := len(data) - off
+		if m > maxPayload {
+			m = maxPayload
+		}
+		frame := make([]byte, fragHdr+m)
+		putU32(frame[0:], id)
+		putU32(frame[4:], uint32(off))
+		putU32(frame[8:], uint32(len(data)))
+		copy(frame[fragHdr:], data[off:off+m])
+		a.net.Transmit(a.rank, dst, frame)
+		off += m
+		if off >= len(data) {
+			return nil
+		}
+	}
+}
+
+// Mcast loops Send over the destinations (no hardware replication).
+func (a *API) Mcast(p *sim.Proc, dsts []int, data []byte) error {
+	for _, d := range dsts {
+		if err := a.Send(p, d, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *API) pop(src int) (apiMsg, bool) {
+	if len(a.rx[src]) == 0 {
+		return apiMsg{}, false
+	}
+	m := a.rx[src][0]
+	a.rx[src] = a.rx[src][1:]
+	return m, true
+}
+
+func (a *API) complete(p *sim.Proc, m apiMsg, buf []byte) (int, error) {
+	if len(m.data) > len(buf) {
+		return 0, fmt.Errorf("myrinet: %d-byte message into %d-byte buffer", len(m.data), len(buf))
+	}
+	p.Delay(a.cfg.RecvOverhead + sim.Duration(len(m.data))*a.cfg.CopyPerByte)
+	copy(buf, m.data)
+	return len(m.data), nil
+}
+
+// Recv blocks (polling the NIC) for the next message from src.
+func (a *API) Recv(p *sim.Proc, src int, buf []byte) (int, error) {
+	deadline := sim.Time(-1)
+	if a.cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(a.cfg.RecvTimeout)
+	}
+	for {
+		if m, ok := a.pop(src); ok {
+			return a.complete(p, m, buf)
+		}
+		p.Delay(a.cfg.PollCost)
+		if deadline >= 0 && p.Now() > deadline {
+			return 0, ErrTimeout
+		}
+	}
+}
+
+// TryRecv polls once for a message from src.
+func (a *API) TryRecv(p *sim.Proc, src int, buf []byte) (int, bool, error) {
+	p.Delay(a.cfg.PollCost)
+	if m, ok := a.pop(src); ok {
+		n, err := a.complete(p, m, buf)
+		return n, err == nil, err
+	}
+	return 0, false, nil
+}
+
+// RecvAny blocks for the next message from any source.
+func (a *API) RecvAny(p *sim.Proc, buf []byte) (src, n int, err error) {
+	deadline := sim.Time(-1)
+	if a.cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(a.cfg.RecvTimeout)
+	}
+	for {
+		for s := 0; s < a.Procs(); s++ {
+			if s == a.rank {
+				continue
+			}
+			if m, ok := a.pop(s); ok {
+				n, err = a.complete(p, m, buf)
+				return s, n, err
+			}
+		}
+		p.Delay(a.cfg.PollCost)
+		if deadline >= 0 && p.Now() > deadline {
+			return 0, 0, ErrTimeout
+		}
+	}
+}
+
+var _ xport.Endpoint = (*API)(nil)

@@ -1,0 +1,270 @@
+package myrinet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCutThroughBeatsStoreAndForward(t *testing.T) {
+	// Cut-through: latency ≈ one serialization + switch latency, not two.
+	k := sim.NewKernel()
+	cfg := DefaultConfig(2)
+	n, _ := New(k, cfg)
+	var arrival sim.Time
+	n.SetHandler(1, func(src int, frame []byte) { arrival = k.Now() })
+	k.At(0, func() { n.Transmit(0, 1, make([]byte, 4096)) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oneWire := sim.Duration(4096+cfg.HeaderBytes) * cfg.PerByte
+	want := sim.Time(oneWire + 2*cfg.PropDelay + cfg.SwitchLatency)
+	if arrival != want {
+		t.Fatalf("arrival = %d, want %d (single serialization)", arrival, want)
+	}
+}
+
+func TestNativeAPILatencyCalibration(t *testing.T) {
+	// Figure 2 calibration: short-message one-way ≈ 85 µs on the vendor
+	// API (DESIGN.md §5).
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(4))
+	a0 := OpenAPI(n, 0, DefaultAPIConfig())
+	a1 := OpenAPI(n, 1, DefaultAPIConfig())
+	var lat sim.Duration
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 64)
+		if _, err := a1.Recv(p, 0, buf); err != nil {
+			t.Error(err)
+		}
+		lat = p.Now().Sub(0)
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := a0.Send(p, 1, []byte{1, 2, 3, 4}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if us := lat.Microseconds(); us < 65 || us > 105 {
+		t.Fatalf("native API 4-byte latency %.1f µs, want ≈85", us)
+	}
+}
+
+func TestNativeAPIRoundtripContent(t *testing.T) {
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(2))
+	a0 := OpenAPI(n, 0, DefaultAPIConfig())
+	a1 := OpenAPI(n, 1, DefaultAPIConfig())
+	msg := make([]byte, 2000)
+	sim.NewRNG(11).Bytes(msg)
+	var got []byte
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 4096)
+		n, err := a1.Recv(p, 0, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = append(got, buf[:n]...)
+		// Echo back.
+		if err := a1.Send(p, 0, got); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := a0.Send(p, 1, msg); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 4096)
+		if _, err := a0.Recv(p, 1, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestNativeAPIInOrder(t *testing.T) {
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(2))
+	a0 := OpenAPI(n, 0, DefaultAPIConfig())
+	a1 := OpenAPI(n, 1, DefaultAPIConfig())
+	const count = 20
+	var got []int
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			if err := a0.Send(p, 1, []byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 8)
+		for i := 0; i < count; i++ {
+			if _, err := a1.Recv(p, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, int(buf[0]))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestNativeAPITimeout(t *testing.T) {
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(2))
+	cfg := DefaultAPIConfig()
+	cfg.RecvTimeout = 100 * sim.Microsecond
+	a1 := OpenAPI(n, 1, cfg)
+	var err error
+	k.Spawn("rx", func(p *sim.Proc) {
+		_, err = a1.Recv(p, 0, make([]byte, 8))
+	})
+	if e := k.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestNativeAPIMcastAndRecvAny(t *testing.T) {
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(4))
+	apis := make([]*API, 4)
+	for i := range apis {
+		apis[i] = OpenAPI(n, i, DefaultAPIConfig())
+	}
+	if apis[0].Rank() != 0 || apis[0].Procs() != 4 || apis[0].NativeMcast() {
+		t.Fatal("identity accessors wrong")
+	}
+	got := map[int]bool{}
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := apis[0].Mcast(p, []int{1, 2, 3}, []byte("fan")); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("collector", func(p *sim.Proc) {
+		// Nodes 1-3 each forward to node 1, which gathers with RecvAny.
+		p.Delay(1 * sim.Millisecond)
+		buf := make([]byte, 16)
+		for _, a := range apis[1:] {
+			nn, ok, err := a.TryRecv(p, 0, buf)
+			if !ok || err != nil || string(buf[:nn]) != "fan" {
+				t.Errorf("node %d TryRecv: ok=%v err=%v", a.Rank(), ok, err)
+			}
+			got[a.Rank()] = true
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("mcast reached %d of 3", len(got))
+	}
+}
+
+func TestNativeAPIRecvAnyFair(t *testing.T) {
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(3))
+	a0 := OpenAPI(n, 0, DefaultAPIConfig())
+	a1 := OpenAPI(n, 1, DefaultAPIConfig())
+	a2 := OpenAPI(n, 2, DefaultAPIConfig())
+	seen := map[int]int{}
+	k.Spawn("tx1", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := a1.Send(p, 0, []byte{1}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	k.Spawn("tx2", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := a2.Send(p, 0, []byte{2}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 8)
+		for i := 0; i < 6; i++ {
+			src, _, err := a0.RecvAny(p, buf)
+			if err != nil || int(buf[0]) != src {
+				t.Errorf("RecvAny: src=%d err=%v", src, err)
+				return
+			}
+			seen[src]++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seen[1] != 3 || seen[2] != 3 {
+		t.Fatalf("seen = %v", seen)
+	}
+	if _, err := n.Stats(); false {
+		_ = err
+	}
+	packets, bytes := n.Stats()
+	if packets == 0 || bytes == 0 {
+		t.Fatal("fabric stats not counted")
+	}
+}
+
+func TestNativeAPIBadArgs(t *testing.T) {
+	k := sim.NewKernel()
+	n, _ := New(k, DefaultConfig(2))
+	a0 := OpenAPI(n, 0, DefaultAPIConfig())
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := a0.Send(p, 0, nil); err == nil {
+			t.Error("self-send accepted")
+		}
+		if err := a0.Send(p, 5, nil); err == nil {
+			t.Error("bad destination accepted")
+		}
+		if err := a0.Send(p, 1, make([]byte, a0.MaxMessage()+1)); err == nil {
+			t.Error("oversize accepted")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthNear160MBs(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(2)
+	n, _ := New(k, cfg)
+	const count = 100
+	var last sim.Time
+	n.SetHandler(1, func(src int, frame []byte) { last = k.Now() })
+	k.At(0, func() {
+		for i := 0; i < count; i++ {
+			n.Transmit(0, 1, make([]byte, 4096))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mbps := float64(4096*count) / (float64(last) / 1e9) / 1e6
+	if mbps < 140 || mbps > 175 {
+		t.Fatalf("wire rate %.1f MB/s, want ≈160", mbps)
+	}
+}

@@ -1,0 +1,119 @@
+// Package pci models the workstation I/O bus that sits between a host
+// CPU and a network interface card.
+//
+// The paper's testbed (dual Pentium II 300 MHz, 32-bit/33 MHz PCI) has an
+// asymmetry that dominates the BillBoard Protocol's receive path: posted
+// PIO writes to a device are cheap, while PIO reads stall the CPU for a
+// full bus round trip ("polling requires memory access across the I/O
+// bus which increases the receive overhead", §7 of the paper). DMA avoids
+// per-word CPU involvement at the price of a fixed setup cost, which is
+// why it only pays off for bulk transfers.
+//
+// All costs are charged in virtual time against the calling simulation
+// process; concurrent DMA occupies a per-bus FIFO server so that PIO
+// issued during a DMA burst queues behind it.
+package pci
+
+import "repro/internal/sim"
+
+// Config holds bus timing parameters. The defaults approximate 32-bit /
+// 33 MHz PCI on a 1998 workstation and are the values used for figure
+// calibration (see DESIGN.md §5).
+type Config struct {
+	// PIOWriteWord is the CPU cost of one posted 32-bit write to device
+	// memory. Posted writes complete as soon as they enter the bridge
+	// write buffer.
+	PIOWriteWord sim.Duration
+	// PIOReadWord is the CPU cost of one 32-bit read from device memory:
+	// a non-posted transaction, roughly 5x a write.
+	PIOReadWord sim.Duration
+	// DMASetup is the fixed CPU cost of programming the DMA engine
+	// (descriptor writes plus doorbell).
+	DMASetup sim.Duration
+	// DMAPerByte is the bus occupancy per byte moved by DMA bursts.
+	DMAPerByte sim.Duration
+	// DMACompletionCheck is the CPU cost of observing DMA completion
+	// (a status register read).
+	DMACompletionCheck sim.Duration
+}
+
+// DefaultConfig returns timings for 32-bit/33 MHz PCI.
+func DefaultConfig() Config {
+	return Config{
+		PIOWriteWord:       150 * sim.Nanosecond,
+		PIOReadWord:        650 * sim.Nanosecond,
+		DMASetup:           2 * sim.Microsecond,
+		DMAPerByte:         12 * sim.Nanosecond, // ~83 MB/s sustained burst
+		DMACompletionCheck: 750 * sim.Nanosecond,
+	}
+}
+
+// Bus is one node's I/O bus.
+type Bus struct {
+	k   *sim.Kernel
+	cfg Config
+	srv *sim.Server
+}
+
+// New returns a bus on kernel k.
+func New(k *sim.Kernel, cfg Config) *Bus {
+	return &Bus{k: k, cfg: cfg, srv: sim.NewServer(k)}
+}
+
+// Config returns the bus timing parameters.
+func (b *Bus) Config() Config { return b.cfg }
+
+// occupy charges d of bus time, blocking p behind any in-flight DMA.
+func (b *Bus) occupy(p *sim.Proc, d sim.Duration) {
+	finish := b.srv.Serve(d, nil)
+	if wait := finish.Sub(p.Now()); wait > 0 {
+		p.Delay(wait)
+	}
+}
+
+// PIOWrite charges the cost of writing words 32-bit words to the device.
+func (b *Bus) PIOWrite(p *sim.Proc, words int) {
+	if words <= 0 {
+		return
+	}
+	b.occupy(p, sim.Duration(words)*b.cfg.PIOWriteWord)
+}
+
+// PIORead charges the cost of reading words 32-bit words from the device.
+func (b *Bus) PIORead(p *sim.Proc, words int) {
+	if words <= 0 {
+		return
+	}
+	b.occupy(p, sim.Duration(words)*b.cfg.PIOReadWord)
+}
+
+// DMA performs a blocking DMA transfer of n bytes between host memory and
+// the device: setup, burst occupancy, completion check. The calling
+// process is blocked for the full duration (the simple synchronous shape
+// used by the BBP bulk path); use DMAAsync to overlap.
+func (b *Bus) DMA(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	p.Delay(b.cfg.DMASetup)
+	b.occupy(p, sim.Duration(n)*b.cfg.DMAPerByte)
+	p.Delay(b.cfg.DMACompletionCheck)
+}
+
+// DMAAsync charges setup on the caller, schedules the burst on the bus,
+// and invokes done when the transfer completes. The caller continues
+// computing while the engine runs.
+func (b *Bus) DMAAsync(p *sim.Proc, n int, done func()) {
+	p.Delay(b.cfg.DMASetup)
+	if n <= 0 {
+		if done != nil {
+			b.k.After(0, done)
+		}
+		return
+	}
+	b.srv.Serve(sim.Duration(n)*b.cfg.DMAPerByte, done)
+}
+
+// WordsFor returns the number of 32-bit bus transactions needed to move
+// n bytes by PIO.
+func WordsFor(n int) int { return (n + 3) / 4 }

@@ -1,0 +1,72 @@
+package pci
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigAccessor(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	b := New(k, cfg)
+	if got := b.Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}
+
+func TestDMABlockingCost(t *testing.T) {
+	cfg := DefaultConfig()
+	end := run(t, func(k *sim.Kernel, b *Bus, p *sim.Proc) {
+		b.DMA(p, 1000)
+	})
+	want := sim.Time(cfg.DMASetup + 1000*cfg.DMAPerByte + cfg.DMACompletionCheck)
+	if end != want {
+		t.Fatalf("DMA(1000) finished at %d, want %d", end, want)
+	}
+}
+
+func TestDMAAsyncZeroLengthCompletes(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	fired := false
+	k.Spawn("cpu", func(p *sim.Proc) {
+		b.DMAAsync(p, 0, func() { fired = true })
+		p.Delay(1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("zero-length async DMA never completed")
+	}
+}
+
+func TestTwoDMAsQueueOnBus(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.NewKernel()
+	b := New(k, cfg)
+	var first, second sim.Time
+	k.Spawn("cpu", func(p *sim.Proc) {
+		b.DMAAsync(p, 1000, func() { first = k.Now() })
+		b.DMAAsync(p, 1000, func() { second = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second-first != sim.Time(1000*cfg.DMAPerByte) {
+		t.Fatalf("second burst completed %d after first; want full burst %d",
+			second-first, 1000*cfg.DMAPerByte)
+	}
+}
+
+func TestNegativeCountsAreFree(t *testing.T) {
+	end := run(t, func(k *sim.Kernel, b *Bus, p *sim.Proc) {
+		b.PIOWrite(p, -3)
+		b.PIORead(p, -1)
+		b.DMA(p, -10)
+	})
+	if end != 0 {
+		t.Fatalf("negative-count ops cost %d", end)
+	}
+}

@@ -1,0 +1,115 @@
+package pci
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func run(t *testing.T, fn func(k *sim.Kernel, b *Bus, p *sim.Proc)) sim.Time {
+	t.Helper()
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	var end sim.Time
+	k.Spawn("cpu", func(p *sim.Proc) {
+		fn(k, b, p)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestPIOWriteCost(t *testing.T) {
+	cfg := DefaultConfig()
+	end := run(t, func(k *sim.Kernel, b *Bus, p *sim.Proc) {
+		b.PIOWrite(p, 10)
+	})
+	if want := sim.Time(10 * cfg.PIOWriteWord); end != want {
+		t.Fatalf("end = %d, want %d", end, want)
+	}
+}
+
+func TestPIOReadCostsMoreThanWrite(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.PIOReadWord <= cfg.PIOWriteWord {
+		t.Fatal("reads across the bus must be dearer than posted writes")
+	}
+}
+
+func TestZeroWordOpsFree(t *testing.T) {
+	end := run(t, func(k *sim.Kernel, b *Bus, p *sim.Proc) {
+		b.PIOWrite(p, 0)
+		b.PIORead(p, 0)
+		b.DMA(p, 0)
+	})
+	if end != 0 {
+		t.Fatalf("zero-length ops cost %d", end)
+	}
+}
+
+func TestDMAVersusPIOCrossover(t *testing.T) {
+	cfg := DefaultConfig()
+	pio := func(n int) sim.Duration {
+		return sim.Duration(WordsFor(n)) * cfg.PIOWriteWord
+	}
+	dma := func(n int) sim.Duration {
+		return cfg.DMASetup + sim.Duration(n)*cfg.DMAPerByte + cfg.DMACompletionCheck
+	}
+	if pio(64) > dma(64) {
+		t.Error("PIO should win for 64 B")
+	}
+	if pio(4096) < dma(4096) {
+		t.Error("DMA should win for 4 KiB")
+	}
+}
+
+func TestPIOQueuesBehindDMA(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.NewKernel()
+	b := New(k, cfg)
+	var pioDone sim.Time
+	k.Spawn("dma", func(p *sim.Proc) {
+		b.DMAAsync(p, 1000, nil) // occupies bus for 12µs after setup
+	})
+	k.Spawn("pio", func(p *sim.Proc) {
+		p.Delay(cfg.DMASetup) // let the DMA burst start
+		b.PIOWrite(p, 1)
+		pioDone = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	burstEnd := sim.Time(cfg.DMASetup + 1000*cfg.DMAPerByte)
+	if pioDone < burstEnd {
+		t.Fatalf("PIO finished at %d, before DMA burst end %d", pioDone, burstEnd)
+	}
+}
+
+func TestDMAAsyncOverlapsCompute(t *testing.T) {
+	cfg := DefaultConfig()
+	k := sim.NewKernel()
+	b := New(k, cfg)
+	var dmaDone, computeDone sim.Time
+	k.Spawn("cpu", func(p *sim.Proc) {
+		b.DMAAsync(p, 10000, func() { dmaDone = k.Now() })
+		p.Delay(1 * sim.Microsecond)
+		computeDone = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if computeDone >= dmaDone {
+		t.Fatalf("compute (%d) should finish before the 120µs DMA (%d)", computeDone, dmaDone)
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 4: 1, 5: 2, 8: 2, 1024: 256}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package scramnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pci"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NIC is one node's SCRAMNet interface card: a full replica of the
+// shared memory bank, a host bus attachment, and a ring link.
+type NIC struct {
+	net *Network
+	id  int
+	// ownerID identifies this card's host in the single-writer table;
+	// it equals id on a flat ring and the global host number in a
+	// hierarchy.
+	ownerID int
+	mem     []byte
+	bus     *pci.Bus
+
+	link      *sim.Server // outgoing ring link (local + transit traffic)
+	txBacklog int         // bytes queued in the transmit FIFO
+	txDrain   *sim.Cond
+
+	failed bool
+
+	intrOn      bool
+	intrHandler func(off int)
+	// onApply, when set, observes every remote write applied to this
+	// bank (used by hierarchy bridges to forward between rings).
+	onApply func(pkt *packet)
+
+	stats Stats
+}
+
+// ID returns the ring node number.
+func (nic *NIC) ID() int { return nic.id }
+
+// Bus returns the host I/O bus the card is attached to.
+func (nic *NIC) Bus() *pci.Bus { return nic.bus }
+
+// NetworkConfig returns the configuration of the ring this card sits
+// on (used by layers that need propagation bounds, e.g. scrsync).
+func (nic *NIC) NetworkConfig() Config { return nic.net.cfg }
+
+// Size returns the replicated memory size in bytes.
+func (nic *NIC) Size() int { return len(nic.mem) }
+
+// Stats returns a copy of the card's counters.
+func (nic *NIC) Stats() Stats { return nic.stats }
+
+func (nic *NIC) checkRange(off, n int) {
+	if off < 0 || n < 0 || off+n > len(nic.mem) {
+		panic(fmt.Sprintf("scramnet: access [%d,%d) outside %d-byte bank", off, off+n, len(nic.mem)))
+	}
+}
+
+// apply installs a remote write into the local bank (called by the ring).
+func (nic *NIC) apply(pkt *packet) {
+	copy(nic.mem[pkt.off:], pkt.data)
+	nic.stats.PacketsApplied++
+	nic.net.tracer.Emitf(nic.net.k.Now(), trace.Ring, nic.id, "apply", "off=%#x len=%d from=%d", pkt.off, len(pkt.data), pkt.origin)
+	if pkt.interrupt && nic.intrOn && nic.intrHandler != nil {
+		off := pkt.off
+		nic.stats.InterruptsTaken++
+		nic.net.k.After(nic.net.cfg.InterruptLatency, func() { nic.intrHandler(off) })
+	}
+	if nic.onApply != nil {
+		nic.onApply(pkt)
+	}
+}
+
+// injectForwarded re-posts a write that arrived from another ring, as if
+// this NIC's host had written it (used by hierarchy bridges; no bus time
+// is charged — the bridge moves data NIC-to-NIC in hardware). The bank
+// is updated immediately, as for a host write.
+func (nic *NIC) injectForwarded(off int, data []byte, interrupt bool) {
+	copy(nic.mem[off:], data)
+	nic.txBacklog += len(data)
+	nic.net.inject(&packet{origin: nic.id, off: off, data: data, interrupt: interrupt})
+}
+
+// stallTxFIFO blocks the host process until the transmit FIFO can accept
+// n more bytes. This is the mechanism that throttles PIO streams to the
+// ring rate.
+func (nic *NIC) stallTxFIFO(p *sim.Proc, n int) {
+	for nic.txBacklog+n > nic.net.cfg.TxFIFOBytes {
+		nic.txDrain.Wait(p)
+	}
+	nic.txBacklog += n
+}
+
+// send chunks [off, off+len(data)) into ring packets and injects them.
+// charge is invoked with each chunk's byte count before the FIFO stall so
+// that host-bus time overlaps the wire drain, as it does in hardware.
+// The local bank has already been updated by the caller.
+func (nic *NIC) send(p *sim.Proc, off int, data []byte, interrupt bool, charge func(chunk int)) {
+	max := nic.net.maxPayload()
+	for len(data) > 0 {
+		n := len(data)
+		if n > max {
+			n = max
+		}
+		pkt := &packet{origin: nic.id, off: off, data: append([]byte(nil), data[:n]...), interrupt: interrupt}
+		if charge != nil {
+			charge(n)
+		}
+		nic.stallTxFIFO(p, n)
+		nic.net.inject(pkt)
+		off += n
+		data = data[n:]
+	}
+}
+
+// WriteWord performs one posted PIO word write: local bank update plus a
+// ring packet. This is the paper's "single store instruction" path.
+func (nic *NIC) WriteWord(p *sim.Proc, off int, v uint32) {
+	nic.writeWord(p, off, v, false)
+}
+
+// WriteWordInterrupt is WriteWord with the packet's interrupt bit set:
+// receivers with interrupts enabled take one on arrival.
+func (nic *NIC) WriteWordInterrupt(p *sim.Proc, off int, v uint32) {
+	nic.writeWord(p, off, v, true)
+}
+
+func (nic *NIC) writeWord(p *sim.Proc, off int, v uint32, intr bool) {
+	nic.checkRange(off, 4)
+	nic.net.checkOwner(nic.ownerID, off, 4)
+	nic.bus.PIOWrite(p, 1)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	copy(nic.mem[off:], b[:])
+	nic.send(p, off, b[:], intr, nil)
+}
+
+// ReadWord performs one PIO word read from the local bank. Reads never
+// generate ring traffic — the data is already local. That the read still
+// costs a full bus round trip is what makes polling expensive (§7).
+func (nic *NIC) ReadWord(p *sim.Proc, off int) uint32 {
+	nic.checkRange(off, 4)
+	nic.bus.PIORead(p, 1)
+	return binary.LittleEndian.Uint32(nic.mem[off:])
+}
+
+// Write copies data into the bank at off with PIO word writes and
+// replicates it. data need not be word-aligned in length; the tail word
+// is read-modify-written locally.
+func (nic *NIC) Write(p *sim.Proc, off int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	nic.checkRange(off, len(data))
+	nic.net.checkOwner(nic.ownerID, off, len(data))
+	copy(nic.mem[off:], data)
+	nic.send(p, off, data, false, func(chunk int) {
+		nic.bus.PIOWrite(p, pci.WordsFor(chunk))
+	})
+}
+
+// WriteDMA is Write using the DMA engine: fixed setup cost, then the
+// engine streams the block across the bus without per-word CPU work.
+// The calling process blocks until the engine finishes handing the block
+// to the transmit FIFO.
+func (nic *NIC) WriteDMA(p *sim.Proc, off int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	nic.checkRange(off, len(data))
+	nic.net.checkOwner(nic.ownerID, off, len(data))
+	copy(nic.mem[off:], data)
+	cfg := nic.bus.Config()
+	p.Delay(cfg.DMASetup)
+	nic.send(p, off, data, false, func(chunk int) {
+		p.Delay(sim.Duration(chunk) * cfg.DMAPerByte)
+	})
+	p.Delay(cfg.DMACompletionCheck)
+}
+
+// Read copies n bytes from the local bank into buf with PIO word reads.
+func (nic *NIC) Read(p *sim.Proc, off int, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	nic.checkRange(off, len(buf))
+	nic.bus.PIORead(p, pci.WordsFor(len(buf)))
+	copy(buf, nic.mem[off:])
+}
+
+// ReadDMA copies n bytes from the local bank into buf using the DMA
+// engine (no ring traffic either way).
+func (nic *NIC) ReadDMA(p *sim.Proc, off int, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	nic.checkRange(off, len(buf))
+	nic.bus.DMA(p, len(buf))
+	copy(buf, nic.mem[off:])
+}
+
+// Peek returns bank bytes without charging bus time. It is for tests and
+// invariant checks only, never for modeled software paths.
+func (nic *NIC) Peek(off, n int) []byte {
+	nic.checkRange(off, n)
+	return append([]byte(nil), nic.mem[off:off+n]...)
+}
+
+// EnableInterrupts turns interrupt delivery on or off and installs the
+// handler invoked (after Config.InterruptLatency) for each arriving
+// packet that carries the interrupt bit.
+func (nic *NIC) EnableInterrupts(on bool, handler func(off int)) {
+	nic.intrOn = on
+	nic.intrHandler = handler
+}

@@ -1,0 +1,339 @@
+// Package scramnet models the SCRAMNet (Shared Common RAM Network)
+// replicated shared-memory ring described in §2 of the paper.
+//
+// Every node's NIC carries a full replica of the shared address space.
+// When a host writes a word into its NIC, the NIC updates the local bank
+// immediately and injects a packet that circulates the ring: each node it
+// passes applies the write to its own bank and forwards it, and the
+// originating node strips it after a full revolution. Consequences the
+// BillBoard Protocol depends on, and which this model reproduces
+// mechanically rather than by formula:
+//
+//   - writes by one node are applied at every other node in issue order
+//     (per-sender FIFO), with bounded, predictable latency;
+//   - writes by different nodes may be observed in different orders at
+//     different nodes (the memory is NOT coherent);
+//   - transmission is either fixed 4-byte packets (max 6.5 MB/s) or
+//     variable-length packets of 4 B–1 KB (max 16.7 MB/s, higher
+//     latency), per §2;
+//   - neighbor-to-neighbor latency is 250–800 ns depending on the
+//     transmission mode and cabling.
+//
+// Host access goes through a pci.Bus: posted PIO writes, expensive PIO
+// reads, or DMA for bulk transfers. A transmit FIFO of bounded depth sits
+// between the host and the ring; when the host outruns the wire the FIFO
+// fills and further writes stall, which is what limits long-message
+// bandwidth to the ring rate.
+package scramnet
+
+import (
+	"fmt"
+
+	"repro/internal/pci"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects the ring transmission mode (§2 of the paper).
+type Mode int
+
+const (
+	// FixedPackets transmits fixed 4-byte packets: lowest latency,
+	// 6.5 MB/s maximum throughput.
+	FixedPackets Mode = iota
+	// VariablePackets transmits 4 B–1 KB packets: 16.7 MB/s maximum
+	// throughput but higher per-packet latency.
+	VariablePackets
+)
+
+func (m Mode) String() string {
+	if m == FixedPackets {
+		return "fixed-4B"
+	}
+	return "variable"
+}
+
+// MaxNodes is the architectural ring size limit (§2: "a ring of up to
+// 256 nodes").
+const MaxNodes = 256
+
+// MaxVarPayload is the largest variable-mode packet payload.
+const MaxVarPayload = 1024
+
+// Config describes a SCRAMNet ring.
+type Config struct {
+	// Nodes is the ring size (2..MaxNodes).
+	Nodes int
+	// MemBytes is the size of the replicated memory bank (word multiple).
+	MemBytes int
+	// Mode selects fixed or variable packets.
+	Mode Mode
+	// HopDelay is the node-to-node propagation plus node transit delay.
+	// The paper gives 250–800 ns depending on mode and media.
+	HopDelay sim.Duration
+	// FixedPacketWire is the serialization time of one fixed 4-byte
+	// packet (4 B / 6.5 MB/s ≈ 615 ns).
+	FixedPacketWire sim.Duration
+	// VarHeaderWire and VarPerByteWire give variable-packet
+	// serialization: header + payload·perByte (1 B / 16.7 MB/s ≈ 60 ns).
+	VarHeaderWire  sim.Duration
+	VarPerByteWire sim.Duration
+	// TxFIFOBytes is the transmit FIFO depth between host and ring.
+	TxFIFOBytes int
+	// Bus gives host I/O bus timings.
+	Bus pci.Config
+	// InterruptLatency is the cost from packet arrival to the host
+	// handler running (interrupt + kernel dispatch + context switch).
+	InterruptLatency sim.Duration
+	// DualRing enables the redundant second ring: a bypassed (failed)
+	// node is skipped optically and replication continues.
+	DualRing bool
+	// SingleWriterCheck, when set, panics if two different nodes ever
+	// write the same word — the BillBoard Protocol's core discipline.
+	SingleWriterCheck bool
+	// DropRate injects hardware faults: the probability (0..1) that an
+	// injected packet is corrupted in flight and discarded by the CRC
+	// check at its first hop. SCRAMNet hardware detects but does not
+	// retransmit; the BillBoard Protocol inherits that assumption, so
+	// under injected faults receives time out (tested) rather than
+	// deliver corrupt data. Deterministic via Seed.
+	DropRate float64
+	// Seed drives the fault-injection generator.
+	Seed uint64
+}
+
+// DefaultConfig returns a ring matching the paper's testbed: 4 nodes,
+// fixed 4-byte packets, fiber hop delay, 2 MB banks, PCI host interface.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:            nodes,
+		MemBytes:         2 << 20,
+		Mode:             FixedPackets,
+		HopDelay:         250 * sim.Nanosecond,
+		FixedPacketWire:  615 * sim.Nanosecond,
+		VarHeaderWire:    240 * sim.Nanosecond,
+		VarPerByteWire:   60 * sim.Nanosecond,
+		TxFIFOBytes:      1024,
+		Bus:              pci.DefaultConfig(),
+		InterruptLatency: 9 * sim.Microsecond,
+		DualRing:         true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 2 || c.Nodes > MaxNodes {
+		return fmt.Errorf("scramnet: %d nodes outside 2..%d", c.Nodes, MaxNodes)
+	}
+	if c.MemBytes <= 0 || c.MemBytes%4 != 0 {
+		return fmt.Errorf("scramnet: memory size %d not a positive word multiple", c.MemBytes)
+	}
+	if c.TxFIFOBytes < 4 {
+		return fmt.Errorf("scramnet: TX FIFO %d too small", c.TxFIFOBytes)
+	}
+	return nil
+}
+
+// packet is one ring transfer unit.
+type packet struct {
+	origin    int
+	off       int
+	data      []byte
+	interrupt bool
+}
+
+// ownerTable tracks, per word offset, which host first wrote it
+// (SingleWriterCheck). A hierarchy shares one table across its rings so
+// the discipline is enforced globally.
+type ownerTable struct {
+	enabled bool
+	m       map[int]int
+}
+
+func (t *ownerTable) check(writer, off, size int) {
+	if !t.enabled {
+		return
+	}
+	for w := off / 4; w <= (off+size-1)/4; w++ {
+		if prev, ok := t.m[w]; ok {
+			if prev != writer {
+				panic(fmt.Sprintf("scramnet: single-writer violation: word %#x written by node %d then node %d", w*4, prev, writer))
+			}
+		} else {
+			t.m[w] = writer
+		}
+	}
+}
+
+// Network is a SCRAMNet ring.
+type Network struct {
+	k      *sim.Kernel
+	cfg    Config
+	nics   []*NIC
+	owner  *ownerTable
+	tracer *trace.Recorder
+	faults *sim.RNG
+}
+
+// SetTracer installs an event recorder (nil disables tracing).
+func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+// New builds a ring of cfg.Nodes NICs on kernel k.
+func New(k *sim.Kernel, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		k:      k,
+		cfg:    cfg,
+		owner:  &ownerTable{enabled: cfg.SingleWriterCheck, m: map[int]int{}},
+		faults: sim.NewRNG(cfg.Seed + 1),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		nic := &NIC{
+			net:     n,
+			id:      i,
+			ownerID: i,
+			mem:     make([]byte, cfg.MemBytes),
+			bus:     pci.New(k, cfg.Bus),
+			link:    sim.NewServer(k),
+			txDrain: sim.NewCond(k),
+			intrOn:  false,
+		}
+		n.nics = append(n.nics, nic)
+	}
+	return n, nil
+}
+
+// Kernel returns the simulation kernel the ring runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Config returns the ring configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the ring size.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// NIC returns node i's interface card.
+func (n *Network) NIC(i int) *NIC { return n.nics[i] }
+
+// nextActive returns the next non-bypassed node after i, and the number
+// of hops traversed (bypassed nodes still cost a hop through the optical
+// bypass switch). ok is false if the ring is broken before reaching a
+// live node.
+func (n *Network) nextActive(i int) (next, hops int, ok bool) {
+	next = i
+	for {
+		next = (next + 1) % n.cfg.Nodes
+		hops++
+		nic := n.nics[next]
+		if !nic.failed {
+			return next, hops, true
+		}
+		if n.cfg.DualRing {
+			continue // optical bypass: skip the dead node
+		}
+		return 0, 0, false // single ring: the dead node breaks the ring
+	}
+}
+
+// wireTime returns the serialization time of pkt on one link.
+func (n *Network) wireTime(pkt *packet) sim.Duration {
+	if n.cfg.Mode == FixedPackets {
+		return n.cfg.FixedPacketWire
+	}
+	return n.cfg.VarHeaderWire + sim.Duration(len(pkt.data))*n.cfg.VarPerByteWire
+}
+
+// maxPayload returns the packet payload limit for the current mode.
+func (n *Network) maxPayload() int {
+	if n.cfg.Mode == FixedPackets {
+		return 4
+	}
+	return MaxVarPayload
+}
+
+// checkOwner enforces the single-writer discipline when enabled.
+func (n *Network) checkOwner(node, off, size int) {
+	n.owner.check(node, off, size)
+}
+
+// MemBytes returns the replicated bank size.
+func (n *Network) MemBytes() int { return n.cfg.MemBytes }
+
+// inject starts pkt from its origin: serialize on the origin's outgoing
+// link, then hop to the first downstream node.
+func (n *Network) inject(pkt *packet) {
+	src := n.nics[pkt.origin]
+	src.stats.PacketsSent++
+	src.stats.BytesSent += int64(len(pkt.data))
+	n.tracer.Emitf(n.k.Now(), trace.Ring, pkt.origin, "inject", "off=%#x len=%d", pkt.off, len(pkt.data))
+	wire := n.wireTime(pkt)
+	src.link.Serve(wire, func() {
+		src.txBacklog -= len(pkt.data)
+		src.txDrain.Broadcast()
+		if n.cfg.DropRate > 0 && n.faults.Float64() < n.cfg.DropRate {
+			// Corrupted in flight: the next hop's CRC check discards it.
+			src.stats.PacketsLost++
+			return
+		}
+		n.forward(pkt.origin, pkt)
+	})
+}
+
+// forward moves pkt from node `from` to the next live node, applying the
+// write there and continuing until the packet returns to its origin.
+func (n *Network) forward(from int, pkt *packet) {
+	next, hops, ok := n.nextActive(from)
+	if !ok {
+		n.nics[pkt.origin].stats.PacketsLost++
+		return // broken single ring: packet lost downstream
+	}
+	n.k.After(sim.Duration(hops)*n.cfg.HopDelay, func() {
+		if next == pkt.origin {
+			return // stripped by the source after a full revolution
+		}
+		nic := n.nics[next]
+		nic.apply(pkt)
+		// Transit: the packet occupies this node's outgoing link too.
+		nic.link.Serve(n.wireTime(pkt), func() {
+			n.forward(next, pkt)
+		})
+	})
+}
+
+// SetSingleWriterCheck toggles the single-writer assertion at run time;
+// the BillBoard Protocol layer turns it on to validate its discipline.
+func (n *Network) SetSingleWriterCheck(on bool) {
+	n.cfg.SingleWriterCheck = on
+	n.owner.enabled = on
+}
+
+// FailNode marks node i failed. With DualRing the node is optically
+// bypassed and the rest of the ring keeps replicating; with a single
+// ring, packets are lost when they reach the break.
+func (n *Network) FailNode(i int) { n.nics[i].failed = true }
+
+// RepairNode returns a failed node to service. Its bank may be stale
+// until peers rewrite their words.
+func (n *Network) RepairNode(i int) { n.nics[i].failed = false }
+
+// Quiescent reports whether no packets are in flight anywhere (all link
+// servers idle). Useful for replication tests.
+func (n *Network) Quiescent() bool {
+	now := n.k.Now()
+	for _, nic := range n.nics {
+		if nic.link.BusyUntil() > now {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats aggregates per-NIC counters.
+type Stats struct {
+	PacketsSent     int64
+	PacketsApplied  int64
+	PacketsLost     int64
+	BytesSent       int64
+	InterruptsTaken int64
+}

@@ -1,0 +1,233 @@
+// Package scrsync provides synchronization primitives for SCRAMNet
+// replicated shared memory, in the spirit of the mechanisms the paper
+// cites as its companion work ("Synchronization Mechanisms for
+// SCRAMNet+ Systems", reference [10]).
+//
+// SCRAMNet memory is replicated but NOT coherent, and has no
+// read-modify-write primitives, so every construct here is built from
+// single-writer words only:
+//
+//   - Barrier: per-participant generation words — each process writes
+//     only its own word and polls the others' replicas.
+//   - Mutex: Lamport's bakery algorithm, which is correct even with
+//     safe (stale-readable) registers — exactly what a replica that is
+//     still converging provides. Every choosing/ticket word has one
+//     writer.
+//   - Queue: a single-producer single-consumer ring buffer; the head
+//     index is written only by the producer and the tail only by the
+//     consumer.
+//
+// All primitives charge realistic PIO costs through the NIC they are
+// given; layouts are parameterized by a base offset so applications can
+// place them anywhere in the replicated address space.
+package scrsync
+
+import (
+	"fmt"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+)
+
+// MaxParties bounds barrier and lock membership (one word per party).
+const MaxParties = 64
+
+// Barrier is a sense-reversing flat barrier over per-party generation
+// words. Word i (at base + 4i) is written ONLY by party i; arrival
+// increments the party's generation, and everyone polls until all
+// replicas reach the generation.
+type Barrier struct {
+	base    int
+	parties int
+	poll    sim.Duration
+}
+
+// BarrierBytes returns the memory footprint of a barrier for n parties.
+func BarrierBytes(n int) int { return 4 * n }
+
+// NewBarrier lays out a barrier for the given parties at base.
+func NewBarrier(base, parties int, pollInterval sim.Duration) (*Barrier, error) {
+	if parties < 2 || parties > MaxParties {
+		return nil, fmt.Errorf("scrsync: %d parties outside 2..%d", parties, MaxParties)
+	}
+	if pollInterval <= 0 {
+		pollInterval = 500 * sim.Nanosecond
+	}
+	return &Barrier{base: base, parties: parties, poll: pollInterval}, nil
+}
+
+// Wait enters the barrier as party `me` on the given NIC and blocks (in
+// virtual time) until every party has arrived at the same generation.
+func (b *Barrier) Wait(p *sim.Proc, nic *scramnet.NIC, me int) {
+	gen := nic.ReadWord(p, b.base+4*me) + 1
+	nic.WriteWord(p, b.base+4*me, gen)
+	for {
+		done := true
+		for i := 0; i < b.parties; i++ {
+			if i == me {
+				continue
+			}
+			// A party ahead of us (gen+1) also counts as arrived.
+			if g := nic.ReadWord(p, b.base+4*i); int32(g-gen) < 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		p.Delay(b.poll)
+	}
+}
+
+// Mutex is Lamport's bakery lock over replicated memory. For party i,
+// choosing[i] (base + 4i) and number[i] (base + 4(n+i)) are written
+// only by party i.
+type Mutex struct {
+	base    int
+	parties int
+	poll    sim.Duration
+}
+
+// MutexBytes returns the memory footprint of a mutex for n parties.
+func MutexBytes(n int) int { return 8 * n }
+
+// NewMutex lays out a bakery lock for the given parties at base.
+func NewMutex(base, parties int, pollInterval sim.Duration) (*Mutex, error) {
+	if parties < 2 || parties > MaxParties {
+		return nil, fmt.Errorf("scrsync: %d parties outside 2..%d", parties, MaxParties)
+	}
+	if pollInterval <= 0 {
+		pollInterval = 500 * sim.Nanosecond
+	}
+	return &Mutex{base: base, parties: parties, poll: pollInterval}, nil
+}
+
+func (m *Mutex) choosingOff(i int) int { return m.base + 4*i }
+func (m *Mutex) numberOff(i int) int   { return m.base + 4*(m.parties+i) }
+
+// Lock acquires the mutex for party `me`. The bakery algorithm's doorway
+// (choose a ticket larger than every visible ticket) tolerates stale
+// replicas: two parties may pick equal tickets, and the (ticket, id)
+// tie-break resolves it.
+func (m *Mutex) Lock(p *sim.Proc, nic *scramnet.NIC, me int) {
+	// Doorway: announce we are choosing, pick max+1.
+	nic.WriteWord(p, m.choosingOff(me), 1)
+	max := uint32(0)
+	for i := 0; i < m.parties; i++ {
+		if n := nic.ReadWord(p, m.numberOff(i)); n > max {
+			max = n
+		}
+	}
+	nic.WriteWord(p, m.numberOff(me), max+1)
+	nic.WriteWord(p, m.choosingOff(me), 0)
+	// Wait for the write to settle everywhere before inspecting peers:
+	// the ring guarantees bounded propagation, so a short settle delay
+	// upper-bounds it. (Reference [10] uses the same bounded-latency
+	// argument.)
+	p.Delay(m.settle(nic))
+	mine := max + 1
+	for i := 0; i < m.parties; i++ {
+		if i == me {
+			continue
+		}
+		for nic.ReadWord(p, m.choosingOff(i)) != 0 {
+			p.Delay(m.poll)
+		}
+		for {
+			n := nic.ReadWord(p, m.numberOff(i))
+			if n == 0 || n > mine || (n == mine && i > me) {
+				break
+			}
+			p.Delay(m.poll)
+		}
+	}
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(p *sim.Proc, nic *scramnet.NIC, me int) {
+	nic.WriteWord(p, m.numberOff(me), 0)
+}
+
+// settle returns an upper bound on ring propagation for one word.
+func (m *Mutex) settle(nic *scramnet.NIC) sim.Duration {
+	cfg := nicNet(nic)
+	return sim.Duration(cfg.Nodes) * (cfg.HopDelay + cfg.FixedPacketWire)
+}
+
+func nicNet(nic *scramnet.NIC) scramnet.Config {
+	return nic.NetworkConfig()
+}
+
+// Queue is a single-producer single-consumer byte-record ring buffer in
+// replicated memory. Layout at base:
+//
+//	head word (written by producer), tail word (written by consumer),
+//	then capacity bytes of slot storage in recSize records.
+//
+// Produce writes the record then advances head; per-sender FIFO makes
+// the record visible before the index everywhere.
+type Queue struct {
+	base    int
+	slots   int
+	recSize int
+	poll    sim.Duration
+}
+
+// QueueBytes returns the footprint of a queue with the given geometry.
+func QueueBytes(slots, recSize int) int { return 8 + slots*recSize }
+
+// NewQueue lays out a SPSC queue at base.
+func NewQueue(base, slots, recSize int, pollInterval sim.Duration) (*Queue, error) {
+	if slots < 2 {
+		return nil, fmt.Errorf("scrsync: need at least 2 slots, got %d", slots)
+	}
+	if recSize < 4 || recSize%4 != 0 {
+		return nil, fmt.Errorf("scrsync: record size %d must be a positive word multiple", recSize)
+	}
+	if pollInterval <= 0 {
+		pollInterval = 500 * sim.Nanosecond
+	}
+	return &Queue{base: base, slots: slots, recSize: recSize, poll: pollInterval}, nil
+}
+
+func (q *Queue) headOff() int      { return q.base }
+func (q *Queue) tailOff() int      { return q.base + 4 }
+func (q *Queue) slotOff(i int) int { return q.base + 8 + i*q.recSize }
+
+// Produce appends one record (len ≤ recSize), blocking while the ring
+// is full.
+func (q *Queue) Produce(p *sim.Proc, nic *scramnet.NIC, rec []byte) error {
+	if len(rec) > q.recSize {
+		return fmt.Errorf("scrsync: %d-byte record exceeds slot size %d", len(rec), q.recSize)
+	}
+	head := nic.ReadWord(p, q.headOff())
+	for {
+		tail := nic.ReadWord(p, q.tailOff())
+		if head-tail < uint32(q.slots) {
+			break
+		}
+		p.Delay(q.poll)
+	}
+	nic.Write(p, q.slotOff(int(head)%q.slots), rec)
+	nic.WriteWord(p, q.headOff(), head+1)
+	return nil
+}
+
+// Consume removes the oldest record into buf, blocking while empty.
+func (q *Queue) Consume(p *sim.Proc, nic *scramnet.NIC, buf []byte) error {
+	if len(buf) < q.recSize {
+		return fmt.Errorf("scrsync: %d-byte buffer below slot size %d", len(buf), q.recSize)
+	}
+	tail := nic.ReadWord(p, q.tailOff())
+	for {
+		head := nic.ReadWord(p, q.headOff())
+		if head != tail {
+			break
+		}
+		p.Delay(q.poll)
+	}
+	nic.Read(p, q.slotOff(int(tail)%q.slots), buf[:q.recSize])
+	nic.WriteWord(p, q.tailOff(), tail+1)
+	return nil
+}

@@ -1,0 +1,276 @@
+package scrsync
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+)
+
+func ring(t testing.TB, nodes int) (*sim.Kernel, *scramnet.Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	n, err := scramnet.New(k, scramnet.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetSingleWriterCheck(true)
+	return k, n
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const nodes = 4
+	k, n := ring(t, nodes)
+	b, err := NewBarrier(0x100, nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastArrive sim.Time
+	exits := make([]sim.Time, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			p.Delay(sim.Duration(i) * 100 * sim.Microsecond)
+			if p.Now() > lastArrive {
+				lastArrive = p.Now()
+			}
+			b.Wait(p, n.NIC(i), i)
+			exits[i] = p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range exits {
+		if e < lastArrive {
+			t.Errorf("party %d left the barrier at %d, before the last arrival %d", i, e, lastArrive)
+		}
+	}
+}
+
+func TestBarrierReusableManyRounds(t *testing.T) {
+	const nodes = 3
+	const rounds = 20
+	k, n := ring(t, nodes)
+	b, _ := NewBarrier(0, nodes, 0)
+	phase := make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				// Uneven pacing: stragglers rotate.
+				p.Delay(sim.Duration((i+r)%3) * 30 * sim.Microsecond)
+				phase[i] = r
+				b.Wait(p, n.NIC(i), i)
+				// After the barrier nobody is still in an older round.
+				for j := 0; j < nodes; j++ {
+					if phase[j] < r {
+						t.Errorf("round %d: party %d saw party %d still at %d", r, i, j, phase[j])
+						return
+					}
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	if _, err := NewBarrier(0, 1, 0); err == nil {
+		t.Error("1-party barrier accepted")
+	}
+	if _, err := NewBarrier(0, MaxParties+1, 0); err == nil {
+		t.Error("oversized barrier accepted")
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	const nodes = 4
+	const iters = 12
+	k, n := ring(t, nodes)
+	m, err := NewMutex(0x200, nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := 0
+	var violations int
+	total := 0
+	for i := 0; i < nodes; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			rng := sim.NewRNG(uint64(i) + 7)
+			for it := 0; it < iters; it++ {
+				p.Delay(rng.Duration(40 * sim.Microsecond))
+				m.Lock(p, n.NIC(i), i)
+				inside++
+				if inside != 1 {
+					violations++
+				}
+				p.Delay(5 * sim.Microsecond) // critical section
+				total++
+				inside--
+				m.Unlock(p, n.NIC(i), i)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations)
+	}
+	if total != nodes*iters {
+		t.Fatalf("total = %d, want %d", total, nodes*iters)
+	}
+}
+
+func TestMutexMutualExclusionProperty(t *testing.T) {
+	// Property: under randomized contention patterns the bakery lock
+	// never admits two parties, for any seed.
+	f := func(seed uint64) bool {
+		const nodes = 3
+		k := sim.NewKernel()
+		defer k.Close()
+		n, err := scramnet.New(k, scramnet.DefaultConfig(nodes))
+		if err != nil {
+			return false
+		}
+		m, err := NewMutex(0, nodes, 0)
+		if err != nil {
+			return false
+		}
+		inside, bad := 0, false
+		for i := 0; i < nodes; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+				rng := sim.NewRNG(seed ^ uint64(i*977))
+				for it := 0; it < 6; it++ {
+					p.Delay(rng.Duration(25 * sim.Microsecond))
+					m.Lock(p, n.NIC(i), i)
+					inside++
+					if inside != 1 {
+						bad = true
+					}
+					p.Delay(rng.Duration(8 * sim.Microsecond))
+					inside--
+					m.Unlock(p, n.NIC(i), i)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFIFOAcrossNodes(t *testing.T) {
+	const count = 40
+	k, n := ring(t, 2)
+	q, err := NewQueue(0x400, 4, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint32
+	k.Spawn("producer", func(p *sim.Proc) {
+		rec := make([]byte, 8)
+		for i := 0; i < count; i++ {
+			rec[0], rec[1] = byte(i), byte(i>>8)
+			if err := q.Produce(p, n.NIC(0), rec); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		buf := make([]byte, 8)
+		for i := 0; i < count; i++ {
+			if err := q.Consume(p, n.NIC(1), buf); err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, uint32(buf[0])|uint32(buf[1])<<8)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("record %d out of order: %d (queue smaller than stream forces wrap + backpressure)", i, v)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	// With a slow consumer the producer must stall, never overwrite.
+	k, n := ring(t, 2)
+	q, _ := NewQueue(0, 2, 4, 0)
+	var prodDone, consStart sim.Time
+	k.Spawn("producer", func(p *sim.Proc) {
+		rec := []byte{1, 2, 3, 4}
+		for i := 0; i < 6; i++ {
+			if err := q.Produce(p, n.NIC(0), rec); err != nil {
+				t.Error(err)
+			}
+		}
+		prodDone = p.Now()
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		p.Delay(2 * sim.Millisecond)
+		consStart = p.Now()
+		buf := make([]byte, 4)
+		for i := 0; i < 6; i++ {
+			if err := q.Consume(p, n.NIC(1), buf); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if prodDone < consStart {
+		t.Fatalf("producer finished at %d before consumer started at %d: ring overfilled", prodDone, consStart)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := NewQueue(0, 1, 8, 0); err == nil {
+		t.Error("1-slot queue accepted")
+	}
+	if _, err := NewQueue(0, 4, 6, 0); err == nil {
+		t.Error("non-word record size accepted")
+	}
+	k, n := ring(t, 2)
+	q, _ := NewQueue(0, 4, 8, 0)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := q.Produce(p, n.NIC(0), make([]byte, 9)); err == nil {
+			t.Error("oversize record accepted")
+		}
+		if err := q.Consume(p, n.NIC(0), make([]byte, 4)); err == nil {
+			t.Error("undersized consume buffer accepted")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintHelpers(t *testing.T) {
+	if BarrierBytes(8) != 32 {
+		t.Errorf("BarrierBytes(8) = %d", BarrierBytes(8))
+	}
+	if MutexBytes(4) != 32 {
+		t.Errorf("MutexBytes(4) = %d", MutexBytes(4))
+	}
+	if QueueBytes(16, 64) != 8+16*64 {
+		t.Errorf("QueueBytes = %d", QueueBytes(16, 64))
+	}
+}

@@ -1,0 +1,197 @@
+// Package shm is the shared-memory programming model that SCRAMNet was
+// "almost exclusively used for" before the BillBoard Protocol (§1):
+// typed, named variables living directly in the replicated address
+// space. A Region hands out single-writer cells and arrays; a Published
+// record gives torn-read-free multi-word state sharing using the frame
+// counter idiom (write payload, then bump the counter — per-sender FIFO
+// makes the counter an implicit seqlock).
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+)
+
+// Region is an allocator over a range of the replicated address space.
+// Allocation is layout arithmetic only — every node constructs the same
+// region and obtains identical offsets, so no allocation metadata ever
+// crosses the network.
+type Region struct {
+	base, size int
+	next       int
+}
+
+// NewRegion creates a region covering [base, base+size).
+func NewRegion(base, size int) (*Region, error) {
+	if base < 0 || size < 4 {
+		return nil, fmt.Errorf("shm: bad region [%d, %d)", base, base+size)
+	}
+	return &Region{base: base, size: size}, nil
+}
+
+// alloc reserves n bytes, word-aligned.
+func (r *Region) alloc(n int) (int, error) {
+	n = (n + 3) &^ 3
+	if r.next+n > r.size {
+		return 0, fmt.Errorf("shm: region exhausted (%d of %d bytes used)", r.next, r.size)
+	}
+	off := r.base + r.next
+	r.next += n
+	return off, nil
+}
+
+// Remaining returns unallocated bytes.
+func (r *Region) Remaining() int { return r.size - r.next }
+
+// Word is a replicated 32-bit cell. Writes must all come from one node
+// (the single-writer discipline); reads may happen anywhere.
+type Word struct{ off int }
+
+// NewWord allocates a word cell.
+func (r *Region) NewWord() (Word, error) {
+	off, err := r.alloc(4)
+	return Word{off}, err
+}
+
+// Set stores v through the given node's NIC.
+func (w Word) Set(p *sim.Proc, nic *scramnet.NIC, v uint32) { nic.WriteWord(p, w.off, v) }
+
+// Get loads the local replica's value.
+func (w Word) Get(p *sim.Proc, nic *scramnet.NIC) uint32 { return nic.ReadWord(p, w.off) }
+
+// F64 is a replicated float64 cell. The two words are written
+// low-then-high; readers use the Published wrapper when tearing between
+// the halves matters.
+type F64 struct{ off int }
+
+// NewF64 allocates a float64 cell.
+func (r *Region) NewF64() (F64, error) {
+	off, err := r.alloc(8)
+	return F64{off}, err
+}
+
+// Set stores v.
+func (f F64) Set(p *sim.Proc, nic *scramnet.NIC, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	nic.Write(p, f.off, b[:])
+}
+
+// Get loads the local replica's value.
+func (f F64) Get(p *sim.Proc, nic *scramnet.NIC) float64 {
+	var b [8]byte
+	nic.Read(p, f.off, b[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Array is a replicated byte array.
+type Array struct{ off, n int }
+
+// NewArray allocates n bytes.
+func (r *Region) NewArray(n int) (Array, error) {
+	off, err := r.alloc(n)
+	return Array{off, n}, err
+}
+
+// Len returns the array size.
+func (a Array) Len() int { return a.n }
+
+// Set writes data at index i (PIO or DMA by size is the caller's
+// choice via nic methods; Set uses PIO, SetDMA the engine).
+func (a Array) Set(p *sim.Proc, nic *scramnet.NIC, i int, data []byte) error {
+	if i < 0 || i+len(data) > a.n {
+		return fmt.Errorf("shm: write [%d,%d) outside array of %d", i, i+len(data), a.n)
+	}
+	nic.Write(p, a.off+i, data)
+	return nil
+}
+
+// SetDMA is Set using the DMA engine.
+func (a Array) SetDMA(p *sim.Proc, nic *scramnet.NIC, i int, data []byte) error {
+	if i < 0 || i+len(data) > a.n {
+		return fmt.Errorf("shm: write [%d,%d) outside array of %d", i, i+len(data), a.n)
+	}
+	nic.WriteDMA(p, a.off+i, data)
+	return nil
+}
+
+// Get reads len(buf) bytes at index i from the local replica.
+func (a Array) Get(p *sim.Proc, nic *scramnet.NIC, i int, buf []byte) error {
+	if i < 0 || i+len(buf) > a.n {
+		return fmt.Errorf("shm: read [%d,%d) outside array of %d", i, i+len(buf), a.n)
+	}
+	nic.Read(p, a.off+i, buf)
+	return nil
+}
+
+// Published is a multi-word record published atomically (with respect
+// to readers) by one writer — a seqlock over replicated memory. The
+// writer bumps the version to an odd value, writes the payload, then
+// bumps it even. Per-sender FIFO replication makes the protocol sound
+// remotely: a reader that sees an even version has, by FIFO, already
+// received every payload word written before that version — and if the
+// version is unchanged after the payload read, no later odd bump (which
+// precedes any newer payload word in the stream) has arrived either.
+type Published struct {
+	payload Array
+	version Word
+}
+
+// NewPublished allocates an n-byte published record.
+func (r *Region) NewPublished(n int) (Published, error) {
+	payload, err := r.NewArray(n)
+	if err != nil {
+		return Published{}, err
+	}
+	version, err := r.NewWord()
+	if err != nil {
+		return Published{}, err
+	}
+	return Published{payload, version}, nil
+}
+
+// Publish makes the record odd (write in progress), writes the
+// payload, then makes it even.
+func (pb Published) Publish(p *sim.Proc, nic *scramnet.NIC, data []byte) error {
+	if len(data) != pb.payload.n {
+		return fmt.Errorf("shm: publish %d bytes into %d-byte record", len(data), pb.payload.n)
+	}
+	v := pb.version.Get(p, nic)
+	pb.version.Set(p, nic, v+1) // odd: in progress
+	if err := pb.payload.Set(p, nic, 0, data); err != nil {
+		return err
+	}
+	pb.version.Set(p, nic, v+2) // even: published
+	return nil
+}
+
+// Read returns a consistent snapshot and its (even) version, retrying
+// while a publish is in flight.
+func (pb Published) Read(p *sim.Proc, nic *scramnet.NIC, buf []byte) (version uint32, err error) {
+	if len(buf) < pb.payload.n {
+		return 0, fmt.Errorf("shm: %d-byte buffer for %d-byte record", len(buf), pb.payload.n)
+	}
+	for {
+		v1 := pb.version.Get(p, nic)
+		if v1%2 == 1 {
+			continue // write in progress; the Get charged poll time
+		}
+		if err := pb.payload.Get(p, nic, 0, buf[:pb.payload.n]); err != nil {
+			return 0, err
+		}
+		v2 := pb.version.Get(p, nic)
+		if v1 == v2 {
+			return v2, nil
+		}
+		// Torn: the writer republished mid-read; retry.
+	}
+}
+
+// Version returns the current version without reading the payload.
+func (pb Published) Version(p *sim.Proc, nic *scramnet.NIC) uint32 {
+	return pb.version.Get(p, nic)
+}

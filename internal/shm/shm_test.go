@@ -1,0 +1,229 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+)
+
+func ring(t testing.TB, nodes int) (*sim.Kernel, *scramnet.Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	n, err := scramnet.New(k, scramnet.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetSingleWriterCheck(true)
+	return k, n
+}
+
+func TestRegionAllocationDeterministic(t *testing.T) {
+	// Two independently constructed regions hand out identical offsets:
+	// the property that lets every node agree on the layout for free.
+	mk := func() []int {
+		r, err := NewRegion(0x1000, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := r.NewWord()
+		f, _ := r.NewF64()
+		a, _ := r.NewArray(100)
+		pb, _ := r.NewPublished(64)
+		return []int{w.off, f.off, a.off, pb.payload.off, pb.version.off}
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layouts differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRegionExhaustion(t *testing.T) {
+	r, err := NewRegion(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewArray(12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewF64(); err == nil {
+		t.Fatal("allocation beyond region accepted")
+	}
+	if r.Remaining() != 4 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	if _, err := NewRegion(-1, 100); err == nil {
+		t.Fatal("negative base accepted")
+	}
+}
+
+func TestWordAndF64Replication(t *testing.T) {
+	k, n := ring(t, 3)
+	r, _ := NewRegion(0x2000, 1024)
+	w, _ := r.NewWord()
+	f, _ := r.NewF64()
+	var gotW uint32
+	var gotF float64
+	k.Spawn("writer", func(p *sim.Proc) {
+		w.Set(p, n.NIC(0), 0xCAFE)
+		f.Set(p, n.NIC(0), 3.25)
+	})
+	k.Spawn("reader", func(p *sim.Proc) {
+		p.Delay(100 * sim.Microsecond)
+		gotW = w.Get(p, n.NIC(2))
+		gotF = f.Get(p, n.NIC(2))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotW != 0xCAFE || gotF != 3.25 {
+		t.Fatalf("got %#x %v", gotW, gotF)
+	}
+}
+
+func TestArrayBoundsChecked(t *testing.T) {
+	k, n := ring(t, 2)
+	r, _ := NewRegion(0, 256)
+	a, _ := r.NewArray(16)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := a.Set(p, n.NIC(0), 10, make([]byte, 8)); err == nil {
+			t.Error("out-of-bounds write accepted")
+		}
+		if err := a.Get(p, n.NIC(0), -1, make([]byte, 4)); err == nil {
+			t.Error("negative index accepted")
+		}
+		if err := a.Set(p, n.NIC(0), 0, make([]byte, 16)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 16 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestPublishedNeverTorn(t *testing.T) {
+	// A writer republishing continuously; a remote reader must never
+	// observe a mixed-version payload.
+	k, n := ring(t, 2)
+	r, _ := NewRegion(0x3000, 1024)
+	pb, _ := r.NewPublished(64)
+	const rounds = 30
+	k.Spawn("writer", func(p *sim.Proc) {
+		rec := make([]byte, 64)
+		for i := 1; i <= rounds; i++ {
+			for j := range rec {
+				rec[j] = byte(i)
+			}
+			if err := pb.Publish(p, n.NIC(0), rec); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Delay(20 * sim.Microsecond)
+		}
+	})
+	k.Spawn("reader", func(p *sim.Proc) {
+		buf := make([]byte, 64)
+		seen := uint32(0)
+		for seen < 2*rounds { // versions advance by 2 per publish
+			v, err := pb.Read(p, n.NIC(1), buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v%2 != 0 {
+				t.Errorf("odd version %d escaped Read", v)
+				return
+			}
+			for j := 1; j < 64; j++ {
+				if buf[j] != buf[0] {
+					t.Errorf("torn read at version %d: byte 0 = %d, byte %d = %d", v, buf[0], j, buf[j])
+					return
+				}
+			}
+			if v > seen {
+				seen = v
+			}
+			p.Delay(7 * sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishedTornProperty(t *testing.T) {
+	// Property: for random writer/reader pacing, snapshots are always
+	// internally consistent.
+	f := func(seed uint64) bool {
+		k := sim.NewKernel()
+		defer k.Close()
+		n, err := scramnet.New(k, scramnet.DefaultConfig(2))
+		if err != nil {
+			return false
+		}
+		r, _ := NewRegion(0, 2048)
+		pb, _ := r.NewPublished(32)
+		rng := sim.NewRNG(seed)
+		wGap := sim.Duration(rng.Intn(30)+1) * sim.Microsecond
+		rGap := sim.Duration(rng.Intn(12)+1) * sim.Microsecond
+		ok := true
+		k.Spawn("w", func(p *sim.Proc) {
+			rec := make([]byte, 32)
+			for i := 1; i <= 20; i++ {
+				for j := range rec {
+					rec[j] = byte(i)
+				}
+				if pb.Publish(p, n.NIC(0), rec) != nil {
+					ok = false
+					return
+				}
+				p.Delay(wGap)
+			}
+		})
+		k.Spawn("r", func(p *sim.Proc) {
+			buf := make([]byte, 32)
+			for i := 0; i < 40; i++ {
+				if _, err := pb.Read(p, n.NIC(1), buf); err != nil {
+					ok = false
+					return
+				}
+				if !bytes.Equal(buf, bytes.Repeat(buf[:1], 32)) {
+					ok = false
+					return
+				}
+				p.Delay(rGap)
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishedSizeValidation(t *testing.T) {
+	k, n := ring(t, 2)
+	r, _ := NewRegion(0, 1024)
+	pb, _ := r.NewPublished(16)
+	k.Spawn("p", func(p *sim.Proc) {
+		if err := pb.Publish(p, n.NIC(0), make([]byte, 8)); err == nil {
+			t.Error("short publish accepted")
+		}
+		if _, err := pb.Read(p, n.NIC(0), make([]byte, 8)); err == nil {
+			t.Error("short read buffer accepted")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

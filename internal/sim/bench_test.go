@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These benchmarks measure the simulator itself (real CPU time), since
+// every reproduction result is bottlenecked by kernel event throughput.
+
+func BenchmarkKernelEventDispatch(b *testing.B) {
+	k := NewKernel()
+	var t Time
+	count := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 10
+		k.At(t, func() { count++ })
+	}
+	k.Run()
+	if count != b.N {
+		b.Fatalf("ran %d of %d events", count, b.N)
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCondHandoffPingPong(b *testing.B) {
+	k := NewKernel()
+	a, c := NewCond(k), NewCond(k)
+	turn := 0
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for turn != 0 {
+				a.Wait(p)
+			}
+			turn = 1
+			c.Signal()
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for turn != 1 {
+				c.Wait(p)
+			}
+			turn = 0
+			a.Signal()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServerPipeline(b *testing.B) {
+	k := NewKernel()
+	servers := make([]*Server, 8)
+	for i := range servers {
+		servers[i] = NewServer(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var forward func(stage int)
+		forward = func(stage int) {
+			if stage == len(servers) {
+				return
+			}
+			servers[stage].Serve(100, func() { forward(stage + 1) })
+		}
+		forward(0)
+		k.Run()
+	}
+}
+
+func BenchmarkManyProcsRoundRobin(b *testing.B) {
+	k := NewKernel()
+	const procs = 64
+	for i := 0; i < procs; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < b.N/procs+1; j++ {
+				p.Delay(Duration(1 + j%7))
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (splitmix64) used
+// by workload generators. It is independent of math/rand so that
+// simulation results cannot drift with Go releases.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform duration in [0, d).
+func (r *RNG) Duration(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(d))
+}
+
+// Bytes fills b with random bytes.
+func (r *RNG) Bytes(b []byte) {
+	for i := range b {
+		if i%8 == 0 {
+			v := r.Uint64()
+			for j := 0; j < 8 && i+j < len(b); j++ {
+				b[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// computed with a rational approximation of -ln(u) to stay reproducible
+// across floating-point environments (which Go guarantees anyway; the
+// approximation simply avoids math.Log's platform-tuned tables).
+func (r *RNG) Exp(mean Duration) Duration {
+	// Inverse-CDF with u in (0,1]; crude piecewise -ln via bit tricks is
+	// not worth the obscurity, so use the straightforward series on the
+	// mantissa after range reduction by powers of two.
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	// -ln(u) = k*ln2 - ln(m) with u = m * 2^-k, m in [1,2)
+	k := 0
+	for u < 0.5 {
+		u *= 2
+		k++
+	}
+	// ln(m) for m in [1,2) via atanh series: ln(m) = 2*atanh((m-1)/(m+1))
+	x := (u - 1) / (u + 1)
+	x2 := x * x
+	ln := 2 * x * (1 + x2/3 + x2*x2/5 + x2*x2*x2/7 + x2*x2*x2*x2/9)
+	const ln2 = 0.6931471805599453
+	neglog := float64(k)*ln2 - ln
+	if neglog < 0 {
+		neglog = 0
+	}
+	return Duration(neglog * float64(mean))
+}

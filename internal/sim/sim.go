@@ -1,0 +1,239 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with a virtual nanosecond clock.
+//
+// The kernel interleaves two kinds of activity:
+//
+//   - plain events: closures scheduled at an absolute virtual time with
+//     Kernel.At or Kernel.After, executed on the kernel goroutine; and
+//   - processes: coroutines (see Proc) that model software running on a
+//     simulated CPU. A process runs exclusively — the kernel hands it a
+//     token and waits until the process blocks again — so all simulation
+//     state is accessed by at most one goroutine at a time and no locking
+//     is needed anywhere in the models.
+//
+// Events with equal timestamps fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes every run of a
+// simulation bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Microseconds reports the duration as a floating-point microsecond count,
+// the unit used throughout the paper's figures.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Timer is a handle to a scheduled event that can be canceled before it
+// fires. Canceling a timer that already fired is a no-op.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	park    chan struct{}
+	running *Proc
+	procs   []*Proc
+	live    int
+	closed  bool
+}
+
+// NewKernel returns a kernel with the clock at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{park: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute time t (which must not be in the
+// past) and returns a cancelable handle.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	ev := &event{t: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// step executes the next pending event. It reports false when no events
+// remain.
+func (k *Kernel) step() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.t
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked: nothing can ever wake them.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d: %d process(es) blocked forever: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until none remain. It returns a *DeadlockError if
+// processes are still blocked when the queue drains, and nil when every
+// spawned process has terminated.
+func (k *Kernel) Run() error {
+	for k.step() {
+	}
+	return k.checkDeadlock()
+}
+
+// RunUntil executes events with timestamps <= t and then advances the
+// clock to exactly t. Blocked processes are not a deadlock here: the
+// caller may schedule more work and resume.
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.events) > 0 {
+		if next := k.peek(); next == nil || next.t > t {
+			break
+		}
+		k.step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// RunFor runs the simulation for d virtual time from now.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+func (k *Kernel) peek() *event {
+	for len(k.events) > 0 {
+		if k.events[0].canceled {
+			heap.Pop(&k.events)
+			continue
+		}
+		return k.events[0]
+	}
+	return nil
+}
+
+func (k *Kernel) checkDeadlock() error {
+	if k.live == 0 {
+		return nil
+	}
+	var blocked []string
+	for _, p := range k.procs {
+		if !p.done && !p.daemon {
+			blocked = append(blocked, p.name)
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Time: k.now, Blocked: blocked}
+}
+
+// Close terminates every still-live process (their goroutines unwind via
+// an internal panic) so that a test or tool can abandon a simulation
+// without leaking goroutines. The kernel must not be used afterwards.
+func (k *Kernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for _, p := range k.procs {
+		if !p.done {
+			p.killed = true
+			k.handoff(p)
+		}
+	}
+}

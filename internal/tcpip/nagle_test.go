@@ -1,0 +1,143 @@
+package tcpip
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// nagleWorld builds two stacks with the given Nagle/delayed-ACK policy.
+func nagleWorld(t *testing.T, nagle bool, delayedAck sim.Duration) (*sim.Kernel, []*Stack) {
+	t.Helper()
+	return feWorld(t, 2, func(c *Config) {
+		c.Nagle = nagle
+		c.DelayedAck = delayedAck
+	})
+}
+
+// twoSmallThenEcho measures a sender issuing two back-to-back small
+// messages and waiting for an echo of the second — the request pattern
+// that trips the Nagle/delayed-ACK interaction.
+func twoSmallThenEcho(t *testing.T, nagle bool, delayedAck sim.Duration) sim.Duration {
+	t.Helper()
+	k, stacks := nagleWorld(t, nagle, delayedAck)
+	var elapsed sim.Duration
+	k.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		if err := stacks[0].Send(p, 1, []byte("req-1")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := stacks[0].Send(p, 1, []byte("req-2")); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 16)
+		if _, err := stacks[0].Recv(p, 1, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	k.Spawn("server", func(p *sim.Proc) {
+		buf := make([]byte, 16)
+		for i := 0; i < 2; i++ {
+			if _, err := stacks[1].Recv(p, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := stacks[1].Send(p, 0, []byte("resp")); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+func TestNagleDelayedAckStall(t *testing.T) {
+	const delayedAck = 500 * sim.Microsecond
+	fast := twoSmallThenEcho(t, false, 0)
+	stalled := twoSmallThenEcho(t, true, delayedAck)
+	// The second small request must wait for the delayed ACK of the
+	// first: the classic stall adds roughly the delayed-ACK timeout.
+	if stalled < fast+sim.Duration(float64(delayedAck)*0.8) {
+		t.Fatalf("Nagle+delayed-ACK exchange %.1fµs vs %.1fµs plain: expected a ≥%.0fµs stall",
+			stalled.Microseconds(), fast.Microseconds(), (delayedAck).Microseconds()*0.8)
+	}
+}
+
+func TestNagleAloneStillCompletes(t *testing.T) {
+	// Nagle without delayed ACK: the immediate completion ACK releases
+	// the second segment quickly — a modest penalty, no stall.
+	fast := twoSmallThenEcho(t, false, 0)
+	nagled := twoSmallThenEcho(t, true, 0)
+	if nagled < fast {
+		t.Fatalf("Nagle made the exchange faster? %.1f vs %.1f", nagled.Microseconds(), fast.Microseconds())
+	}
+	if nagled > fast+300*1000 {
+		t.Fatalf("Nagle alone stalled %.1fµs (plain %.1fµs)", nagled.Microseconds(), fast.Microseconds())
+	}
+}
+
+func TestDelayedAckStillDrivesWindow(t *testing.T) {
+	// A window-limited bulk transfer must complete even with delayed
+	// ACKs: threshold ACKs bypass the timer.
+	k, stacks := feWorld(t, 2, func(c *Config) {
+		c.DelayedAck = 500 * sim.Microsecond
+		c.WindowBytes = 8 << 10
+	})
+	const size = 128 << 10
+	done := false
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := stacks[0].Send(p, 1, make([]byte, size)); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		n, err := stacks[1].Recv(p, 0, buf)
+		done = err == nil && n == size
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("windowed transfer stalled under delayed ACK")
+	}
+}
+
+func TestLargeSegmentsBypassNagle(t *testing.T) {
+	// Full-MSS segments are never Nagled: a bulk transfer performs the
+	// same with and without it.
+	measure := func(nagle bool) sim.Duration {
+		k, stacks := nagleWorld(t, nagle, 0)
+		const size = 64 << 10
+		var elapsed sim.Duration
+		k.Spawn("tx", func(p *sim.Proc) {
+			start := p.Now()
+			if err := stacks[0].Send(p, 1, make([]byte, size)); err != nil {
+				t.Error(err)
+			}
+			elapsed = p.Now().Sub(start)
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, size)
+			if _, err := stacks[1].Recv(p, 0, buf); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	plain, nagled := measure(false), measure(true)
+	// The tail segment may wait one in-flight drain; allow a small
+	// difference but not a stall.
+	if diff := nagled - plain; diff < 0 || diff > 20*1000*1000 {
+		t.Fatalf("bulk Nagle penalty %v (plain %v)", diff, plain)
+	}
+}

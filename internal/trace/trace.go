@@ -1,0 +1,124 @@
+// Package trace records timestamped protocol events from the simulated
+// hardware and the BillBoard Protocol, so a message's life — post,
+// replication, detection, consumption, acknowledgement — can be laid
+// out on the virtual timeline. cmd/anatomy uses it to print the
+// breakdown behind the paper's 7.8 µs headline number.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Category classifies an event source.
+type Category string
+
+// Event categories.
+const (
+	Ring Category = "ring" // packet injected/applied on the SCRAMNet ring
+	BBP  Category = "bbp"  // BillBoard Protocol actions
+	Host Category = "host" // host-side bus operations
+)
+
+// Event is one timestamped occurrence.
+type Event struct {
+	T      sim.Time
+	Cat    Category
+	Node   int
+	Name   string
+	Detail string
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so instrumented code needs no guards beyond the method call.
+type Recorder struct {
+	evs []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Emit appends an event (no-op on a nil recorder).
+func (r *Recorder) Emit(t sim.Time, cat Category, node int, name, detail string) {
+	if r == nil {
+		return
+	}
+	r.evs = append(r.evs, Event{T: t, Cat: cat, Node: node, Name: name, Detail: detail})
+}
+
+// Emitf is Emit with a formatted detail string; the formatting cost is
+// skipped entirely on a nil recorder.
+func (r *Recorder) Emitf(t sim.Time, cat Category, node int, name, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.evs = append(r.evs, Event{T: t, Cat: cat, Node: node, Name: name, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in emission order (which is
+// timestamp order, since the simulation clock is monotonic).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.evs
+}
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.evs = r.evs[:0]
+	}
+}
+
+// Render writes the timeline as an aligned table with deltas between
+// consecutive events.
+func (r *Recorder) Render(w io.Writer) {
+	if r == nil || len(r.evs) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	t0 := r.evs[0].T
+	prev := t0
+	fmt.Fprintf(w, "%12s %10s  %-5s node  %-16s %s\n", "t", "+delta", "cat", "event", "detail")
+	for _, e := range r.evs {
+		fmt.Fprintf(w, "%10dns %8dns  %-5s %4d  %-16s %s\n",
+			int64(e.T-t0), int64(e.T-prev), e.Cat, e.Node, e.Name, e.Detail)
+		prev = e.T
+	}
+}
+
+// Span returns the duration between the first event matching `from` and
+// the last matching `to` (by name); ok is false if either is absent.
+func (r *Recorder) Span(from, to string) (sim.Duration, bool) {
+	if r == nil {
+		return 0, false
+	}
+	var start, end sim.Time
+	haveStart, haveEnd := false, false
+	for _, e := range r.evs {
+		if !haveStart && e.Name == from {
+			start, haveStart = e.T, true
+		}
+		if e.Name == to {
+			end, haveEnd = e.T, true
+		}
+	}
+	if !haveStart || !haveEnd || end < start {
+		return 0, false
+	}
+	return end.Sub(start), true
+}
+
+// Count returns how many events carry the given name.
+func (r *Recorder) Count(name string) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Name == name {
+			n++
+		}
+	}
+	return n
+}

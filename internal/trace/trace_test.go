@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(0, Ring, 0, "x", "")
+	r.Emitf(0, BBP, 0, "y", "%d", 1)
+	if r.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+	r.Reset()
+	if _, ok := r.Span("a", "b"); ok {
+		t.Fatal("nil recorder found a span")
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Fatalf("render = %q", sb.String())
+	}
+}
+
+func TestEmitAndSpan(t *testing.T) {
+	r := New()
+	r.Emit(100, BBP, 0, "post", "slot=0")
+	r.Emit(250, Ring, 0, "inject", "")
+	r.Emit(900, BBP, 1, "consume", "slot=0")
+	if len(r.Events()) != 3 {
+		t.Fatalf("%d events", len(r.Events()))
+	}
+	span, ok := r.Span("post", "consume")
+	if !ok || span != 800 {
+		t.Fatalf("span = %v ok=%v", span, ok)
+	}
+	if _, ok := r.Span("post", "missing"); ok {
+		t.Fatal("span to missing event reported ok")
+	}
+	if r.Count("inject") != 1 || r.Count("nothing") != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestRenderFormatsDeltas(t *testing.T) {
+	r := New()
+	r.Emit(1000, Host, 2, "write", "w=1")
+	r.Emit(1600, Ring, 3, "apply", "off=0")
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"write", "apply", "600ns", "host", "ring"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Emit(1, BBP, 0, "a", "")
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSpanOrderingGuard(t *testing.T) {
+	r := New()
+	r.Emit(500, BBP, 0, "late", "")
+	r.Emit(100, BBP, 0, "early", "")
+	// Span from a later event to an earlier one must not report ok.
+	if _, ok := r.Span("late", "early"); ok {
+		t.Fatal("negative span reported ok")
+	}
+	_ = sim.Time(0) // keep the sim import meaningful for Time types
+}

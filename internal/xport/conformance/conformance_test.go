@@ -1,0 +1,268 @@
+// Package conformance runs one behavioral test battery against every
+// xport.Endpoint implementation — the BillBoard Protocol, the three
+// TCP-lite stacks, the native Myrinet API, and the hybrid router — so
+// that the MPI engine's assumptions (reliability, per-stream FIFO,
+// exact message boundaries, non-blocking polls) are guaranteed to hold
+// on every substrate it can be configured over.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// build constructs a 4-node world on the given network.
+func build(t *testing.T, net cluster.Network) (*sim.Kernel, []xport.Endpoint) {
+	t.Helper()
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, c.Endpoints
+}
+
+func forEachNetwork(t *testing.T, fn func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint)) {
+	for _, net := range cluster.AllNetworks {
+		net := net
+		t.Run(string(net), func(t *testing.T) {
+			k, eps := build(t, net)
+			fn(t, k, eps)
+		})
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		defer k.Close()
+		for i, ep := range eps {
+			if ep.Rank() != i || ep.Procs() != 4 {
+				t.Errorf("endpoint %d: Rank=%d Procs=%d", i, ep.Rank(), ep.Procs())
+			}
+			if ep.MaxMessage() < 1024 {
+				t.Errorf("endpoint %d: MaxMessage %d implausibly small", i, ep.MaxMessage())
+			}
+		}
+	})
+}
+
+func TestBoundariesPreserved(t *testing.T) {
+	// Three differently-sized messages arrive as three messages with
+	// exact lengths — never coalesced or split at the API.
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		sizes := []int{1, 900, 17}
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i, n := range sizes {
+				msg := bytes.Repeat([]byte{byte(i + 1)}, n)
+				if err := eps[0].Send(p, 1, msg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, 2048)
+			for i, want := range sizes {
+				n, err := eps[1].Recv(p, 0, buf)
+				if err != nil || n != want || buf[0] != byte(i+1) {
+					t.Errorf("msg %d: n=%d want=%d err=%v", i, n, want, err)
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPerStreamFIFOUnderCrossTraffic(t *testing.T) {
+	// Streams from two senders interleave arbitrarily, but each stream
+	// is individually ordered.
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		const per = 12
+		for _, s := range []int{1, 2} {
+			s := s
+			k.Spawn(fmt.Sprintf("tx%d", s), func(p *sim.Proc) {
+				for i := 0; i < per; i++ {
+					if err := eps[s].Send(p, 0, []byte{byte(s), byte(i)}); err != nil {
+						t.Error(err)
+						return
+					}
+					p.Delay(sim.Duration(s*13) * sim.Microsecond)
+				}
+			})
+		}
+		k.Spawn("rx", func(p *sim.Proc) {
+			next := map[int]byte{1: 0, 2: 0}
+			buf := make([]byte, 8)
+			for got := 0; got < 2*per; got++ {
+				src, n, err := eps[0].RecvAny(p, buf)
+				if err != nil || n != 2 || int(buf[0]) != src {
+					t.Errorf("RecvAny: src=%d n=%d err=%v", src, n, err)
+					return
+				}
+				if buf[1] != next[src] {
+					t.Errorf("stream %d out of order: got %d want %d", src, buf[1], next[src])
+					return
+				}
+				next[src]++
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTryRecvNeverFalsePositive(t *testing.T) {
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, 64)
+			// Nothing sent: repeated polls must all miss.
+			for i := 0; i < 5; i++ {
+				if _, ok, err := eps[2].TryRecv(p, 1, buf); ok || err != nil {
+					t.Errorf("poll %d: ok=%v err=%v", i, ok, err)
+					return
+				}
+			}
+		})
+		k.Spawn("tx", func(p *sim.Proc) {
+			p.Delay(1 * sim.Millisecond) // after the negative polls above
+			if err := eps[1].Send(p, 2, []byte("late")); err != nil {
+				t.Error(err)
+				return
+			}
+		})
+		k.Spawn("rx2", func(p *sim.Proc) {
+			// Eventually the message is pollable exactly once.
+			p.Delay(5 * sim.Millisecond)
+			buf := make([]byte, 64)
+			n, ok, err := eps[2].TryRecv(p, 1, buf)
+			if !ok || err != nil || string(buf[:n]) != "late" {
+				t.Errorf("TryRecv after delivery: ok=%v n=%d err=%v", ok, n, err)
+				return
+			}
+			if _, ok, _ := eps[2].TryRecv(p, 1, buf); ok {
+				t.Error("message delivered twice")
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMcastReachesAllDestinations(t *testing.T) {
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		msg := []byte("fanout")
+		got := make([]bool, 4)
+		k.Spawn("tx", func(p *sim.Proc) {
+			if err := eps[3].Mcast(p, []int{0, 1, 2}, msg); err != nil {
+				t.Error(err)
+			}
+		})
+		for r := 0; r < 3; r++ {
+			r := r
+			k.Spawn(fmt.Sprintf("rx%d", r), func(p *sim.Proc) {
+				buf := make([]byte, 64)
+				n, err := eps[r].Recv(p, 3, buf)
+				got[r] = err == nil && bytes.Equal(buf[:n], msg)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 3; r++ {
+			if !got[r] {
+				t.Errorf("destination %d missed the mcast", r)
+			}
+		}
+	})
+}
+
+func TestZeroByteMessages(t *testing.T) {
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				if err := eps[0].Send(p, 1, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				n, err := eps[1].Recv(p, 0, make([]byte, 8))
+				if err != nil || n != 0 {
+					t.Errorf("zero-byte recv %d: n=%d err=%v", i, n, err)
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBidirectionalSimultaneous(t *testing.T) {
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		ok := [2]bool{}
+		for i := 0; i < 2; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
+				peer := 1 - i
+				msg := bytes.Repeat([]byte{byte(i + 1)}, 300)
+				if err := eps[i].Send(p, peer, msg); err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 512)
+				n, err := eps[i].Recv(p, peer, buf)
+				ok[i] = err == nil && n == 300 && buf[0] == byte(peer+1)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ok[0] || !ok[1] {
+			t.Fatalf("simultaneous exchange: %v", ok)
+		}
+	})
+}
+
+func TestLargestSingleMessage(t *testing.T) {
+	// Each substrate must carry a reasonably large message intact (64
+	// KiB, or its own max if smaller).
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		size := 64 << 10
+		if m := eps[0].MaxMessage(); m < size {
+			size = m
+		}
+		payload := make([]byte, size)
+		sim.NewRNG(99).Bytes(payload)
+		ok := false
+		k.Spawn("tx", func(p *sim.Proc) {
+			if err := eps[0].Send(p, 1, payload); err != nil {
+				t.Error(err)
+			}
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, size+1)
+			n, err := eps[1].Recv(p, 0, buf)
+			ok = err == nil && n == size && bytes.Equal(buf[:n], payload)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%d-byte message corrupted or lost", size)
+		}
+	})
+}

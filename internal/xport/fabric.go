@@ -1,0 +1,22 @@
+package xport
+
+// Fabric is a frame-level network: NICs, links, and a switch or ring.
+// The TCP-lite stack (internal/tcpip) runs over any Fabric; the fabrics
+// in this repository are Fast Ethernet, ATM and Myrinet.
+//
+// Transmit is event-driven and charges no caller CPU time: host-side
+// costs (driver, DMA, interrupts) belong to the protocol stack above.
+// Frames between one (src, dst) pair are delivered reliably and in
+// order; that is a property of every switched fabric modeled here.
+type Fabric interface {
+	// Nodes is the number of attached hosts.
+	Nodes() int
+	// MTU is the largest frame payload the fabric accepts.
+	MTU() int
+	// Transmit queues frame from src's NIC to dst's. The fabric owns
+	// the slice afterwards.
+	Transmit(src, dst int, frame []byte)
+	// SetHandler installs dst-side delivery: fn runs (in event context,
+	// zero CPU charged) when a frame has fully arrived at node's NIC.
+	SetHandler(node int, fn func(src int, frame []byte))
+}

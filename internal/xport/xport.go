@@ -1,0 +1,35 @@
+// Package xport defines the message transport interface shared by every
+// network in the testbed: the BillBoard Protocol on SCRAMNet, TCP-lite
+// sockets on Fast Ethernet / ATM / Myrinet, and the native Myrinet API.
+//
+// The MPI implementation's channel device is written against this
+// interface, which is how the paper's apples-to-apples comparison — the
+// same MPICH stack over different networks — is reproduced structurally.
+package xport
+
+import "repro/internal/sim"
+
+// Endpoint is one process's handle on a messaging substrate. Sends are
+// reliable and each (sender, receiver) stream is delivered in order.
+type Endpoint interface {
+	// Rank is this endpoint's process number, Procs the world size.
+	Rank() int
+	Procs() int
+	// MaxMessage is the largest payload a single Send may carry.
+	MaxMessage() int
+	// Send posts data to dst. It may block (virtual time) for flow
+	// control but returns before the receiver consumes the message.
+	Send(p *sim.Proc, dst int, data []byte) error
+	// Mcast posts one message to several destinations. Substrates
+	// without hardware replication loop over Send.
+	Mcast(p *sim.Proc, dsts []int, data []byte) error
+	// Recv blocks for the next in-order message from src.
+	Recv(p *sim.Proc, src int, buf []byte) (int, error)
+	// TryRecv polls once for a message from src.
+	TryRecv(p *sim.Proc, src int, buf []byte) (n int, ok bool, err error)
+	// RecvAny blocks for the next message from any source.
+	RecvAny(p *sim.Proc, buf []byte) (src, n int, err error)
+	// NativeMcast reports whether Mcast is a single-step hardware
+	// operation (true only for the BillBoard Protocol on SCRAMNet).
+	NativeMcast() bool
+}
