@@ -1,0 +1,48 @@
+# Build and verification tiers for the reproduction.
+#
+# tier-1 (`make test`) is the fast gate every change must keep green:
+# a full build plus the unit/integration suite in virtual time.
+#
+# `make verify` is the release tier: vet, the full suite, and the same
+# suite under the Go race detector. The simulation kernel hands a
+# single execution token between cooperative Procs, so simulated code
+# is race-clean by construction — the race run exists to prove that
+# claim stays true (kernel internals, test goroutines, and any future
+# real-concurrency helpers), not because simulated Procs could race.
+#
+# `make cover` writes an HTML coverage report to cover.html.
+
+GO ?= go
+
+.PHONY: all build test race vet cover verify figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+	$(GO) tool cover -html=cover.out -o cover.html
+	@echo "wrote cover.html"
+
+verify: vet test race
+	@echo "verify tier green: vet + test + race"
+
+# Regenerate every figure and table of the paper's §5, plus the
+# fault-sweep extension.
+figures:
+	$(GO) run ./cmd/figures -faults
+
+clean:
+	rm -f cover.out cover.html

@@ -9,6 +9,8 @@
 // -fig selects a single figure (1..6, or 0 for the §2 raw-hardware
 // table); default runs everything. -wide extends the size axis beyond
 // the paper's 1000-byte panels to show the large-message crossovers.
+// -faults appends the fault-sweep extension: BBP one-way latency vs
+// ring loss rate with the retry extension recovering drops.
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	fig := flag.Int("fig", -1, "regenerate a single figure (0=raw table, 1..6)")
 	csvDir := flag.String("csv", "", "also write CSVs into this directory")
 	wide := flag.Bool("wide", false, "extend size axes to show large-message crossovers")
+	faults := flag.Bool("faults", false, "also run the fault-sweep extension (latency vs loss rate)")
 	flag.Parse()
 
 	sizes := bench.FullSizes
@@ -85,5 +88,8 @@ func main() {
 	}
 	if all || *fig == 6 {
 		bench.RenderFig6(os.Stdout, bench.Fig6())
+	}
+	if *faults {
+		bench.RenderFaultSweep(os.Stdout, bench.FaultSweep(bench.DefaultFaultSweepConfig()))
 	}
 }

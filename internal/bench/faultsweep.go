@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/xport/oracle"
+)
+
+// The fault-sweep experiment measures what the retry extension costs:
+// one-way BBP latency as the ring's transient loss rate rises from the
+// paper's fault-free baseline. Every point is a full oracle-checked run
+// — a point only counts if every message arrived exactly once and in
+// order — so the curve shows graceful degradation, not silent loss.
+
+// FaultPoint is one measurement of the sweep.
+type FaultPoint struct {
+	// Rate is the packet-drop probability the ring sustained for the
+	// whole run.
+	Rate float64
+	// MeanLatency is the average send-to-delivery latency in µs.
+	MeanLatency float64
+	// MaxLatency is the worst single delivery in µs (recovery tail).
+	MaxLatency float64
+	// Sent and Delivered count application messages; the oracle has
+	// already proven Delivered == Sent with exactly-once semantics.
+	Sent, Delivered int
+	// Retransmits and ChecksumDrops expose the recovery work done.
+	Retransmits   int64
+	ChecksumDrops int64
+}
+
+// FaultSweepConfig parameterizes a sweep.
+type FaultSweepConfig struct {
+	// Rates are the drop probabilities to measure, typically starting
+	// at 0 for the calibrated baseline.
+	Rates []float64
+	// Messages is the number of messages the sender streams per point.
+	Messages int
+	// Bytes is the payload size.
+	Bytes int
+	// Gap is the inter-send spacing; a nonzero gap keeps the sender's
+	// 16 buffers from saturating so latency reflects recovery, not
+	// queueing.
+	Gap sim.Duration
+	// Seed feeds the fault script so a sweep replays bit-identically.
+	Seed uint64
+	// Retry tunes the BBP retry extension for every point.
+	Retry core.RetryConfig
+}
+
+// DefaultFaultSweepConfig returns the tuning used by the EXPERIMENTS.md
+// fault-sweep figure: 30 × 32 B messages at each of five loss rates.
+func DefaultFaultSweepConfig() FaultSweepConfig {
+	return FaultSweepConfig{
+		Rates:    []float64{0, 0.05, 0.10, 0.15, 0.20},
+		Messages: 30,
+		Bytes:    32,
+		Gap:      25 * sim.Microsecond,
+		Seed:     1999,
+		Retry:    core.DefaultRetryConfig(),
+	}
+}
+
+// FaultSweep runs one oracle-checked latency measurement per loss rate
+// and returns the points in rate order. It panics if any run violates
+// exactly-once in-order delivery or fails outright — a sweep point with
+// lost messages would be a protocol bug, not a measurement.
+func FaultSweep(cfg FaultSweepConfig) []FaultPoint {
+	out := make([]FaultPoint, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		out = append(out, faultPoint(cfg, rate))
+	}
+	return out
+}
+
+// faultPoint measures a single sweep point: `Messages` timed sends from
+// node 0 to node 1 on a 4-node SCRAMNet ring holding the given loss
+// rate for the whole run, with the retry extension recovering drops.
+func faultPoint(cfg FaultSweepConfig, rate float64) FaultPoint {
+	k := sim.NewKernel()
+	defer k.Close()
+
+	var script *fault.Script
+	if rate > 0 {
+		script = &fault.Script{Seed: cfg.Seed, Actions: []fault.Action{
+			{At: 0, Kind: fault.LossStart, Rate: rate},
+		}}
+	}
+	bbp := core.DefaultConfig()
+	bbp.Retry = cfg.Retry
+	c, err := cluster.New(k, cluster.Options{
+		Nodes: 4, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script,
+	})
+	if err != nil {
+		panic(err)
+	}
+	o := oracle.New()
+	tx, rx := o.Wrap(c.Endpoints[0]), o.Wrap(c.Endpoints[1])
+
+	sendAt := make([]sim.Time, cfg.Messages)
+	recvAt := make([]sim.Time, cfg.Messages)
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < cfg.Messages; i++ {
+			msg := make([]byte, cfg.Bytes)
+			if cfg.Bytes > 0 {
+				msg[0] = byte(i + 1)
+			}
+			sendAt[i] = p.Now()
+			if err := tx.Send(p, 1, msg); err != nil {
+				panic(err)
+			}
+			p.Delay(cfg.Gap)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, cfg.Bytes+1)
+		for i := 0; i < cfg.Messages; i++ {
+			if _, err := rx.Recv(p, 0, buf); err != nil {
+				panic(err)
+			}
+			recvAt[i] = p.Now()
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("fault sweep rate=%.2f: %v", rate, err))
+	}
+	if st, err := o.Check(true); err != nil {
+		panic(fmt.Sprintf("fault sweep rate=%.2f violated delivery contract: %v (%v)", rate, err, st))
+	}
+
+	pt := FaultPoint{Rate: rate, Sent: cfg.Messages, Delivered: cfg.Messages}
+	// The oracle proved in-order exactly-once delivery, so recvAt[i]
+	// pairs with sendAt[i].
+	for i := 0; i < cfg.Messages; i++ {
+		lat := recvAt[i].Sub(sendAt[i]).Microseconds()
+		pt.MeanLatency += lat
+		if lat > pt.MaxLatency {
+			pt.MaxLatency = lat
+		}
+	}
+	pt.MeanLatency /= float64(cfg.Messages)
+	stats := c.Endpoints[0].(*core.Endpoint).Stats()
+	pt.Retransmits = stats.Retransmits
+	pt.ChecksumDrops = stats.ChecksumDrops
+	return pt
+}
+
+// RenderFaultSweep writes the sweep as a fixed-width table.
+func RenderFaultSweep(w io.Writer, pts []FaultPoint) {
+	title := "Fault sweep: BBP one-way latency vs ring loss rate (retry enabled)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%8s  %12s  %12s  %10s  %12s  %8s\n",
+		"loss", "mean", "worst", "delivered", "retransmits", "ckdrops")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%7.0f%%  %10.1fµs  %10.1fµs  %6d/%-3d  %12d  %8d\n",
+			p.Rate*100, p.MeanLatency, p.MaxLatency, p.Delivered, p.Sent,
+			p.Retransmits, p.ChecksumDrops)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickSweepConfig is a reduced sweep so the test stays fast: the full
+// five-rate, 30-message sweep belongs to cmd/figures.
+func quickSweepConfig() FaultSweepConfig {
+	cfg := DefaultFaultSweepConfig()
+	cfg.Rates = []float64{0, 0.10, 0.20}
+	cfg.Messages = 12
+	return cfg
+}
+
+// TestFaultSweepDegradesGracefully is the experiment's contract: every
+// swept rate delivers everything (the oracle inside FaultSweep panics
+// otherwise), the fault-free point does no recovery work, and faulted
+// points pay for their recovery with retransmissions and latency — never
+// with lost messages.
+func TestFaultSweepDegradesGracefully(t *testing.T) {
+	pts := FaultSweep(quickSweepConfig())
+	if len(pts) != 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	base := pts[0]
+	if base.Rate != 0 || base.Retransmits != 0 || base.ChecksumDrops != 0 {
+		t.Fatalf("baseline point did recovery work: %+v", base)
+	}
+	for _, p := range pts {
+		if p.Delivered != p.Sent {
+			t.Fatalf("rate %.2f lost messages: %+v", p.Rate, p)
+		}
+		if p.MeanLatency <= 0 || p.MaxLatency < p.MeanLatency {
+			t.Fatalf("rate %.2f has implausible latencies: %+v", p.Rate, p)
+		}
+	}
+	// Nonzero loss must show recovery work, and its worst-case latency
+	// must sit above the fault-free worst case (a retransmission costs
+	// at least one timeout).
+	for _, p := range pts[1:] {
+		if p.Retransmits == 0 {
+			t.Errorf("rate %.2f crossed no-retransmit run: %+v", p.Rate, p)
+		}
+		if p.MaxLatency <= base.MaxLatency {
+			t.Errorf("rate %.2f worst case %.1fµs not above baseline %.1fµs",
+				p.Rate, p.MaxLatency, base.MaxLatency)
+		}
+	}
+}
+
+// TestFaultSweepIsDeterministic: same config, same seed, identical
+// points — the scripted faults are part of the event order.
+func TestFaultSweepIsDeterministic(t *testing.T) {
+	cfg := quickSweepConfig()
+	cfg.Rates = []float64{0.15}
+	a, b := FaultSweep(cfg), FaultSweep(cfg)
+	if a[0] != b[0] {
+		t.Fatalf("replay diverged:\n  %+v\n  %+v", a[0], b[0])
+	}
+}
+
+// TestFaultSweepBaselineMatchesCalibration: the rate-0 sweep point uses
+// the same BBP code path as the golden figures (retry machinery is
+// passive without faults), so its latency must sit in the same band as
+// the calibrated one-way figure rather than drifting with the retry
+// extension's bookkeeping.
+func TestFaultSweepBaselineMatchesCalibration(t *testing.T) {
+	cfg := quickSweepConfig()
+	cfg.Rates = []float64{0}
+	p := FaultSweep(cfg)[0]
+	// The calibrated API one-way latency for 32 B is ~35µs; streaming
+	// with gaps adds pipeline effects, so accept a generous band that
+	// still catches an accidental extra timeout (hundreds of µs).
+	if p.MeanLatency < 5 || p.MeanLatency > 150 {
+		t.Fatalf("fault-free sweep latency %.1fµs outside calibration band", p.MeanLatency)
+	}
+}
+
+func TestRenderFaultSweep(t *testing.T) {
+	var sb strings.Builder
+	RenderFaultSweep(&sb, []FaultPoint{
+		{Rate: 0, MeanLatency: 35.2, MaxLatency: 41.0, Sent: 30, Delivered: 30},
+		{Rate: 0.1, MeanLatency: 60.1, MaxLatency: 310.5, Sent: 30, Delivered: 30, Retransmits: 7},
+	})
+	out := sb.String()
+	for _, want := range []string{"loss", "retransmits", "0%", "10%", "30/30"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

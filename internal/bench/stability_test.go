@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// renderAllFigures renders a reduced-size version of every figure and
+// table of cmd/figures into one byte stream.
+func renderAllFigures() []byte {
+	sizes := []int{0, 64} // reduced axis: stability, not coverage
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "raw fixed %.4f variable %.4f\n", RingThroughput(false), RingThroughput(true))
+	RenderSeries(&buf, "Figure 1", Fig1(sizes))
+	RenderSeries(&buf, "Figure 2", Fig2(sizes))
+	RenderSeries(&buf, "Figure 3", Fig3(sizes))
+	RenderSeries(&buf, "Figure 4", Fig4(sizes))
+	RenderSeries(&buf, "Figure 5", Fig5(sizes))
+	RenderFig6(&buf, Fig6())
+	RenderCSV(&buf, Fig2(sizes))
+	return buf.Bytes()
+}
+
+// TestFiguresByteStable regenerates Figures 1–6 (and the §2 raw table)
+// twice and requires bit-identical output: the simulation owns every
+// source of variation, so the rendered evaluation must be perfectly
+// reproducible run to run — the repository's core reproduction claim.
+func TestFiguresByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure render is slow")
+	}
+	a := renderAllFigures()
+	b := renderAllFigures()
+	if !bytes.Equal(a, b) {
+		// Find the first diverging line for the failure message.
+		al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := range al {
+			if i >= len(bl) || !bytes.Equal(al[i], bl[i]) {
+				t.Fatalf("figure output diverges at line %d:\n  run1: %s\n  run2: %s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatal("figure output diverges in length only")
+	}
+	if len(a) < 500 {
+		t.Fatalf("render suspiciously small (%d bytes):\n%s", len(a), a)
+	}
+}
+
+// TestFaultSweepRenderByteStable extends the stability guarantee to the
+// fault-sweep table, which additionally exercises the scripted fault
+// generator at a fixed seed.
+func TestFaultSweepRenderByteStable(t *testing.T) {
+	render := func() []byte {
+		cfg := DefaultFaultSweepConfig()
+		cfg.Rates = []float64{0, 0.15}
+		cfg.Messages = 10
+		var buf bytes.Buffer
+		RenderFaultSweep(&buf, FaultSweep(cfg))
+		return buf.Bytes()
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Fatalf("fault-sweep render not byte-stable:\n%s\n---\n%s", a, b)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/ethernet"
+	"repro/internal/fault"
 	"repro/internal/hybrid"
 	"repro/internal/mpi"
 	"repro/internal/myrinet"
@@ -60,6 +61,13 @@ type Options struct {
 	// PIOOnlyBBP forces the BBP endpoints onto the programmed-I/O path,
 	// as the paper's minimal MPICH channel device does.
 	PIOOnlyBBP bool
+	// Faults optionally schedules a fault script against the built
+	// network. On SCRAMNet the script drives the ring's optical bypass
+	// and CRC-drop model directly (the ring's drop stream is re-seeded
+	// from the script); the switched fabrics are wrapped with a
+	// fault-injecting layer. A Hybrid cluster faults both substrates
+	// with the same script. Not supported on hierarchical SCRAMNet.
+	Faults *fault.Script
 }
 
 // Cluster is a built testbed.
@@ -72,6 +80,22 @@ type Cluster struct {
 	Ring *scramnet.Network
 	Hier *scramnet.Hierarchy
 	BBP  *core.System
+	// Fault is the fault-injection wrapper around a switched fabric,
+	// set when Options.Faults was given on a non-SCRAMNet network (and
+	// for the Myrinet side of a Hybrid cluster).
+	Fault *fault.Fabric
+}
+
+// faulted wraps fab with fault injection and schedules the script on
+// it when one was requested; otherwise it returns fab unchanged.
+func faulted(k *sim.Kernel, c *Cluster, script *fault.Script, fab xport.Fabric) xport.Fabric {
+	if script == nil {
+		return fab
+	}
+	ff := fault.NewFabric(k, fab, script.Seed)
+	script.Apply(k, ff)
+	c.Fault = ff
+	return ff
 }
 
 // New builds a testbed per opts.
@@ -84,6 +108,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 	case SCRAMNet:
 		var topo core.RingNetwork
 		if opts.Hierarchy != nil {
+			if opts.Faults != nil {
+				return nil, fmt.Errorf("cluster: fault scripts are not supported on hierarchical SCRAMNet")
+			}
 			h, err := scramnet.NewHierarchy(k, *opts.Hierarchy)
 			if err != nil {
 				return nil, err
@@ -99,11 +126,20 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 			if opts.Ring != nil {
 				ringCfg = *opts.Ring
 			}
+			if opts.Faults != nil {
+				// The script's seed also parameterizes the ring's own
+				// CRC-drop stream, so a replayed script reproduces the
+				// exact same packet losses.
+				ringCfg.Seed = opts.Faults.Seed
+			}
 			ring, err := scramnet.New(k, ringCfg)
 			if err != nil {
 				return nil, err
 			}
 			ring.SetSingleWriterCheck(true)
+			if opts.Faults != nil {
+				opts.Faults.Apply(k, fault.Ring(ring))
+			}
 			c.Ring = ring
 			topo = ring
 		}
@@ -132,37 +168,41 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		fb := faulted(k, c, opts.Faults, fab)
 		for i := 0; i < opts.Nodes; i++ {
-			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fab, i, tcpip.FastEthernetProfile()))
+			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fb, i, tcpip.FastEthernetProfile()))
 		}
 	case ATM:
 		fab, err := atm.New(k, atm.DefaultConfig(opts.Nodes))
 		if err != nil {
 			return nil, err
 		}
+		fb := faulted(k, c, opts.Faults, fab)
 		for i := 0; i < opts.Nodes; i++ {
-			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fab, i, tcpip.ATMProfile()))
+			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fb, i, tcpip.ATMProfile()))
 		}
 	case MyrinetAPI:
 		fab, err := myrinet.New(k, myrinet.DefaultConfig(opts.Nodes))
 		if err != nil {
 			return nil, err
 		}
+		fb := faulted(k, c, opts.Faults, fab)
 		for i := 0; i < opts.Nodes; i++ {
-			c.Endpoints = append(c.Endpoints, myrinet.OpenAPI(fab, i, myrinet.DefaultAPIConfig()))
+			c.Endpoints = append(c.Endpoints, myrinet.OpenAPI(fb, i, myrinet.DefaultAPIConfig()))
 		}
 	case MyrinetTCP:
 		fab, err := myrinet.New(k, myrinet.DefaultConfig(opts.Nodes))
 		if err != nil {
 			return nil, err
 		}
+		fb := faulted(k, c, opts.Faults, fab)
 		for i := 0; i < opts.Nodes; i++ {
-			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fab, i, tcpip.MyrinetProfile()))
+			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fb, i, tcpip.MyrinetProfile()))
 		}
 	case Hybrid:
 		// Both NICs in every workstation: a SCRAMNet ring for latency
-		// and a Myrinet SAN for bandwidth.
-		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring})
+		// and a Myrinet SAN for bandwidth. A fault script hits both.
+		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults})
 		if err != nil {
 			return nil, err
 		}
@@ -171,8 +211,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		fb := faulted(k, c, opts.Faults, fab)
 		for i := 0; i < opts.Nodes; i++ {
-			high := myrinet.OpenAPI(fab, i, myrinet.DefaultAPIConfig())
+			high := myrinet.OpenAPI(fb, i, myrinet.DefaultAPIConfig())
 			ep, err := hybrid.New(low.Endpoints[i], high, hybrid.DefaultConfig())
 			if err != nil {
 				return nil, err

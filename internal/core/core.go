@@ -45,10 +45,12 @@ import (
 const MaxProcs = 32
 
 // descWords is the portion of a descriptor actually transferred:
-// offset, length, sequence. A fourth word is reserved.
+// offset, length, sequence. The fourth word is reserved in the base
+// protocol; the retry extension uses it for an integrity checksum.
 const (
-	descWords = 3
-	descSize  = 16
+	descWords      = 3
+	descWordsRetry = 4
+	descSize       = 16
 )
 
 // Costs are the software-path CPU costs charged by the protocol,
@@ -102,8 +104,43 @@ type Config struct {
 	// MESSAGE flag writes and receivers sleep on the interrupt instead
 	// of polling (§7 future work; ablated in the benchmarks).
 	InterruptDriven bool
+	// Retry enables the bounded-retransmission extension for lossy
+	// rings. The base protocol (and the paper's hardware) assumes the
+	// ring never drops writes; the zero value keeps that behavior.
+	Retry RetryConfig
 	// Costs are the software path costs.
 	Costs Costs
+}
+
+// RetryConfig parameterizes BBP's graceful-degradation extension: a
+// per-endpoint daemon that retransmits posted-but-unacknowledged
+// buffers with exponential backoff. Retransmission rewrites the data,
+// the descriptor and the *same* MESSAGE toggle values, so a receiver
+// that already saw the post observes no flag change — retries are
+// idempotent and delivery stays exactly-once. The reserved fourth
+// descriptor word carries a checksum over (offset, length, sequence,
+// payload) so receivers can reject torn or stale descriptors and wait
+// for the retransmission instead (PROTOCOL.md "Fault model").
+type RetryConfig struct {
+	// Enabled turns the extension on. Off by default: it adds a
+	// descriptor word and background ACK polling, which would shift the
+	// calibrated fault-free figures.
+	Enabled bool
+	// Timeout is how long a posted buffer may go unacknowledged before
+	// its first retransmission; it doubles on every subsequent attempt.
+	Timeout sim.Duration
+	// MaxRetries bounds retransmissions per message. When exhausted the
+	// buffer is forcibly reclaimed and Stats.RetryFailures incremented —
+	// the receiver is presumed dead.
+	MaxRetries int
+}
+
+// DefaultRetryConfig returns the retry tuning used by the fault-sweep
+// experiment: first retransmit after 200µs, up to 8 attempts (last
+// backoff ~25ms), enough to ride out every scripted loss window the
+// test suite uses.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{Enabled: true, Timeout: 200 * sim.Microsecond, MaxRetries: 8}
 }
 
 // DefaultConfig returns the configuration used for the paper figures.
@@ -127,18 +164,39 @@ var (
 
 // layout computes the SCRAMNet memory map. All processes share the same
 // arithmetic, so no layout information ever crosses the network.
+//
+// The base protocol keeps one ACK toggle word per (sender, receiver)
+// pair. The retry extension instead keeps one ACK word per (sender,
+// receiver, buffer slot) — ackWords is the per-pair word count — so a
+// receiver can acknowledge the exact sequence it consumed from each
+// slot (see ackWrite in recv.go for why per-pair words are ambiguous
+// once writes can be lost). It also adds one MIN-UNACKED word per
+// (sender, receiver) pair, through which the sender publishes the
+// smallest sequence addressed to that receiver it is still
+// retransmitting; the receiver holds delivery of later sequences
+// until the gap resolves, preserving per-stream FIFO order across
+// repairs (see popPending).
 type layout struct {
 	nprocs   int
 	buffers  int
+	ackWords int
+	retry    bool
+	ackBase  int // partition-relative offset of the ACK region
+	descBase int // partition-relative offset of the descriptor region
 	partSize int
 	ctrlSize int
 	dataSize int
 }
 
-func newLayout(nprocs, buffers, memBytes int) (layout, error) {
-	l := layout{nprocs: nprocs, buffers: buffers}
+func newLayout(nprocs, buffers, ackWords, memBytes int, retry bool) (layout, error) {
+	l := layout{nprocs: nprocs, buffers: buffers, ackWords: ackWords, retry: retry}
 	l.partSize = (memBytes / nprocs) &^ 63
-	l.ctrlSize = (8*nprocs + descSize*buffers + 63) &^ 63
+	l.ackBase = 4 * nprocs // MESSAGE flag words
+	if retry {
+		l.ackBase += 4 * nprocs // MIN-UNACKED words
+	}
+	l.descBase = l.ackBase + 4*nprocs*ackWords
+	l.ctrlSize = (l.descBase + descSize*buffers + 63) &^ 63
 	l.dataSize = l.partSize - l.ctrlSize
 	if l.dataSize < 256 {
 		return l, fmt.Errorf("bbp: %d bytes of SCRAMNet memory leaves only %d data bytes per process", memBytes, l.dataSize)
@@ -146,10 +204,14 @@ func newLayout(nprocs, buffers, memBytes int) (layout, error) {
 	return l, nil
 }
 
-func (l layout) base(i int) int         { return i * l.partSize }
-func (l layout) msgFlags(i, s int) int  { return l.base(i) + 4*s }
-func (l layout) ackFlags(i, r int) int  { return l.base(i) + 4*l.nprocs + 4*r }
-func (l layout) desc(i, b int) int      { return l.base(i) + 8*l.nprocs + descSize*b }
+func (l layout) base(i int) int        { return i * l.partSize }
+func (l layout) msgFlags(i, s int) int { return l.base(i) + 4*s }
+func (l layout) minUn(i, s int) int    { return l.base(i) + 4*l.nprocs + 4*s }
+func (l layout) ackFlags(i, r int) int { return l.base(i) + l.ackBase + 4*l.ackWords*r }
+func (l layout) ackSlot(i, r, b int) int {
+	return l.ackFlags(i, r) + 4*b
+}
+func (l layout) desc(i, b int) int      { return l.base(i) + l.descBase + descSize*b }
 func (l layout) dataBase(i int) int     { return l.base(i) + l.ctrlSize }
 func (l layout) dataOff(i, rel int) int { return l.dataBase(i) + rel }
 
@@ -186,7 +248,15 @@ func New(net RingNetwork, cfg Config) (*System, error) {
 	if cfg.Buffers < 1 || cfg.Buffers > 32 {
 		return nil, fmt.Errorf("bbp: Buffers %d outside 1..32", cfg.Buffers)
 	}
-	lay, err := newLayout(n, cfg.Buffers, net.MemBytes())
+	if cfg.Retry.Enabled && (cfg.Retry.Timeout <= 0 || cfg.Retry.MaxRetries < 1) {
+		return nil, fmt.Errorf("bbp: Retry enabled with Timeout %v MaxRetries %d (both must be positive)",
+			cfg.Retry.Timeout, cfg.Retry.MaxRetries)
+	}
+	ackWords := 1
+	if cfg.Retry.Enabled {
+		ackWords = cfg.Buffers
+	}
+	lay, err := newLayout(n, cfg.Buffers, ackWords, net.MemBytes(), cfg.Retry.Enabled)
 	if err != nil {
 		return nil, err
 	}
@@ -221,16 +291,28 @@ func (s *System) Attach(rank int) (*Endpoint, error) {
 		outToggles: make([]uint32, s.lay.nprocs),
 		lastSeen:   make([]uint32, s.lay.nprocs),
 		ackOut:     make([]uint32, s.lay.nprocs),
+		minUnOut:   make([]uint32, s.lay.nprocs),
 		pending:    make([][]message, s.lay.nprocs),
+		rescan:     make([]bool, s.lay.nprocs),
+		minUnIn:    make([]uint32, s.lay.nprocs),
+		lastDeliv:  make([]uint32, s.lay.nprocs),
 		alloc:      newAllocator(s.lay.dataSize),
 		intrWake:   sim.NewCond(s.net.Kernel()),
+		retryWake:  sim.NewCond(s.net.Kernel()),
 	}
 	for b := s.cfg.Buffers - 1; b >= 0; b-- {
 		e.freeSlots = append(e.freeSlots, b)
 	}
 	e.live = make([]liveBuf, s.cfg.Buffers)
+	e.slotSeq = make([][]uint32, s.lay.nprocs)
+	for i := range e.slotSeq {
+		e.slotSeq[i] = make([]uint32, s.cfg.Buffers)
+	}
 	if s.cfg.InterruptDriven {
 		e.nic.EnableInterrupts(true, func(off int) { e.intrWake.Broadcast() })
+	}
+	if s.cfg.Retry.Enabled {
+		s.net.Kernel().SpawnDaemon(fmt.Sprintf("bbp-retry-%d", rank), e.retryLoop)
 	}
 	s.eps[rank] = e
 	return e, nil
@@ -246,4 +328,9 @@ type Stats struct {
 	Polls        int64
 	GCPasses     int64
 	AllocRetries int64
+	// Retry-extension counters (zero unless Config.Retry.Enabled).
+	Retransmits   int64 // buffers rewritten after an unacknowledged timeout
+	RetryFailures int64 // buffers reclaimed with MaxRetries exhausted
+	ChecksumDrops int64 // descriptors rejected by the receiver pending retry
+	StaleDescs    int64 // flag toggles whose descriptor was stale or torn
 }

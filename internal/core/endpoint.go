@@ -16,13 +16,23 @@ type Endpoint struct {
 	nic *scramnet.NIC
 
 	// Sender state. outToggles[r] shadows the MESSAGE flag word this
-	// process writes into r's control partition; sendSeq is the global
-	// send sequence, strictly increasing across Send and Mcast.
+	// process writes into r's control partition: one toggle bit per
+	// buffer slot in the base protocol, a bare post counter under the
+	// retry extension (bumped on every post and retransmission, so a
+	// receiver always sees a fresh difference no matter which earlier
+	// writes were lost). sendSeq is the global send sequence, strictly
+	// increasing across Send and Mcast.
 	outToggles []uint32
 	sendSeq    uint32
 	live       []liveBuf
 	freeSlots  []int
 	alloc      *allocator
+	// minUnOut[r] (retry extension) shadows the MIN-UNACKED word this
+	// process writes into r's partition: the smallest sequence addressed
+	// to r not yet acknowledged, or sendSeq+1 when none is outstanding.
+	// Monotone non-decreasing, so stale replicas can only delay
+	// delivery at r, never reorder it.
+	minUnOut []uint32
 
 	// Receiver state. lastSeen[s] shadows the last observed value of
 	// sender s's MESSAGE flag word; ackOut[s] shadows the ACK word this
@@ -33,9 +43,32 @@ type Endpoint struct {
 	ackOut   []uint32
 	pending  [][]message
 	rrNext   int
+	// slotSeq[s][b] is the sequence of the last message accepted from
+	// sender s's buffer slot b; the retry extension rejects a
+	// re-scanned descriptor at or below it as stale. The floor is per
+	// slot, not per sender: descriptors can be repaired out of sequence
+	// order, so a slot-b retransmission may legitimately carry a lower
+	// sequence than a message already accepted from another slot.
+	// Soundness rests on slot occupancy: successive occupants of one
+	// slot carry strictly increasing sequences, because the sender
+	// reuses a slot only after freeing it and sendSeq never decreases.
+	slotSeq [][]uint32
+	// rescan[s], set when a checksum failure rolls a detection back,
+	// forces the next poll of s to rescan descriptors even though the
+	// post counter has not advanced.
+	rescan []bool
+	// minUnIn[s] (retry extension) shadows sender s's MIN-UNACKED word
+	// and lastDeliv[s] the sequence this process last consumed from s:
+	// a pending message whose sequence is not contiguous with
+	// lastDeliv[s] is delivered only once minUnIn[s] reaches it,
+	// proving every earlier sequence addressed to us was either
+	// consumed by us or given up on by the sender.
+	minUnIn   []uint32
+	lastDeliv []uint32
 
-	intrWake *sim.Cond
-	stats    Stats
+	intrWake  *sim.Cond
+	retryWake *sim.Cond
+	stats     Stats
 }
 
 // liveBuf tracks an occupied buffer slot until every addressed receiver
@@ -45,6 +78,13 @@ type liveBuf struct {
 	off, n int    // data-partition segment
 	dests  uint32 // bitmask of addressed receivers
 	acked  uint32 // receivers whose ACK toggle already matched
+
+	// Retry-extension state, maintained only when Config.Retry.Enabled.
+	seq      uint32   // sequence number the buffer was posted with
+	data     []byte   // payload copy for retransmission
+	posted   sim.Time // time of the last (re)transmission
+	attempts int      // retransmissions so far
+	busy     bool     // a retransmission's writes are in flight: don't free
 }
 
 // message is a detected incoming message: descriptor contents plus the
@@ -53,6 +93,11 @@ type message struct {
 	slot   int
 	off, n int
 	seq    uint32
+	// Retry-extension fields: the descriptor checksum, and the slot's
+	// previous sequence floor so a checksum-failed detection can be
+	// rolled back for a fresh descriptor read (see consume).
+	ck        uint32
+	prevFloor uint32
 }
 
 // Rank returns this endpoint's process number.
@@ -117,6 +162,12 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 	}
 	e.live[slot] = liveBuf{used: true, off: off, n: len(data), dests: dests}
 	e.sendSeq++
+	if cfg.Retry.Enabled {
+		lb := &e.live[slot]
+		lb.seq = e.sendSeq
+		lb.data = append([]byte(nil), data...)
+		lb.posted = p.Now()
+	}
 	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "post", "slot=%d off=%d len=%d dests=%#x seq=%d", slot, off, len(data), dests, e.sendSeq)
 
 	// Message body straight from the user buffer into SCRAMNet memory
@@ -129,18 +180,34 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 			e.nic.Write(p, lay.dataOff(e.me, off), data)
 		}
 	}
-	var desc [descWords * 4]byte
+	var desc [descSize]byte
 	putWord(desc[0:], uint32(off))
 	putWord(desc[4:], uint32(len(data)))
 	putWord(desc[8:], e.sendSeq)
-	e.nic.Write(p, lay.desc(e.me, slot), desc[:])
+	dw := descWords
+	if cfg.Retry.Enabled {
+		putWord(desc[12:], descCheck(off, len(data), e.sendSeq, data))
+		dw = descWordsRetry
+	}
+	e.nic.Write(p, lay.desc(e.me, slot), desc[:dw*4])
+
+	// Publish MIN-UNACKED before the post counters so a receiver that
+	// sees the counter (the ring preserves per-sender write order) can
+	// already judge this message's delivery eligibility.
+	if cfg.Retry.Enabled {
+		e.syncMinUn(p, false)
+	}
 
 	multicast := false
 	for r := 0; r < e.Procs(); r++ {
 		if dests&(1<<uint(r)) == 0 {
 			continue
 		}
-		e.outToggles[r] ^= 1 << uint(slot)
+		if cfg.Retry.Enabled {
+			e.outToggles[r]++ // post counter; the descriptor scan finds the slot
+		} else {
+			e.outToggles[r] ^= 1 << uint(slot)
+		}
 		if cfg.InterruptDriven {
 			e.nic.WriteWordInterrupt(p, lay.msgFlags(r, e.me), e.outToggles[r])
 		} else {
@@ -154,7 +221,25 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 	}
 	e.stats.Sent++
 	e.stats.BytesSent += int64(len(data))
+	if cfg.Retry.Enabled {
+		e.retryWake.Signal()
+	}
 	return nil
+}
+
+// popFreeSlot takes a slot from the free list. The base protocol reuses
+// slots LIFO (hot in cache); the retry extension reuses them FIFO to
+// maximize the distance before a slot's descriptor is overwritten,
+// which narrows the stale-descriptor window PROTOCOL.md describes.
+func (e *Endpoint) popFreeSlot() int {
+	if e.sys.cfg.Retry.Enabled {
+		s := e.freeSlots[0]
+		e.freeSlots = e.freeSlots[1:]
+		return s
+	}
+	s := e.freeSlots[len(e.freeSlots)-1]
+	e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
+	return s
 }
 
 // allocate obtains a free slot and data segment, running garbage
@@ -170,17 +255,13 @@ func (e *Endpoint) allocate(p *sim.Proc, n int) (slot, off int, err error) {
 	for {
 		if len(e.freeSlots) > 0 {
 			if o, ok := e.alloc.alloc(n); ok {
-				s := e.freeSlots[len(e.freeSlots)-1]
-				e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
-				return s, o, nil
+				return e.popFreeSlot(), o, nil
 			}
 		}
 		e.collect(p)
 		if len(e.freeSlots) > 0 {
 			if o, ok := e.alloc.alloc(n); ok {
-				s := e.freeSlots[len(e.freeSlots)-1]
-				e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
-				return s, o, nil
+				return e.popFreeSlot(), o, nil
 			}
 		}
 		if n > e.sys.lay.dataSize {
@@ -212,10 +293,13 @@ func (e *Endpoint) collect(p *sim.Proc) {
 	if need == 0 {
 		return
 	}
+	retry := e.sys.cfg.Retry.Enabled
 	acks := make([]uint32, e.Procs())
-	for r := 0; r < e.Procs(); r++ {
-		if need&(1<<uint(r)) != 0 {
-			acks[r] = e.nic.ReadWord(p, lay.ackFlags(e.me, r))
+	if !retry {
+		for r := 0; r < e.Procs(); r++ {
+			if need&(1<<uint(r)) != 0 {
+				acks[r] = e.nic.ReadWord(p, lay.ackFlags(e.me, r))
+			}
 		}
 	}
 	for s := range e.live {
@@ -228,16 +312,66 @@ func (e *Endpoint) collect(p *sim.Proc) {
 			if lb.dests&bit == 0 || lb.acked&bit != 0 {
 				continue
 			}
-			if acks[r]&(1<<uint(s)) == e.outToggles[r]&(1<<uint(s)) {
+			if retry {
+				// Per-slot ACK (see ackWrite): r writes the sequence it
+				// consumed from this slot. Occupant sequences are
+				// strictly increasing per slot, so a stale replica can
+				// only under-report — never acknowledge the current
+				// occupant on behalf of an older one.
+				if !seqLess(e.nic.ReadWord(p, lay.ackSlot(e.me, r, s)), lb.seq) {
+					lb.acked |= bit
+				}
+			} else if acks[r]&(1<<uint(s)) == e.outToggles[r]&(1<<uint(s)) {
 				lb.acked |= bit
 			}
 		}
-		if lb.acked == lb.dests {
-			e.alloc.release(lb.off, lb.n)
-			e.freeSlots = append(e.freeSlots, s)
-			lb.used = false
+		if lb.acked == lb.dests && !lb.busy {
+			e.freeLive(s, lb)
 		}
 	}
+	if retry {
+		e.syncMinUn(p, false)
+	}
+}
+
+// syncMinUn (retry extension) recomputes every receiver's MIN-UNACKED
+// value and writes those that changed — or all of them when force is
+// set, which the retry daemon uses each pass to heal writes the ring
+// dropped. The value is monotone non-decreasing: new posts carry
+// larger sequences than anything outstanding, and acknowledgments and
+// reclaims only remove the smallest elements.
+func (e *Endpoint) syncMinUn(p *sim.Proc, force bool) {
+	lay := e.sys.lay
+	for r := 0; r < e.Procs(); r++ {
+		if r == e.me {
+			continue
+		}
+		bit := uint32(1) << uint(r)
+		v := e.sendSeq + 1
+		for s := range e.live {
+			lb := &e.live[s]
+			if lb.used && lb.dests&bit != 0 && lb.acked&bit == 0 && seqLess(lb.seq, v) {
+				v = lb.seq
+			}
+		}
+		if v == e.sendSeq+1 {
+			// Nothing outstanding to r: r has nothing of ours pending
+			// either (pending implies unacknowledged), so it will not
+			// consult the word until our next post updates it.
+			continue
+		}
+		if force || v != e.minUnOut[r] {
+			e.minUnOut[r] = v
+			e.nic.WriteWord(p, lay.minUn(r, e.me), v)
+		}
+	}
+}
+
+// freeLive returns slot s's data segment and slot to the free pools.
+func (e *Endpoint) freeLive(s int, lb *liveBuf) {
+	e.alloc.release(lb.off, lb.n)
+	e.freeSlots = append(e.freeSlots, s)
+	*lb = liveBuf{}
 }
 
 func putWord(b []byte, v uint32) {

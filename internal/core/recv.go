@@ -1,19 +1,48 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// pollSender reads sender s's MESSAGE flag word, diffs it against the
-// shadow copy, and moves any newly posted buffers onto the pending queue
-// in sequence order. One PIO read across the I/O bus per call — the
-// receive overhead §7 of the paper attributes to polling.
+// errChecksum is internal to the retry extension: the payload read back
+// for a detected message did not match its descriptor checksum (some of
+// its packets were lost in flight). The message is re-queued unacked
+// and re-read after the sender's retransmission repairs the buffer.
+var errChecksum = errors.New("bbp: payload checksum mismatch (awaiting retransmission)")
+
+// pollSender reads sender s's MESSAGE flag word and moves any newly
+// posted buffers onto the pending queue in sequence order. In the base
+// protocol the word is a per-slot toggle mask diffed against the shadow
+// copy — one PIO read across the I/O bus per call, the receive overhead
+// §7 of the paper attributes to polling. Under the retry extension the
+// word is a bare post counter: any change (a post or a retransmission)
+// triggers a scan of all of s's descriptors, and detection rests on
+// per-slot sequence floors rather than toggle parity, which is
+// ambiguous once flag writes can be lost.
 func (e *Endpoint) pollSender(p *sim.Proc, s int) {
 	lay, cfg := e.sys.lay, e.sys.cfg
 	e.stats.Polls++
 	p.Delay(cfg.Costs.PollOverhead)
 	flags := e.nic.ReadWord(p, lay.msgFlags(e.me, s))
+	if cfg.Retry.Enabled {
+		// Refresh the delivery gate even when the post counter is
+		// unchanged: the sender advances MIN-UNACKED on acknowledgments
+		// and reclaims without bumping the counter.
+		e.minUnIn[s] = e.nic.ReadWord(p, lay.minUn(e.me, s))
+		if flags == e.lastSeen[s] && !e.rescan[s] {
+			return
+		}
+		// Absorb the counter before scanning: a lost counter write is
+		// healed by the sender's next post or retransmission, which
+		// always produces a fresh value.
+		e.lastSeen[s] = flags
+		e.rescan[s] = false
+		e.scanSender(p, s)
+		return
+	}
 	diff := flags ^ e.lastSeen[s]
 	if diff == 0 {
 		return
@@ -22,8 +51,8 @@ func (e *Endpoint) pollSender(p *sim.Proc, s int) {
 		if diff&(1<<uint(b)) == 0 {
 			continue
 		}
-		var desc [descWords * 4]byte
-		e.nic.Read(p, lay.desc(s, b), desc[:])
+		var desc [descSize]byte
+		e.nic.Read(p, lay.desc(s, b), desc[:descWords*4])
 		m := message{
 			slot: b,
 			off:  int(getWord(desc[0:])),
@@ -34,6 +63,63 @@ func (e *Endpoint) pollSender(p *sim.Proc, s int) {
 		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "detect", "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
 		e.insertPending(s, m)
 		e.lastSeen[s] ^= 1 << uint(b)
+	}
+}
+
+// scanSender (retry extension only) reads all of sender s's descriptors
+// and classifies each slot by its sequence against the slot floor:
+// newer and well-formed — accept; equal to the floor — a retransmission
+// of a message this receiver already consumed, meaning the ACK write
+// was lost, so acknowledge it again; older or torn — ignore, the
+// sender's retransmission will repair the descriptor and bump the post
+// counter, triggering another scan.
+func (e *Endpoint) scanSender(p *sim.Proc, s int) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	descs := make([]byte, descSize*cfg.Buffers)
+	e.nic.Read(p, lay.desc(s, 0), descs)
+scan:
+	for b := 0; b < cfg.Buffers; b++ {
+		d := descs[descSize*b:]
+		m := message{
+			slot: b,
+			off:  int(getWord(d[0:])),
+			n:    int(getWord(d[4:])),
+			seq:  getWord(d[8:]),
+			ck:   getWord(d[12:]),
+		}
+		if m.ck == 0 {
+			continue // never written
+		}
+		for _, q := range e.pending[s] {
+			if q.seq == m.seq {
+				continue scan // already detected, not yet consumed
+			}
+		}
+		floor := e.slotSeq[s][b]
+		if !seqLess(floor, m.seq) {
+			if m.seq == floor && floor != 0 {
+				// Re-acknowledge with our own record of what we
+				// consumed, not the (possibly torn) descriptor. Sound
+				// even if the slot meanwhile holds a newer message
+				// whose descriptor packets were all lost: the ACK names
+				// the old sequence, so the sender keeps retransmitting
+				// the new occupant until this scan can accept it.
+				e.nic.WriteWord(p, lay.ackSlot(s, e.me, b), floor)
+				e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "re-ack", "sender=%d slot=%d seq=%d", s, b, floor)
+			}
+			continue
+		}
+		if m.n < 0 || m.off < 0 || m.off+m.n > lay.dataSize {
+			// Torn descriptor — some of its packets were lost in flight.
+			e.stats.StaleDescs++
+			e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "torn-desc", "sender=%d slot=%d seq=%d", s, b, m.seq)
+			continue
+		}
+		m.prevFloor = floor
+		e.slotSeq[s][b] = m.seq
+		p.Delay(cfg.Costs.RecvBookkeeping)
+		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "detect", "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
+		e.insertPending(s, m)
 	}
 }
 
@@ -67,25 +153,70 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 			e.nic.Read(p, src, buf[:m.n])
 		}
 	}
+	if cfg.Retry.Enabled && descCheck(m.off, m.n, m.seq, buf[:m.n]) != m.ck {
+		// Part of the descriptor or payload was dropped in flight — and
+		// what this message struct holds may itself be a torn snapshot.
+		// Roll the detection back (slot floor, plus a forced rescan
+		// since the post counter has not moved) so the next poll
+		// re-reads the descriptor after the sender's retransmission has
+		// rewritten buffer and descriptor. No ACK is written, so the
+		// sender keeps retrying.
+		e.slotSeq[s][m.slot] = m.prevFloor
+		e.rescan[s] = true
+		e.stats.ChecksumDrops++
+		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "ck-drop", "sender=%d slot=%d seq=%d", s, m.slot, m.seq)
+		return 0, errChecksum
+	}
+	if cfg.Retry.Enabled {
+		e.lastDeliv[s] = m.seq
+	}
 	// ACK toggle: this word in s's control partition is written only by
 	// this process, preserving the single-writer discipline.
-	e.ackToggle(p, s, m.slot)
+	e.ackWrite(p, s, m)
 	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "consume", "sender=%d slot=%d len=%d", s, m.slot, m.n)
 	e.stats.Received++
 	e.stats.BytesRecv += int64(m.n)
 	return m.n, nil
 }
 
-// ackToggle flips this process's ACK bit for s's buffer slot.
-func (e *Endpoint) ackToggle(p *sim.Proc, s, slot int) {
-	e.ackOut[s] ^= 1 << uint(slot)
+// ackWrite acknowledges m to sender s. The base protocol flips the ACK
+// toggle bit for the buffer slot. The retry extension instead writes
+// the consumed sequence into the slot's own ACK word. Toggle parity is
+// ambiguous once writes can be lost (a stale ACK replica can coincide
+// with a reused slot's fresh toggle and falsely acknowledge an
+// unconsumed buffer), and a single sequence-valued word per pair is no
+// better — acknowledging seq N would falsely cover an undelivered
+// earlier message whose writes were all lost, since a sequence gap is
+// invisible to the receiver. Per slot, sequences are strictly
+// increasing and gap-free in occupancy order, so "consumed seq X from
+// slot b" can only ever under-report; a lost ACK write is healed by
+// the re-ack path in scanSender.
+func (e *Endpoint) ackWrite(p *sim.Proc, s int, m message) {
+	if e.sys.cfg.Retry.Enabled {
+		e.nic.WriteWord(p, e.sys.lay.ackSlot(s, e.me, m.slot), m.seq)
+		return
+	}
+	e.ackOut[s] ^= 1 << uint(m.slot)
 	e.nic.WriteWord(p, e.sys.lay.ackFlags(s, e.me), e.ackOut[s])
 }
 
-// popPending removes the lowest-sequence pending message from s.
+// popPending removes the lowest-sequence pending message from s. Under
+// the retry extension a message whose sequence gaps past the last
+// delivery is held back while the sender's MIN-UNACKED word is below
+// it: an earlier message addressed to us may still be in repair, and
+// delivering past it would break per-stream FIFO. A contiguous
+// sequence (lastDeliv+1) needs no gate — there is no room for a
+// missing earlier message. The word is monotone, so a stale replica
+// can only delay delivery; the retry daemon rewrites it every pass, so
+// the gate always opens once the gap is consumed by us or abandoned by
+// the sender.
 func (e *Endpoint) popPending(s int) (message, bool) {
 	q := e.pending[s]
 	if len(q) == 0 {
+		return message{}, false
+	}
+	if e.sys.cfg.Retry.Enabled &&
+		q[0].seq != e.lastDeliv[s]+1 && seqLess(e.minUnIn[s], q[0].seq) {
 		return message{}, false
 	}
 	m := q[0]
@@ -106,14 +237,19 @@ func (e *Endpoint) Recv(p *sim.Proc, src int, buf []byte) (int, error) {
 	}
 	for {
 		if m, ok := e.popPending(src); ok {
-			return e.consume(p, src, m, buf)
+			n, err := e.consume(p, src, m, buf)
+			if err != errChecksum {
+				return n, err
+			}
+			// Rolled back; keep polling — every iteration advances
+			// virtual time, so the retry daemon's rewrite will land.
 		}
 		e.pollSender(p, src)
-		if len(e.pending[src]) > 0 {
-			continue
-		}
 		if deadline >= 0 && p.Now() > deadline {
 			return 0, ErrTimeout
+		}
+		if len(e.pending[src]) > 0 {
+			continue
 		}
 		if cfg.InterruptDriven {
 			// Sleep until any MESSAGE-flag interrupt; re-poll then.
@@ -132,14 +268,23 @@ func (e *Endpoint) TryRecv(p *sim.Proc, src int, buf []byte) (n int, ok bool, er
 	if src == e.me || src < 0 || src >= e.Procs() {
 		return 0, false, ErrBadRank
 	}
-	if m, found := e.popPending(src); found {
-		n, err = e.consume(p, src, m, buf)
-		return n, err == nil, err
+	tryConsume := func() (int, bool, error, bool) {
+		m, found := e.popPending(src)
+		if !found {
+			return 0, false, nil, false
+		}
+		n, err := e.consume(p, src, m, buf)
+		if err == errChecksum {
+			return 0, false, nil, true // rolled back; re-detected later
+		}
+		return n, err == nil, err, true
+	}
+	if n, ok, err, done := tryConsume(); done {
+		return n, ok, err
 	}
 	e.pollSender(p, src)
-	if m, found := e.popPending(src); found {
-		n, err = e.consume(p, src, m, buf)
-		return n, err == nil, err
+	if n, ok, err, done := tryConsume(); done {
+		return n, ok, err
 	}
 	return 0, false, nil
 }
@@ -158,22 +303,27 @@ func (e *Endpoint) RecvAny(p *sim.Proc, buf []byte) (src, n int, err error) {
 			if s == e.me {
 				continue
 			}
-			if m, ok := e.popPending(s); ok {
-				e.rrNext = (s + 1) % e.Procs()
-				n, err = e.consume(p, s, m, buf)
-				return s, n, err
+			m, ok := e.popPending(s)
+			if !ok {
+				continue
 			}
+			n, err = e.consume(p, s, m, buf)
+			if err == errChecksum {
+				continue // rolled back; re-detected on a later poll
+			}
+			e.rrNext = (s + 1) % e.Procs()
+			return s, n, err
 		}
 		for s := 0; s < e.Procs(); s++ {
 			if s != e.me {
 				e.pollSender(p, s)
 			}
 		}
-		if e.anyPending() {
-			continue
-		}
 		if deadline >= 0 && p.Now() > deadline {
 			return 0, 0, ErrTimeout
+		}
+		if e.anyPending() {
+			continue
 		}
 		if cfg.InterruptDriven {
 			if deadline >= 0 {

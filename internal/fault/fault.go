@@ -1,0 +1,207 @@
+// Package fault is a deterministic, seed-driven fault-injection layer
+// for the simulated testbed. It models the failure scenarios §2 of the
+// paper alludes to — "a failed node is optically bypassed" on the dual
+// SCRAMNet ring — and extends them uniformly to the switched fabrics so
+// that every layer above (BBP, TCP-lite, the hybrid router, MPI) can be
+// exercised under the same scripted adversity.
+//
+// A Script is an ordered list of timed Actions: node fail/repair and
+// transient loss windows. Scripts are either hand-built or produced by
+// Generate from a seed, and replaying the same script against the same
+// workload yields a bit-identical simulation — faults are part of the
+// deterministic event order, never a source of flakiness.
+//
+// Scripts apply to any Target: a *scramnet.Network (via Ring) or any
+// xport.Fabric wrapped by NewFabric.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+)
+
+// Kind enumerates the fault actions a script can schedule.
+type Kind int
+
+const (
+	// NodeFail takes Node out of service: optically bypassed on a dual
+	// SCRAMNet ring, link unplugged on a switched fabric.
+	NodeFail Kind = iota
+	// NodeRepair returns Node to service (its state may be stale).
+	NodeRepair
+	// LossStart begins a transient corruption window: every in-flight
+	// packet or frame is independently dropped with probability Rate.
+	LossStart
+	// LossStop closes the loss window (rate back to zero).
+	LossStop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeFail:
+		return "node-fail"
+	case NodeRepair:
+		return "node-repair"
+	case LossStart:
+		return "loss-start"
+	case LossStop:
+		return "loss-stop"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Action is one scheduled fault.
+type Action struct {
+	At   sim.Time
+	Kind Kind
+	Node int     // NodeFail / NodeRepair target
+	Rate float64 // LossStart drop probability in [0,1]
+}
+
+// Script is a replayable fault schedule. Seed parameterizes the random
+// stream a Target uses to decide individual packet drops inside loss
+// windows, so the same script produces the same drops every run.
+type Script struct {
+	Seed    uint64
+	Actions []Action
+}
+
+// Target is anything faults can be applied to. Both the SCRAMNet ring
+// adapter and the fabric wrapper implement it.
+type Target interface {
+	Nodes() int
+	FailNode(i int)
+	RepairNode(i int)
+	SetLossRate(r float64)
+}
+
+// Apply schedules every action of the script on kernel k against tgt.
+// Actions at or before the current virtual time fire immediately (in
+// scheduling order). Apply may be called for several targets to subject
+// co-located networks to the same fault pattern.
+func (s *Script) Apply(k *sim.Kernel, tgt Target) {
+	if s == nil {
+		return
+	}
+	for _, a := range s.Actions {
+		a := a
+		at := a.At
+		if at < k.Now() {
+			at = k.Now()
+		}
+		k.At(at, func() {
+			switch a.Kind {
+			case NodeFail:
+				tgt.FailNode(a.Node)
+			case NodeRepair:
+				tgt.RepairNode(a.Node)
+			case LossStart:
+				tgt.SetLossRate(a.Rate)
+			case LossStop:
+				tgt.SetLossRate(0)
+			}
+		})
+	}
+}
+
+// MaxLoss returns the largest loss rate any window of the script opens;
+// zero means the script never drops traffic.
+func (s *Script) MaxLoss() float64 {
+	if s == nil {
+		return 0
+	}
+	max := 0.0
+	for _, a := range s.Actions {
+		if a.Kind == LossStart && a.Rate > max {
+			max = a.Rate
+		}
+	}
+	return max
+}
+
+// String renders the script for logs and failure messages.
+func (s *Script) String() string {
+	if s == nil {
+		return "fault.Script(nil)"
+	}
+	out := fmt.Sprintf("fault.Script{seed=%d", s.Seed)
+	for _, a := range s.Actions {
+		switch a.Kind {
+		case NodeFail, NodeRepair:
+			out += fmt.Sprintf(" %s@%d(node %d)", a.Kind, a.At, a.Node)
+		case LossStart:
+			out += fmt.Sprintf(" %s@%d(%.2f)", a.Kind, a.At, a.Rate)
+		default:
+			out += fmt.Sprintf(" %s@%d", a.Kind, a.At)
+		}
+	}
+	return out + "}"
+}
+
+// GenConfig bounds the random script generator.
+type GenConfig struct {
+	// Horizon is the script length; all actions land inside it.
+	Horizon sim.Duration
+	// Nodes is the network size actions may address.
+	Nodes int
+	// LossWindows is how many transient loss windows to open.
+	LossWindows int
+	// MaxLossRate caps each window's drop probability.
+	MaxLossRate float64
+	// NodeFailures is how many fail→repair cycles to schedule.
+	NodeFailures int
+	// Protect lists nodes that are never failed (e.g. the endpoints a
+	// test communicates through). Loss windows still affect them.
+	Protect []int
+}
+
+// Generate builds a random script from seed. The same (seed, cfg) pair
+// always yields the same script.
+func Generate(seed uint64, cfg GenConfig) *Script {
+	rng := sim.NewRNG(seed)
+	s := &Script{Seed: seed}
+	protected := map[int]bool{}
+	for _, n := range cfg.Protect {
+		protected[n] = true
+	}
+	var candidates []int
+	for i := 0; i < cfg.Nodes; i++ {
+		if !protected[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	for w := 0; w < cfg.LossWindows; w++ {
+		start := rng.Duration(cfg.Horizon)
+		length := rng.Duration(cfg.Horizon-start) + 1
+		rate := cfg.MaxLossRate * rng.Float64()
+		s.Actions = append(s.Actions,
+			Action{At: sim.Time(0).Add(start), Kind: LossStart, Rate: rate},
+			Action{At: sim.Time(0).Add(start + length), Kind: LossStop})
+	}
+	for f := 0; f < cfg.NodeFailures && len(candidates) > 0; f++ {
+		node := candidates[rng.Intn(len(candidates))]
+		down := rng.Duration(cfg.Horizon)
+		up := down + rng.Duration(cfg.Horizon-down) + 1
+		s.Actions = append(s.Actions,
+			Action{At: sim.Time(0).Add(down), Kind: NodeFail, Node: node},
+			Action{At: sim.Time(0).Add(up), Kind: NodeRepair, Node: node})
+	}
+	sort.SliceStable(s.Actions, func(i, j int) bool { return s.Actions[i].At < s.Actions[j].At })
+	return s
+}
+
+// ring adapts *scramnet.Network to Target (the method names differ).
+type ring struct{ n *scramnet.Network }
+
+// Ring returns a fault Target driving a SCRAMNet ring: NodeFail maps to
+// the optical bypass of §2, loss windows to the CRC-drop fault model the
+// ring hardware already implements.
+func Ring(n *scramnet.Network) Target { return ring{n} }
+
+func (r ring) Nodes() int            { return r.n.Nodes() }
+func (r ring) FailNode(i int)        { r.n.FailNode(i) }
+func (r ring) RepairNode(i int)      { r.n.RepairNode(i) }
+func (r ring) SetLossRate(x float64) { r.n.SetDropRate(x) }

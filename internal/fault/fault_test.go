@@ -1,0 +1,178 @@
+package fault_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := fault.GenConfig{
+		Horizon:      10 * sim.Millisecond,
+		Nodes:        4,
+		LossWindows:  3,
+		MaxLossRate:  0.5,
+		NodeFailures: 2,
+		Protect:      []int{0, 1},
+	}
+	a := fault.Generate(42, cfg)
+	b := fault.Generate(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scripts:\n%v\n%v", a, b)
+	}
+	c := fault.Generate(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical scripts: %v", a)
+	}
+	if len(a.Actions) != 2*cfg.LossWindows+2*cfg.NodeFailures {
+		t.Fatalf("got %d actions, want %d", len(a.Actions), 2*cfg.LossWindows+2*cfg.NodeFailures)
+	}
+	for i, act := range a.Actions {
+		if i > 0 && act.At < a.Actions[i-1].At {
+			t.Fatalf("actions not time-sorted at %d: %v", i, a)
+		}
+		if (act.Kind == fault.NodeFail || act.Kind == fault.NodeRepair) && (act.Node == 0 || act.Node == 1) {
+			t.Fatalf("protected node failed: %+v", act)
+		}
+		if act.At > sim.Time(0).Add(2*cfg.Horizon) {
+			t.Fatalf("action beyond horizon: %+v", act)
+		}
+	}
+	if a.MaxLoss() <= 0 || a.MaxLoss() > cfg.MaxLossRate {
+		t.Fatalf("MaxLoss %v outside (0, %v]", a.MaxLoss(), cfg.MaxLossRate)
+	}
+}
+
+func TestApplyDrivesRing(t *testing.T) {
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fault.Script{Seed: 7, Actions: []fault.Action{
+		{At: sim.Time(0).Add(1 * sim.Millisecond), Kind: fault.NodeFail, Node: 2},
+		{At: sim.Time(0).Add(3 * sim.Millisecond), Kind: fault.NodeRepair, Node: 2},
+	}}
+	s.Apply(k, fault.Ring(c.Ring))
+	k.RunFor(2 * sim.Millisecond)
+	if !c.Ring.NodeFailed(2) {
+		t.Fatal("node 2 not bypassed after NodeFail action")
+	}
+	k.RunFor(2 * sim.Millisecond)
+	if c.Ring.NodeFailed(2) {
+		t.Fatal("node 2 still bypassed after NodeRepair action")
+	}
+	k.Close()
+}
+
+func TestFabricWrapperDropsAndStats(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	san, err := myrinet.New(k, myrinet.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := fault.NewFabric(k, san, 1)
+	var got int
+	ff.SetHandler(1, func(src int, frame []byte) { got++ })
+
+	send := func() {
+		ff.Transmit(0, 1, []byte{1, 2, 3, 4})
+		k.Run()
+	}
+	send()
+	if got != 1 || ff.Stats().Forwarded != 1 {
+		t.Fatalf("fault-free frame not forwarded: got=%d stats=%+v", got, ff.Stats())
+	}
+	ff.SetLossRate(1.0)
+	send()
+	if got != 1 || ff.Stats().DroppedLoss != 1 {
+		t.Fatalf("full-loss frame not dropped: got=%d stats=%+v", got, ff.Stats())
+	}
+	ff.SetLossRate(0)
+	ff.FailNode(1)
+	send()
+	if got != 1 || ff.Stats().DroppedDown != 1 {
+		t.Fatalf("frame to failed node not dropped: got=%d stats=%+v", got, ff.Stats())
+	}
+	if !ff.NodeFailed(1) || ff.NodeFailed(0) {
+		t.Fatal("NodeFailed bookkeeping wrong")
+	}
+	ff.RepairNode(1)
+	send()
+	if got != 2 {
+		t.Fatal("frame after repair not delivered")
+	}
+}
+
+// runFaultedBBP drives a fixed workload over a lossy SCRAMNet ring with
+// the BBP retry extension enabled and returns the bytes delivered, in
+// order, plus the sender's final stats.
+func runFaultedBBP(t *testing.T, script *fault.Script) ([]byte, core.Stats) {
+	t.Helper()
+	k := sim.NewKernel()
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 30
+	var delivered []byte
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			payload := bytes.Repeat([]byte{byte(i + 1)}, 24)
+			if err := c.Endpoints[0].Send(p, 1, payload); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			p.Delay(40 * sim.Microsecond)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, 64)
+		for i := 0; i < msgs; i++ {
+			n, err := c.Endpoints[1].Recv(p, 0, buf)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			delivered = append(delivered, buf[:n]...)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return delivered, c.Endpoints[0].(*core.Endpoint).Stats()
+}
+
+func TestScriptReplayIsBitIdentical(t *testing.T) {
+	script := &fault.Script{Seed: 1234, Actions: []fault.Action{
+		{At: sim.Time(0).Add(100 * sim.Microsecond), Kind: fault.LossStart, Rate: 0.15},
+		{At: sim.Time(0).Add(600 * sim.Microsecond), Kind: fault.LossStop},
+	}}
+	a, statsA := runFaultedBBP(t, script)
+	b, statsB := runFaultedBBP(t, script)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two replays of the same script diverged: %d vs %d bytes", len(a), len(b))
+	}
+	if statsA != statsB {
+		t.Fatalf("replay stats diverged:\n%+v\n%+v", statsA, statsB)
+	}
+	if statsA.Retransmits == 0 {
+		t.Fatalf("loss window injected but no retransmissions occurred: %+v", statsA)
+	}
+	var want []byte
+	for i := 0; i < 30; i++ {
+		want = append(want, bytes.Repeat([]byte{byte(i + 1)}, 24)...)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("delivered bytes differ from the sent workload: got %d bytes, want %d", len(a), len(want))
+	}
+}

@@ -62,7 +62,26 @@ type Endpoint struct {
 	nextSeq []uint32 // per source: next sequence to release
 	held    []map[uint32][]byte
 	scratch []byte
+	stats   Stats
 }
+
+// Stats counts the router's fault-tolerance interventions.
+type Stats struct {
+	// Failovers counts sends rerouted to the other substrate after the
+	// size-preferred one returned an error (e.g. BBP buffer exhaustion
+	// while a receiver is bypassed).
+	Failovers int64
+	// SubErrors counts substrate receive errors and runt messages
+	// tolerated during polling instead of taking the router down.
+	SubErrors int64
+	// Duplicates counts already-released sequence numbers discarded by
+	// the resequencer (a substrate's recovery layer retransmitting into
+	// a stream the router had already moved past).
+	Duplicates int64
+}
+
+// Stats returns a copy of the fault-tolerance counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
 
 // New combines a low-latency and a high-bandwidth endpoint of the same
 // rank and world size.
@@ -129,7 +148,27 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	msg := make([]byte, hdrBytes+len(data))
 	binary.LittleEndian.PutUint32(msg, seq)
 	copy(msg[hdrBytes:], data)
-	return e.route(len(data)).Send(p, dst, msg)
+	sub := e.route(len(data))
+	err := sub.Send(p, dst, msg)
+	if err == nil {
+		return nil
+	}
+	// Failover: the sequence tag makes the substrates interchangeable —
+	// the resequencer releases in stream order no matter which network a
+	// message crossed — so a send the preferred substrate refuses can
+	// retry on the other, provided it fits.
+	alt := e.high
+	if sub == e.high {
+		alt = e.low
+	}
+	if len(msg) > alt.MaxMessage() {
+		return err
+	}
+	if altErr := alt.Send(p, dst, msg); altErr == nil {
+		e.stats.Failovers++
+		return nil
+	}
+	return err
 }
 
 // Mcast replicates one message to several destinations over the
@@ -172,15 +211,25 @@ func (e *Endpoint) poll(p *sim.Proc, src int) {
 	for _, sub := range []xport.Endpoint{e.low, e.high} {
 		n, ok, err := sub.TryRecv(p, src, e.scratch)
 		if err != nil {
-			panic(fmt.Sprintf("hybrid: substrate recv: %v", err))
+			// A faulted substrate must not take the router down; the
+			// stream heals via the substrate's own recovery or failover.
+			e.stats.SubErrors++
+			continue
 		}
 		if !ok {
 			continue
 		}
 		if n < hdrBytes {
-			panic("hybrid: runt message")
+			e.stats.SubErrors++
+			continue
 		}
 		seq := binary.LittleEndian.Uint32(e.scratch)
+		if int32(seq-e.nextSeq[src]) < 0 {
+			// Already released: a recovery layer below retransmitted
+			// into a stream the resequencer has moved past.
+			e.stats.Duplicates++
+			continue
+		}
 		p.Delay(e.cfg.ReorderCost)
 		e.held[src][seq] = append([]byte(nil), e.scratch[hdrBytes:n]...)
 	}

@@ -60,8 +60,10 @@ type apiAsm struct {
 }
 
 // API is the per-node native interface; it implements xport.Endpoint.
+// It talks to the SAN through the xport.Fabric interface so that fault
+// injection layers can interpose transparently.
 type API struct {
-	net    *Network
+	net    xport.Fabric
 	cfg    APIConfig
 	rank   int
 	nextID []uint32
@@ -71,7 +73,7 @@ type API struct {
 
 // OpenAPI attaches the native API on node rank. The node must not also
 // run an IP stack on the same NIC in this model.
-func OpenAPI(net *Network, rank int, cfg APIConfig) *API {
+func OpenAPI(net xport.Fabric, rank int, cfg APIConfig) *API {
 	a := &API{
 		net:    net,
 		cfg:    cfg,

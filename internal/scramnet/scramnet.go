@@ -133,12 +133,15 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// packet is one ring transfer unit.
+// packet is one ring transfer unit. hops counts link traversals so a
+// packet whose origin has been bypassed (and therefore can never strip
+// it) still ages out after one full revolution.
 type packet struct {
 	origin    int
 	off       int
 	data      []byte
 	interrupt bool
+	hops      int
 }
 
 // ownerTable tracks, per word offset, which host first wrote it
@@ -288,9 +291,14 @@ func (n *Network) forward(from int, pkt *packet) {
 		n.nics[pkt.origin].stats.PacketsLost++
 		return // broken single ring: packet lost downstream
 	}
+	pkt.hops += hops
+	aged := pkt.hops >= n.cfg.Nodes
 	n.k.After(sim.Duration(hops)*n.cfg.HopDelay, func() {
-		if next == pkt.origin {
-			return // stripped by the source after a full revolution
+		if next == pkt.origin || aged {
+			// Stripped by the source after a full revolution — or aged
+			// out after as many hops, which is what removes a packet
+			// whose origin was optically bypassed while it circulated.
+			return
 		}
 		nic := n.nics[next]
 		nic.apply(pkt)
@@ -316,6 +324,14 @@ func (n *Network) FailNode(i int) { n.nics[i].failed = true }
 // RepairNode returns a failed node to service. Its bank may be stale
 // until peers rewrite their words.
 func (n *Network) RepairNode(i int) { n.nics[i].failed = false }
+
+// NodeFailed reports whether node i is currently bypassed.
+func (n *Network) NodeFailed(i int) bool { return n.nics[i].failed }
+
+// SetDropRate adjusts the in-flight corruption probability at run time.
+// Fault-injection scripts use it to open and close transient loss
+// windows; the generator stream (Config.Seed) is unaffected.
+func (n *Network) SetDropRate(r float64) { n.cfg.DropRate = r }
 
 // Quiescent reports whether no packets are in flight anywhere (all link
 // servers idle). Useful for replication tests.

@@ -1,0 +1,236 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/xport"
+	"repro/internal/xport/oracle"
+)
+
+// This file extends the battery with the contract's edges (size limits,
+// fragmentation boundaries) and with the baseline fault script: every
+// substrate is driven through the same scripted adversity and checked
+// against the delivery oracle. Substrates without a recovery layer may
+// lose messages under faults but must never duplicate, reorder, or
+// invent; the BBP retry extension must additionally lose nothing.
+
+func TestMaxMessageEdges(t *testing.T) {
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		defer k.Close()
+		max := eps[0].MaxMessage()
+		k.Spawn("edges", func(p *sim.Proc) {
+			// One past the limit must be rejected outright.
+			if err := eps[0].Send(p, 1, make([]byte, max+1)); err == nil {
+				t.Errorf("%d-byte send (max %d) not rejected", max+1, max)
+			}
+		})
+		// An exact-limit message must cross intact. Cap the probe so the
+		// multi-megabyte substrates don't dominate the suite; the capped
+		// case is already covered by TestLargestSingleMessage.
+		if max <= 128<<10 {
+			payload := make([]byte, max)
+			sim.NewRNG(7).Bytes(payload)
+			ok := false
+			k.Spawn("tx", func(p *sim.Proc) {
+				if err := eps[2].Send(p, 3, payload); err != nil {
+					t.Errorf("exact-max send: %v", err)
+				}
+			})
+			k.Spawn("rx", func(p *sim.Proc) {
+				buf := make([]byte, max+1)
+				n, err := eps[3].Recv(p, 2, buf)
+				ok = err == nil && n == max && bytes.Equal(buf[:n], payload)
+			})
+			defer func() {
+				if !ok {
+					t.Errorf("exact-max (%d bytes) message corrupted or lost", max)
+				}
+			}()
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFragmentationBoundaries sends sizes chosen to straddle every
+// substrate's frame and packet boundaries (Ethernet's 1500-byte MTU,
+// ATM's 48-byte cells, SCRAMNet's 4-byte packets and the stacks' MSS
+// after headers) and requires bit-exact reassembly.
+func TestFragmentationBoundaries(t *testing.T) {
+	sizes := []int{47, 48, 49, 1459, 1460, 1461, 1500, 1501, 2920, 4095}
+	forEachNetwork(t, func(t *testing.T, k *sim.Kernel, eps []xport.Endpoint) {
+		defer k.Close()
+		payloads := make([][]byte, len(sizes))
+		rng := sim.NewRNG(11)
+		for i, n := range sizes {
+			payloads[i] = make([]byte, n)
+			rng.Bytes(payloads[i])
+		}
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i := range payloads {
+				if err := eps[0].Send(p, 1, payloads[i]); err != nil {
+					t.Errorf("size %d: %v", sizes[i], err)
+					return
+				}
+			}
+		})
+		k.Spawn("rx", func(p *sim.Proc) {
+			buf := make([]byte, 8192)
+			for i := range payloads {
+				n, err := eps[1].Recv(p, 0, buf)
+				if err != nil {
+					t.Errorf("size %d: %v", sizes[i], err)
+					return
+				}
+				if n != sizes[i] || !bytes.Equal(buf[:n], payloads[i]) {
+					t.Errorf("size %d reassembled to %d bytes (equal=%v)", sizes[i], n, bytes.Equal(buf[:n], payloads[i]))
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// batteryScript is the baseline fault script every substrate faces: a
+// 15% transient loss window across the middle of the workload plus a
+// fail→repair cycle of node 3, which carries no test traffic (on the
+// dual ring it is optically bypassed; on a switch its link goes dark).
+func batteryScript() *fault.Script {
+	return &fault.Script{Seed: 20250805, Actions: []fault.Action{
+		{At: sim.Time(0).Add(100 * sim.Microsecond), Kind: fault.LossStart, Rate: 0.15},
+		{At: sim.Time(0).Add(150 * sim.Microsecond), Kind: fault.NodeFail, Node: 3},
+		{At: sim.Time(0).Add(450 * sim.Microsecond), Kind: fault.NodeRepair, Node: 3},
+		{At: sim.Time(0).Add(500 * sim.Microsecond), Kind: fault.LossStop},
+	}}
+}
+
+// TestFaultScriptBattery runs the baseline fault script against every
+// substrate. SCRAMNet (retry-enabled BBP) and the hybrid's small-message
+// road must deliver everything; the stacks without a recovery layer run
+// time-bounded with polling receivers and must satisfy every oracle
+// clause except completeness.
+func TestFaultScriptBattery(t *testing.T) {
+	const msgs = 15
+	for _, net := range cluster.AllNetworks {
+		net := net
+		// The retry extension gives these two a recovery layer, so the
+		// oracle additionally demands completeness.
+		reliable := net == cluster.SCRAMNet || net == cluster.Hybrid
+		t.Run(string(net), func(t *testing.T) {
+			k := sim.NewKernel()
+			defer k.Close()
+			opts := cluster.Options{Nodes: 4, Net: net, Faults: batteryScript()}
+			if reliable {
+				bbp := core.DefaultConfig()
+				bbp.Retry = core.DefaultRetryConfig()
+				opts.BBP = &bbp
+			}
+			c, err := cluster.New(k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := oracle.New()
+			tx, rx := o.Wrap(c.Endpoints[0]), o.Wrap(c.Endpoints[1])
+
+			k.Spawn("tx", func(p *sim.Proc) {
+				for i := 0; i < msgs; i++ {
+					// Unique payloads, small enough for the hybrid's BBP
+					// road, spaced across the loss window.
+					msg := bytes.Repeat([]byte{byte(i + 1)}, 40)
+					if err := tx.Send(p, 1, msg); err != nil && reliable {
+						t.Errorf("send %d: %v", i, err)
+						return
+					}
+					p.Delay(30 * sim.Microsecond)
+				}
+			})
+			if reliable {
+				// Blocking receives: with the retry layer underneath every
+				// message arrives, and the run quiesces on its own.
+				k.Spawn("rx", func(p *sim.Proc) {
+					buf := make([]byte, 64)
+					for i := 0; i < msgs; i++ {
+						if _, err := rx.Recv(p, 0, buf); err != nil {
+							t.Errorf("recv %d: %v", i, err)
+							return
+						}
+					}
+				})
+				if err := k.Run(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// No recovery layer: drain by polling and stop at a fixed
+				// horizon — a dropped frame may stall the rest of the
+				// stream, which is legal here.
+				k.SpawnDaemon("rx", func(p *sim.Proc) {
+					buf := make([]byte, 64)
+					for {
+						if _, ok, err := rx.TryRecv(p, 0, buf); err != nil || !ok {
+							p.Delay(20 * sim.Microsecond)
+						}
+					}
+				})
+				k.RunFor(10 * sim.Millisecond)
+			}
+			st, err := o.Check(reliable)
+			if err != nil {
+				t.Fatalf("oracle: %v (%v)", err, st)
+			}
+			if reliable && st.Delivered != msgs {
+				t.Fatalf("delivered %d of %d", st.Delivered, msgs)
+			}
+			if st.Delivered == 0 {
+				t.Fatalf("nothing delivered at all (%v)", st)
+			}
+		})
+	}
+}
+
+// TestFaultScriptReplayMatches runs the battery's lossy workload twice
+// on the same substrate and script and demands identical delivery sets
+// — scripted faults are part of the deterministic event order.
+func TestFaultScriptReplayMatches(t *testing.T) {
+	run := func() string {
+		k := sim.NewKernel()
+		defer k.Close()
+		c, err := cluster.New(k, cluster.Options{
+			Nodes: 4, Net: cluster.FastEthernet, Faults: batteryScript(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				_ = c.Endpoints[0].Send(p, 1, []byte{byte(i + 1)})
+				p.Delay(40 * sim.Microsecond)
+			}
+		})
+		k.SpawnDaemon("rx", func(p *sim.Proc) {
+			buf := make([]byte, 8)
+			for {
+				if n, ok, err := c.Endpoints[1].TryRecv(p, 0, buf); err == nil && ok && n == 1 {
+					got = append(got, buf[0])
+				} else {
+					p.Delay(25 * sim.Microsecond)
+				}
+			}
+		})
+		k.RunFor(5 * sim.Millisecond)
+		return fmt.Sprintf("%v", got)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged:\n  %s\n  %s", a, b)
+	}
+}

@@ -1,0 +1,104 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/xport/oracle"
+)
+
+func msg(b byte) []byte { return []byte{b, b, b} }
+
+// record plays a send log and a delivery log into a fresh oracle on
+// the 0->1 stream and returns the Check result.
+func check(t *testing.T, sent, delivered []byte, requireAll bool) error {
+	t.Helper()
+	o := oracle.New()
+	for _, b := range sent {
+		o.RecordSend(0, 1, msg(b))
+	}
+	for _, b := range delivered {
+		o.RecordDelivery(0, 1, msg(b))
+	}
+	_, err := o.Check(requireAll)
+	return err
+}
+
+func TestOracleAcceptsCleanRun(t *testing.T) {
+	if err := check(t, []byte{1, 2, 3, 4}, []byte{1, 2, 3, 4}, true); err != nil {
+		t.Fatalf("clean run rejected: %v", err)
+	}
+}
+
+func TestOracleAcceptsLossWithoutRequireAll(t *testing.T) {
+	if err := check(t, []byte{1, 2, 3, 4}, []byte{1, 3}, false); err != nil {
+		t.Fatalf("lossy-but-ordered run rejected: %v", err)
+	}
+}
+
+func TestOracleRejectsLossWithRequireAll(t *testing.T) {
+	if err := check(t, []byte{1, 2, 3}, []byte{1, 3}, true); err == nil {
+		t.Fatal("lost message not reported under requireAll")
+	}
+}
+
+func TestOracleRejectsDuplicate(t *testing.T) {
+	if err := check(t, []byte{1, 2, 3}, []byte{1, 2, 2, 3}, false); err == nil {
+		t.Fatal("duplicated delivery not reported")
+	}
+}
+
+func TestOracleRejectsReordering(t *testing.T) {
+	if err := check(t, []byte{1, 2, 3}, []byte{1, 3, 2}, false); err == nil {
+		t.Fatal("reordered delivery not reported")
+	}
+}
+
+func TestOracleRejectsInvention(t *testing.T) {
+	if err := check(t, []byte{1, 2}, []byte{1, 9}, false); err == nil {
+		t.Fatal("invented delivery not reported")
+	}
+}
+
+func TestOracleCountsLosses(t *testing.T) {
+	o := oracle.New()
+	for _, b := range []byte{1, 2, 3, 4, 5} {
+		o.RecordSend(0, 1, msg(b))
+	}
+	for _, b := range []byte{2, 4} {
+		o.RecordDelivery(0, 1, msg(b))
+	}
+	st, err := o.Check(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Streams != 1 || st.Sent != 5 || st.Delivered != 2 || st.Lost != 3 {
+		t.Fatalf("stats: %v", st)
+	}
+}
+
+// TestOracleStreamsAreIndependent: a violation in one stream must be
+// reported even when every other stream is clean, and clean streams
+// must not inherit another stream's history.
+func TestOracleStreamsAreIndependent(t *testing.T) {
+	o := oracle.New()
+	o.RecordSend(0, 1, msg(1))
+	o.RecordDelivery(0, 1, msg(1))
+	o.RecordSend(2, 3, msg(1))
+	o.RecordDelivery(2, 3, msg(1))
+	o.RecordDelivery(2, 3, msg(1)) // duplicate on 2->3 only
+	if _, err := o.Check(false); err == nil {
+		t.Fatal("duplicate on one stream of many not reported")
+	}
+}
+
+// TestOracleIdenticalPayloads: repeated identical payloads are legal
+// when sent repeatedly — the cursor must match them one-for-one rather
+// than flagging duplicates.
+func TestOracleIdenticalPayloads(t *testing.T) {
+	if err := check(t, []byte{7, 7, 7}, []byte{7, 7, 7}, true); err != nil {
+		t.Fatalf("repeated identical payloads rejected: %v", err)
+	}
+	if err := check(t, []byte{7, 7}, []byte{7, 7, 7}, false); err == nil {
+		t.Fatal("extra copy beyond the send log not reported")
+	}
+}
