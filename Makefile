@@ -14,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover verify figures clean
+.PHONY: all build test race vet cover verify figures bench clean
 
 all: build
 
@@ -44,5 +44,24 @@ verify: vet test race
 figures:
 	$(GO) run ./cmd/figures -faults
 
+# Perf-regression tier: re-run the Figure 1–6 suite plus the throughput
+# and bus-utilization sweeps (internal/bench/report) and fail on any
+# drift from the checked-in BENCH_figures.json. The report is
+# byte-stable by construction, so a diff means a latency or a counter
+# actually moved; if the move is intended, regenerate the baseline with
+# `$(GO) run ./cmd/figures -json BENCH_figures.json` so it lands in
+# review alongside the change that caused it.
+bench: build
+	$(GO) run ./cmd/figures -json .bench.tmp.json
+	@if diff -u BENCH_figures.json .bench.tmp.json; then \
+		rm -f .bench.tmp.json; \
+		echo "bench tier green: BENCH_figures.json matches the simulated testbed"; \
+	else \
+		rm -f .bench.tmp.json; \
+		echo "BENCH_figures.json drifted — if intended, regenerate with:"; \
+		echo "  $(GO) run ./cmd/figures -json BENCH_figures.json"; \
+		exit 1; \
+	fi
+
 clean:
-	rm -f cover.out cover.html
+	rm -f cover.out cover.html .bench.tmp.json

@@ -3,6 +3,13 @@
 // 4-byte one-way latency: post, descriptor and flag writes, ring
 // replication, polling detection, data read, acknowledgement.
 //
+// It then rebuilds the same decomposition a second way: per-layer costs
+// derived from the metrics counters multiplied by the configured bus
+// costs. The two breakdowns, the hardware/protocol Stats() counters and
+// the metrics registry are all cross-checked against each other; any
+// disagreement exits nonzero. The trace, the counters and the cost
+// model must tell one story.
+//
 // Usage:
 //
 //	anatomy [-size 4] [-nodes 4] [-mcast]
@@ -15,6 +22,8 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pci"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -32,13 +41,17 @@ func main() {
 		log.Fatal(err)
 	}
 	ring.SetSingleWriterCheck(true)
-	sys, err := core.New(ring, core.DefaultConfig())
+	bcfg := core.DefaultConfig()
+	sys, err := core.New(ring, bcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	rec := trace.New()
 	ring.SetTracer(rec)
 	sys.SetTracer(rec)
+	m := metrics.New()
+	ring.SetMetrics(m)
+	sys.SetMetrics(m)
 
 	eps := make([]*core.Endpoint, *nodes)
 	for i := range eps {
@@ -97,4 +110,229 @@ func main() {
 	if span, ok := rec.Span("post", "consume"); ok {
 		fmt.Printf("post→consume span: %s\n", span)
 	}
+
+	if !crossCheck(rec, m, ring, eps, bcfg, sent, lastDone, *size, recvs) {
+		fmt.Println("\ncross-check FAILED: trace, metrics and cost model disagree")
+		os.Exit(1)
+	}
+	fmt.Println("\ncross-check OK: trace spans, metrics counters, Stats() and the")
+	fmt.Println("bus cost model all agree on the decomposition above.")
+}
+
+// eventTime returns the time of the first (last=false) or last
+// (last=true) trace event with the given name on the given node.
+func eventTime(rec *trace.Recorder, node int, name string, last bool) (sim.Time, bool) {
+	var t sim.Time
+	found := false
+	for _, e := range rec.Events() {
+		if e.Node != node || e.Name != name {
+			continue
+		}
+		if !found || last {
+			t = e.T
+		}
+		found = true
+	}
+	return t, found
+}
+
+// crossCheck derives the per-layer decomposition from the metrics
+// counters times the configured bus costs, prints it next to the trace
+// spans, and verifies that the trace, the metrics registry, the
+// hardware/protocol Stats() counters and the cost model agree.
+func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network,
+	eps []*core.Endpoint, bcfg core.Config, sent, lastDone sim.Time, size int, recvs []int) bool {
+	snap := m.Snapshot()
+	up := snap.Rollup()
+	buscfg := ring.NIC(0).Bus().Config()
+	ok := true
+	fail := func(format string, args ...any) {
+		fmt.Printf("MISMATCH: "+format+"\n", args...)
+		ok = false
+	}
+	counter := func(name string, node int) int64 {
+		v, _ := snap.Counter(name, node)
+		return v
+	}
+	global := func(name string) int64 {
+		v, _ := up.Counter(name, metrics.NodeGlobal)
+		return v
+	}
+
+	// 1. Every trace event class must tally with its metrics counter.
+	for _, pc := range []struct{ event, metric string }{
+		{"inject", "ring.packets_injected"},
+		{"apply", "ring.packets_applied"},
+		{"post", "bbp.sends"},
+		{"detect", "bbp.recvs"},
+		{"consume", "bbp.recvs"},
+	} {
+		if got, want := int64(rec.Count(pc.event)), global(pc.metric); got != want {
+			fail("trace %q count %d != rollup %s %d", pc.event, got, pc.metric, want)
+		}
+	}
+	if got, want := int64(rec.Count("flag-set")), global("bbp.sends")+global("bbp.mcast_sends"); got != want {
+		fail("trace flag-set count %d != flag words written %d", got, want)
+	}
+
+	// 2. The metrics rollup must tally with the layers' own Stats().
+	var nicSent, nicApplied int64
+	for i := range eps {
+		st := ring.NIC(i).Stats()
+		nicSent += st.PacketsSent
+		nicApplied += st.PacketsApplied
+	}
+	if nicSent != global("ring.packets_injected") {
+		fail("NIC Stats say %d packets sent, metrics say %d", nicSent, global("ring.packets_injected"))
+	}
+	if nicApplied != global("ring.packets_applied") {
+		fail("NIC Stats say %d packets applied, metrics say %d", nicApplied, global("ring.packets_applied"))
+	}
+	var epSent, epRecv, epPolls int64
+	for _, e := range eps {
+		st := e.Stats()
+		epSent += st.Sent
+		epRecv += st.Received
+		epPolls += st.Polls
+	}
+	if epSent != global("bbp.sends") || epRecv != global("bbp.recvs") || epPolls != global("bbp.polls") {
+		fail("endpoint Stats (sent=%d recv=%d polls=%d) disagree with metrics (%d/%d/%d)",
+			epSent, epRecv, epPolls, global("bbp.sends"), global("bbp.recvs"), global("bbp.polls"))
+	}
+
+	// 3. Per node, bus occupancy must equal the word and byte counters
+	// times the configured transaction costs — the §7 accounting.
+	for i := range eps {
+		wr := counter("pci.pio_write_words", i)
+		rd := counter("pci.pio_read_words", i)
+		dma := counter("pci.dma_bytes", i)
+		busy := counter("pci.busy_ns", i)
+		want := wr*int64(buscfg.PIOWriteWord) + rd*int64(buscfg.PIOReadWord) + dma*int64(buscfg.DMAPerByte)
+		if busy != want {
+			fail("node %d: pci.busy_ns = %d, but %d wr + %d rd words + %d DMA bytes cost %d ns",
+				i, busy, wr, rd, dma, want)
+		}
+	}
+
+	// The descriptor transfer is 3 words in the base protocol (offset,
+	// length, sequence); the retry extension adds a checksum word.
+	descW := int64(3)
+	if bcfg.Retry.Enabled {
+		descW = 4
+	}
+	dmaSend := size > 0 && size >= bcfg.SendDMAThreshold
+	dmaRecv := size > 0 && size >= bcfg.RecvDMAThreshold
+	dataW := int64(0)
+	if size > 0 && !dmaSend {
+		dataW = int64(pci.WordsFor(size))
+	}
+
+	// 4. The sender's word budget: payload + descriptor + one flag word
+	// per receiver, nothing else.
+	wantWr := dataW + descW + int64(len(recvs))
+	if wr0 := counter("pci.pio_write_words", 0); wr0 != wantWr {
+		fail("sender wrote %d PIO words; cost model predicts %d (data %d + desc %d + flags %d)",
+			wr0, wantWr, dataW, descW, len(recvs))
+	}
+	if dmaSend && counter("pci.dma_bytes", 0) != int64(size) {
+		fail("sender DMA bytes = %d, want the %d-byte payload", counter("pci.dma_bytes", 0), size)
+	}
+
+	// 5. Each receiver's word budget: one flag read per poll, the
+	// descriptor, and the payload (unless drained by DMA).
+	dataRdW := int64(0)
+	if size > 0 && !dmaRecv {
+		dataRdW = int64(pci.WordsFor(size))
+	}
+	for _, r := range recvs {
+		rd := counter("pci.pio_read_words", r)
+		polls := counter("bbp.polls", r)
+		want := polls + descW + dataRdW
+		if rd != want {
+			fail("receiver %d read %d PIO words; cost model predicts %d (polls %d + desc %d + data %d)",
+				r, rd, want, polls, descW, dataRdW)
+		}
+		if dmaRecv && counter("pci.dma_bytes", r) != int64(size) {
+			fail("receiver %d DMA bytes = %d, want %d", r, counter("pci.dma_bytes", r), size)
+		}
+	}
+
+	// 6. The decomposition itself: trace spans vs counters × cost model.
+	tPost, okPost := eventTime(rec, 0, "post", false)
+	tFlag, okFlag := eventTime(rec, 0, "flag-set", true)
+	if !okPost || !okFlag {
+		fail("trace is missing post/flag-set events")
+		return ok
+	}
+	setup := bcfg.Costs.SendSetup
+	publish := sim.Duration(descW+int64(len(recvs))) * buscfg.PIOWriteWord
+	publishModel := fmt.Sprintf("%d wr × %s", descW+int64(len(recvs)), buscfg.PIOWriteWord)
+	if dmaSend {
+		publish += buscfg.DMASetup + sim.Duration(size)*buscfg.DMAPerByte + buscfg.DMACompletionCheck
+		publishModel = fmt.Sprintf("DMA %d B + %s", size, publishModel)
+	} else if dataW > 0 {
+		publish += sim.Duration(dataW) * buscfg.PIOWriteWord
+		publishModel = fmt.Sprintf("%d wr × %s", dataW+descW+int64(len(recvs)), buscfg.PIOWriteWord)
+	}
+	drain := buscfg.PIOWriteWord // ACK toggle write
+	drainModel := fmt.Sprintf("1 wr × %s", buscfg.PIOWriteWord)
+	if dmaRecv {
+		drain += buscfg.DMASetup + sim.Duration(size)*buscfg.DMAPerByte + buscfg.DMACompletionCheck
+		drainModel = "DMA " + fmt.Sprint(size) + " B + " + drainModel
+	} else if dataRdW > 0 {
+		drain += sim.Duration(dataRdW) * buscfg.PIOReadWord
+		drainModel = fmt.Sprintf("%d rd × %s + %s", dataRdW, buscfg.PIOReadWord, drainModel)
+	}
+	// Deterministic floor of the flag-set→detect segment: the descriptor
+	// read and bookkeeping always happen after the flag is seen. Wire
+	// transit and poll-phase alignment sit on top and vary.
+	detectFloor := sim.Duration(descW)*buscfg.PIOReadWord + bcfg.Costs.RecvBookkeeping
+
+	if got := tPost.Sub(sent); got != setup {
+		fail("send-call→post span %s != SendSetup %s", got, setup)
+	}
+	// A publish larger than the TX FIFO stalls behind the ring drain;
+	// the span then exceeds the pure bus cost.
+	fifoSafe := size+int(descW+int64(len(recvs)))*4 <= ring.NIC(0).NetworkConfig().TxFIFOBytes
+	pubSpan := tFlag.Sub(tPost)
+	if fifoSafe && pubSpan != publish {
+		fail("sender publish span %s != cost-model %s (%s)", pubSpan, publish, publishModel)
+	}
+	if !fifoSafe && pubSpan < publish {
+		fail("sender publish span %s below its bus cost floor %s", pubSpan, publish)
+	}
+
+	fmt.Println("\nper-layer decomposition — trace spans vs counters × cost model")
+	fmt.Printf("  %-34s %12s  %12s  %s\n", "segment", "trace", "model", "derivation")
+	fmt.Printf("  %-34s %12s  %12s  SendSetup\n", "software setup (call→post)", tPost.Sub(sent), setup)
+	fmt.Printf("  %-34s %12s  %12s  %s\n", "sender publish (post→flag-set)", pubSpan, publish, publishModel)
+	var tLast sim.Time
+	for _, r := range recvs {
+		tDetect, okD := eventTime(rec, r, "detect", false)
+		tConsume, okC := eventTime(rec, r, "consume", true)
+		if !okD || !okC {
+			fail("receiver %d is missing detect/consume events", r)
+			continue
+		}
+		transit := tDetect.Sub(tFlag)
+		if transit < detectFloor {
+			fail("receiver %d detected in %s, below the %s descriptor+bookkeeping floor", r, transit, detectFloor)
+		}
+		drainSpan := tConsume.Sub(tDetect)
+		if drainSpan != drain {
+			fail("receiver %d drain span %s != cost-model %s (%s)", r, drainSpan, drain, drainModel)
+		}
+		fmt.Printf("  rx%-2d %-29s %12s  %12s  wire + poll align (floor %s)\n", r, "transit+detect (flag-set→detect)", transit, "—", detectFloor)
+		fmt.Printf("  rx%-2d %-29s %12s  %12s  %s\n", r, "drain (detect→consume)", drainSpan, drain, drainModel)
+		if tConsume > tLast {
+			tLast = tConsume
+		}
+	}
+	fmt.Printf("  %-34s %12s\n", "one-way (call→last consume)", lastDone.Sub(sent))
+	// The segments must telescope back to the measured latency — a guard
+	// on this table's own arithmetic.
+	if tLast != lastDone {
+		fail("last consume at %s but the run measured %s", tLast, lastDone)
+	}
+	return ok
 }

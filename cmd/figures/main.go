@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-csv DIR] [-wide]
+//	figures [-fig N] [-csv DIR] [-wide] [-json [PATH]]
 //
 // -fig selects a single figure (1..6, or 0 for the §2 raw-hardware
 // table); default runs everything. -wide extends the size axis beyond
 // the paper's 1000-byte panels to show the large-message crossovers.
 // -faults appends the fault-sweep extension: BBP one-way latency vs
 // ring loss rate with the retry extension recovering drops.
+// -json PATH runs the perf-regression suite (internal/bench/report)
+// instead of the text tables and writes the schema-versioned,
+// byte-stable report to PATH ("-" for stdout); this is what regenerates
+// the checked-in BENCH_figures.json.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/bench/report"
 )
 
 func main() {
@@ -27,7 +32,21 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSVs into this directory")
 	wide := flag.Bool("wide", false, "extend size axes to show large-message crossovers")
 	faults := flag.Bool("faults", false, "also run the fault-sweep extension (latency vs loss rate)")
+	jsonPath := flag.String("json", "", "write the perf-regression report to this path (\"-\" for stdout) instead of text tables")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		out := report.Marshal(report.Run(report.DefaultOptions()))
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+			return
+		}
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := bench.FullSizes
 	if *wide {

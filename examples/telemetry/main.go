@@ -17,6 +17,7 @@ import (
 	"log"
 
 	"repro"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -38,6 +39,12 @@ func main() {
 		log.Fatal(err)
 	}
 	ring := tb.Ring
+	// Instrument the run: the ring reports hop and apply counters, and
+	// each consumer station feeds its per-frame staleness into a
+	// histogram. Instruments charge no virtual time, so the timeline is
+	// identical with or without them.
+	m := metrics.New()
+	ring.SetMetrics(m)
 
 	// Producer: write the state vector then the frame counter (the ring
 	// preserves per-sender order, so a consumer that sees frame N also
@@ -62,6 +69,7 @@ func main() {
 	for node := 1; node <= 3; node++ {
 		node := node
 		k.Spawn(fmt.Sprintf("station%d", node), func(p *sim.Proc) {
+			stale := m.Histogram("telemetry.staleness_ns", node)
 			var last uint32
 			var worst sim.Duration
 			count := 0
@@ -76,7 +84,9 @@ func main() {
 					// Staleness: how far behind the producer's frame
 					// clock this station is when it first sees frame f.
 					produced := sim.Time(int64(f-1) * int64(periodNanos))
-					if lag := p.Now().Sub(produced); lag > worst {
+					lag := p.Now().Sub(produced)
+					stale.Observe(int64(lag))
+					if lag > worst {
 						worst = lag
 					}
 					// Consistency check: state words must belong to
@@ -115,6 +125,17 @@ func main() {
 		}
 		fmt.Printf("station %-3d  %8d  %10d  %14s  %s\n", node, frames, r.samples, r.stale, status)
 	}
+	fmt.Printf("\n%-10s  %8s  %10s  %10s  %10s\n", "station", "samples", "p50 stale", "p99 stale", "max stale")
+	for node := 1; node <= 3; node++ {
+		h := m.Histogram("telemetry.staleness_ns", node)
+		fmt.Printf("station %-3d  %8d  %10s  %10s  %10s\n", node, h.Count(),
+			sim.Duration(h.Quantile(0.5)), sim.Duration(h.Quantile(0.99)), sim.Duration(h.Max()))
+	}
+	up := m.Snapshot().Rollup()
+	hops, _ := up.Counter("ring.hops", metrics.NodeGlobal)
+	applied, _ := up.Counter("ring.packets_applied", metrics.NodeGlobal)
+	fmt.Printf("ring totals: %d packet hops, %d applies (counters, zero virtual-time cost)\n", hops, applied)
+
 	fmt.Println("\nEvery surviving station saw every frame un-torn: single-writer")
 	fmt.Println("regions + per-sender FIFO replication make the frame counter a")
 	fmt.Println("free seqlock, and staleness stays bounded by design (§2).")

@@ -39,12 +39,14 @@ func OneWayAPI(net cluster.Network, n int) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return pingPong(k, c.Endpoints[0], c.Endpoints[1], n)
+	return PingPong(k, c.Endpoints[0], c.Endpoints[1], n)
 }
 
-// pingPong runs warmup+Iters round trips between a and b and returns
-// the average one-way latency in microseconds.
-func pingPong(k *sim.Kernel, a, b xport.Endpoint, n int) float64 {
+// PingPong runs warmup+Iters round trips between a and b and returns
+// the average one-way latency in microseconds. It is exported so the
+// perf-regression report (internal/bench/report) can drive it against
+// custom-configured, metrics-instrumented testbeds.
+func PingPong(k *sim.Kernel, a, b xport.Endpoint, n int) float64 {
 	var total sim.Duration
 	buf0 := make([]byte, n+1)
 	buf1 := make([]byte, n+1)
@@ -188,7 +190,7 @@ func UnicastAPI(n int) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return pingPong(k, c.Endpoints[0], c.Endpoints[1], n)
+	return PingPong(k, c.Endpoints[0], c.Endpoints[1], n)
 }
 
 func others(nodes, not int) []int {

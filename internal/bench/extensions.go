@@ -97,7 +97,7 @@ func HierarchyPingPong(leaves, hostsPerLeaf, n int) float64 {
 		panic(err)
 	}
 	// First host of the first leaf to last host of the last leaf.
-	return pingPong(k, c.Endpoints[0], c.Endpoints[leaves*hostsPerLeaf-1], n)
+	return PingPong(k, c.Endpoints[0], c.Endpoints[leaves*hostsPerLeaf-1], n)
 }
 
 // FigBandwidth sweeps streaming throughput across networks (extension

@@ -1,0 +1,261 @@
+// Package report is the perf-regression harness: it re-runs the
+// Figure 1–6 suite plus the raw-throughput and bus-utilization sweeps
+// against the simulated testbed and emits one schema-versioned,
+// byte-stable JSON document (BENCH_figures.json). A checked-in copy of
+// that document is the performance baseline; the `make bench` tier
+// regenerates it and fails on any drift, so a PR that moves a latency
+// or a counter must also move the golden file — visibly, in review.
+//
+// Byte stability is by construction: the simulation is deterministic,
+// the report contains no wall-clock time, every float is rounded to
+// three decimals before marshaling, and serialization is
+// struct-field-ordered json.MarshalIndent (no maps).
+package report
+
+import (
+	"encoding/json"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Schema is the report format version. Bump it whenever a field is
+// added, removed or reinterpreted, so downstream tooling can refuse
+// documents it does not understand.
+const Schema = 1
+
+// Options selects the sweep resolution. The default runs the figure
+// suite at the paper's panel sizes; Reduced is a fast subset for tests.
+type Options struct {
+	// SmallSizes and FullSizes are the figure panels' size axes.
+	SmallSizes []int
+	FullSizes  []int
+	// BusSizes is the bus-utilization sweep axis.
+	BusSizes []int
+	// CrossoverLo/Hi/Step bound the fine-grained scan for the receive
+	// DMA threshold crossover (Step <= 0 disables the scan).
+	CrossoverLo, CrossoverHi, CrossoverStep int
+	// BarrierAndBcast includes Figures 5 and 6 (the slowest part of the
+	// suite, involving every network's collectives).
+	BarrierAndBcast bool
+}
+
+// DefaultOptions is the full suite, as committed in BENCH_figures.json.
+func DefaultOptions() Options {
+	return Options{
+		SmallSizes:      bench.SmallSizes,
+		FullSizes:       bench.FullSizes,
+		BusSizes:        []int{0, 16, 64, 256, 1024, 4096},
+		CrossoverLo:     4,
+		CrossoverHi:     256,
+		CrossoverStep:   4,
+		BarrierAndBcast: true,
+	}
+}
+
+// ReducedOptions is a two-point subset for schema and stability tests.
+func ReducedOptions() Options {
+	return Options{
+		SmallSizes:      []int{0, 64},
+		FullSizes:       []int{0, 64},
+		BusSizes:        []int{0, 256},
+		CrossoverLo:     32,
+		CrossoverHi:     64,
+		CrossoverStep:   32,
+		BarrierAndBcast: false,
+	}
+}
+
+// Report is the document written to BENCH_figures.json.
+type Report struct {
+	Schema int    `json:"schema"`
+	Paper  string `json:"paper"`
+	// Figures are the paper's latency panels, in figure order.
+	Figures []Figure `json:"figures"`
+	// Barrier is the Figure 6 table (empty when BarrierAndBcast is off).
+	Barrier []BarrierRow `json:"barrier,omitempty"`
+	// Throughput is the §2 raw-hardware table.
+	Throughput Throughput `json:"throughput"`
+	// BusSweep quantifies §7's claim that polling PIO reads dominate
+	// receive overhead: per message size, the receive-side latency on
+	// the pure-PIO and pure-DMA paths, the receiver's PIO read traffic,
+	// and its I/O-bus utilization.
+	BusSweep []BusPoint `json:"bus_sweep"`
+	// RecvDMACrossoverBytes is the smallest message size at which the
+	// DMA receive path beats PIO word reads (-1: never within the scan,
+	// 0: scan disabled).
+	RecvDMACrossoverBytes int `json:"recv_dma_crossover_bytes"`
+	// Rollup is the cluster-wide metrics snapshot of the canonical
+	// instrumented run (the 4-byte SCRAMNet ping-pong): protocol and
+	// hardware counters that must not drift silently.
+	Rollup metrics.Snapshot `json:"rollup"`
+}
+
+// Figure is one latency panel.
+type Figure struct {
+	Name   string   `json:"name"`
+	Title  string   `json:"title"`
+	Series []Series `json:"series"`
+}
+
+// Series is one curve: latency in microseconds against message size.
+type Series struct {
+	Label string    `json:"label"`
+	X     []int     `json:"x_bytes"`
+	Y     []float64 `json:"y_us"`
+}
+
+// BarrierRow is one Figure 6 measurement.
+type BarrierRow struct {
+	Config string  `json:"config"`
+	Nodes  int     `json:"nodes"`
+	Us     float64 `json:"us"`
+}
+
+// Throughput is the §2 raw ring throughput table.
+type Throughput struct {
+	FixedMBs    float64 `json:"fixed_mb_s"`
+	VariableMBs float64 `json:"variable_mb_s"`
+}
+
+// BusPoint is one size of the bus-utilization sweep. All counters are
+// whole-run totals of the receiving node over warmup+Iters round trips.
+type BusPoint struct {
+	Bytes int `json:"bytes"`
+	// PIOUs and DMAUs are the one-way latencies with the receive path
+	// forced to PIO word reads and to the DMA engine respectively.
+	PIOUs float64 `json:"pio_recv_us"`
+	DMAUs float64 `json:"dma_recv_us"`
+	// PIOReadWords is the receiver's PIO read-word count on the PIO
+	// path; every one costs a full bus round trip (§7).
+	PIOReadWords int64 `json:"recv_pio_read_words"`
+	// Polls is how many times the receiver's poll loop read the MESSAGE
+	// flag word.
+	Polls int64 `json:"recv_polls"`
+	// BusBusyFrac is the receiver's I/O-bus occupancy divided by the
+	// run's virtual duration, on the PIO path.
+	BusBusyFrac float64 `json:"recv_bus_busy_frac"`
+}
+
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}
+
+func roundSeries(ss []bench.Series) []Series {
+	var out []Series
+	for _, s := range ss {
+		r := Series{Label: s.Label, X: s.X}
+		for _, y := range s.Y {
+			r.Y = append(r.Y, round3(y))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// instrumented runs one SCRAMNet ping-pong with a metrics registry
+// installed, the BBP configured by mutate (nil = defaults), returning
+// the one-way latency, the per-node snapshot, and the run's virtual
+// duration in nanoseconds.
+func instrumented(n int, mutate func(*core.Config)) (us float64, snap metrics.Snapshot, elapsedNs int64) {
+	k := sim.NewKernel()
+	defer k.Close()
+	m := metrics.New()
+	opts := cluster.Options{Nodes: 4, Net: cluster.SCRAMNet, Metrics: m}
+	if mutate != nil {
+		cfg := core.DefaultConfig()
+		mutate(&cfg)
+		opts.BBP = &cfg
+	}
+	c, err := cluster.New(k, opts)
+	if err != nil {
+		panic(err)
+	}
+	us = bench.PingPong(k, c.Endpoints[0], c.Endpoints[1], n)
+	return us, m.Snapshot(), int64(k.Now())
+}
+
+// pioOnly forces the receive path onto PIO word reads; dmaAlways forces
+// every non-empty receive through the DMA engine.
+func pioOnly(cfg *core.Config)   { cfg.RecvDMAThreshold = 1 << 30 }
+func dmaAlways(cfg *core.Config) { cfg.RecvDMAThreshold = 1 }
+
+// busPoint measures one size of the bus-utilization sweep.
+func busPoint(n int) BusPoint {
+	pioUs, snap, elapsed := instrumented(n, pioOnly)
+	dmaUs, _, _ := instrumented(n, dmaAlways)
+	// Node 1 is the pong side: it consumes rank 0's messages.
+	reads, _ := snap.Counter("pci.pio_read_words", 1)
+	polls, _ := snap.Counter("bbp.polls", 1)
+	busy, _ := snap.Counter("pci.busy_ns", 1)
+	frac := 0.0
+	if elapsed > 0 {
+		frac = float64(busy) / float64(elapsed)
+	}
+	return BusPoint{
+		Bytes:        n,
+		PIOUs:        round3(pioUs),
+		DMAUs:        round3(dmaUs),
+		PIOReadWords: reads,
+		Polls:        polls,
+		BusBusyFrac:  round3(frac),
+	}
+}
+
+// recvDMACrossover scans [lo,hi] for the first size at which the DMA
+// receive path is strictly cheaper than PIO reads.
+func recvDMACrossover(lo, hi, step int) int {
+	if step <= 0 {
+		return 0
+	}
+	pio := func(n int) float64 { us, _, _ := instrumented(n, pioOnly); return us }
+	dma := func(n int) float64 { us, _, _ := instrumented(n, dmaAlways); return us }
+	return bench.Crossover(pio, dma, lo, hi, step)
+}
+
+// Run executes the suite and assembles the report.
+func Run(opts Options) Report {
+	r := Report{
+		Schema: Schema,
+		Paper:  "Low-Latency Message Passing on Workstation Clusters using SCRAMNet",
+	}
+	r.Figures = append(r.Figures,
+		Figure{Name: "fig1_small", Title: "SCRAMNet one-way latency, API vs MPI (small messages)", Series: roundSeries(bench.Fig1(opts.SmallSizes))},
+		Figure{Name: "fig1", Title: "SCRAMNet one-way latency, API vs MPI", Series: roundSeries(bench.Fig1(opts.FullSizes))},
+		Figure{Name: "fig2", Title: "One-way latency across networks, API layer", Series: roundSeries(bench.Fig2(opts.FullSizes))},
+		Figure{Name: "fig3", Title: "One-way latency across networks, MPI layer", Series: roundSeries(bench.Fig3(opts.FullSizes))},
+		Figure{Name: "fig4", Title: "SCRAMNet point-to-point vs 4-node broadcast, API layer", Series: roundSeries(bench.Fig4(opts.FullSizes))},
+	)
+	if opts.BarrierAndBcast {
+		r.Figures = append(r.Figures,
+			Figure{Name: "fig5", Title: "4-node MPI_Bcast, SCRAMNet vs Fast Ethernet", Series: roundSeries(bench.Fig5(opts.FullSizes))})
+		for _, row := range bench.Fig6() {
+			r.Barrier = append(r.Barrier, BarrierRow{Config: row.Config, Nodes: row.Nodes, Us: round3(row.Microus)})
+		}
+	}
+	r.Throughput = Throughput{
+		FixedMBs:    round3(bench.RingThroughput(false)),
+		VariableMBs: round3(bench.RingThroughput(true)),
+	}
+	for _, n := range opts.BusSizes {
+		r.BusSweep = append(r.BusSweep, busPoint(n))
+	}
+	r.RecvDMACrossoverBytes = recvDMACrossover(opts.CrossoverLo, opts.CrossoverHi, opts.CrossoverStep)
+	_, snap, _ := instrumented(4, nil)
+	r.Rollup = snap.Rollup()
+	return r
+}
+
+// Marshal renders the report as the canonical BENCH_figures.json bytes
+// (indented, trailing newline). Byte-identical across runs.
+func Marshal(r Report) []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // no marshal-resistant types in Report
+	}
+	return append(b, '\n')
+}

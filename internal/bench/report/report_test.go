@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportByteStable is the stability guarantee the `make bench` tier
+// rests on: two full reduced runs must marshal to identical bytes.
+func TestReportByteStable(t *testing.T) {
+	a := Marshal(Run(ReducedOptions()))
+	b := Marshal(Run(ReducedOptions()))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical report runs produced different bytes")
+	}
+}
+
+// TestReportSchemaAndShape pins the document structure a schema-1
+// consumer relies on.
+func TestReportSchemaAndShape(t *testing.T) {
+	r := Run(ReducedOptions())
+	if r.Schema != 1 {
+		t.Fatalf("schema = %d, want 1", r.Schema)
+	}
+	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
+	if len(r.Figures) != len(wantFigs) {
+		t.Fatalf("got %d figures, want %d", len(r.Figures), len(wantFigs))
+	}
+	for i, f := range r.Figures {
+		if f.Name != wantFigs[i] {
+			t.Errorf("figure[%d] = %q, want %q", i, f.Name, wantFigs[i])
+		}
+		for _, s := range f.Series {
+			if len(s.X) != len(s.Y) {
+				t.Errorf("%s/%s: %d sizes but %d latencies", f.Name, s.Label, len(s.X), len(s.Y))
+			}
+		}
+	}
+	if len(r.BusSweep) != len(ReducedOptions().BusSizes) {
+		t.Fatalf("bus sweep has %d points, want %d", len(r.BusSweep), len(ReducedOptions().BusSizes))
+	}
+	if len(r.Rollup.Counters) == 0 {
+		t.Fatal("rollup snapshot is empty — cluster instrumentation did not fire")
+	}
+	// The marshaled document must round-trip.
+	var back Report
+	if err := json.Unmarshal(Marshal(r), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != r.Schema || back.RecvDMACrossoverBytes != r.RecvDMACrossoverBytes {
+		t.Fatal("round-tripped report disagrees with original")
+	}
+}
+
+// TestReportMatchesGoldenFigures pins the report's latencies to the
+// same values the golden figure tests enforce: installing metrics must
+// not move any figure (instruments never charge virtual time).
+func TestReportMatchesGoldenFigures(t *testing.T) {
+	r := Run(ReducedOptions())
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*want
+	}
+	api0 := r.Figures[0].Series[0].Y[0] // fig1_small, SCRAMNet API, 0 B
+	if !within(api0, 6.88, 0.02) {
+		t.Errorf("API 0-byte latency %v µs, want 6.88 ±2%%", api0)
+	}
+	mpi0 := r.Figures[0].Series[1].Y[0] // fig1_small, MPI, 0 B
+	if !within(mpi0, 43.92, 0.02) {
+		t.Errorf("MPI 0-byte latency %v µs, want 43.92 ±2%%", mpi0)
+	}
+	if !within(r.Throughput.FixedMBs, 6.61, 0.02) {
+		t.Errorf("fixed-mode throughput %v MB/s, want 6.61 ±2%%", r.Throughput.FixedMBs)
+	}
+	if !within(r.Throughput.VariableMBs, 16.80, 0.02) {
+		t.Errorf("variable-mode throughput %v MB/s, want 16.80 ±2%%", r.Throughput.VariableMBs)
+	}
+}
+
+// TestBusSweepShowsPIOReadDominance verifies the §7 claim the sweep
+// exists to quantify: on the PIO receive path the receiver's read-word
+// traffic grows with message size, and for large messages the DMA path
+// is strictly cheaper.
+func TestBusSweepShowsPIOReadDominance(t *testing.T) {
+	r := Run(ReducedOptions())
+	small, large := r.BusSweep[0], r.BusSweep[len(r.BusSweep)-1]
+	if large.PIOReadWords <= small.PIOReadWords {
+		t.Errorf("PIO read words did not grow with size: %d -> %d", small.PIOReadWords, large.PIOReadWords)
+	}
+	if large.DMAUs >= large.PIOUs {
+		t.Errorf("at %d B, DMA receive (%v µs) should beat PIO (%v µs)", large.Bytes, large.DMAUs, large.PIOUs)
+	}
+	if large.BusBusyFrac <= 0 || large.BusBusyFrac > 1 {
+		t.Errorf("bus utilization %v outside (0,1]", large.BusBusyFrac)
+	}
+	if cross := r.RecvDMACrossoverBytes; cross <= 0 {
+		t.Errorf("receive DMA crossover = %d, want a positive size", cross)
+	}
+}
+
+// TestGoldenBenchJSON regenerates the full default report and compares
+// it byte-for-byte against the checked-in BENCH_figures.json — the
+// in-tree copy of what `make bench` enforces. Regenerate with:
+//
+//	go run ./cmd/figures -json BENCH_figures.json
+func TestGoldenBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite in -short mode")
+	}
+	golden := filepath.Join("..", "..", "..", "BENCH_figures.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	got := Marshal(Run(DefaultOptions()))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BENCH_figures.json drifted from the checked-in golden.\n"+
+			"If the change is intended, regenerate with: go run ./cmd/figures -json BENCH_figures.json\n"+
+			"(got %d bytes, want %d)", len(got), len(want))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/fault"
 	"repro/internal/hybrid"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/myrinet"
 	"repro/internal/scramnet"
@@ -68,6 +69,12 @@ type Options struct {
 	// fault-injecting layer. A Hybrid cluster faults both substrates
 	// with the same script. Not supported on hierarchical SCRAMNet.
 	Faults *fault.Script
+	// Metrics, when non-nil, instruments every built layer (ring/
+	// hierarchy, host buses, BBP endpoints, fault wrappers, hybrid
+	// routers) against the given registry. Metrics never charge virtual
+	// time, so an instrumented cluster reproduces exactly the latencies
+	// of an uninstrumented one.
+	Metrics *metrics.Registry
 }
 
 // Cluster is a built testbed.
@@ -88,12 +95,13 @@ type Cluster struct {
 
 // faulted wraps fab with fault injection and schedules the script on
 // it when one was requested; otherwise it returns fab unchanged.
-func faulted(k *sim.Kernel, c *Cluster, script *fault.Script, fab xport.Fabric) xport.Fabric {
-	if script == nil {
+func faulted(k *sim.Kernel, c *Cluster, opts Options, fab xport.Fabric) xport.Fabric {
+	if opts.Faults == nil {
 		return fab
 	}
-	ff := fault.NewFabric(k, fab, script.Seed)
-	script.Apply(k, ff)
+	ff := fault.NewFabric(k, fab, opts.Faults.Seed)
+	ff.SetMetrics(opts.Metrics)
+	opts.Faults.ApplyMetrics(k, ff, opts.Metrics)
 	c.Fault = ff
 	return ff
 }
@@ -119,6 +127,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: hierarchy has %d hosts, want %d", h.Nodes(), opts.Nodes)
 			}
 			h.SetSingleWriterCheck(true)
+			if opts.Metrics != nil {
+				h.SetMetrics(opts.Metrics)
+			}
 			c.Hier = h
 			topo = h
 		} else {
@@ -137,8 +148,11 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 				return nil, err
 			}
 			ring.SetSingleWriterCheck(true)
+			if opts.Metrics != nil {
+				ring.SetMetrics(opts.Metrics)
+			}
 			if opts.Faults != nil {
-				opts.Faults.Apply(k, fault.Ring(ring))
+				opts.Faults.ApplyMetrics(k, fault.Ring(ring), opts.Metrics)
 			}
 			c.Ring = ring
 			topo = ring
@@ -155,6 +169,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.Metrics != nil {
+			sys.SetMetrics(opts.Metrics)
+		}
 		for i := 0; i < opts.Nodes; i++ {
 			ep, err := sys.Attach(i)
 			if err != nil {
@@ -168,7 +185,7 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		fb := faulted(k, c, opts.Faults, fab)
+		fb := faulted(k, c, opts, fab)
 		for i := 0; i < opts.Nodes; i++ {
 			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fb, i, tcpip.FastEthernetProfile()))
 		}
@@ -177,7 +194,7 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		fb := faulted(k, c, opts.Faults, fab)
+		fb := faulted(k, c, opts, fab)
 		for i := 0; i < opts.Nodes; i++ {
 			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fb, i, tcpip.ATMProfile()))
 		}
@@ -186,7 +203,7 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		fb := faulted(k, c, opts.Faults, fab)
+		fb := faulted(k, c, opts, fab)
 		for i := 0; i < opts.Nodes; i++ {
 			c.Endpoints = append(c.Endpoints, myrinet.OpenAPI(fb, i, myrinet.DefaultAPIConfig()))
 		}
@@ -195,14 +212,14 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		fb := faulted(k, c, opts.Faults, fab)
+		fb := faulted(k, c, opts, fab)
 		for i := 0; i < opts.Nodes; i++ {
 			c.Endpoints = append(c.Endpoints, tcpip.NewStack(k, fb, i, tcpip.MyrinetProfile()))
 		}
 	case Hybrid:
 		// Both NICs in every workstation: a SCRAMNet ring for latency
 		// and a Myrinet SAN for bandwidth. A fault script hits both.
-		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults})
+		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults, Metrics: opts.Metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -211,13 +228,14 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		fb := faulted(k, c, opts.Faults, fab)
+		fb := faulted(k, c, opts, fab)
 		for i := 0; i < opts.Nodes; i++ {
 			high := myrinet.OpenAPI(fb, i, myrinet.DefaultAPIConfig())
 			ep, err := hybrid.New(low.Endpoints[i], high, hybrid.DefaultConfig())
 			if err != nil {
 				return nil, err
 			}
+			ep.SetMetrics(opts.Metrics)
 			c.Endpoints = append(c.Endpoints, ep)
 		}
 	default:

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -228,15 +229,28 @@ type RingNetwork interface {
 // System is one BBP deployment over a SCRAMNet topology: one process
 // per host (bbp_init).
 type System struct {
-	net    RingNetwork
-	cfg    Config
-	lay    layout
-	eps    []*Endpoint
-	tracer *trace.Recorder
+	net     RingNetwork
+	cfg     Config
+	lay     layout
+	eps     []*Endpoint
+	tracer  *trace.Recorder
+	metrics *metrics.Registry
 }
 
 // SetTracer installs a protocol event recorder (nil disables tracing).
 func (s *System) SetTracer(r *trace.Recorder) { s.tracer = r }
+
+// SetMetrics installs protocol metrics (nil disables). Endpoints
+// already attached are instrumented retroactively; later Attach calls
+// pick the registry up automatically.
+func (s *System) SetMetrics(m *metrics.Registry) {
+	s.metrics = m
+	for _, e := range s.eps {
+		if e != nil {
+			e.setMetrics(m)
+		}
+	}
+}
 
 // New divides the replicated memory among the hosts and prepares one
 // endpoint slot per host.
@@ -314,6 +328,7 @@ func (s *System) Attach(rank int) (*Endpoint, error) {
 	if s.cfg.Retry.Enabled {
 		s.net.Kernel().SpawnDaemon(fmt.Sprintf("bbp-retry-%d", rank), e.retryLoop)
 	}
+	e.setMetrics(s.metrics)
 	s.eps[rank] = e
 	return e, nil
 }

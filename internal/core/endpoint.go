@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -69,6 +70,50 @@ type Endpoint struct {
 	intrWake  *sim.Cond
 	retryWake *sim.Cond
 	stats     Stats
+	im        epInstruments
+}
+
+// epInstruments mirror Stats into the metrics registry, keyed by the
+// endpoint's rank (nil = disabled no-ops).
+type epInstruments struct {
+	sends         *metrics.Counter   // bbp.sends
+	mcastSends    *metrics.Counter   // bbp.mcast_sends
+	recvs         *metrics.Counter   // bbp.recvs
+	bytesSent     *metrics.Counter   // bbp.bytes_sent
+	bytesRecv     *metrics.Counter   // bbp.bytes_recv
+	polls         *metrics.Counter   // bbp.polls
+	gcPasses      *metrics.Counter   // bbp.gc_passes
+	allocRetries  *metrics.Counter   // bbp.alloc_retries
+	retransmits   *metrics.Counter   // bbp.retransmits
+	retryFailures *metrics.Counter   // bbp.retry_failures
+	checksumDrops *metrics.Counter   // bbp.checksum_drops
+	staleDescs    *metrics.Counter   // bbp.stale_descs
+	reAcks        *metrics.Counter   // bbp.re_acks
+	msgSize       *metrics.Histogram // bbp.msg_size_bytes
+}
+
+// setMetrics (re)creates the endpoint's instruments against m.
+func (e *Endpoint) setMetrics(m *metrics.Registry) {
+	if m == nil {
+		e.im = epInstruments{}
+		return
+	}
+	e.im = epInstruments{
+		sends:         m.Counter("bbp.sends", e.me),
+		mcastSends:    m.Counter("bbp.mcast_sends", e.me),
+		recvs:         m.Counter("bbp.recvs", e.me),
+		bytesSent:     m.Counter("bbp.bytes_sent", e.me),
+		bytesRecv:     m.Counter("bbp.bytes_recv", e.me),
+		polls:         m.Counter("bbp.polls", e.me),
+		gcPasses:      m.Counter("bbp.gc_passes", e.me),
+		allocRetries:  m.Counter("bbp.alloc_retries", e.me),
+		retransmits:   m.Counter("bbp.retransmits", e.me),
+		retryFailures: m.Counter("bbp.retry_failures", e.me),
+		checksumDrops: m.Counter("bbp.checksum_drops", e.me),
+		staleDescs:    m.Counter("bbp.stale_descs", e.me),
+		reAcks:        m.Counter("bbp.re_acks", e.me),
+		msgSize:       m.Histogram("bbp.msg_size_bytes", e.me),
+	}
 }
 
 // liveBuf tracks an occupied buffer slot until every addressed receiver
@@ -216,11 +261,15 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "flag-set", "receiver=%d slot=%d", r, slot)
 		if multicast {
 			e.stats.McastSent++
+			e.im.mcastSends.Inc()
 		}
 		multicast = true
 	}
 	e.stats.Sent++
 	e.stats.BytesSent += int64(len(data))
+	e.im.sends.Inc()
+	e.im.bytesSent.Add(int64(len(data)))
+	e.im.msgSize.Observe(int64(len(data)))
 	if cfg.Retry.Enabled {
 		e.retryWake.Signal()
 	}
@@ -268,6 +317,7 @@ func (e *Endpoint) allocate(p *sim.Proc, n int) (slot, off int, err error) {
 			return 0, 0, ErrTooLarge
 		}
 		e.stats.AllocRetries++
+		e.im.allocRetries.Inc()
 		if deadline >= 0 && p.Now().Add(cfg.Costs.AllocRetryDelay) > deadline {
 			return 0, 0, ErrTimeout
 		}
@@ -282,6 +332,7 @@ func (e *Endpoint) collect(p *sim.Proc) {
 	lay := e.sys.lay
 	p.Delay(e.sys.cfg.Costs.GCPass)
 	e.stats.GCPasses++
+	e.im.gcPasses.Inc()
 	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "gc", "pass=%d", e.stats.GCPasses)
 	// One ACK word per peer that any live buffer is still waiting on.
 	var need uint32

@@ -25,6 +25,7 @@ var errChecksum = errors.New("bbp: payload checksum mismatch (awaiting retransmi
 func (e *Endpoint) pollSender(p *sim.Proc, s int) {
 	lay, cfg := e.sys.lay, e.sys.cfg
 	e.stats.Polls++
+	e.im.polls.Inc()
 	p.Delay(cfg.Costs.PollOverhead)
 	flags := e.nic.ReadWord(p, lay.msgFlags(e.me, s))
 	if cfg.Retry.Enabled {
@@ -105,6 +106,7 @@ scan:
 				// the old sequence, so the sender keeps retransmitting
 				// the new occupant until this scan can accept it.
 				e.nic.WriteWord(p, lay.ackSlot(s, e.me, b), floor)
+				e.im.reAcks.Inc()
 				e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "re-ack", "sender=%d slot=%d seq=%d", s, b, floor)
 			}
 			continue
@@ -112,6 +114,7 @@ scan:
 		if m.n < 0 || m.off < 0 || m.off+m.n > lay.dataSize {
 			// Torn descriptor — some of its packets were lost in flight.
 			e.stats.StaleDescs++
+			e.im.staleDescs.Inc()
 			e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "torn-desc", "sender=%d slot=%d seq=%d", s, b, m.seq)
 			continue
 		}
@@ -164,6 +167,7 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 		e.slotSeq[s][m.slot] = m.prevFloor
 		e.rescan[s] = true
 		e.stats.ChecksumDrops++
+		e.im.checksumDrops.Inc()
 		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "ck-drop", "sender=%d slot=%d seq=%d", s, m.slot, m.seq)
 		return 0, errChecksum
 	}
@@ -176,6 +180,8 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "consume", "sender=%d slot=%d len=%d", s, m.slot, m.n)
 	e.stats.Received++
 	e.stats.BytesRecv += int64(m.n)
+	e.im.recvs.Inc()
+	e.im.bytesRecv.Add(int64(m.n))
 	return m.n, nil
 }
 

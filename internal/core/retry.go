@@ -97,6 +97,7 @@ func (e *Endpoint) retryPass(p *sim.Proc) {
 			// The remaining receivers are presumed dead; reclaim the
 			// buffer so the sender is not wedged forever.
 			e.stats.RetryFailures++
+			e.im.retryFailures.Inc()
 			e.sys.tracer.Emitf(now, trace.BBP, e.me, "retry-fail", "slot=%d seq=%d attempts=%d", s, lb.seq, lb.attempts)
 			e.freeLive(s, lb)
 			continue
@@ -118,6 +119,7 @@ func (e *Endpoint) retransmit(p *sim.Proc, s int, lb *liveBuf) {
 	lb.busy = true
 	lb.attempts++
 	e.stats.Retransmits++
+	e.im.retransmits.Inc()
 	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "retransmit", "slot=%d seq=%d attempt=%d", s, lb.seq, lb.attempts)
 
 	if lb.n > 0 {

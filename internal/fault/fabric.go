@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/xport"
 )
@@ -23,6 +24,29 @@ type Fabric struct {
 	down  []bool
 
 	stats FabricStats
+	im    fabricInstruments
+}
+
+// fabricInstruments mirror FabricStats into the metrics registry
+// (cluster-wide, NodeGlobal — frames cross nodes, so per-node
+// attribution would be arbitrary).
+type fabricInstruments struct {
+	droppedLoss *metrics.Counter // fault.frames_dropped_loss
+	droppedDown *metrics.Counter // fault.frames_dropped_down
+	forwarded   *metrics.Counter // fault.frames_forwarded
+}
+
+// SetMetrics installs the wrapper's instruments (nil disables).
+func (f *Fabric) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		f.im = fabricInstruments{}
+		return
+	}
+	f.im = fabricInstruments{
+		droppedLoss: m.Counter("fault.frames_dropped_loss", metrics.NodeGlobal),
+		droppedDown: m.Counter("fault.frames_dropped_down", metrics.NodeGlobal),
+		forwarded:   m.Counter("fault.frames_forwarded", metrics.NodeGlobal),
+	}
 }
 
 // FabricStats counts the wrapper's interventions.
@@ -71,10 +95,12 @@ func (f *Fabric) SetLossRate(r float64) { f.loss = r }
 func (f *Fabric) Transmit(src, dst int, frame []byte) {
 	if f.down[src] || f.down[dst] {
 		f.stats.DroppedDown++
+		f.im.droppedDown.Inc()
 		return
 	}
 	if f.loss > 0 && f.rng.Float64() < f.loss {
 		f.stats.DroppedLoss++
+		f.im.droppedLoss.Inc()
 		return
 	}
 	f.inner.Transmit(src, dst, frame)
@@ -86,9 +112,11 @@ func (f *Fabric) SetHandler(node int, fn func(src int, frame []byte)) {
 	f.inner.SetHandler(node, func(src int, frame []byte) {
 		if f.down[node] || f.down[src] {
 			f.stats.DroppedDown++
+			f.im.droppedDown.Inc()
 			return
 		}
 		f.stats.Forwarded++
+		f.im.forwarded.Inc()
 		fn(src, frame)
 	})
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
 )
@@ -83,6 +84,14 @@ type Target interface {
 // scheduling order). Apply may be called for several targets to subject
 // co-located networks to the same fault pattern.
 func (s *Script) Apply(k *sim.Kernel, tgt Target) {
+	s.ApplyMetrics(k, tgt, nil)
+}
+
+// ApplyMetrics is Apply, additionally counting each fired action in m
+// under "fault.injected_events" plus a per-kind counter, all attributed
+// to the faulted node (loss windows are cluster-wide). A nil registry
+// counts nothing.
+func (s *Script) ApplyMetrics(k *sim.Kernel, tgt Target, m *metrics.Registry) {
 	if s == nil {
 		return
 	}
@@ -93,6 +102,12 @@ func (s *Script) Apply(k *sim.Kernel, tgt Target) {
 			at = k.Now()
 		}
 		k.At(at, func() {
+			node := metrics.NodeGlobal
+			if a.Kind == NodeFail || a.Kind == NodeRepair {
+				node = a.Node
+			}
+			m.Counter("fault.injected_events", metrics.NodeGlobal).Inc()
+			m.Counter("fault.injected_"+a.Kind.String(), node).Inc()
 			switch a.Kind {
 			case NodeFail:
 				tgt.FailNode(a.Node)

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/xport"
 )
@@ -63,6 +64,36 @@ type Endpoint struct {
 	held    []map[uint32][]byte
 	scratch []byte
 	stats   Stats
+	im      hybInstruments
+}
+
+// hybInstruments are the router's metrics, keyed by its rank (nil =
+// disabled no-ops).
+type hybInstruments struct {
+	lowSends   *metrics.Counter // hybrid.low_sends
+	highSends  *metrics.Counter // hybrid.high_sends
+	failovers  *metrics.Counter // hybrid.failovers
+	subErrors  *metrics.Counter // hybrid.sub_errors
+	duplicates *metrics.Counter // hybrid.duplicates
+	heldDepth  *metrics.Gauge   // hybrid.reorder_depth
+}
+
+// SetMetrics installs the router's instruments (nil disables). It does
+// not reach down into the substrates — install metrics there separately
+// if wanted.
+func (e *Endpoint) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		e.im = hybInstruments{}
+		return
+	}
+	e.im = hybInstruments{
+		lowSends:   m.Counter("hybrid.low_sends", e.Rank()),
+		highSends:  m.Counter("hybrid.high_sends", e.Rank()),
+		failovers:  m.Counter("hybrid.failovers", e.Rank()),
+		subErrors:  m.Counter("hybrid.sub_errors", e.Rank()),
+		duplicates: m.Counter("hybrid.duplicates", e.Rank()),
+		heldDepth:  m.Gauge("hybrid.reorder_depth", e.Rank()),
+	}
 }
 
 // Stats counts the router's fault-tolerance interventions.
@@ -149,6 +180,11 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	binary.LittleEndian.PutUint32(msg, seq)
 	copy(msg[hdrBytes:], data)
 	sub := e.route(len(data))
+	if sub == e.low {
+		e.im.lowSends.Inc()
+	} else {
+		e.im.highSends.Inc()
+	}
 	err := sub.Send(p, dst, msg)
 	if err == nil {
 		return nil
@@ -166,6 +202,7 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	}
 	if altErr := alt.Send(p, dst, msg); altErr == nil {
 		e.stats.Failovers++
+		e.im.failovers.Inc()
 		return nil
 	}
 	return err
@@ -214,6 +251,7 @@ func (e *Endpoint) poll(p *sim.Proc, src int) {
 			// A faulted substrate must not take the router down; the
 			// stream heals via the substrate's own recovery or failover.
 			e.stats.SubErrors++
+			e.im.subErrors.Inc()
 			continue
 		}
 		if !ok {
@@ -221,6 +259,7 @@ func (e *Endpoint) poll(p *sim.Proc, src int) {
 		}
 		if n < hdrBytes {
 			e.stats.SubErrors++
+			e.im.subErrors.Inc()
 			continue
 		}
 		seq := binary.LittleEndian.Uint32(e.scratch)
@@ -228,10 +267,12 @@ func (e *Endpoint) poll(p *sim.Proc, src int) {
 			// Already released: a recovery layer below retransmitted
 			// into a stream the resequencer has moved past.
 			e.stats.Duplicates++
+			e.im.duplicates.Inc()
 			continue
 		}
 		p.Delay(e.cfg.ReorderCost)
 		e.held[src][seq] = append([]byte(nil), e.scratch[hdrBytes:n]...)
+		e.im.heldDepth.Set(int64(len(e.held[src])))
 	}
 }
 

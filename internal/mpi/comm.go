@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/xport"
 )
@@ -48,6 +49,15 @@ func (w *World) Size() int { return len(w.comms) }
 
 // Engine returns rank i's ADI engine (for statistics).
 func (w *World) Engine(i int) *Engine { return w.engines[i] }
+
+// SetMetrics installs per-rank protocol instruments on every engine
+// (nil disables). It does not reach down into the transport — install
+// metrics there separately if wanted.
+func (w *World) SetMetrics(m *metrics.Registry) {
+	for _, eng := range w.engines {
+		eng.setMetrics(m)
+	}
+}
 
 // RunSPMD spawns one simulation process per rank, each executing body
 // with its COMM_WORLD handle — the moral equivalent of mpirun.
@@ -113,6 +123,7 @@ func (c *Comm) isend(p *sim.Proc, dst, tag int, data []byte) (*Request, error) {
 		e.sendControl(p, world, env)
 		e.sendChunks(p, world, data)
 		e.stats.EagerSent++
+		e.im.eagerSent.Inc()
 		req.done = true
 		return req, nil
 	}
@@ -125,6 +136,7 @@ func (c *Comm) isend(p *sim.Proc, dst, tag int, data []byte) (*Request, error) {
 	env := envelope{kind: kRTS, ctx: c.ctx, tag: int32(tag), total: uint32(len(data)), reqID: id}
 	e.sendControl(p, world, env)
 	e.stats.RndvSent++
+	e.im.rndvSent.Inc()
 	return req, nil
 }
 

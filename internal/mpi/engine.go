@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/xport"
 )
@@ -27,6 +28,36 @@ type Engine struct {
 
 	scratch []byte
 	stats   EngineStats
+	im      engInstruments
+}
+
+// engInstruments mirror EngineStats into the metrics registry, keyed by
+// the engine's world rank, plus an unexpected-queue depth gauge whose
+// Max() is the high-water mark (nil = disabled no-ops).
+type engInstruments struct {
+	eagerSent  *metrics.Counter // mpi.eager_sent
+	rndvSent   *metrics.Counter // mpi.rndv_sent
+	received   *metrics.Counter // mpi.received
+	unexpected *metrics.Counter // mpi.unexpected_msgs
+	chunksSent *metrics.Counter // mpi.chunks_sent
+	unexpDepth *metrics.Gauge   // mpi.unexpected_depth
+}
+
+// setMetrics (re)creates the engine's instruments against m.
+func (e *Engine) setMetrics(m *metrics.Registry) {
+	if m == nil {
+		e.im = engInstruments{}
+		return
+	}
+	rank := e.ep.Rank()
+	e.im = engInstruments{
+		eagerSent:  m.Counter("mpi.eager_sent", rank),
+		rndvSent:   m.Counter("mpi.rndv_sent", rank),
+		received:   m.Counter("mpi.received", rank),
+		unexpected: m.Counter("mpi.unexpected_msgs", rank),
+		chunksSent: m.Counter("mpi.chunks_sent", rank),
+		unexpDepth: m.Gauge("mpi.unexpected_depth", rank),
+	}
 }
 
 // EngineStats counts protocol activity.
@@ -146,6 +177,8 @@ func (e *Engine) handleEager(p *sim.Proc, src int, env envelope) {
 	e.drainInto(p, src, stage)
 	e.unexpect = append(e.unexpect, &inMsg{env: env, src: src, data: stage})
 	e.stats.UnexpectedMsgs++
+	e.im.unexpected.Inc()
+	e.im.unexpDepth.Set(int64(len(e.unexpect)))
 }
 
 func (e *Engine) handleRTS(p *sim.Proc, src int, env envelope) {
@@ -155,6 +188,8 @@ func (e *Engine) handleRTS(p *sim.Proc, src int, env envelope) {
 	}
 	e.unexpect = append(e.unexpect, &inMsg{env: env, src: src})
 	e.stats.UnexpectedMsgs++
+	e.im.unexpected.Inc()
+	e.im.unexpDepth.Set(int64(len(e.unexpect)))
 }
 
 // sendCTS registers req to receive the rendezvous data and tells the
@@ -198,6 +233,7 @@ func (e *Engine) handleRData(p *sim.Proc, src int, env envelope) {
 	}
 	req.done = true
 	e.stats.Received++
+	e.im.received.Inc()
 }
 
 // drainInto receives exactly len(buf) bytes of data chunks from src,
@@ -252,6 +288,7 @@ func (e *Engine) sendChunks(p *sim.Proc, dstWorld int, data []byte) {
 			panic(fmt.Sprintf("mpi: chunk send to %d: %v", dstWorld, err))
 		}
 		e.stats.ChunksSent++
+		e.im.chunksSent.Inc()
 		off += m
 	}
 }
@@ -300,6 +337,7 @@ func (e *Engine) complete(req *Request, srcWorld int, env envelope, err error) {
 	req.err = err
 	req.done = true
 	e.stats.Received++
+	e.im.received.Inc()
 }
 
 // commRank translates a world rank to the rank within the communicator

@@ -14,7 +14,10 @@
 // issued during a DMA burst queues behind it.
 package pci
 
-import "repro/internal/sim"
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
 
 // Config holds bus timing parameters. The defaults approximate 32-bit /
 // 33 MHz PCI on a 1998 workstation and are the values used for figure
@@ -53,11 +56,38 @@ type Bus struct {
 	k   *sim.Kernel
 	cfg Config
 	srv *sim.Server
+	im  busInstruments
+}
+
+// busInstruments are the bus's metrics. All fields are nil until
+// SetMetrics installs a registry; nil instruments are no-ops.
+type busInstruments struct {
+	pioWriteWords *metrics.Counter // pci.pio_write_words
+	pioReadWords  *metrics.Counter // pci.pio_read_words
+	dmaBursts     *metrics.Counter // pci.dma_bursts
+	dmaBytes      *metrics.Counter // pci.dma_bytes
+	busyNs        *metrics.Counter // pci.busy_ns: total bus occupancy
 }
 
 // New returns a bus on kernel k.
 func New(k *sim.Kernel, cfg Config) *Bus {
 	return &Bus{k: k, cfg: cfg, srv: sim.NewServer(k)}
+}
+
+// SetMetrics installs metrics instruments for this bus, attributed to
+// the given node (nil disables).
+func (b *Bus) SetMetrics(m *metrics.Registry, node int) {
+	if m == nil {
+		b.im = busInstruments{}
+		return
+	}
+	b.im = busInstruments{
+		pioWriteWords: m.Counter("pci.pio_write_words", node),
+		pioReadWords:  m.Counter("pci.pio_read_words", node),
+		dmaBursts:     m.Counter("pci.dma_bursts", node),
+		dmaBytes:      m.Counter("pci.dma_bytes", node),
+		busyNs:        m.Counter("pci.busy_ns", node),
+	}
 }
 
 // Config returns the bus timing parameters.
@@ -76,6 +106,8 @@ func (b *Bus) PIOWrite(p *sim.Proc, words int) {
 	if words <= 0 {
 		return
 	}
+	b.im.pioWriteWords.Add(int64(words))
+	b.im.busyNs.Add(int64(words) * int64(b.cfg.PIOWriteWord))
 	b.occupy(p, sim.Duration(words)*b.cfg.PIOWriteWord)
 }
 
@@ -84,6 +116,8 @@ func (b *Bus) PIORead(p *sim.Proc, words int) {
 	if words <= 0 {
 		return
 	}
+	b.im.pioReadWords.Add(int64(words))
+	b.im.busyNs.Add(int64(words) * int64(b.cfg.PIOReadWord))
 	b.occupy(p, sim.Duration(words)*b.cfg.PIOReadWord)
 }
 
@@ -95,9 +129,20 @@ func (b *Bus) DMA(p *sim.Proc, n int) {
 	if n <= 0 {
 		return
 	}
+	b.CountDMABurst(n)
 	p.Delay(b.cfg.DMASetup)
 	b.occupy(p, sim.Duration(n)*b.cfg.DMAPerByte)
 	p.Delay(b.cfg.DMACompletionCheck)
+}
+
+// CountDMABurst records one n-byte DMA burst in the bus metrics. It is
+// also called by engines that charge their own burst occupancy (the
+// NIC's ring-overlapped transmit path) so that every DMA byte crossing
+// the bus is accounted for exactly once.
+func (b *Bus) CountDMABurst(n int) {
+	b.im.dmaBursts.Inc()
+	b.im.dmaBytes.Add(int64(n))
+	b.im.busyNs.Add(int64(n) * int64(b.cfg.DMAPerByte))
 }
 
 // DMAAsync charges setup on the caller, schedules the burst on the bus,
@@ -111,6 +156,7 @@ func (b *Bus) DMAAsync(p *sim.Proc, n int, done func()) {
 		}
 		return
 	}
+	b.CountDMABurst(n)
 	b.srv.Serve(sim.Duration(n)*b.cfg.DMAPerByte, done)
 }
 

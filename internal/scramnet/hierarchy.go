@@ -3,6 +3,7 @@ package scramnet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -144,6 +145,16 @@ func (h *Hierarchy) Leaf(li int) *Network { return h.leaves[li] }
 
 // Backbone returns the backbone ring.
 func (h *Hierarchy) Backbone() *Network { return h.backbone }
+
+// SetMetrics installs metrics on every ring of the hierarchy (nil
+// disables). NICs are keyed by their global host number; bridge slots
+// report under the bridge NIC's ownerID.
+func (h *Hierarchy) SetMetrics(m *metrics.Registry) {
+	h.backbone.SetMetrics(m)
+	for _, leaf := range h.leaves {
+		leaf.SetMetrics(m)
+	}
+}
 
 // SetSingleWriterCheck toggles the global single-writer assertion.
 func (h *Hierarchy) SetSingleWriterCheck(on bool) { h.owner.enabled = on }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -34,6 +35,29 @@ type NIC struct {
 	onApply func(pkt *packet)
 
 	stats Stats
+	im    nicInstruments
+}
+
+// nicInstruments are the per-card metrics (nil = disabled no-ops).
+type nicInstruments struct {
+	injected      *metrics.Counter // ring.packets_injected
+	applied       *metrics.Counter // ring.packets_applied
+	crcDrops      *metrics.Counter // ring.packets_lost (CRC or broken ring)
+	bytesInjected *metrics.Counter // ring.bytes_injected
+	interrupts    *metrics.Counter // ring.interrupts_taken
+}
+
+// setMetrics creates this card's instruments, keyed by its host number,
+// and wires the host bus with the same node id.
+func (nic *NIC) setMetrics(m *metrics.Registry) {
+	nic.im = nicInstruments{
+		injected:      m.Counter("ring.packets_injected", nic.ownerID),
+		applied:       m.Counter("ring.packets_applied", nic.ownerID),
+		crcDrops:      m.Counter("ring.packets_lost", nic.ownerID),
+		bytesInjected: m.Counter("ring.bytes_injected", nic.ownerID),
+		interrupts:    m.Counter("ring.interrupts_taken", nic.ownerID),
+	}
+	nic.bus.SetMetrics(m, nic.ownerID)
 }
 
 // ID returns the ring node number.
@@ -62,10 +86,12 @@ func (nic *NIC) checkRange(off, n int) {
 func (nic *NIC) apply(pkt *packet) {
 	copy(nic.mem[pkt.off:], pkt.data)
 	nic.stats.PacketsApplied++
+	nic.im.applied.Inc()
 	nic.net.tracer.Emitf(nic.net.k.Now(), trace.Ring, nic.id, "apply", "off=%#x len=%d from=%d", pkt.off, len(pkt.data), pkt.origin)
 	if pkt.interrupt && nic.intrOn && nic.intrHandler != nil {
 		off := pkt.off
 		nic.stats.InterruptsTaken++
+		nic.im.interrupts.Inc()
 		nic.net.k.After(nic.net.cfg.InterruptLatency, func() { nic.intrHandler(off) })
 	}
 	if nic.onApply != nil {
@@ -173,6 +199,7 @@ func (nic *NIC) WriteDMA(p *sim.Proc, off int, data []byte) {
 	nic.net.checkOwner(nic.ownerID, off, len(data))
 	copy(nic.mem[off:], data)
 	cfg := nic.bus.Config()
+	nic.bus.CountDMABurst(len(data))
 	p.Delay(cfg.DMASetup)
 	nic.send(p, off, data, false, func(chunk int) {
 		p.Delay(sim.Duration(chunk) * cfg.DMAPerByte)

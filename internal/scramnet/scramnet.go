@@ -29,6 +29,7 @@ package scramnet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -175,10 +176,42 @@ type Network struct {
 	owner  *ownerTable
 	tracer *trace.Recorder
 	faults *sim.RNG
+	im     netInstruments
+}
+
+// netInstruments are the ring-wide metrics (nil = disabled no-ops).
+type netInstruments struct {
+	hops        *metrics.Counter // ring.hops: link traversals, incl. bypass
+	bypassHops  *metrics.Counter // ring.bypass_hops: traversals through optical bypass
+	nodeFails   *metrics.Counter // ring.node_fails
+	nodeRepairs *metrics.Counter // ring.node_repairs
 }
 
 // SetTracer installs an event recorder (nil disables tracing).
 func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+// SetMetrics installs metrics instruments on the ring, its NICs and
+// their host buses (nil disables). Metrics never charge virtual time,
+// so enabling them cannot perturb a measurement.
+func (n *Network) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		n.im = netInstruments{}
+		for _, nic := range n.nics {
+			nic.im = nicInstruments{}
+			nic.bus.SetMetrics(nil, 0)
+		}
+		return
+	}
+	n.im = netInstruments{
+		hops:        m.Counter("ring.hops", metrics.NodeGlobal),
+		bypassHops:  m.Counter("ring.bypass_hops", metrics.NodeGlobal),
+		nodeFails:   m.Counter("ring.node_fails", metrics.NodeGlobal),
+		nodeRepairs: m.Counter("ring.node_repairs", metrics.NodeGlobal),
+	}
+	for _, nic := range n.nics {
+		nic.setMetrics(m)
+	}
+}
 
 // New builds a ring of cfg.Nodes NICs on kernel k.
 func New(k *sim.Kernel, cfg Config) (*Network, error) {
@@ -269,6 +302,8 @@ func (n *Network) inject(pkt *packet) {
 	src := n.nics[pkt.origin]
 	src.stats.PacketsSent++
 	src.stats.BytesSent += int64(len(pkt.data))
+	src.im.injected.Inc()
+	src.im.bytesInjected.Add(int64(len(pkt.data)))
 	n.tracer.Emitf(n.k.Now(), trace.Ring, pkt.origin, "inject", "off=%#x len=%d", pkt.off, len(pkt.data))
 	wire := n.wireTime(pkt)
 	src.link.Serve(wire, func() {
@@ -277,6 +312,7 @@ func (n *Network) inject(pkt *packet) {
 		if n.cfg.DropRate > 0 && n.faults.Float64() < n.cfg.DropRate {
 			// Corrupted in flight: the next hop's CRC check discards it.
 			src.stats.PacketsLost++
+			src.im.crcDrops.Inc()
 			return
 		}
 		n.forward(pkt.origin, pkt)
@@ -289,9 +325,14 @@ func (n *Network) forward(from int, pkt *packet) {
 	next, hops, ok := n.nextActive(from)
 	if !ok {
 		n.nics[pkt.origin].stats.PacketsLost++
+		n.nics[pkt.origin].im.crcDrops.Inc()
 		return // broken single ring: packet lost downstream
 	}
 	pkt.hops += hops
+	n.im.hops.Add(int64(hops))
+	if hops > 1 {
+		n.im.bypassHops.Add(int64(hops - 1))
+	}
 	aged := pkt.hops >= n.cfg.Nodes
 	n.k.After(sim.Duration(hops)*n.cfg.HopDelay, func() {
 		if next == pkt.origin || aged {
@@ -319,11 +360,17 @@ func (n *Network) SetSingleWriterCheck(on bool) {
 // FailNode marks node i failed. With DualRing the node is optically
 // bypassed and the rest of the ring keeps replicating; with a single
 // ring, packets are lost when they reach the break.
-func (n *Network) FailNode(i int) { n.nics[i].failed = true }
+func (n *Network) FailNode(i int) {
+	n.nics[i].failed = true
+	n.im.nodeFails.Inc()
+}
 
 // RepairNode returns a failed node to service. Its bank may be stale
 // until peers rewrite their words.
-func (n *Network) RepairNode(i int) { n.nics[i].failed = false }
+func (n *Network) RepairNode(i int) {
+	n.nics[i].failed = false
+	n.im.nodeRepairs.Inc()
+}
 
 // NodeFailed reports whether node i is currently bypassed.
 func (n *Network) NodeFailed(i int) bool { return n.nics[i].failed }
