@@ -14,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover verify figures bench clean
+.PHONY: all build test race vet cover verify figures bench timeline clean
 
 all: build
 
@@ -36,8 +36,22 @@ cover:
 	$(GO) tool cover -html=cover.out -o cover.html
 	@echo "wrote cover.html"
 
-verify: vet test race
-	@echo "verify tier green: vet + test + race"
+verify: vet test race timeline
+	@echo "verify tier green: vet + test + race + timeline"
+
+# Observability smoke tier: replay the E6 fault-sweep point at 15% loss
+# with span tracing and snapshot streaming on, and require cmd/timeline
+# to exit 0 with a non-empty retry/bus co-spike correlation table. This
+# proves the whole pipeline — message-id propagation, span boundaries,
+# the snapshot stream, the correlator — end to end on a lossy run.
+timeline: build
+	@$(GO) run ./cmd/timeline -mode sweep -rate 0.15 -seed 1999 > .timeline.tmp.out || \
+		{ cat .timeline.tmp.out; rm -f .timeline.tmp.out; exit 1; }
+	@grep -q "^correlation OK" .timeline.tmp.out || \
+		{ cat .timeline.tmp.out; rm -f .timeline.tmp.out; \
+		  echo "timeline tier: no correlation table in the output"; exit 1; }
+	@rm -f .timeline.tmp.out
+	@echo "timeline tier green: span/snapshot streams correlate retry storms with bus saturation"
 
 # Regenerate every figure and table of the paper's §5, plus the
 # fault-sweep extension.
@@ -64,4 +78,4 @@ bench: build
 	fi
 
 clean:
-	rm -f cover.out cover.html .bench.tmp.json
+	rm -f cover.out cover.html .bench.tmp.json .timeline.tmp.out

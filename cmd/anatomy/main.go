@@ -33,6 +33,7 @@ func main() {
 	size := flag.Int("size", 4, "message payload bytes")
 	nodes := flag.Int("nodes", 4, "ring size")
 	mcast := flag.Bool("mcast", false, "broadcast to all nodes instead of unicast")
+	tcap := flag.Int("tracecap", 4096, "trace ring-buffer capacity (0 = unbounded)")
 	flag.Parse()
 
 	k := sim.NewKernel()
@@ -47,6 +48,9 @@ func main() {
 		log.Fatal(err)
 	}
 	rec := trace.New()
+	if *tcap > 0 {
+		rec = trace.NewCapped(*tcap)
+	}
 	ring.SetTracer(rec)
 	sys.SetTracer(rec)
 	m := metrics.New()
@@ -109,6 +113,16 @@ func main() {
 		rec.Count("inject"), rec.Count("apply"))
 	if span, ok := rec.Span("post", "consume"); ok {
 		fmt.Printf("post→consume span: %s\n", span)
+	}
+
+	// The capped recorder bounds memory; evictions are tolerable unless
+	// they may have eaten events of the message under the microscope.
+	if d := rec.Drops(); d > 0 {
+		fmt.Printf("\ntrace ring buffer evicted %d event(s)\n", d)
+		if rec.MayHaveDroppedMsg(trace.MsgID(0, 1)) {
+			fmt.Println("evictions may cover the traced message — rerun with a larger -tracecap")
+			os.Exit(1)
+		}
 	}
 
 	if !crossCheck(rec, m, ring, eps, bcfg, sent, lastDone, *size, recvs) {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/scramnet"
 	"repro/internal/sim"
 	"repro/internal/tcpip"
+	"repro/internal/trace"
 	"repro/internal/xport"
 )
 
@@ -75,6 +76,15 @@ type Options struct {
 	// time, so an instrumented cluster reproduces exactly the latencies
 	// of an uninstrumented one.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, installs causal span tracing on every built
+	// layer that supports it (ring/hierarchy, host buses, BBP system,
+	// hybrid routers, fault scripts). Like Metrics it charges no
+	// virtual time.
+	Trace *trace.Recorder
+	// SnapshotEvery, when positive and Metrics is set, starts a
+	// periodic snapshot stream capturing the full registry every
+	// interval of virtual time (Cluster.Stream).
+	SnapshotEvery sim.Duration
 }
 
 // Cluster is a built testbed.
@@ -91,6 +101,9 @@ type Cluster struct {
 	// set when Options.Faults was given on a non-SCRAMNet network (and
 	// for the Myrinet side of a Hybrid cluster).
 	Fault *fault.Fabric
+	// Stream is the periodic metrics snapshot stream, set when both
+	// Options.Metrics and Options.SnapshotEvery were given.
+	Stream *metrics.Stream
 }
 
 // faulted wraps fab with fault injection and schedules the script on
@@ -101,7 +114,7 @@ func faulted(k *sim.Kernel, c *Cluster, opts Options, fab xport.Fabric) xport.Fa
 	}
 	ff := fault.NewFabric(k, fab, opts.Faults.Seed)
 	ff.SetMetrics(opts.Metrics)
-	opts.Faults.ApplyMetrics(k, ff, opts.Metrics)
+	opts.Faults.ApplyObserved(k, ff, opts.Metrics, opts.Trace)
 	c.Fault = ff
 	return ff
 }
@@ -130,6 +143,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 			if opts.Metrics != nil {
 				h.SetMetrics(opts.Metrics)
 			}
+			if opts.Trace != nil {
+				h.SetTracer(opts.Trace)
+			}
 			c.Hier = h
 			topo = h
 		} else {
@@ -151,8 +167,11 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 			if opts.Metrics != nil {
 				ring.SetMetrics(opts.Metrics)
 			}
+			if opts.Trace != nil {
+				ring.SetTracer(opts.Trace)
+			}
 			if opts.Faults != nil {
-				opts.Faults.ApplyMetrics(k, fault.Ring(ring), opts.Metrics)
+				opts.Faults.ApplyObserved(k, fault.Ring(ring), opts.Metrics, opts.Trace)
 			}
 			c.Ring = ring
 			topo = ring
@@ -171,6 +190,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 		}
 		if opts.Metrics != nil {
 			sys.SetMetrics(opts.Metrics)
+		}
+		if opts.Trace != nil {
+			sys.SetTracer(opts.Trace)
 		}
 		for i := 0; i < opts.Nodes; i++ {
 			ep, err := sys.Attach(i)
@@ -219,7 +241,7 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 	case Hybrid:
 		// Both NICs in every workstation: a SCRAMNet ring for latency
 		// and a Myrinet SAN for bandwidth. A fault script hits both.
-		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults, Metrics: opts.Metrics})
+		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults, Metrics: opts.Metrics, Trace: opts.Trace})
 		if err != nil {
 			return nil, err
 		}
@@ -236,10 +258,14 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 				return nil, err
 			}
 			ep.SetMetrics(opts.Metrics)
+			ep.SetTracer(opts.Trace)
 			c.Endpoints = append(c.Endpoints, ep)
 		}
 	default:
 		return nil, fmt.Errorf("cluster: unknown network %q", opts.Net)
+	}
+	if opts.Metrics != nil && opts.SnapshotEvery > 0 {
+		c.Stream = metrics.NewStream(k, opts.Metrics, opts.SnapshotEvery)
 	}
 	return c, nil
 }

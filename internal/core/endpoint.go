@@ -130,6 +130,9 @@ type liveBuf struct {
 	posted   sim.Time // time of the last (re)transmission
 	attempts int      // retransmissions so far
 	busy     bool     // a retransmission's writes are in flight: don't free
+
+	span trace.SpanID // the message's send span (retransmissions parent to it)
+	msg  uint64       // trace.MsgID of the posted message
 }
 
 // message is a detected incoming message: descriptor contents plus the
@@ -213,7 +216,15 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 		lb.data = append([]byte(nil), data...)
 		lb.posted = p.Now()
 	}
-	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "post", "slot=%d off=%d len=%d dests=%#x seq=%d", slot, off, len(data), dests, e.sendSeq)
+	// "post" opens the message's send span (closed by "send-end" after
+	// the last flag write). Every bus write and ring packet until then
+	// is attributed to the message via the NIC's trace context.
+	msg := trace.MsgID(e.me, e.sendSeq)
+	span := e.sys.tracer.BeginSpan(p.Now(), trace.BBP, e.me, "post", msg, e.sys.tracer.Parent(), "slot=%d off=%d len=%d dests=%#x seq=%d", slot, off, len(data), dests, e.sendSeq)
+	e.live[slot].span = span
+	e.live[slot].msg = msg
+	pm, pp := e.nic.SetTraceContext(msg, span)
+	defer e.nic.SetTraceContext(pm, pp)
 
 	// Message body straight from the user buffer into SCRAMNet memory
 	// (the zero-copy path), then the descriptor, then the flags; the
@@ -258,13 +269,14 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 		} else {
 			e.nic.WriteWord(p, lay.msgFlags(r, e.me), e.outToggles[r])
 		}
-		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "flag-set", "receiver=%d slot=%d", r, slot)
+		e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "flag-set", msg, span, "receiver=%d slot=%d", r, slot)
 		if multicast {
 			e.stats.McastSent++
 			e.im.mcastSends.Inc()
 		}
 		multicast = true
 	}
+	e.sys.tracer.EndSpan(p.Now(), trace.BBP, e.me, "send-end", span, msg, "seq=%d", e.sendSeq)
 	e.stats.Sent++
 	e.stats.BytesSent += int64(len(data))
 	e.im.sends.Inc()

@@ -61,7 +61,7 @@ func (e *Endpoint) pollSender(p *sim.Proc, s int) {
 			seq:  getWord(desc[8:]),
 		}
 		p.Delay(cfg.Costs.RecvBookkeeping)
-		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "detect", "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
+		e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "detect", trace.MsgID(s, m.seq), 0, "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
 		e.insertPending(s, m)
 		e.lastSeen[s] ^= 1 << uint(b)
 	}
@@ -107,7 +107,7 @@ scan:
 				// the new occupant until this scan can accept it.
 				e.nic.WriteWord(p, lay.ackSlot(s, e.me, b), floor)
 				e.im.reAcks.Inc()
-				e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "re-ack", "sender=%d slot=%d seq=%d", s, b, floor)
+				e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "re-ack", trace.MsgID(s, floor), 0, "sender=%d slot=%d seq=%d", s, b, floor)
 			}
 			continue
 		}
@@ -121,7 +121,7 @@ scan:
 		m.prevFloor = floor
 		e.slotSeq[s][b] = m.seq
 		p.Delay(cfg.Costs.RecvBookkeeping)
-		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "detect", "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
+		e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "detect", trace.MsgID(s, m.seq), 0, "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
 		e.insertPending(s, m)
 	}
 }
@@ -148,6 +148,12 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 	if m.n > len(buf) {
 		return 0, ErrTruncated
 	}
+	// The drain span covers payload read + ACK write; its End is the
+	// existing "consume" event, so the legacy detect→consume measurement
+	// is unchanged. The message id is rebuilt from the descriptor —
+	// causal joins to the sender's spans need nothing on the wire.
+	msg := trace.MsgID(s, m.seq)
+	span := e.sys.tracer.BeginSpan(p.Now(), trace.BBP, e.me, "drain", msg, 0, "sender=%d slot=%d len=%d", s, m.slot, m.n)
 	if m.n > 0 {
 		src := lay.dataOff(s, m.off)
 		if m.n >= cfg.RecvDMAThreshold {
@@ -168,7 +174,8 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 		e.rescan[s] = true
 		e.stats.ChecksumDrops++
 		e.im.checksumDrops.Inc()
-		e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "ck-drop", "sender=%d slot=%d seq=%d", s, m.slot, m.seq)
+		e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "ck-drop", msg, span, "sender=%d slot=%d seq=%d", s, m.slot, m.seq)
+		e.sys.tracer.EndSpan(p.Now(), trace.BBP, e.me, "drain-abort", span, msg, "checksum")
 		return 0, errChecksum
 	}
 	if cfg.Retry.Enabled {
@@ -176,8 +183,11 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 	}
 	// ACK toggle: this word in s's control partition is written only by
 	// this process, preserving the single-writer discipline.
+	pm, pp := e.nic.SetTraceContext(msg, span)
 	e.ackWrite(p, s, m)
-	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "consume", "sender=%d slot=%d len=%d", s, m.slot, m.n)
+	e.nic.SetTraceContext(pm, pp)
+	e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "ack", msg, span, "sender=%d slot=%d", s, m.slot)
+	e.sys.tracer.EndSpan(p.Now(), trace.BBP, e.me, "consume", span, msg, "sender=%d slot=%d len=%d", s, m.slot, m.n)
 	e.stats.Received++
 	e.stats.BytesRecv += int64(m.n)
 	e.im.recvs.Inc()

@@ -98,7 +98,7 @@ func (e *Endpoint) retryPass(p *sim.Proc) {
 			// buffer so the sender is not wedged forever.
 			e.stats.RetryFailures++
 			e.im.retryFailures.Inc()
-			e.sys.tracer.Emitf(now, trace.BBP, e.me, "retry-fail", "slot=%d seq=%d attempts=%d", s, lb.seq, lb.attempts)
+			e.sys.tracer.EmitMsg(now, trace.BBP, e.me, "retry-fail", lb.msg, lb.span, "slot=%d seq=%d attempts=%d", s, lb.seq, lb.attempts)
 			e.freeLive(s, lb)
 			continue
 		}
@@ -120,7 +120,10 @@ func (e *Endpoint) retransmit(p *sim.Proc, s int, lb *liveBuf) {
 	lb.attempts++
 	e.stats.Retransmits++
 	e.im.retransmits.Inc()
-	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "retransmit", "slot=%d seq=%d attempt=%d", s, lb.seq, lb.attempts)
+	// Each retransmission is its own span, parented to the original send
+	// span, so a timeline shows attempt N hanging off the message root.
+	span := e.sys.tracer.BeginSpan(p.Now(), trace.BBP, e.me, "retransmit", lb.msg, lb.span, "slot=%d seq=%d attempt=%d", s, lb.seq, lb.attempts)
+	pm, pp := e.nic.SetTraceContext(lb.msg, span)
 
 	if lb.n > 0 {
 		if lb.n >= cfg.SendDMAThreshold {
@@ -150,6 +153,8 @@ func (e *Endpoint) retransmit(p *sim.Proc, s int, lb *liveBuf) {
 			e.nic.WriteWord(p, lay.msgFlags(r, e.me), e.outToggles[r])
 		}
 	}
+	e.nic.SetTraceContext(pm, pp)
+	e.sys.tracer.EndSpan(p.Now(), trace.BBP, e.me, "retransmit-end", span, lb.msg, "slot=%d attempt=%d", s, lb.attempts)
 	lb.posted = p.Now()
 	lb.busy = false
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Kind enumerates the fault actions a script can schedule.
@@ -92,6 +93,14 @@ func (s *Script) Apply(k *sim.Kernel, tgt Target) {
 // to the faulted node (loss windows are cluster-wide). A nil registry
 // counts nothing.
 func (s *Script) ApplyMetrics(k *sim.Kernel, tgt Target, m *metrics.Registry) {
+	s.ApplyObserved(k, tgt, m, nil)
+}
+
+// ApplyObserved is ApplyMetrics, additionally emitting a trace instant
+// (category "fault") at each action's fire time, so a timeline can line
+// injected faults up against retry and bus activity. A nil recorder
+// records nothing.
+func (s *Script) ApplyObserved(k *sim.Kernel, tgt Target, m *metrics.Registry, rec *trace.Recorder) {
 	if s == nil {
 		return
 	}
@@ -108,6 +117,7 @@ func (s *Script) ApplyMetrics(k *sim.Kernel, tgt Target, m *metrics.Registry) {
 			}
 			m.Counter("fault.injected_events", metrics.NodeGlobal).Inc()
 			m.Counter("fault.injected_"+a.Kind.String(), node).Inc()
+			rec.Emitf(k.Now(), trace.Fault, node, a.Kind.String(), "node=%d rate=%g", a.Node, a.Rate)
 			switch a.Kind {
 			case NodeFail:
 				tgt.FailNode(a.Node)

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xport"
 )
 
@@ -65,6 +66,7 @@ type Endpoint struct {
 	scratch []byte
 	stats   Stats
 	im      hybInstruments
+	tracer  *trace.Recorder
 }
 
 // hybInstruments are the router's metrics, keyed by its rank (nil =
@@ -95,6 +97,12 @@ func (e *Endpoint) SetMetrics(m *metrics.Registry) {
 		heldDepth:  m.Gauge("hybrid.reorder_depth", e.Rank()),
 	}
 }
+
+// SetTracer installs a span recorder on the router (nil disables). The
+// routing decision and any failover become a span parenting the
+// substrate's own send spans. Like SetMetrics it does not reach down
+// into the substrates.
+func (e *Endpoint) SetTracer(r *trace.Recorder) { e.tracer = r }
 
 // Stats counts the router's fault-tolerance interventions.
 type Stats struct {
@@ -180,13 +188,19 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	binary.LittleEndian.PutUint32(msg, seq)
 	copy(msg[hdrBytes:], data)
 	sub := e.route(len(data))
+	via := "low"
 	if sub == e.low {
 		e.im.lowSends.Inc()
 	} else {
 		e.im.highSends.Inc()
+		via = "high"
 	}
+	span := e.tracer.BeginSpan(p.Now(), trace.Hybrid, e.Rank(), "route", 0, e.tracer.Parent(), "dst=%d len=%d via=%s seq=%d", dst, len(data), via, seq)
+	e.tracer.PushParent(span)
 	err := sub.Send(p, dst, msg)
+	e.tracer.PopParent()
 	if err == nil {
+		e.tracer.EndSpan(p.Now(), trace.Hybrid, e.Rank(), "route-end", span, 0, "via=%s", via)
 		return nil
 	}
 	// Failover: the sequence tag makes the substrates interchangeable —
@@ -194,17 +208,26 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	// message crossed — so a send the preferred substrate refuses can
 	// retry on the other, provided it fits.
 	alt := e.high
+	altName := "high"
 	if sub == e.high {
 		alt = e.low
+		altName = "low"
 	}
 	if len(msg) > alt.MaxMessage() {
+		e.tracer.EndSpan(p.Now(), trace.Hybrid, e.Rank(), "route-end", span, 0, "failed via=%s: %v", via, err)
 		return err
 	}
-	if altErr := alt.Send(p, dst, msg); altErr == nil {
+	e.tracer.EmitMsg(p.Now(), trace.Hybrid, e.Rank(), "failover", 0, span, "%s->%s: %v", via, altName, err)
+	e.tracer.PushParent(span)
+	altErr := alt.Send(p, dst, msg)
+	e.tracer.PopParent()
+	if altErr == nil {
 		e.stats.Failovers++
 		e.im.failovers.Inc()
+		e.tracer.EndSpan(p.Now(), trace.Hybrid, e.Rank(), "route-end", span, 0, "failover via=%s", altName)
 		return nil
 	}
+	e.tracer.EndSpan(p.Now(), trace.Hybrid, e.Rank(), "route-end", span, 0, "failed both: %v", err)
 	return err
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xport"
 )
 
@@ -56,6 +57,15 @@ func (w *World) Engine(i int) *Engine { return w.engines[i] }
 func (w *World) SetMetrics(m *metrics.Registry) {
 	for _, eng := range w.engines {
 		eng.setMetrics(m)
+	}
+}
+
+// SetTracer installs a span recorder on every engine (nil disables).
+// Like SetMetrics it stops at the ADI layer; install the tracer on the
+// transport separately (cluster.New wires both ends).
+func (w *World) SetTracer(r *trace.Recorder) {
+	for _, eng := range w.engines {
+		eng.setTracer(r)
 	}
 }
 
@@ -119,22 +129,33 @@ func (c *Comm) isend(p *sim.Proc, dst, tag int, data []byte) (*Request, error) {
 	world := c.group[dst]
 	req := &Request{eng: e, isSend: true, ctx: c.ctx, tag: tag, dst: world, comm: c}
 	if len(data) <= e.cfg.EagerMax {
+		// The eager span covers envelope + chunks; the BBP posts they
+		// cause adopt it as their parent via the ambient stack.
+		span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "eager", 0, e.tracer.Parent(), "dst=%d tag=%d total=%d", world, tag, len(data))
+		e.tracer.PushParent(span)
 		env := envelope{kind: kEager, ctx: c.ctx, tag: int32(tag), total: uint32(len(data))}
 		e.sendControl(p, world, env)
 		e.sendChunks(p, world, data)
+		e.tracer.PopParent()
+		e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "eager-end", span, 0, "total=%d", len(data))
 		e.stats.EagerSent++
 		e.im.eagerSent.Inc()
 		req.done = true
 		return req, nil
 	}
-	// Rendezvous: keep a reference to the payload until CTS arrives.
+	// Rendezvous: keep a reference to the payload until CTS arrives. The
+	// span stays open across the RTS/CTS round trip and is closed by
+	// handleCTS once the data chunks have been pushed.
 	id := e.nextReq
 	e.nextReq++
 	req.id = id
 	req.data = data
 	e.pendSends[id] = req
+	req.span = e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv", 0, e.tracer.Parent(), "dst=%d tag=%d total=%d", world, tag, len(data))
 	env := envelope{kind: kRTS, ctx: c.ctx, tag: int32(tag), total: uint32(len(data)), reqID: id}
+	e.tracer.PushParent(req.span)
 	e.sendControl(p, world, env)
+	e.tracer.PopParent()
 	e.stats.RndvSent++
 	e.im.rndvSent.Inc()
 	return req, nil

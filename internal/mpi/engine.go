@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xport"
 )
 
@@ -29,6 +30,7 @@ type Engine struct {
 	scratch []byte
 	stats   EngineStats
 	im      engInstruments
+	tracer  *trace.Recorder
 }
 
 // engInstruments mirror EngineStats into the metrics registry, keyed by
@@ -59,6 +61,11 @@ func (e *Engine) setMetrics(m *metrics.Registry) {
 		unexpDepth: m.Gauge("mpi.unexpected_depth", rank),
 	}
 }
+
+// setTracer installs a trace recorder (nil disables). MPI spans carry
+// no message id of their own — they cover several BBP messages — and
+// instead parent the underlying sends via the recorder's ambient stack.
+func (e *Engine) setTracer(r *trace.Recorder) { e.tracer = r }
 
 // EngineStats counts protocol activity.
 type EngineStats struct {
@@ -215,8 +222,11 @@ func (e *Engine) handleCTS(p *sim.Proc, src int, env envelope) {
 	}
 	delete(e.pendSends, env.reqID)
 	hdr := envelope{kind: kRData, ctx: env.ctx, tag: env.tag, total: uint32(len(req.data)), reqID: env.aux}
+	e.tracer.PushParent(req.span)
 	e.sendControl(p, src, hdr)
 	e.sendChunks(p, req.dst, req.data)
+	e.tracer.PopParent()
+	e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-end", req.span, 0, "total=%d", len(req.data))
 	req.done = true
 }
 

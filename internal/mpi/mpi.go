@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Wildcards for Recv matching.
@@ -214,6 +215,7 @@ type Request struct {
 	data []byte
 	dst  int // world rank
 	id   uint32
+	span trace.SpanID // open rndv span, closed when CTS releases the data
 }
 
 // Done reports whether the operation has completed (poll without

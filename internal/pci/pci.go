@@ -17,6 +17,7 @@ package pci
 import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config holds bus timing parameters. The defaults approximate 32-bit /
@@ -53,10 +54,12 @@ func DefaultConfig() Config {
 
 // Bus is one node's I/O bus.
 type Bus struct {
-	k   *sim.Kernel
-	cfg Config
-	srv *sim.Server
-	im  busInstruments
+	k      *sim.Kernel
+	cfg    Config
+	srv    *sim.Server
+	im     busInstruments
+	tracer *trace.Recorder
+	node   int
 }
 
 // busInstruments are the bus's metrics. All fields are nil until
@@ -88,6 +91,14 @@ func (b *Bus) SetMetrics(m *metrics.Registry, node int) {
 		dmaBytes:      m.Counter("pci.dma_bytes", node),
 		busyNs:        m.Counter("pci.busy_ns", node),
 	}
+}
+
+// SetTracer installs a trace recorder for this bus, attributed to the
+// given node (nil disables). The bus emits only instants (DMA bursts),
+// never spans, and charges no extra virtual time for them.
+func (b *Bus) SetTracer(r *trace.Recorder, node int) {
+	b.tracer = r
+	b.node = node
 }
 
 // Config returns the bus timing parameters.
@@ -143,6 +154,9 @@ func (b *Bus) CountDMABurst(n int) {
 	b.im.dmaBursts.Inc()
 	b.im.dmaBytes.Add(int64(n))
 	b.im.busyNs.Add(int64(n) * int64(b.cfg.DMAPerByte))
+	if b.tracer != nil {
+		b.tracer.EmitMsg(b.k.Now(), trace.Host, b.node, "dma-burst", 0, b.tracer.Parent(), "len=%d", n)
+	}
 }
 
 // DMAAsync charges setup on the caller, schedules the burst on the bus,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Hierarchy is a two-level ring-of-rings, the paper's §2 answer to the
@@ -115,14 +116,16 @@ func (h *Hierarchy) wireBridge(li, bridgeLocal int, delay sim.Duration) {
 	leafNIC.onApply = func(pkt *packet) {
 		data := append([]byte(nil), pkt.data...)
 		off, intr := pkt.off, pkt.interrupt
-		h.k.After(delay, func() { bbNIC.injectForwarded(off, data, intr) })
+		msg, parent := pkt.msg, pkt.span
+		h.k.After(delay, func() { bbNIC.injectForwarded(off, data, intr, msg, parent) })
 	}
 	// Backbone traffic (other leaves' forwarded writes) crosses down
 	// into this leaf.
 	bbNIC.onApply = func(pkt *packet) {
 		data := append([]byte(nil), pkt.data...)
 		off, intr := pkt.off, pkt.interrupt
-		h.k.After(delay, func() { leafNIC.injectForwarded(off, data, intr) })
+		msg, parent := pkt.msg, pkt.span
+		h.k.After(delay, func() { leafNIC.injectForwarded(off, data, intr, msg, parent) })
 	}
 }
 
@@ -153,6 +156,16 @@ func (h *Hierarchy) SetMetrics(m *metrics.Registry) {
 	h.backbone.SetMetrics(m)
 	for _, leaf := range h.leaves {
 		leaf.SetMetrics(m)
+	}
+}
+
+// SetTracer installs a trace recorder on every ring of the hierarchy
+// (nil disables). Packet spans carry their message attribution across
+// bridges, so a causal tree can follow a write leaf→backbone→leaf.
+func (h *Hierarchy) SetTracer(r *trace.Recorder) {
+	h.backbone.SetTracer(r)
+	for _, leaf := range h.leaves {
+		leaf.SetTracer(r)
 	}
 }
 

@@ -28,6 +28,13 @@ type NIC struct {
 
 	failed bool
 
+	// Trace context stamped onto every packet this card injects. The
+	// BBP layer sets it around the bus writes belonging to one message;
+	// safe without locking because nic.send runs synchronously inside
+	// the calling simulation process.
+	ctxMsg  uint64
+	ctxSpan trace.SpanID
+
 	intrOn      bool
 	intrHandler func(off int)
 	// onApply, when set, observes every remote write applied to this
@@ -60,6 +67,20 @@ func (nic *NIC) setMetrics(m *metrics.Registry) {
 	nic.bus.SetMetrics(m, nic.ownerID)
 }
 
+// SetTraceContext attributes subsequent injections from this card to
+// message msg under parent span parent, returning the previous context
+// so the caller can restore it (two processes — the application and the
+// retry daemon — share one card). Cheap enough to call unconditionally;
+// it only labels trace events. If one process blocks mid-write while
+// the other holds the context, a packet label can momentarily attach to
+// the wrong message; this affects only ring-span attribution, never the
+// protocol events themselves, which carry explicit ids.
+func (nic *NIC) SetTraceContext(msg uint64, parent trace.SpanID) (prevMsg uint64, prevParent trace.SpanID) {
+	prevMsg, prevParent = nic.ctxMsg, nic.ctxSpan
+	nic.ctxMsg, nic.ctxSpan = msg, parent
+	return
+}
+
 // ID returns the ring node number.
 func (nic *NIC) ID() int { return nic.id }
 
@@ -87,7 +108,7 @@ func (nic *NIC) apply(pkt *packet) {
 	copy(nic.mem[pkt.off:], pkt.data)
 	nic.stats.PacketsApplied++
 	nic.im.applied.Inc()
-	nic.net.tracer.Emitf(nic.net.k.Now(), trace.Ring, nic.id, "apply", "off=%#x len=%d from=%d", pkt.off, len(pkt.data), pkt.origin)
+	nic.net.tracer.EmitMsg(nic.net.k.Now(), trace.Ring, nic.id, "apply", pkt.msg, pkt.span, "off=%#x len=%d from=%d", pkt.off, len(pkt.data), pkt.origin)
 	if pkt.interrupt && nic.intrOn && nic.intrHandler != nil {
 		off := pkt.off
 		nic.stats.InterruptsTaken++
@@ -102,11 +123,12 @@ func (nic *NIC) apply(pkt *packet) {
 // injectForwarded re-posts a write that arrived from another ring, as if
 // this NIC's host had written it (used by hierarchy bridges; no bus time
 // is charged — the bridge moves data NIC-to-NIC in hardware). The bank
-// is updated immediately, as for a host write.
-func (nic *NIC) injectForwarded(off int, data []byte, interrupt bool) {
+// is updated immediately, as for a host write. msg/parent carry the
+// originating packet's trace attribution across the bridge.
+func (nic *NIC) injectForwarded(off int, data []byte, interrupt bool, msg uint64, parent trace.SpanID) {
 	copy(nic.mem[off:], data)
 	nic.txBacklog += len(data)
-	nic.net.inject(&packet{origin: nic.id, off: off, data: data, interrupt: interrupt})
+	nic.net.inject(&packet{origin: nic.id, off: off, data: data, interrupt: interrupt, msg: msg, parent: parent})
 }
 
 // stallTxFIFO blocks the host process until the transmit FIFO can accept
@@ -130,7 +152,7 @@ func (nic *NIC) send(p *sim.Proc, off int, data []byte, interrupt bool, charge f
 		if n > max {
 			n = max
 		}
-		pkt := &packet{origin: nic.id, off: off, data: append([]byte(nil), data[:n]...), interrupt: interrupt}
+		pkt := &packet{origin: nic.id, off: off, data: append([]byte(nil), data[:n]...), interrupt: interrupt, msg: nic.ctxMsg, parent: nic.ctxSpan}
 		if charge != nil {
 			charge(n)
 		}

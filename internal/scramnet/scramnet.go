@@ -143,6 +143,13 @@ type packet struct {
 	data      []byte
 	interrupt bool
 	hops      int
+	// Trace attribution (zero when tracing is off or the write is not
+	// message-attributed): msg is the BBP message id stamped from the
+	// injecting NIC's context, parent the causal parent span, span the
+	// packet's own inject→strip span.
+	msg    uint64
+	parent trace.SpanID
+	span   trace.SpanID
 }
 
 // ownerTable tracks, per word offset, which host first wrote it
@@ -187,8 +194,14 @@ type netInstruments struct {
 	nodeRepairs *metrics.Counter // ring.node_repairs
 }
 
-// SetTracer installs an event recorder (nil disables tracing).
-func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
+// SetTracer installs an event recorder on the ring and every NIC's host
+// bus (nil disables tracing).
+func (n *Network) SetTracer(r *trace.Recorder) {
+	n.tracer = r
+	for _, nic := range n.nics {
+		nic.bus.SetTracer(r, nic.ownerID)
+	}
+}
 
 // SetMetrics installs metrics instruments on the ring, its NICs and
 // their host buses (nil disables). Metrics never charge virtual time,
@@ -304,7 +317,10 @@ func (n *Network) inject(pkt *packet) {
 	src.stats.BytesSent += int64(len(pkt.data))
 	src.im.injected.Inc()
 	src.im.bytesInjected.Add(int64(len(pkt.data)))
-	n.tracer.Emitf(n.k.Now(), trace.Ring, pkt.origin, "inject", "off=%#x len=%d", pkt.off, len(pkt.data))
+	// "inject" opens the packet's ring span; it closes at strip, CRC
+	// drop, or ring break ("pkt-end"), so the causal tree shows exactly
+	// how far each replication packet got.
+	pkt.span = n.tracer.BeginSpan(n.k.Now(), trace.Ring, pkt.origin, "inject", pkt.msg, pkt.parent, "off=%#x len=%d", pkt.off, len(pkt.data))
 	wire := n.wireTime(pkt)
 	src.link.Serve(wire, func() {
 		src.txBacklog -= len(pkt.data)
@@ -313,6 +329,7 @@ func (n *Network) inject(pkt *packet) {
 			// Corrupted in flight: the next hop's CRC check discards it.
 			src.stats.PacketsLost++
 			src.im.crcDrops.Inc()
+			n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "crc-drop")
 			return
 		}
 		n.forward(pkt.origin, pkt)
@@ -326,6 +343,7 @@ func (n *Network) forward(from int, pkt *packet) {
 	if !ok {
 		n.nics[pkt.origin].stats.PacketsLost++
 		n.nics[pkt.origin].im.crcDrops.Inc()
+		n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "ring-broken")
 		return // broken single ring: packet lost downstream
 	}
 	pkt.hops += hops
@@ -339,6 +357,7 @@ func (n *Network) forward(from int, pkt *packet) {
 			// Stripped by the source after a full revolution — or aged
 			// out after as many hops, which is what removes a packet
 			// whose origin was optically bypassed while it circulated.
+			n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "strip hops=%d", pkt.hops)
 			return
 		}
 		nic := n.nics[next]

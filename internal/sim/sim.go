@@ -208,6 +208,21 @@ func (k *Kernel) peek() *event {
 	return nil
 }
 
+// Pending counts scheduled, non-canceled events still in the heap. A
+// periodic observer (e.g. a metrics snapshot stream) uses it to decide
+// whether rescheduling itself would keep an otherwise-finished
+// simulation alive: when Pending is zero inside a timer callback, every
+// remaining event belongs to the observer itself.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
 func (k *Kernel) checkDeadlock() error {
 	if k.live == 0 {
 		return nil

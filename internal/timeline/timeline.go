@@ -1,0 +1,547 @@
+// Package timeline joins the two observability streams the testbed can
+// produce — the causal span trace (internal/trace) and the periodic
+// virtual-time metrics snapshot stream (internal/metrics.Stream) — into
+// three artifacts:
+//
+//   - per-message latency breakdowns rebuilt from spans alone
+//     (Breakdowns), reproducing the paper's §5 anatomy decomposition
+//     without consulting the cost model;
+//   - a retry-storm / bus-saturation correlator (CoSpikes) that flags
+//     snapshot intervals where the cluster's retransmission counter and
+//     its aggregate PCI bus occupancy spike together — the signature of
+//     the retry extension fighting a lossy ring;
+//   - Chrome trace_event JSON export (WriteChromeTrace) so any run can
+//     be inspected in chrome://tracing or Perfetto.
+//
+// The package also hosts the two canned scenarios cmd/timeline runs:
+// RunAnatomy (one traced message, spans cross-checked against the
+// counter × cost-model figure cmd/anatomy computes) and RunSweep (the
+// EXPERIMENTS.md E6 fault-sweep shape with tracing and snapshot
+// streaming switched on).
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/pci"
+	"repro/internal/scramnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xport/oracle"
+)
+
+// Breakdown is one message's life reconstructed purely from its trace
+// events: the span boundaries carry everything needed, no cost model or
+// counter is consulted. Times are zero-valued until the matching flag
+// reports the boundary was observed (a capped recorder may have evicted
+// the early events of an old message).
+type Breakdown struct {
+	Msg    uint64
+	Sender int
+	Seq    uint32
+	// Receiver is the node of the first consume (or first detect when
+	// the message never finished draining); -1 when neither was seen.
+	Receiver int
+
+	Post    sim.Time // "post" Begin on the sender
+	FlagSet sim.Time // last "flag-set" on the sender
+	Detect  sim.Time // first "detect" on the receiver
+	Consume sim.Time // last "consume" End on the receiver
+
+	Posted, Flagged, Detected, Delivered bool
+
+	// Retransmits counts "retransmit" spans opened for this message;
+	// AckSeen reports whether the receiver's "ack" instant was traced.
+	Retransmits int
+	AckSeen     bool
+}
+
+// Publish is the sender-side post→flag-set segment (0 if unbounded).
+func (b Breakdown) Publish() sim.Duration {
+	if !b.Posted || !b.Flagged {
+		return 0
+	}
+	return b.FlagSet.Sub(b.Post)
+}
+
+// Transit is the flag-set→detect segment: wire replication plus the
+// receiver's poll-phase alignment and descriptor read.
+func (b Breakdown) Transit() sim.Duration {
+	if !b.Flagged || !b.Detected {
+		return 0
+	}
+	return b.Detect.Sub(b.FlagSet)
+}
+
+// Drain is the detect→consume segment: payload read plus ACK.
+func (b Breakdown) Drain() sim.Duration {
+	if !b.Detected || !b.Delivered {
+		return 0
+	}
+	return b.Consume.Sub(b.Detect)
+}
+
+// Total is the post→consume one-way latency.
+func (b Breakdown) Total() sim.Duration {
+	if !b.Posted || !b.Delivered {
+		return 0
+	}
+	return b.Consume.Sub(b.Post)
+}
+
+// Breakdowns rebuilds one Breakdown per message id present in evs,
+// ordered by id (sender rank, then send sequence). Events without
+// message attribution are ignored.
+func Breakdowns(evs []trace.Event) []Breakdown {
+	by := map[uint64]*Breakdown{}
+	get := func(msg uint64) *Breakdown {
+		b, ok := by[msg]
+		if !ok {
+			b = &Breakdown{Msg: msg, Sender: trace.MsgSender(msg), Seq: trace.MsgSeq(msg), Receiver: -1}
+			by[msg] = b
+		}
+		return b
+	}
+	for _, e := range evs {
+		if e.Msg == 0 {
+			continue
+		}
+		b := get(e.Msg)
+		switch e.Name {
+		case "post":
+			if e.Kind == trace.Begin && !b.Posted {
+				b.Post, b.Posted = e.T, true
+			}
+		case "flag-set":
+			b.FlagSet, b.Flagged = e.T, true // keep the last
+		case "detect":
+			if !b.Detected {
+				b.Detect, b.Detected = e.T, true
+				b.Receiver = e.Node
+			}
+		case "consume":
+			if e.Kind == trace.End {
+				b.Consume, b.Delivered = e.T, true
+				b.Receiver = e.Node
+			}
+		case "retransmit":
+			if e.Kind == trace.Begin {
+				b.Retransmits++
+			}
+		case "ack":
+			b.AckSeen = true
+		}
+	}
+	out := make([]Breakdown, 0, len(by))
+	for _, b := range by {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Msg < out[j].Msg })
+	return out
+}
+
+// RenderBreakdowns writes the per-message decomposition table. Messages
+// whose early events were evicted by a capped recorder show "—" for the
+// unbounded segments.
+func RenderBreakdowns(w io.Writer, bds []Breakdown) {
+	fmt.Fprintf(w, "%-10s %4s %4s  %12s %14s %12s %12s %6s\n",
+		"msg", "src", "dst", "publish", "transit+detect", "drain", "total", "rexmit")
+	seg := func(d sim.Duration, ok bool) string {
+		if !ok {
+			return "—"
+		}
+		return d.String()
+	}
+	for _, b := range bds {
+		dst := "—"
+		if b.Receiver >= 0 {
+			dst = fmt.Sprintf("%d", b.Receiver)
+		}
+		fmt.Fprintf(w, "%-10s %4d %4s  %12s %14s %12s %12s %6d\n",
+			fmt.Sprintf("%d:%d", b.Sender, b.Seq), b.Sender, dst,
+			seg(b.Publish(), b.Posted && b.Flagged),
+			seg(b.Transit(), b.Flagged && b.Detected),
+			seg(b.Drain(), b.Detected && b.Delivered),
+			seg(b.Total(), b.Posted && b.Delivered),
+			b.Retransmits)
+	}
+}
+
+// Interval is one snapshot-stream window the correlator flagged: the
+// cluster retransmitted during it AND aggregate bus occupancy grew
+// faster than the run's median rate — retry traffic and bus saturation
+// spiking together.
+type Interval struct {
+	From, To sim.Time
+	// DRetrans is the growth of the cluster-rollup bbp.retransmits
+	// counter across the window; DBusyNS the growth of pci.busy_ns.
+	DRetrans int64
+	DBusyNS  int64
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s] Δretransmits=%d Δbusy=%s",
+		iv.From.Sub(sim.Time(0)), iv.To.Sub(sim.Time(0)), iv.DRetrans, sim.Duration(iv.DBusyNS))
+}
+
+// CoSpikes scans consecutive snapshot-stream points for windows where
+// the retry machinery and the I/O buses were simultaneously busy:
+// Δbbp.retransmits > 0 and Δpci.busy_ns above the median per-window
+// growth. The median baseline makes the test self-calibrating — steady
+// polling traffic sets the floor, and only windows where the bus worked
+// measurably harder than usual while retries fired are flagged.
+func CoSpikes(points []metrics.StreamPoint) []Interval {
+	if len(points) < 2 {
+		return nil
+	}
+	type win struct {
+		from, to        sim.Time
+		dRetrans, dBusy int64
+	}
+	rollup := func(p metrics.StreamPoint, name string) int64 {
+		v, _ := p.Snap.Rollup().Counter(name, metrics.NodeGlobal)
+		return v
+	}
+	wins := make([]win, 0, len(points)-1)
+	busies := make([]int64, 0, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		w := win{
+			from:     sim.Time(points[i-1].T),
+			to:       sim.Time(points[i].T),
+			dRetrans: rollup(points[i], "bbp.retransmits") - rollup(points[i-1], "bbp.retransmits"),
+			dBusy:    rollup(points[i], "pci.busy_ns") - rollup(points[i-1], "pci.busy_ns"),
+		}
+		wins = append(wins, w)
+		busies = append(busies, w.dBusy)
+	}
+	sort.Slice(busies, func(i, j int) bool { return busies[i] < busies[j] })
+	median := busies[len(busies)/2]
+	if len(busies)%2 == 0 {
+		median = (busies[len(busies)/2-1] + busies[len(busies)/2]) / 2
+	}
+	var out []Interval
+	for _, w := range wins {
+		if w.dRetrans > 0 && w.dBusy > median {
+			out = append(out, Interval{From: w.from, To: w.to, DRetrans: w.dRetrans, DBusyNS: w.dBusy})
+		}
+	}
+	return out
+}
+
+// RenderIntervals writes the correlation table.
+func RenderIntervals(w io.Writer, ivs []Interval) {
+	fmt.Fprintf(w, "%-14s %-14s %12s %14s\n", "from", "to", "Δretransmits", "Δpci.busy")
+	for _, iv := range ivs {
+		fmt.Fprintf(w, "%-14s %-14s %12d %14s\n",
+			iv.From.Sub(sim.Time(0)), iv.To.Sub(sim.Time(0)), iv.DRetrans, sim.Duration(iv.DBusyNS))
+	}
+}
+
+// chromeEvent is one trace_event JSON object. encoding/json preserves
+// field order and sorts Args keys, so the export is byte-stable.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds, Chrome's unit
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  string         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorder's contents in Chrome
+// trace_event format: spans become "X" complete events (pid = node,
+// tid = category), instants become "i" events. Load the output in
+// chrome://tracing or Perfetto to scrub through a run visually.
+func WriteChromeTrace(w io.Writer, rec *trace.Recorder) error {
+	var evs []chromeEvent
+	us := func(t sim.Time) float64 { return t.Sub(sim.Time(0)).Microseconds() }
+	spanned := map[trace.SpanID]bool{}
+	for _, s := range rec.Spans() {
+		spanned[s.ID] = true
+		dur := 0.0
+		name := s.Name
+		if s.Ended {
+			dur = s.End.Sub(s.Start).Microseconds()
+		} else {
+			name += " (unterminated)"
+		}
+		args := map[string]any{"span": uint64(s.ID), "detail": s.Detail}
+		if s.Parent != 0 {
+			args["parent"] = uint64(s.Parent)
+		}
+		if s.Msg != 0 {
+			args["msg"] = fmt.Sprintf("%d:%d", trace.MsgSender(s.Msg), trace.MsgSeq(s.Msg))
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "X", Ts: us(s.Start), Dur: dur,
+			Pid: s.Node, Tid: string(s.Cat), Args: args,
+		})
+	}
+	for _, e := range rec.Events() {
+		if e.Kind != trace.Instant {
+			continue
+		}
+		args := map[string]any{"detail": e.Detail}
+		if e.Parent != 0 {
+			args["parent"] = uint64(e.Parent)
+		}
+		if e.Msg != 0 {
+			args["msg"] = fmt.Sprintf("%d:%d", trace.MsgSender(e.Msg), trace.MsgSeq(e.Msg))
+		}
+		evs = append(evs, chromeEvent{
+			Name: e.Name, Ph: "i", Ts: us(e.T),
+			Pid: e.Node, Tid: string(e.Cat), S: "t", Args: args,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// AnatomyResult is RunAnatomy's output: the traced run plus the
+// span-derived breakdown and the independently derived counter ×
+// cost-model figures it must agree with.
+type AnatomyResult struct {
+	Rec       *trace.Recorder
+	Metrics   *metrics.Registry
+	Breakdown Breakdown
+	// ModelPublish / ModelDrain are the cost-model predictions for the
+	// same segments (cmd/anatomy's derivation); DetectFloor is the
+	// deterministic lower bound of the transit+detect segment.
+	ModelPublish sim.Duration
+	ModelDrain   sim.Duration
+	DetectFloor  sim.Duration
+	OneWay       sim.Duration
+	// Mismatches lists every disagreement between the span-derived
+	// decomposition and the cost model; empty means the two independent
+	// reconstructions tell one story.
+	Mismatches []string
+}
+
+// RunAnatomy traces one size-byte BBP message from node 0 to node 1 on
+// an n-node ring — the scenario behind the paper's 7.8 µs figure — and
+// cross-checks the span-derived breakdown against the counter ×
+// cost-model decomposition cmd/anatomy computes.
+func RunAnatomy(size, nodes int) (*AnatomyResult, error) {
+	k := sim.NewKernel()
+	defer k.Close()
+	ring, err := scramnet.New(k, scramnet.DefaultConfig(nodes))
+	if err != nil {
+		return nil, err
+	}
+	ring.SetSingleWriterCheck(true)
+	bcfg := core.DefaultConfig()
+	sys, err := core.New(ring, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New()
+	m := metrics.New()
+	ring.SetTracer(rec)
+	sys.SetTracer(rec)
+	ring.SetMetrics(m)
+	sys.SetMetrics(m)
+	eps := make([]*core.Endpoint, nodes)
+	for i := range eps {
+		if eps[i], err = sys.Attach(i); err != nil {
+			return nil, err
+		}
+	}
+	var sent, done sim.Time
+	k.Spawn("tx", func(p *sim.Proc) {
+		p.Delay(10 * sim.Microsecond) // receiver already polling
+		sent = p.Now()
+		if err := eps[0].Send(p, 1, make([]byte, size)); err != nil {
+			panic(err)
+		}
+	})
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, size+1)
+		if _, err := eps[1].Recv(p, 0, buf); err != nil {
+			panic(err)
+		}
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &AnatomyResult{Rec: rec, Metrics: m, OneWay: done.Sub(sent)}
+	bds := Breakdowns(rec.Events())
+	if len(bds) != 1 {
+		return nil, fmt.Errorf("timeline: expected 1 traced message, got %d", len(bds))
+	}
+	res.Breakdown = bds[0]
+
+	// The independent reconstruction: word counts × configured bus
+	// transaction costs, exactly as cmd/anatomy derives them.
+	buscfg := ring.NIC(0).Bus().Config()
+	descW := int64(3)
+	if bcfg.Retry.Enabled {
+		descW = 4
+	}
+	dmaSend := size > 0 && size >= bcfg.SendDMAThreshold
+	dmaRecv := size > 0 && size >= bcfg.RecvDMAThreshold
+	res.ModelPublish = sim.Duration(descW+1) * buscfg.PIOWriteWord
+	if dmaSend {
+		res.ModelPublish += buscfg.DMASetup + sim.Duration(size)*buscfg.DMAPerByte + buscfg.DMACompletionCheck
+	} else if size > 0 {
+		res.ModelPublish += sim.Duration(pci.WordsFor(size)) * buscfg.PIOWriteWord
+	}
+	res.ModelDrain = buscfg.PIOWriteWord // ACK toggle
+	if dmaRecv {
+		res.ModelDrain += buscfg.DMASetup + sim.Duration(size)*buscfg.DMAPerByte + buscfg.DMACompletionCheck
+	} else if size > 0 {
+		res.ModelDrain += sim.Duration(pci.WordsFor(size)) * buscfg.PIOReadWord
+	}
+	res.DetectFloor = sim.Duration(descW)*buscfg.PIOReadWord + bcfg.Costs.RecvBookkeeping
+
+	b := res.Breakdown
+	mismatch := func(format string, args ...any) {
+		res.Mismatches = append(res.Mismatches, fmt.Sprintf(format, args...))
+	}
+	if !b.Posted || !b.Flagged || !b.Detected || !b.Delivered {
+		mismatch("span stream incomplete: posted=%v flagged=%v detected=%v delivered=%v",
+			b.Posted, b.Flagged, b.Detected, b.Delivered)
+		return res, nil
+	}
+	fifoSafe := size+int(descW+1)*4 <= ring.NIC(0).NetworkConfig().TxFIFOBytes
+	if fifoSafe && b.Publish() != res.ModelPublish {
+		mismatch("publish span %s != cost model %s", b.Publish(), res.ModelPublish)
+	}
+	if !fifoSafe && b.Publish() < res.ModelPublish {
+		mismatch("publish span %s below its bus cost floor %s", b.Publish(), res.ModelPublish)
+	}
+	if b.Drain() != res.ModelDrain {
+		mismatch("drain span %s != cost model %s", b.Drain(), res.ModelDrain)
+	}
+	if b.Transit() < res.DetectFloor {
+		mismatch("transit+detect %s below the %s descriptor+bookkeeping floor", b.Transit(), res.DetectFloor)
+	}
+	if total := b.Publish() + b.Transit() + b.Drain(); total != b.Total() {
+		mismatch("segments %s do not telescope to post→consume %s", total, b.Total())
+	}
+	if b.Total() > res.OneWay {
+		mismatch("post→consume %s exceeds the measured one-way %s", b.Total(), res.OneWay)
+	}
+	return res, nil
+}
+
+// SweepConfig parameterizes RunSweep. The zero value is completed by
+// DefaultSweepConfig.
+type SweepConfig struct {
+	Rate          float64      // ring packet-drop probability (0 = fault-free)
+	Seed          uint64       // fault-script + drop-stream seed
+	Messages      int          // timed sends node 0 → node 1
+	Bytes         int          // payload size
+	Gap           sim.Duration // inter-send spacing
+	SnapshotEvery sim.Duration // snapshot-stream period
+	TraceCap      int          // 0 = unbounded recorder
+}
+
+// DefaultSweepConfig mirrors the E6 fault-sweep point (30 × 32 B
+// messages, 25 µs apart, seed 1999) with a 100 µs snapshot cadence.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Seed:          1999,
+		Messages:      30,
+		Bytes:         32,
+		Gap:           25 * sim.Microsecond,
+		SnapshotEvery: 100 * sim.Microsecond,
+	}
+}
+
+// SweepResult is one fully observed fault-sweep run.
+type SweepResult struct {
+	Rec        *trace.Recorder
+	Points     []metrics.StreamPoint
+	Breakdowns []Breakdown
+	Intervals  []Interval
+	Sent       int
+	Delivered  int
+}
+
+// RunSweep executes the E6 fault-sweep scenario — 4-node SCRAMNet ring,
+// retry-enabled BBP, a loss window covering the whole run — with span
+// tracing and snapshot streaming on, and joins the two streams into
+// breakdowns and co-spike intervals. The run is oracle-checked: it
+// fails rather than report latencies for lost messages.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	if cfg.Messages == 0 {
+		cfg = DefaultSweepConfig()
+	}
+	k := sim.NewKernel()
+	defer k.Close()
+
+	var script *fault.Script
+	if cfg.Rate > 0 {
+		script = &fault.Script{Seed: cfg.Seed, Actions: []fault.Action{
+			{At: 0, Kind: fault.LossStart, Rate: cfg.Rate},
+		}}
+	}
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	rec := trace.New()
+	if cfg.TraceCap > 0 {
+		rec = trace.NewCapped(cfg.TraceCap)
+	}
+	reg := metrics.New()
+	c, err := cluster.New(k, cluster.Options{
+		Nodes: 4, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script,
+		Metrics: reg, Trace: rec, SnapshotEvery: cfg.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o := oracle.New()
+	tx, rx := o.Wrap(c.Endpoints[0]), o.Wrap(c.Endpoints[1])
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < cfg.Messages; i++ {
+			msg := make([]byte, cfg.Bytes)
+			if cfg.Bytes > 0 {
+				msg[0] = byte(i + 1)
+			}
+			if err := tx.Send(p, 1, msg); err != nil {
+				panic(err)
+			}
+			p.Delay(cfg.Gap)
+		}
+	})
+	delivered := 0
+	k.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, cfg.Bytes+1)
+		for i := 0; i < cfg.Messages; i++ {
+			if _, err := rx.Recv(p, 0, buf); err != nil {
+				panic(err)
+			}
+			delivered++
+		}
+	})
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("timeline sweep rate=%.2f: %w", cfg.Rate, err)
+	}
+	if st, err := o.Check(true); err != nil {
+		return nil, fmt.Errorf("timeline sweep rate=%.2f violated delivery contract: %w (%v)", cfg.Rate, err, st)
+	}
+	points := c.Stream.Points()
+	return &SweepResult{
+		Rec:        rec,
+		Points:     points,
+		Breakdowns: Breakdowns(rec.Events()),
+		Intervals:  CoSpikes(points),
+		Sent:       cfg.Messages,
+		Delivered:  delivered,
+	}, nil
+}

@@ -3,6 +3,20 @@
 // replication, detection, consumption, acknowledgement — can be laid
 // out on the virtual timeline. cmd/anatomy uses it to print the
 // breakdown behind the paper's 7.8 µs headline number.
+//
+// Beyond flat events, the recorder is span-structured: every BBP
+// message carries a cluster-unique id (MsgID), assigned at Send/Mcast
+// and propagated through ring injection, replication, detection,
+// consume, acknowledgement, retry, the MPI layers and the hybrid
+// router. Begin/End events open and close spans with parent links, so
+// cmd/timeline can rebuild a causal tree for any message and export it
+// as a Chrome trace. Within one node the parent link is explicit;
+// across nodes the message id is the join key (nothing extra ever
+// crosses the simulated wire).
+//
+// A recorder built with NewCapped keeps only the newest events in a
+// fixed ring, counting what it evicted, so long fault sweeps cannot
+// grow memory without bound.
 package trace
 
 import (
@@ -17,10 +31,51 @@ type Category string
 
 // Event categories.
 const (
-	Ring Category = "ring" // packet injected/applied on the SCRAMNet ring
-	BBP  Category = "bbp"  // BillBoard Protocol actions
-	Host Category = "host" // host-side bus operations
+	Ring   Category = "ring"  // packet injected/applied on the SCRAMNet ring
+	BBP    Category = "bbp"   // BillBoard Protocol actions
+	Host   Category = "host"  // host-side bus operations
+	MPI    Category = "mpi"   // MPICH layers above the channel device
+	Hybrid Category = "hyb"   // hybrid router decisions
+	Fault  Category = "fault" // injected fault-script actions
 )
+
+// SpanID identifies one span within a recorder; 0 means "no span".
+type SpanID uint64
+
+// Kind distinguishes instantaneous events from span boundaries.
+type Kind uint8
+
+const (
+	// Instant is a point event (the zero value, so Emit/Emitf produce
+	// instants as they always did).
+	Instant Kind = iota
+	// Begin opens the span named in Event.Span.
+	Begin
+	// End closes it.
+	End
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "B"
+	case End:
+		return "E"
+	}
+	return "."
+}
+
+// MsgID derives the cluster-unique message id from a sender rank and
+// its BBP send sequence. The sequence starts at 1, so a valid id is
+// never zero (0 means "no message attribution"). The receiver can
+// reconstruct the id from the descriptor alone — no wire change.
+func MsgID(sender int, seq uint32) uint64 {
+	return uint64(uint32(sender))<<32 | uint64(seq)
+}
+
+// MsgSender and MsgSeq invert MsgID.
+func MsgSender(msg uint64) int { return int(uint32(msg >> 32)) }
+func MsgSeq(msg uint64) uint32 { return uint32(msg) }
 
 // Event is one timestamped occurrence.
 type Event struct {
@@ -29,23 +84,95 @@ type Event struct {
 	Node   int
 	Name   string
 	Detail string
+	// Kind marks span boundaries; Span is the span a Begin/End event
+	// opens/closes; Parent is the causal parent span (same-node link);
+	// Msg attributes the event to one BBP message (0 = unattributed).
+	Kind   Kind
+	Span   SpanID
+	Parent SpanID
+	Msg    uint64
 }
 
 // Recorder accumulates events. A nil *Recorder is valid and records
 // nothing, so instrumented code needs no guards beyond the method call.
 type Recorder struct {
-	evs []Event
+	evs   []Event
+	cap   int // 0 = unbounded
+	start int // ring start index once the capped buffer wrapped
+
+	nextSpan SpanID
+	parents  []SpanID // ambient parent stack (see PushParent)
+
+	drops          int64
+	dropLo, dropHi uint64 // msg-id range seen on evicted events
+	droppedMsg     bool
 }
 
-// New returns an empty recorder.
+// New returns an empty, unbounded recorder.
 func New() *Recorder { return &Recorder{} }
 
-// Emit appends an event (no-op on a nil recorder).
+// NewCapped returns a recorder that retains only the newest n events:
+// once full it evicts the oldest event for each new one, counting the
+// evictions (Drops) and remembering the message-id range they covered
+// (MayHaveDroppedMsg). This bounds tracing memory on long fault sweeps.
+func NewCapped(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{cap: n, evs: make([]Event, 0, n)}
+}
+
+// add appends e, evicting the oldest event when capped and full.
+func (r *Recorder) add(e Event) {
+	if r.cap > 0 && len(r.evs) == r.cap {
+		old := r.evs[r.start]
+		r.drops++
+		if old.Msg != 0 {
+			if !r.droppedMsg {
+				r.dropLo, r.dropHi = old.Msg, old.Msg
+				r.droppedMsg = true
+			} else {
+				if old.Msg < r.dropLo {
+					r.dropLo = old.Msg
+				}
+				if old.Msg > r.dropHi {
+					r.dropHi = old.Msg
+				}
+			}
+		}
+		r.evs[r.start] = e
+		r.start = (r.start + 1) % r.cap
+		return
+	}
+	r.evs = append(r.evs, e)
+}
+
+// Drops returns how many events a capped recorder has evicted.
+func (r *Recorder) Drops() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.drops
+}
+
+// MayHaveDroppedMsg conservatively reports whether any evicted event
+// could have belonged to msg: true iff events were dropped and msg lies
+// in the [min,max] id range observed on message-attributed evictions.
+// False positives are possible (the range is a summary), false
+// negatives are not.
+func (r *Recorder) MayHaveDroppedMsg(msg uint64) bool {
+	if r == nil || r.drops == 0 || !r.droppedMsg {
+		return false
+	}
+	return msg >= r.dropLo && msg <= r.dropHi
+}
+
+// Emit appends an instant event (no-op on a nil recorder).
 func (r *Recorder) Emit(t sim.Time, cat Category, node int, name, detail string) {
 	if r == nil {
 		return
 	}
-	r.evs = append(r.evs, Event{T: t, Cat: cat, Node: node, Name: name, Detail: detail})
+	r.add(Event{T: t, Cat: cat, Node: node, Name: name, Detail: detail})
 }
 
 // Emitf is Emit with a formatted detail string; the formatting cost is
@@ -54,39 +181,115 @@ func (r *Recorder) Emitf(t sim.Time, cat Category, node int, name, format string
 	if r == nil {
 		return
 	}
-	r.evs = append(r.evs, Event{T: t, Cat: cat, Node: node, Name: name, Detail: fmt.Sprintf(format, args...)})
+	r.add(Event{T: t, Cat: cat, Node: node, Name: name, Detail: fmt.Sprintf(format, args...)})
+}
+
+// EmitMsg appends an instant event attributed to message msg with an
+// explicit parent span (either may be zero).
+func (r *Recorder) EmitMsg(t sim.Time, cat Category, node int, name string, msg uint64, parent SpanID, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.add(Event{T: t, Cat: cat, Node: node, Name: name, Msg: msg, Parent: parent, Detail: fmt.Sprintf(format, args...)})
+}
+
+// BeginSpan opens a new span and returns its id (0 on a nil recorder,
+// which every span-taking method accepts).
+func (r *Recorder) BeginSpan(t sim.Time, cat Category, node int, name string, msg uint64, parent SpanID, format string, args ...any) SpanID {
+	if r == nil {
+		return 0
+	}
+	r.nextSpan++
+	id := r.nextSpan
+	r.add(Event{T: t, Cat: cat, Node: node, Name: name, Kind: Begin, Span: id, Parent: parent, Msg: msg, Detail: fmt.Sprintf(format, args...)})
+	return id
+}
+
+// EndSpan closes span id (no-op when the recorder is nil or id is 0).
+func (r *Recorder) EndSpan(t sim.Time, cat Category, node int, name string, id SpanID, msg uint64, format string, args ...any) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.add(Event{T: t, Cat: cat, Node: node, Name: name, Kind: End, Span: id, Msg: msg, Detail: fmt.Sprintf(format, args...)})
+}
+
+// PushParent establishes span id as the ambient causal parent: spans
+// begun by lower layers (e.g. a BBP post under an MPI send) adopt it
+// via Parent(). Balanced with PopParent; nil-safe.
+func (r *Recorder) PushParent(id SpanID) {
+	if r == nil {
+		return
+	}
+	r.parents = append(r.parents, id)
+}
+
+// PopParent removes the most recent ambient parent.
+func (r *Recorder) PopParent() {
+	if r == nil || len(r.parents) == 0 {
+		return
+	}
+	r.parents = r.parents[:len(r.parents)-1]
+}
+
+// Parent returns the current ambient parent span (0 when none).
+func (r *Recorder) Parent() SpanID {
+	if r == nil || len(r.parents) == 0 {
+		return 0
+	}
+	return r.parents[len(r.parents)-1]
 }
 
 // Events returns the recorded events in emission order (which is
-// timestamp order, since the simulation clock is monotonic).
+// timestamp order, since the simulation clock is monotonic). On a
+// capped recorder that wrapped, these are the newest Cap events.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.evs
+	if r.start == 0 {
+		return r.evs
+	}
+	out := make([]Event, 0, len(r.evs))
+	out = append(out, r.evs[r.start:]...)
+	out = append(out, r.evs[:r.start]...)
+	return out
 }
 
-// Reset discards recorded events.
+// Reset discards recorded events and drop accounting (capacity and the
+// span-id sequence are kept, so ids stay unique across a Reset).
 func (r *Recorder) Reset() {
-	if r != nil {
-		r.evs = r.evs[:0]
+	if r == nil {
+		return
 	}
+	r.evs = r.evs[:0]
+	r.start = 0
+	r.drops = 0
+	r.droppedMsg = false
+	r.parents = r.parents[:0]
 }
 
 // Render writes the timeline as an aligned table with deltas between
 // consecutive events.
 func (r *Recorder) Render(w io.Writer) {
-	if r == nil || len(r.evs) == 0 {
+	evs := r.Events()
+	if len(evs) == 0 {
 		fmt.Fprintln(w, "(no events)")
 		return
 	}
-	t0 := r.evs[0].T
+	t0 := evs[0].T
 	prev := t0
-	fmt.Fprintf(w, "%12s %10s  %-5s node  %-16s %s\n", "t", "+delta", "cat", "event", "detail")
-	for _, e := range r.evs {
-		fmt.Fprintf(w, "%10dns %8dns  %-5s %4d  %-16s %s\n",
-			int64(e.T-t0), int64(e.T-prev), e.Cat, e.Node, e.Name, e.Detail)
+	fmt.Fprintf(w, "%12s %10s  %-5s node %s %-16s %s\n", "t", "+delta", "cat", "k", "event", "detail")
+	for _, e := range evs {
+		detail := e.Detail
+		if e.Msg != 0 {
+			detail = fmt.Sprintf("%s msg=%d:%d", detail, MsgSender(e.Msg), MsgSeq(e.Msg))
+		}
+		fmt.Fprintf(w, "%10dns %8dns  %-5s %4d %s %-16s %s\n",
+			int64(e.T-t0), int64(e.T-prev), e.Cat, e.Node, e.Kind, e.Name, detail)
 		prev = e.T
+	}
+	if d := r.Drops(); d > 0 {
+		fmt.Fprintf(w, "(%d older events evicted by the %d-event cap)\n", d, r.cap)
 	}
 }
 
@@ -98,7 +301,7 @@ func (r *Recorder) Span(from, to string) (sim.Duration, bool) {
 	}
 	var start, end sim.Time
 	haveStart, haveEnd := false, false
-	for _, e := range r.evs {
+	for _, e := range r.Events() {
 		if !haveStart && e.Name == from {
 			start, haveStart = e.T, true
 		}
@@ -121,4 +324,47 @@ func (r *Recorder) Count(name string) int {
 		}
 	}
 	return n
+}
+
+// SpanRec is one reconstructed span: its Begin event joined with its
+// End event (if recorded).
+type SpanRec struct {
+	ID     SpanID
+	Parent SpanID
+	Msg    uint64
+	Cat    Category
+	Node   int
+	Name   string
+	Detail string
+	Start  sim.Time
+	End    sim.Time
+	Ended  bool
+}
+
+// Spans reconstructs every span from the Begin/End events currently
+// retained, in begin order. A span whose Begin was evicted by the cap
+// does not appear; one whose End is missing has Ended=false.
+func (r *Recorder) Spans() []SpanRec {
+	if r == nil {
+		return nil
+	}
+	var out []SpanRec
+	idx := map[SpanID]int{}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case Begin:
+			idx[e.Span] = len(out)
+			out = append(out, SpanRec{
+				ID: e.Span, Parent: e.Parent, Msg: e.Msg,
+				Cat: e.Cat, Node: e.Node, Name: e.Name, Detail: e.Detail,
+				Start: e.T, End: e.T,
+			})
+		case End:
+			if i, ok := idx[e.Span]; ok {
+				out[i].End = e.T
+				out[i].Ended = true
+			}
+		}
+	}
+	return out
 }
