@@ -65,6 +65,14 @@ figures:
 # actually moved; if the move is intended, regenerate the baseline with
 # `$(GO) run ./cmd/figures -json BENCH_figures.json` so it lands in
 # review alongside the change that caused it.
+#
+# The run itself also enforces the E9 poll-aggregation gate before
+# writing anything: cmd/figures -json exits 1 unless burst-read polling
+# cuts the 16-node 0-byte incast sink's full-round-trip poll reads by
+# at least report.MinPollReductionPct (60%) versus per-word polling and
+# the adaptive threshold converges on the 20 B E7 crossover — so a
+# regression in either cannot silently regenerate itself into a new
+# baseline.
 bench: build
 	$(GO) run ./cmd/figures -json .bench.tmp.json
 	@if diff -u BENCH_figures.json .bench.tmp.json; then \

@@ -33,6 +33,7 @@ func main() {
 	size := flag.Int("size", 4, "message payload bytes")
 	nodes := flag.Int("nodes", 4, "ring size")
 	mcast := flag.Bool("mcast", false, "broadcast to all nodes instead of unicast")
+	recvany := flag.Bool("recvany", false, "receivers use RecvAny (exercises the burst-read poll sweep)")
 	tcap := flag.Int("tracecap", 4096, "trace ring-buffer capacity (0 = unbounded)")
 	flag.Parse()
 
@@ -42,20 +43,18 @@ func main() {
 		log.Fatal(err)
 	}
 	ring.SetSingleWriterCheck(true)
-	bcfg := core.DefaultConfig()
-	sys, err := core.New(ring, bcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
 	rec := trace.New()
 	if *tcap > 0 {
 		rec = trace.NewCapped(*tcap)
 	}
-	ring.SetTracer(rec)
-	sys.SetTracer(rec)
 	m := metrics.New()
+	bcfg := core.DefaultConfig()
+	sys, err := core.New(ring, bcfg, core.WithTracer(rec), core.WithMetrics(m))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring.SetTracer(rec)
 	ring.SetMetrics(m)
-	sys.SetMetrics(m)
 
 	eps := make([]*core.Endpoint, *nodes)
 	for i := range eps {
@@ -90,7 +89,11 @@ func main() {
 		r := r
 		k.Spawn(fmt.Sprintf("rx%d", r), func(p *sim.Proc) {
 			buf := make([]byte, *size+1)
-			if _, err := eps[r].Recv(p, 0, buf); err != nil {
+			if *recvany {
+				if _, _, err := eps[r].RecvAny(p, buf); err != nil {
+					log.Fatal(err)
+				}
+			} else if _, err := eps[r].Recv(p, 0, buf); err != nil {
 				log.Fatal(err)
 			}
 			if p.Now() > lastDone {
@@ -202,16 +205,29 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 	if nicApplied != global("ring.packets_applied") {
 		fail("NIC Stats say %d packets applied, metrics say %d", nicApplied, global("ring.packets_applied"))
 	}
-	var epSent, epRecv, epPolls int64
+	var epSent, epRecv, epPolls, epPollW, epBursts, epBurstW int64
 	for _, e := range eps {
 		st := e.Stats()
 		epSent += st.Sent
 		epRecv += st.Received
 		epPolls += st.Polls
+		epPollW += st.PollWords
+		epBursts += st.BurstPolls
+		epBurstW += st.BurstPollWords
 	}
 	if epSent != global("bbp.sends") || epRecv != global("bbp.recvs") || epPolls != global("bbp.polls") {
 		fail("endpoint Stats (sent=%d recv=%d polls=%d) disagree with metrics (%d/%d/%d)",
 			epSent, epRecv, epPolls, global("bbp.sends"), global("bbp.recvs"), global("bbp.polls"))
+	}
+	if epPollW != global("bbp.poll_words") || epBursts != global("bbp.burst_polls") || epBurstW != global("bbp.burst_poll_words") {
+		fail("endpoint Stats (pollWords=%d bursts=%d burstWords=%d) disagree with metrics (%d/%d/%d)",
+			epPollW, epBursts, epBurstW, global("bbp.poll_words"), global("bbp.burst_polls"), global("bbp.burst_poll_words"))
+	}
+	// Every burst transaction the buses saw must be a BBP poll burst —
+	// nothing else issues wide reads.
+	if global("pci.pio_read_bursts") != epBursts || global("pci.pio_read_burst_words") != epBurstW {
+		fail("pci burst counters (%d bursts / %d words) disagree with BBP poll bursts (%d / %d)",
+			global("pci.pio_read_bursts"), global("pci.pio_read_burst_words"), epBursts, epBurstW)
 	}
 
 	// 3. Per node, bus occupancy must equal the word and byte counters
@@ -219,12 +235,18 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 	for i := range eps {
 		wr := counter("pci.pio_write_words", i)
 		rd := counter("pci.pio_read_words", i)
+		bursts := counter("pci.pio_read_bursts", i)
+		burstW := counter("pci.pio_read_burst_words", i)
 		dma := counter("pci.dma_bytes", i)
 		busy := counter("pci.busy_ns", i)
-		want := wr*int64(buscfg.PIOWriteWord) + rd*int64(buscfg.PIOReadWord) + dma*int64(buscfg.DMAPerByte)
+		// Each burst pays one full read round trip for its first word and
+		// one data phase per additional word (pci.Bus.BurstReadCost).
+		want := wr*int64(buscfg.PIOWriteWord) + rd*int64(buscfg.PIOReadWord) +
+			bursts*int64(buscfg.PIOReadWord) + (burstW-bursts)*int64(buscfg.PIOReadBurstWord) +
+			dma*int64(buscfg.DMAPerByte)
 		if busy != want {
-			fail("node %d: pci.busy_ns = %d, but %d wr + %d rd words + %d DMA bytes cost %d ns",
-				i, busy, wr, rd, dma, want)
+			fail("node %d: pci.busy_ns = %d, but %d wr + %d rd words + %d bursts (%d words) + %d DMA bytes cost %d ns",
+				i, busy, wr, rd, bursts, burstW, dma, want)
 		}
 	}
 
@@ -234,8 +256,8 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 	if bcfg.Retry.Enabled {
 		descW = 4
 	}
-	dmaSend := size > 0 && size >= bcfg.SendDMAThreshold
-	dmaRecv := size > 0 && size >= bcfg.RecvDMAThreshold
+	dmaSend := size > 0 && size >= bcfg.Thresholds.SendDMA
+	dmaRecv := size > 0 && size >= bcfg.Thresholds.RecvDMA
 	dataW := int64(0)
 	if size > 0 && !dmaSend {
 		dataW = int64(pci.WordsFor(size))
@@ -252,19 +274,24 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 		fail("sender DMA bytes = %d, want the %d-byte payload", counter("pci.dma_bytes", 0), size)
 	}
 
-	// 5. Each receiver's word budget: one flag read per poll, the
-	// descriptor, and the payload (unless drained by DMA).
+	// 5. Each receiver's word budget: the poll words not covered by
+	// bursts (those are counted on the burst side), the descriptor, and
+	// the payload (unless drained by DMA).
 	dataRdW := int64(0)
 	if size > 0 && !dmaRecv {
 		dataRdW = int64(pci.WordsFor(size))
 	}
 	for _, r := range recvs {
 		rd := counter("pci.pio_read_words", r)
-		polls := counter("bbp.polls", r)
-		want := polls + descW + dataRdW
+		pollW := counter("bbp.poll_words", r)
+		burstPollW := counter("bbp.burst_poll_words", r)
+		want := (pollW - burstPollW) + descW + dataRdW
 		if rd != want {
-			fail("receiver %d read %d PIO words; cost model predicts %d (polls %d + desc %d + data %d)",
-				r, rd, want, polls, descW, dataRdW)
+			fail("receiver %d read %d single PIO words; cost model predicts %d (poll words %d−%d + desc %d + data %d)",
+				r, rd, want, pollW, burstPollW, descW, dataRdW)
+		}
+		if bursts, polls := counter("pci.pio_read_bursts", r), counter("bbp.burst_polls", r); bursts != polls {
+			fail("receiver %d: pci saw %d read bursts but BBP issued %d burst polls", r, bursts, polls)
 		}
 		if dmaRecv && counter("pci.dma_bytes", r) != int64(size) {
 			fail("receiver %d DMA bytes = %d, want %d", r, counter("pci.dma_bytes", r), size)

@@ -36,7 +36,12 @@ func main() {
 	flag.Parse()
 
 	if *jsonPath != "" {
-		out := report.Marshal(report.Run(report.DefaultOptions()))
+		rep := report.Run(report.DefaultOptions())
+		if err := rep.Check(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out := report.Marshal(rep)
 		if *jsonPath == "-" {
 			os.Stdout.Write(out)
 			return

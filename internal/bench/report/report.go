@@ -14,6 +14,7 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 
 	"repro/internal/bench"
@@ -26,7 +27,11 @@ import (
 // Schema is the report format version. Bump it whenever a field is
 // added, removed or reinterpreted, so downstream tooling can refuse
 // documents it does not understand.
-const Schema = 1
+//
+// Schema 2: added poll_aggregation (E9 burst-read poll figure) and
+// adaptive_recv_dma_bytes; the bbp.* rollup gained the burst-poll and
+// adaptive-threshold instruments.
+const Schema = 2
 
 // Options selects the sweep resolution. The default runs the figure
 // suite at the paper's panel sizes; Reduced is a fast subset for tests.
@@ -89,6 +94,15 @@ type Report struct {
 	// DMA receive path beats PIO word reads (-1: never within the scan,
 	// 0: scan disabled).
 	RecvDMACrossoverBytes int `json:"recv_dma_crossover_bytes"`
+	// PollAggregation is the E9 measurement: the sink's full-round-trip
+	// poll reads in a 0-byte incast with per-word polling vs the
+	// burst-read poll path. Check() gates ReductionPct.
+	PollAggregation PollAggregation `json:"poll_aggregation"`
+	// AdaptiveRecvDMABytes is the receive-DMA threshold the adaptive
+	// estimator converges to on the default uncontended bus (the
+	// bbp.recv_dma_threshold_bytes gauge after an instrumented run with
+	// adaptation enabled); it must agree with the measured crossover.
+	AdaptiveRecvDMABytes int64 `json:"adaptive_recv_dma_bytes"`
 	// Rollup is the cluster-wide metrics snapshot of the canonical
 	// instrumented run (the 4-byte SCRAMNet ping-pong): protocol and
 	// hardware counters that must not drift silently.
@@ -141,6 +155,49 @@ type BusPoint struct {
 	BusBusyFrac float64 `json:"recv_bus_busy_frac"`
 }
 
+// PollAggregation compares the receiver's poll traffic, in full
+// bus-round-trip read transactions, between the per-word and burst-read
+// poll paths on the same workload: a 0-byte incast of Nodes−1 senders
+// into one RecvAny sink. Per-word, every poll word is its own round
+// trip; with bursts, each wide read costs one round trip however many
+// words it moves, so the transaction count is
+// (poll_words − burst_poll_words) + burst_polls.
+type PollAggregation struct {
+	Nodes int `json:"nodes"`
+	Bytes int `json:"bytes"`
+	// PerWordPollReads / BurstPollReads are the sink's full-round-trip
+	// poll read transactions with BurstPoll forced off vs the default.
+	PerWordPollReads int64 `json:"per_word_poll_reads"`
+	BurstPollReads   int64 `json:"burst_poll_reads"`
+	// ReductionPct is the drop, in percent, burst polling achieves.
+	ReductionPct float64 `json:"reduction_pct"`
+}
+
+// MinPollReductionPct is the `make bench` regression gate on the burst
+// poll path (ISSUE 4): the sink's poll read transactions at 0 B /
+// PollAggregationNodes nodes must drop by at least this percentage
+// versus per-word polling, and must not silently regress in later PRs.
+const MinPollReductionPct = 60.0
+
+// PollAggregationNodes is the cluster size of the E9 incast.
+const PollAggregationNodes = 16
+
+// Check enforces the report's self-describing regression gates; the
+// cmd/figures -json path exits nonzero when it fails, so `make bench`
+// catches the regression even before the golden-file diff.
+func (r Report) Check() error {
+	p := r.PollAggregation
+	if p.PerWordPollReads <= 0 || p.BurstPollReads <= 0 {
+		return fmt.Errorf("poll aggregation gate: degenerate measurement (per-word %d, burst %d poll reads)",
+			p.PerWordPollReads, p.BurstPollReads)
+	}
+	if p.ReductionPct < MinPollReductionPct {
+		return fmt.Errorf("poll aggregation gate: burst polling cut the sink's poll reads by %.1f%% (%d → %d at %d B / %d nodes); the gate requires ≥ %.0f%%",
+			p.ReductionPct, p.PerWordPollReads, p.BurstPollReads, p.Bytes, p.Nodes, MinPollReductionPct)
+	}
+	return nil
+}
+
 func round3(v float64) float64 {
 	return math.Round(v*1000) / 1000
 }
@@ -181,8 +238,78 @@ func instrumented(n int, mutate func(*core.Config)) (us float64, snap metrics.Sn
 
 // pioOnly forces the receive path onto PIO word reads; dmaAlways forces
 // every non-empty receive through the DMA engine.
-func pioOnly(cfg *core.Config)   { cfg.RecvDMAThreshold = 1 << 30 }
-func dmaAlways(cfg *core.Config) { cfg.RecvDMAThreshold = 1 }
+func pioOnly(cfg *core.Config)   { cfg.Thresholds.RecvDMA = 1 << 30 }
+func dmaAlways(cfg *core.Config) { cfg.Thresholds.RecvDMA = 1 }
+
+// incastPollReads runs the E9 workload — senders = nodes−1 processes
+// each posting one n-byte message into a RecvAny sink at node 0 — with
+// the given poll mode, and returns the sink's poll traffic as full
+// bus-round-trip read transactions.
+func incastPollReads(mode core.BurstMode, nodes, n int) int64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	m := metrics.New()
+	cfg := core.DefaultConfig()
+	cfg.BurstPoll = mode
+	c, err := cluster.New(k, cluster.Options{Nodes: nodes, Net: cluster.SCRAMNet, BBP: &cfg, Metrics: m})
+	if err != nil {
+		panic(err)
+	}
+	eps := c.Endpoints
+	for s := 1; s < nodes; s++ {
+		s := s
+		k.Spawn(fmt.Sprintf("tx%d", s), func(p *sim.Proc) {
+			if err := eps[s].Send(p, 0, make([]byte, n)); err != nil {
+				panic(err)
+			}
+		})
+	}
+	k.Spawn("sink", func(p *sim.Proc) {
+		buf := make([]byte, n+8)
+		for i := 1; i < nodes; i++ {
+			if _, _, err := eps[0].RecvAny(p, buf); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	snap := m.Snapshot()
+	pollW, _ := snap.Counter("bbp.poll_words", 0)
+	burstW, _ := snap.Counter("bbp.burst_poll_words", 0)
+	bursts, _ := snap.Counter("bbp.burst_polls", 0)
+	return (pollW - burstW) + bursts
+}
+
+// pollAggregation measures the E9 figure at the gate's panel point.
+func pollAggregation() PollAggregation {
+	const n = 0
+	perWord := incastPollReads(core.BurstOff, PollAggregationNodes, n)
+	burst := incastPollReads(core.BurstAuto, PollAggregationNodes, n)
+	red := 0.0
+	if perWord > 0 {
+		red = 100 * (1 - float64(burst)/float64(perWord))
+	}
+	return PollAggregation{
+		Nodes:            PollAggregationNodes,
+		Bytes:            n,
+		PerWordPollReads: perWord,
+		BurstPollReads:   burst,
+		ReductionPct:     round3(red),
+	}
+}
+
+// adaptiveConverged runs an instrumented ping-pong with threshold
+// adaptation enabled and returns the converged
+// bbp.recv_dma_threshold_bytes gauge on the pong side.
+func adaptiveConverged() int64 {
+	_, snap, _ := instrumented(4, func(cfg *core.Config) {
+		cfg.Thresholds.Adaptive.Enabled = true
+	})
+	g, _ := snap.Gauge("bbp.recv_dma_threshold_bytes", 1)
+	return g.Value
+}
 
 // busPoint measures one size of the bus-utilization sweep.
 func busPoint(n int) BusPoint {
@@ -245,6 +372,8 @@ func Run(opts Options) Report {
 		r.BusSweep = append(r.BusSweep, busPoint(n))
 	}
 	r.RecvDMACrossoverBytes = recvDMACrossover(opts.CrossoverLo, opts.CrossoverHi, opts.CrossoverStep)
+	r.PollAggregation = pollAggregation()
+	r.AdaptiveRecvDMABytes = adaptiveConverged()
 	_, snap, _ := instrumented(4, nil)
 	r.Rollup = snap.Rollup()
 	return r

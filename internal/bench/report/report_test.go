@@ -19,12 +19,12 @@ func TestReportByteStable(t *testing.T) {
 	}
 }
 
-// TestReportSchemaAndShape pins the document structure a schema-1
+// TestReportSchemaAndShape pins the document structure a schema-2
 // consumer relies on.
 func TestReportSchemaAndShape(t *testing.T) {
 	r := Run(ReducedOptions())
-	if r.Schema != 1 {
-		t.Fatalf("schema = %d, want 1", r.Schema)
+	if r.Schema != 2 {
+		t.Fatalf("schema = %d, want 2", r.Schema)
 	}
 	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
 	if len(r.Figures) != len(wantFigs) {
@@ -98,6 +98,26 @@ func TestBusSweepShowsPIOReadDominance(t *testing.T) {
 	}
 	if cross := r.RecvDMACrossoverBytes; cross <= 0 {
 		t.Errorf("receive DMA crossover = %d, want a positive size", cross)
+	}
+}
+
+// TestPollAggregationGate runs the E9 measurement and enforces the
+// `make bench` regression gate in-tree: the burst-read poll path must
+// cut the 0-byte incast sink's full-round-trip poll reads by at least
+// MinPollReductionPct versus per-word polling, and the adaptive
+// threshold must converge on the measured 20 B crossover (E7) on the
+// default uncontended bus.
+func TestPollAggregationGate(t *testing.T) {
+	r := Report{PollAggregation: pollAggregation(), AdaptiveRecvDMABytes: adaptiveConverged()}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	p := r.PollAggregation
+	if p.BurstPollReads >= p.PerWordPollReads {
+		t.Errorf("burst polling did not reduce poll reads: %d -> %d", p.PerWordPollReads, p.BurstPollReads)
+	}
+	if r.AdaptiveRecvDMABytes != 20 {
+		t.Errorf("adaptive threshold converged on %d B, want the 20 B E7 crossover", r.AdaptiveRecvDMABytes)
 	}
 }
 

@@ -181,18 +181,20 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 			bbpCfg = *opts.BBP
 		}
 		if opts.PIOOnlyBBP {
-			bbpCfg.SendDMAThreshold = 1 << 30
-			bbpCfg.RecvDMAThreshold = 1 << 30
+			bbpCfg.Thresholds.SendDMA = 1 << 30
+			bbpCfg.Thresholds.RecvDMA = 1 << 30
+			bbpCfg.Thresholds.Adaptive = core.AdaptiveConfig{}
 		}
-		sys, err := core.New(topo, bbpCfg)
-		if err != nil {
-			return nil, err
-		}
+		var bbpOpts []core.Option
 		if opts.Metrics != nil {
-			sys.SetMetrics(opts.Metrics)
+			bbpOpts = append(bbpOpts, core.WithMetrics(opts.Metrics))
 		}
 		if opts.Trace != nil {
-			sys.SetTracer(opts.Trace)
+			bbpOpts = append(bbpOpts, core.WithTracer(opts.Trace))
+		}
+		sys, err := core.New(topo, bbpCfg, bbpOpts...)
+		if err != nil {
+			return nil, err
 		}
 		for i := 0; i < opts.Nodes; i++ {
 			ep, err := sys.Attach(i)

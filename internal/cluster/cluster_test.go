@@ -70,8 +70,8 @@ func TestPIOOnlyBBPDisablesDMA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c.BBP.Config().SendDMAThreshold; got != 1<<30 {
-		t.Errorf("SendDMAThreshold = %d", got)
+	if got := c.BBP.Config().Thresholds.SendDMA; got != 1<<30 {
+		t.Errorf("Thresholds.SendDMA = %d", got)
 	}
 }
 

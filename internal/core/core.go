@@ -89,14 +89,14 @@ func DefaultCosts() Costs {
 type Config struct {
 	// Buffers is the number of message buffer slots per process (1..32).
 	Buffers int
-	// SendDMAThreshold / RecvDMAThreshold are the message lengths at or
-	// above which the data crosses the I/O bus by DMA instead of PIO,
-	// per direction. They differ because posted PIO writes are ~5x
-	// cheaper than PIO reads on the testbed's PCI, so DMA pays off far
-	// earlier on the receive side. Set them above MaxMessage for a
-	// PIO-only endpoint (the minimal MPICH channel device does this).
-	SendDMAThreshold int
-	RecvDMAThreshold int
+	// Thresholds groups the PIO-vs-DMA protocol-switch knobs; its
+	// Validate method is the one documented entry point for checking
+	// them (New calls it).
+	Thresholds Thresholds
+	// BurstPoll selects the receive-side poll-aggregation strategy
+	// (default BurstAuto: wide flag-region reads whenever the bus cost
+	// model says they beat the per-word probes they replace).
+	BurstPoll BurstMode
 	// RecvTimeout bounds blocking receives and allocation stalls in
 	// virtual time; 0 means wait forever. A finite default keeps a
 	// protocol bug from spinning the simulation indefinitely.
@@ -112,6 +112,93 @@ type Config struct {
 	// Costs are the software path costs.
 	Costs Costs
 }
+
+// Thresholds are the message lengths at or above which data crosses the
+// I/O bus by DMA instead of PIO, per direction. They differ because
+// posted PIO writes are ~5x cheaper than PIO reads on the testbed's
+// PCI, so DMA pays off far earlier on the receive side. Set them above
+// MaxMessage for a PIO-only endpoint (the minimal MPICH channel device
+// does this).
+type Thresholds struct {
+	SendDMA int
+	RecvDMA int
+	// Adaptive, when enabled, drives the receive threshold from live
+	// bus-cost observations instead of the RecvDMA constant; RecvDMA
+	// then remains the starting point and the fallback for endpoints
+	// that have not accumulated observations yet.
+	Adaptive AdaptiveConfig
+}
+
+// AdaptiveConfig tunes the adaptive receive-DMA threshold: each
+// endpoint treats its own poll reads and payload drains as live probes
+// of the per-word PIO read cost and the DMA fixed overhead (the same
+// quantities the pci.busy_ns counter aggregates, plus queueing behind
+// concurrent DMA), folds them into EWMAs, and periodically recomputes
+// the crossover size at which DMA becomes cheaper. On an uncontended
+// default-cost bus this converges on the measured 20 B crossover (E7);
+// under bus contention the inflated read cost pulls the threshold down.
+// The current value is published as the bbp.recv_dma_threshold_bytes
+// gauge.
+type AdaptiveConfig struct {
+	// Enabled turns adaptation on.
+	Enabled bool
+	// Window is the number of cost observations between threshold
+	// recomputations; 0 means DefaultAdaptiveWindow.
+	Window int
+	// Floor and Ceil clamp the adapted threshold in bytes; Ceil 0 means
+	// unclamped above.
+	Floor, Ceil int
+}
+
+// DefaultAdaptiveWindow is the observation count between threshold
+// recomputations when AdaptiveConfig.Window is zero.
+const DefaultAdaptiveWindow = 16
+
+// Validate rejects nonsense threshold configurations: negative
+// thresholds, malformed adaptive clamps, adaptive knobs set while
+// adaptation is off, or a static override pinned outside the adaptive
+// clamp range (the caller asked for two contradictory behaviors).
+func (t Thresholds) Validate() error {
+	if t.SendDMA < 0 || t.RecvDMA < 0 {
+		return fmt.Errorf("bbp: negative DMA threshold (send %d, recv %d)", t.SendDMA, t.RecvDMA)
+	}
+	a := t.Adaptive
+	if !a.Enabled {
+		if a.Window != 0 || a.Floor != 0 || a.Ceil != 0 {
+			return fmt.Errorf("bbp: adaptive threshold knobs set (window %d, floor %d, ceil %d) but Adaptive.Enabled is false", a.Window, a.Floor, a.Ceil)
+		}
+		return nil
+	}
+	if a.Window < 0 || a.Floor < 0 || a.Ceil < 0 {
+		return fmt.Errorf("bbp: negative adaptive parameter (window %d, floor %d, ceil %d)", a.Window, a.Floor, a.Ceil)
+	}
+	if a.Ceil != 0 && a.Ceil < a.Floor {
+		return fmt.Errorf("bbp: adaptive clamp ceiling %d below floor %d", a.Ceil, a.Floor)
+	}
+	if t.RecvDMA < a.Floor || (a.Ceil != 0 && t.RecvDMA > a.Ceil) {
+		return fmt.Errorf("bbp: adaptive+override conflict: static RecvDMA %d outside the adaptive clamp [%d, %d]", t.RecvDMA, a.Floor, a.Ceil)
+	}
+	return nil
+}
+
+// BurstMode selects how receivers read MESSAGE flags while polling.
+type BurstMode int
+
+const (
+	// BurstAuto (the default) aggregates a poll into one wide read of
+	// the receiver's whole contiguous flag region whenever the bus cost
+	// model says the burst is cheaper than the per-word probes it
+	// replaces, and keeps the single 650 ns word probe otherwise (a
+	// focused poll of one sender on a small base-protocol ring).
+	BurstAuto BurstMode = iota
+	// BurstOff forces the pre-aggregation per-word path everywhere.
+	// Kept for A/B measurement (the E9 figure) and the equivalence
+	// tests.
+	BurstOff
+	// BurstOn forces the wide read even where the cost model prefers
+	// per-word probes.
+	BurstOn
+)
 
 // RetryConfig parameterizes BBP's graceful-degradation extension: a
 // per-endpoint daemon that retransmits posted-but-unacknowledged
@@ -147,11 +234,18 @@ func DefaultRetryConfig() RetryConfig {
 // DefaultConfig returns the configuration used for the paper figures.
 func DefaultConfig() Config {
 	return Config{
-		Buffers:          16,
-		SendDMAThreshold: 128,
-		RecvDMAThreshold: 64,
-		RecvTimeout:      5 * sim.Second,
-		Costs:            DefaultCosts(),
+		Buffers: 16,
+		Thresholds: Thresholds{
+			SendDMA: 128,
+			// E7's recv-DMA crossover sweep measured DMA overtaking PIO
+			// reads at 20 B on the default bus (EXPERIMENTS.md), not the
+			// 64 B this default used to be; 20 B is also what the
+			// adaptive estimator converges on, and stays the fallback
+			// when adaptation is disabled.
+			RecvDMA: 20,
+		},
+		RecvTimeout: 5 * sim.Second,
+		Costs:       DefaultCosts(),
 	}
 }
 
@@ -237,30 +331,24 @@ type System struct {
 	metrics *metrics.Registry
 }
 
-// SetTracer installs a protocol event recorder (nil disables tracing).
-func (s *System) SetTracer(r *trace.Recorder) { s.tracer = r }
-
-// SetMetrics installs protocol metrics (nil disables). Endpoints
-// already attached are instrumented retroactively; later Attach calls
-// pick the registry up automatically.
-func (s *System) SetMetrics(m *metrics.Registry) {
-	s.metrics = m
-	for _, e := range s.eps {
-		if e != nil {
-			e.setMetrics(m)
-		}
-	}
-}
-
 // New divides the replicated memory among the hosts and prepares one
-// endpoint slot per host.
-func New(net RingNetwork, cfg Config) (*System, error) {
+// endpoint slot per host. Observability is wired at construction via
+// functional options (WithTracer, WithMetrics) — there is no
+// half-initialized window in which endpoints exist without their
+// instruments.
+func New(net RingNetwork, cfg Config, opts ...Option) (*System, error) {
 	n := net.Nodes()
 	if n > MaxProcs {
 		return nil, fmt.Errorf("bbp: %d processes exceeds MaxProcs %d", n, MaxProcs)
 	}
 	if cfg.Buffers < 1 || cfg.Buffers > 32 {
 		return nil, fmt.Errorf("bbp: Buffers %d outside 1..32", cfg.Buffers)
+	}
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BurstPoll < BurstAuto || cfg.BurstPoll > BurstOn {
+		return nil, fmt.Errorf("bbp: unknown BurstPoll mode %d", cfg.BurstPoll)
 	}
 	if cfg.Retry.Enabled && (cfg.Retry.Timeout <= 0 || cfg.Retry.MaxRetries < 1) {
 		return nil, fmt.Errorf("bbp: Retry enabled with Timeout %v MaxRetries %d (both must be positive)",
@@ -274,7 +362,11 @@ func New(net RingNetwork, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{net: net, cfg: cfg, lay: lay, eps: make([]*Endpoint, n)}, nil
+	s := &System{net: net, cfg: cfg, lay: lay, eps: make([]*Endpoint, n)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
 }
 
 // Network returns the underlying ring topology.
@@ -328,6 +420,8 @@ func (s *System) Attach(rank int) (*Endpoint, error) {
 	if s.cfg.Retry.Enabled {
 		s.net.Kernel().SpawnDaemon(fmt.Sprintf("bbp-retry-%d", rank), e.retryLoop)
 	}
+	e.initPollPlan()
+	e.initAdaptive()
 	e.setMetrics(s.metrics)
 	s.eps[rank] = e
 	return e, nil
@@ -341,8 +435,16 @@ type Stats struct {
 	BytesSent    int64
 	BytesRecv    int64
 	Polls        int64
-	GCPasses     int64
-	AllocRetries int64
+	// PollWords counts flag/floor words fetched while polling, whatever
+	// the transaction shape; BurstPolls/BurstPollWords count the subset
+	// moved by wide reads (so per-word full-round-trip poll reads are
+	// PollWords − BurstPollWords).
+	PollWords      int64
+	BurstPolls     int64
+	BurstPollWords int64
+	ReAcks         int64 // retransmitted posts re-acknowledged without redelivery
+	GCPasses       int64
+	AllocRetries   int64
 	// Retry-extension counters (zero unless Config.Retry.Enabled).
 	Retransmits   int64 // buffers rewritten after an unacknowledged timeout
 	RetryFailures int64 // buffers reclaimed with MaxRetries exhausted

@@ -217,12 +217,11 @@ func TestTracerObservesProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := New(net, DefaultConfig())
+	rec := trace.New()
+	sys, err := New(net, DefaultConfig(), WithTracer(rec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := trace.New()
-	sys.SetTracer(rec)
 	net.SetTracer(rec)
 	e0, _ := sys.Attach(0)
 	e1, _ := sys.Attach(1)

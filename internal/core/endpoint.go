@@ -67,6 +67,19 @@ type Endpoint struct {
 	minUnIn   []uint32
 	lastDeliv []uint32
 
+	// Poll plan, fixed at Attach (see initPollPlan): how many words one
+	// wide read of this receiver's contiguous flag region covers, a
+	// scratch buffer for it, and whether the bus cost model favors the
+	// burst over per-word probes for an all-senders poll (burstAllOK)
+	// and for a single-sender poll (burstOneOK).
+	burstWords int
+	burstBuf   []uint32
+	burstAllOK bool
+	burstOneOK bool
+
+	// adapt is the adaptive receive-DMA threshold estimator (adaptive.go).
+	adapt adaptiveState
+
 	intrWake  *sim.Cond
 	retryWake *sim.Cond
 	stats     Stats
@@ -90,6 +103,13 @@ type epInstruments struct {
 	staleDescs    *metrics.Counter   // bbp.stale_descs
 	reAcks        *metrics.Counter   // bbp.re_acks
 	msgSize       *metrics.Histogram // bbp.msg_size_bytes
+	// Burst-poll and adaptive-threshold instruments (PR 4).
+	pollWords          *metrics.Counter   // bbp.poll_words
+	burstPolls         *metrics.Counter   // bbp.burst_polls
+	burstPollWords     *metrics.Counter   // bbp.burst_poll_words
+	recvThresholdBytes *metrics.Gauge     // bbp.recv_dma_threshold_bytes
+	thresholdAdapts    *metrics.Counter   // bbp.threshold_adaptations
+	recvSize           *metrics.Histogram // bbp.recv_size_bytes
 }
 
 // setMetrics (re)creates the endpoint's instruments against m.
@@ -113,7 +133,15 @@ func (e *Endpoint) setMetrics(m *metrics.Registry) {
 		staleDescs:    m.Counter("bbp.stale_descs", e.me),
 		reAcks:        m.Counter("bbp.re_acks", e.me),
 		msgSize:       m.Histogram("bbp.msg_size_bytes", e.me),
+
+		pollWords:          m.Counter("bbp.poll_words", e.me),
+		burstPolls:         m.Counter("bbp.burst_polls", e.me),
+		burstPollWords:     m.Counter("bbp.burst_poll_words", e.me),
+		recvThresholdBytes: m.Gauge("bbp.recv_dma_threshold_bytes", e.me),
+		thresholdAdapts:    m.Counter("bbp.threshold_adaptations", e.me),
+		recvSize:           m.Histogram("bbp.recv_size_bytes", e.me),
 	}
+	e.im.recvThresholdBytes.Set(int64(e.recvDMAThreshold()))
 }
 
 // liveBuf tracks an occupied buffer slot until every addressed receiver
@@ -230,7 +258,7 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 	// (the zero-copy path), then the descriptor, then the flags; the
 	// ring's per-sender FIFO guarantees receivers see them in order.
 	if len(data) > 0 {
-		if len(data) >= cfg.SendDMAThreshold {
+		if len(data) >= cfg.Thresholds.SendDMA {
 			e.nic.WriteDMA(p, lay.dataOff(e.me, off), data)
 		} else {
 			e.nic.Write(p, lay.dataOff(e.me, off), data)

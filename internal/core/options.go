@@ -1,0 +1,22 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Option configures a System at construction time. Options replace the
+// old post-construction SetTracer/SetMetrics mutators: a System is
+// fully wired before the first Attach, so no endpoint can ever exist
+// without its instruments.
+type Option func(*System)
+
+// WithTracer installs a protocol event recorder (nil disables tracing).
+func WithTracer(r *trace.Recorder) Option {
+	return func(s *System) { s.tracer = r }
+}
+
+// WithMetrics installs protocol metrics (nil disables).
+func WithMetrics(m *metrics.Registry) Option {
+	return func(s *System) { s.metrics = m }
+}

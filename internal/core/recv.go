@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"repro/internal/pci"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -13,26 +14,58 @@ import (
 // and re-read after the sender's retransmission repairs the buffer.
 var errChecksum = errors.New("bbp: payload checksum mismatch (awaiting retransmission)")
 
-// pollSender reads sender s's MESSAGE flag word and moves any newly
-// posted buffers onto the pending queue in sequence order. In the base
-// protocol the word is a per-slot toggle mask diffed against the shadow
-// copy — one PIO read across the I/O bus per call, the receive overhead
-// §7 of the paper attributes to polling. Under the retry extension the
-// word is a bare post counter: any change (a post or a retransmission)
-// triggers a scan of all of s's descriptors, and detection rests on
-// per-slot sequence floors rather than toggle parity, which is
-// ambiguous once flag writes can be lost.
-func (e *Endpoint) pollSender(p *sim.Proc, s int) {
+// initPollPlan fixes, at Attach time, how this receiver's polls read
+// MESSAGE flags. The receiver's flag words are contiguous —
+// msgFlags(me, s) = base(me)+4s for s = 0..nprocs−1, immediately
+// followed under the retry extension by the MIN-UNACKED words
+// minUn(me, s) = base(me)+4·nprocs+4s — so one aligned burst of nprocs
+// (base) or 2·nprocs (retry) words covers every word a full poll sweep
+// would otherwise fetch with per-word 650 ns reads. Whether the burst
+// actually wins is a pure cost-model question, decided here once from
+// the same numbers the bus will charge: against the (nprocs−1) probes
+// of an all-senders sweep (burstAllOK), and against the single probe of
+// a focused poll (burstOneOK — only worthwhile under retry, where one
+// probe is already two word reads).
+func (e *Endpoint) initPollPlan() {
+	n := e.sys.lay.nprocs
+	words, probeWords := n, 1
+	if e.sys.cfg.Retry.Enabled {
+		words, probeWords = 2*n, 2
+	}
+	e.burstWords = words
+	e.burstBuf = make([]uint32, words)
+	bus := e.nic.Bus()
+	burst := bus.BurstReadCost(words)
+	probe := sim.Duration(probeWords) * bus.Config().PIOReadWord
+	switch e.sys.cfg.BurstPoll {
+	case BurstOff:
+		// both false
+	case BurstOn:
+		e.burstAllOK, e.burstOneOK = true, true
+	default: // BurstAuto
+		e.burstAllOK = burst < sim.Duration(n-1)*probe
+		e.burstOneOK = burst < probe
+	}
+}
+
+// acceptFlags applies one observed sample of sender s's MESSAGE flag
+// word (and, under the retry extension, its MIN-UNACKED word) — however
+// the words were read. Both the per-word and the burst poll paths feed
+// this one function, so detection logic cannot diverge between them.
+//
+// In the base protocol the flag word is a per-slot toggle mask diffed
+// against the shadow copy. Under the retry extension it is a bare post
+// counter: any change (a post or a retransmission) triggers a scan of
+// all of s's descriptors, and detection rests on per-slot sequence
+// floors rather than toggle parity, which is ambiguous once flag writes
+// can be lost.
+func (e *Endpoint) acceptFlags(p *sim.Proc, s int, flags, minUn uint32) {
 	lay, cfg := e.sys.lay, e.sys.cfg
-	e.stats.Polls++
-	e.im.polls.Inc()
-	p.Delay(cfg.Costs.PollOverhead)
-	flags := e.nic.ReadWord(p, lay.msgFlags(e.me, s))
 	if cfg.Retry.Enabled {
 		// Refresh the delivery gate even when the post counter is
 		// unchanged: the sender advances MIN-UNACKED on acknowledgments
 		// and reclaims without bumping the counter.
-		e.minUnIn[s] = e.nic.ReadWord(p, lay.minUn(e.me, s))
+		e.minUnIn[s] = minUn
 		if flags == e.lastSeen[s] && !e.rescan[s] {
 			return
 		}
@@ -64,6 +97,85 @@ func (e *Endpoint) pollSender(p *sim.Proc, s int) {
 		e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "detect", trace.MsgID(s, m.seq), 0, "sender=%d slot=%d len=%d seq=%d", s, b, m.n, m.seq)
 		e.insertPending(s, m)
 		e.lastSeen[s] ^= 1 << uint(b)
+	}
+}
+
+// pollWord is the pre-aggregation probe: one (retry: two) full 650 ns
+// PIO word reads for a single sender — the receive overhead §7 of the
+// paper attributes to polling. Its elapsed time doubles as a live
+// sample of the per-word read cost for the adaptive threshold.
+func (e *Endpoint) pollWord(p *sim.Proc, s int) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	e.stats.Polls++
+	e.im.polls.Inc()
+	p.Delay(cfg.Costs.PollOverhead)
+	t0 := p.Now()
+	flags := e.nic.ReadWord(p, lay.msgFlags(e.me, s))
+	words := 1
+	var minUn uint32
+	if cfg.Retry.Enabled {
+		minUn = e.nic.ReadWord(p, lay.minUn(e.me, s))
+		words = 2
+	}
+	e.stats.PollWords += int64(words)
+	e.im.pollWords.Add(int64(words))
+	e.observeWordReads(words, p.Now().Sub(t0))
+	e.acceptFlags(p, s, flags, minUn)
+}
+
+// pollBurst collapses a poll into one wide read of the receiver's whole
+// contiguous flag region and runs every sender's words through the same
+// acceptance logic as the per-word path. The loop overhead is paid once
+// for the whole sweep, not once per sender.
+func (e *Endpoint) pollBurst(p *sim.Proc) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	e.stats.Polls++
+	e.im.polls.Inc()
+	p.Delay(cfg.Costs.PollOverhead)
+	e.nic.ReadWords(p, lay.base(e.me), e.burstBuf)
+	w := int64(e.burstWords)
+	e.stats.PollWords += w
+	e.stats.BurstPolls++
+	e.stats.BurstPollWords += w
+	e.im.pollWords.Add(w)
+	e.im.burstPolls.Inc()
+	e.im.burstPollWords.Add(w)
+	n := e.Procs()
+	for s := 0; s < n; s++ {
+		if s == e.me {
+			continue
+		}
+		var minUn uint32
+		if cfg.Retry.Enabled {
+			minUn = e.burstBuf[n+s]
+		}
+		e.acceptFlags(p, s, e.burstBuf[s], minUn)
+	}
+}
+
+// pollFrom polls for messages from sender s: the focused shape used by
+// Recv/TryRecv/MsgAvailFrom. It upgrades to the burst only where the
+// plan says one wide read beats even a single probe.
+func (e *Endpoint) pollFrom(p *sim.Proc, s int) {
+	if e.burstOneOK {
+		e.pollBurst(p)
+		return
+	}
+	e.pollWord(p, s)
+}
+
+// pollAll polls every sender once: the sweep shape used by
+// RecvAny/MsgAvail, and the poll loop the burst read collapses from
+// nprocs−1 bus round trips to one transaction.
+func (e *Endpoint) pollAll(p *sim.Proc) {
+	if e.burstAllOK {
+		e.pollBurst(p)
+		return
+	}
+	for s := 0; s < e.Procs(); s++ {
+		if s != e.me {
+			e.pollWord(p, s)
+		}
 	}
 }
 
@@ -106,6 +218,7 @@ scan:
 				// the old sequence, so the sender keeps retransmitting
 				// the new occupant until this scan can accept it.
 				e.nic.WriteWord(p, lay.ackSlot(s, e.me, b), floor)
+				e.stats.ReAcks++
 				e.im.reAcks.Inc()
 				e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "re-ack", trace.MsgID(s, floor), 0, "sender=%d slot=%d seq=%d", s, b, floor)
 			}
@@ -154,12 +267,16 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 	// causal joins to the sender's spans need nothing on the wire.
 	msg := trace.MsgID(s, m.seq)
 	span := e.sys.tracer.BeginSpan(p.Now(), trace.BBP, e.me, "drain", msg, 0, "sender=%d slot=%d len=%d", s, m.slot, m.n)
+	e.im.recvSize.Observe(int64(m.n))
 	if m.n > 0 {
 		src := lay.dataOff(s, m.off)
-		if m.n >= cfg.RecvDMAThreshold {
+		t0 := p.Now()
+		if m.n >= e.recvDMAThreshold() {
 			e.nic.ReadDMA(p, src, buf[:m.n])
+			e.observeDMARead(m.n, p.Now().Sub(t0))
 		} else {
 			e.nic.Read(p, src, buf[:m.n])
+			e.observeWordReads(pci.WordsFor(m.n), p.Now().Sub(t0))
 		}
 	}
 	if cfg.Retry.Enabled && descCheck(m.off, m.n, m.seq, buf[:m.n]) != m.ck {
@@ -260,7 +377,7 @@ func (e *Endpoint) Recv(p *sim.Proc, src int, buf []byte) (int, error) {
 			// Rolled back; keep polling — every iteration advances
 			// virtual time, so the retry daemon's rewrite will land.
 		}
-		e.pollSender(p, src)
+		e.pollFrom(p, src)
 		if deadline >= 0 && p.Now() > deadline {
 			return 0, ErrTimeout
 		}
@@ -298,7 +415,7 @@ func (e *Endpoint) TryRecv(p *sim.Proc, src int, buf []byte) (n int, ok bool, er
 	if n, ok, err, done := tryConsume(); done {
 		return n, ok, err
 	}
-	e.pollSender(p, src)
+	e.pollFrom(p, src)
 	if n, ok, err, done := tryConsume(); done {
 		return n, ok, err
 	}
@@ -330,11 +447,7 @@ func (e *Endpoint) RecvAny(p *sim.Proc, buf []byte) (src, n int, err error) {
 			e.rrNext = (s + 1) % e.Procs()
 			return s, n, err
 		}
-		for s := 0; s < e.Procs(); s++ {
-			if s != e.me {
-				e.pollSender(p, s)
-			}
-		}
+		e.pollAll(p)
 		if deadline >= 0 && p.Now() > deadline {
 			return 0, 0, ErrTimeout
 		}
@@ -354,11 +467,7 @@ func (e *Endpoint) RecvAny(p *sim.Proc, buf []byte) (src, n int, err error) {
 // MsgAvail polls every sender once and reports whether any message is
 // waiting (bbp_MsgAvail).
 func (e *Endpoint) MsgAvail(p *sim.Proc) bool {
-	for s := 0; s < e.Procs(); s++ {
-		if s != e.me {
-			e.pollSender(p, s)
-		}
-	}
+	e.pollAll(p)
 	return e.anyPending()
 }
 
@@ -368,7 +477,7 @@ func (e *Endpoint) MsgAvailFrom(p *sim.Proc, src int) bool {
 	if src == e.me || src < 0 || src >= e.Procs() {
 		return false
 	}
-	e.pollSender(p, src)
+	e.pollFrom(p, src)
 	return len(e.pending[src]) > 0
 }
 

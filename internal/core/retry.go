@@ -126,7 +126,7 @@ func (e *Endpoint) retransmit(p *sim.Proc, s int, lb *liveBuf) {
 	pm, pp := e.nic.SetTraceContext(lb.msg, span)
 
 	if lb.n > 0 {
-		if lb.n >= cfg.SendDMAThreshold {
+		if lb.n >= cfg.Thresholds.SendDMA {
 			e.nic.WriteDMA(p, lay.dataOff(e.me, lb.off), lb.data)
 		} else {
 			e.nic.Write(p, lay.dataOff(e.me, lb.off), lb.data)

@@ -31,6 +31,15 @@ type Config struct {
 	// PIOReadWord is the CPU cost of one 32-bit read from device memory:
 	// a non-posted transaction, roughly 5x a write.
 	PIOReadWord sim.Duration
+	// PIOReadBurstWord is the per-additional-word cost of an aligned
+	// multi-word PIO read burst: the first word pays the full PIOReadWord
+	// round trip (address phase, bridge turnaround, device latency), and
+	// each subsequent word of the open transaction streams back at the
+	// bus data rate — one 33 MHz data phase. Only fixed, aligned control
+	// windows the card can satisfy from a single internal fetch are
+	// burst-readable (see scramnet.NIC.ReadWords); arbitrary payload
+	// reads through the non-prefetchable aperture stay word-priced.
+	PIOReadBurstWord sim.Duration
 	// DMASetup is the fixed CPU cost of programming the DMA engine
 	// (descriptor writes plus doorbell).
 	DMASetup sim.Duration
@@ -46,6 +55,7 @@ func DefaultConfig() Config {
 	return Config{
 		PIOWriteWord:       150 * sim.Nanosecond,
 		PIOReadWord:        650 * sim.Nanosecond,
+		PIOReadBurstWord:   30 * sim.Nanosecond, // one 33 MHz data phase
 		DMASetup:           2 * sim.Microsecond,
 		DMAPerByte:         12 * sim.Nanosecond, // ~83 MB/s sustained burst
 		DMACompletionCheck: 750 * sim.Nanosecond,
@@ -66,7 +76,9 @@ type Bus struct {
 // SetMetrics installs a registry; nil instruments are no-ops.
 type busInstruments struct {
 	pioWriteWords *metrics.Counter // pci.pio_write_words
-	pioReadWords  *metrics.Counter // pci.pio_read_words
+	pioReadWords  *metrics.Counter // pci.pio_read_words (single-word reads)
+	pioReadBursts *metrics.Counter // pci.pio_read_bursts (burst transactions)
+	pioBurstWords *metrics.Counter // pci.pio_read_burst_words (words moved by bursts)
 	dmaBursts     *metrics.Counter // pci.dma_bursts
 	dmaBytes      *metrics.Counter // pci.dma_bytes
 	busyNs        *metrics.Counter // pci.busy_ns: total bus occupancy
@@ -87,6 +99,8 @@ func (b *Bus) SetMetrics(m *metrics.Registry, node int) {
 	b.im = busInstruments{
 		pioWriteWords: m.Counter("pci.pio_write_words", node),
 		pioReadWords:  m.Counter("pci.pio_read_words", node),
+		pioReadBursts: m.Counter("pci.pio_read_bursts", node),
+		pioBurstWords: m.Counter("pci.pio_read_burst_words", node),
 		dmaBursts:     m.Counter("pci.dma_bursts", node),
 		dmaBytes:      m.Counter("pci.dma_bytes", node),
 		busyNs:        m.Counter("pci.busy_ns", node),
@@ -130,6 +144,33 @@ func (b *Bus) PIORead(p *sim.Proc, words int) {
 	b.im.pioReadWords.Add(int64(words))
 	b.im.busyNs.Add(int64(words) * int64(b.cfg.PIOReadWord))
 	b.occupy(p, sim.Duration(words)*b.cfg.PIOReadWord)
+}
+
+// BurstReadCost returns the modeled cost of one aligned words-long PIO
+// read burst: a full PIOReadWord round trip for the first word, then
+// one PIOReadBurstWord data phase per remaining word. Exported so the
+// protocol layer can decide, from the same numbers the bus will charge,
+// whether a burst beats the per-word probes it would replace.
+func (b *Bus) BurstReadCost(words int) sim.Duration {
+	if words <= 0 {
+		return 0
+	}
+	return b.cfg.PIOReadWord + sim.Duration(words-1)*b.cfg.PIOReadBurstWord
+}
+
+// PIOReadBurst charges one aligned multi-word read burst (see
+// Config.PIOReadBurstWord). Burst words are counted separately from
+// single-word reads — pci.pio_read_words keeps its §7 meaning of "reads
+// that each cost a full bus round trip".
+func (b *Bus) PIOReadBurst(p *sim.Proc, words int) {
+	if words <= 0 {
+		return
+	}
+	cost := b.BurstReadCost(words)
+	b.im.pioReadBursts.Inc()
+	b.im.pioBurstWords.Add(int64(words))
+	b.im.busyNs.Add(int64(cost))
+	b.occupy(p, cost)
 }
 
 // DMA performs a blocking DMA transfer of n bytes between host memory and

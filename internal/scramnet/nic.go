@@ -229,6 +229,28 @@ func (nic *NIC) WriteDMA(p *sim.Proc, off int, data []byte) {
 	p.Delay(cfg.DMACompletionCheck)
 }
 
+// ReadWords fills dst with len(dst) consecutive 32-bit words starting
+// at the word-aligned offset off, as one burst read transaction. The
+// card satisfies a small aligned window from a single internal fetch,
+// so the host pays one non-posted round trip plus one bus data phase
+// per additional word (pci.Bus.PIOReadBurst) — the wide-read poll path.
+// Arbitrary-length payload reads (Read) go through the non-prefetchable
+// aperture and stay word-priced; this operation is only for fixed
+// control windows such as a receiver's MESSAGE-flag region.
+func (nic *NIC) ReadWords(p *sim.Proc, off int, dst []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	if off%4 != 0 {
+		panic(fmt.Sprintf("scramnet: burst read at unaligned offset %#x", off))
+	}
+	nic.checkRange(off, 4*len(dst))
+	nic.bus.PIOReadBurst(p, len(dst))
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(nic.mem[off+4*i:])
+	}
+}
+
 // Read copies n bytes from the local bank into buf with PIO word reads.
 func (nic *NIC) Read(p *sim.Proc, off int, buf []byte) {
 	if len(buf) == 0 {

@@ -342,17 +342,15 @@ func RunAnatomy(size, nodes int) (*AnatomyResult, error) {
 		return nil, err
 	}
 	ring.SetSingleWriterCheck(true)
+	rec := trace.New()
+	m := metrics.New()
 	bcfg := core.DefaultConfig()
-	sys, err := core.New(ring, bcfg)
+	sys, err := core.New(ring, bcfg, core.WithTracer(rec), core.WithMetrics(m))
 	if err != nil {
 		return nil, err
 	}
-	rec := trace.New()
-	m := metrics.New()
 	ring.SetTracer(rec)
-	sys.SetTracer(rec)
 	ring.SetMetrics(m)
-	sys.SetMetrics(m)
 	eps := make([]*core.Endpoint, nodes)
 	for i := range eps {
 		if eps[i], err = sys.Attach(i); err != nil {
@@ -392,8 +390,8 @@ func RunAnatomy(size, nodes int) (*AnatomyResult, error) {
 	if bcfg.Retry.Enabled {
 		descW = 4
 	}
-	dmaSend := size > 0 && size >= bcfg.SendDMAThreshold
-	dmaRecv := size > 0 && size >= bcfg.RecvDMAThreshold
+	dmaSend := size > 0 && size >= bcfg.Thresholds.SendDMA
+	dmaRecv := size > 0 && size >= bcfg.Thresholds.RecvDMA
 	res.ModelPublish = sim.Duration(descW+1) * buscfg.PIOWriteWord
 	if dmaSend {
 		res.ModelPublish += buscfg.DMASetup + sim.Duration(size)*buscfg.DMAPerByte + buscfg.DMACompletionCheck
@@ -435,6 +433,42 @@ func RunAnatomy(size, nodes int) (*AnatomyResult, error) {
 	}
 	if b.Total() > res.OneWay {
 		mismatch("post→consume %s exceeds the measured one-way %s", b.Total(), res.OneWay)
+	}
+
+	// Burst-aware counter identities, mirroring cmd/anatomy: the
+	// receiver's single-word PIO reads must equal the poll words not
+	// moved by wide reads plus descriptor and PIO-drained payload, and
+	// every node's bus occupancy must equal its counters times the
+	// transaction costs with bursts priced as one round trip plus data
+	// phases.
+	snap := m.Snapshot()
+	cnt := func(name string, node int) int64 { v, _ := snap.Counter(name, node); return v }
+	dataRdW := int64(0)
+	if size > 0 && !dmaRecv {
+		dataRdW = int64(pci.WordsFor(size))
+	}
+	rd := cnt("pci.pio_read_words", 1)
+	pollW := cnt("bbp.poll_words", 1)
+	burstPollW := cnt("bbp.burst_poll_words", 1)
+	if want := (pollW - burstPollW) + descW + dataRdW; rd != want {
+		mismatch("receiver read %d single PIO words; cost model predicts %d (poll words %d−%d + desc %d + data %d)",
+			rd, want, pollW, burstPollW, descW, dataRdW)
+	}
+	if bursts := cnt("pci.pio_read_bursts", 1); bursts != cnt("bbp.burst_polls", 1) {
+		mismatch("pci saw %d read bursts but BBP issued %d burst polls", bursts, cnt("bbp.burst_polls", 1))
+	}
+	for i := 0; i < nodes; i++ {
+		wr := cnt("pci.pio_write_words", i)
+		rdw := cnt("pci.pio_read_words", i)
+		bursts := cnt("pci.pio_read_bursts", i)
+		burstW := cnt("pci.pio_read_burst_words", i)
+		dma := cnt("pci.dma_bytes", i)
+		want := wr*int64(buscfg.PIOWriteWord) + rdw*int64(buscfg.PIOReadWord) +
+			bursts*int64(buscfg.PIOReadWord) + (burstW-bursts)*int64(buscfg.PIOReadBurstWord) +
+			dma*int64(buscfg.DMAPerByte)
+		if busy := cnt("pci.busy_ns", i); busy != want {
+			mismatch("node %d pci.busy_ns %d != counters × cost model %d", i, busy, want)
+		}
 	}
 	return res, nil
 }

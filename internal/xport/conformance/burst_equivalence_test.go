@@ -1,0 +1,183 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// This file is the burst-poll equivalence battery (ISSUE 4): the
+// wide-read poll path must be an accounting optimization only. Under
+// randomized lossy workloads it must detect the exact same message set
+// in the exact same per-source order as the per-word path, and in a
+// surgically scripted ACK-loss scenario it must issue the exact same
+// retransmission re-ACKs.
+
+// runBurstWorkload drives a seeded many-to-one workload — two senders,
+// randomized sizes and gaps, the battery's loss window and node-3
+// fail/repair cycle, retry-enabled BBP — with the given poll mode, and
+// returns the per-source delivery order observed by the RecvAny sink
+// plus the sink's endpoint stats.
+func runBurstWorkload(t *testing.T, seed uint64, mode core.BurstMode) (map[int][]byte, core.Stats) {
+	t.Helper()
+	const perSender = 8
+	k := sim.NewKernel()
+	defer k.Close()
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	bbp.BurstPoll = mode
+	script := &fault.Script{Seed: seed, Actions: []fault.Action{
+		{At: sim.Time(0).Add(100 * sim.Microsecond), Kind: fault.LossStart, Rate: 0.15},
+		{At: sim.Time(0).Add(150 * sim.Microsecond), Kind: fault.NodeFail, Node: 3},
+		{At: sim.Time(0).Add(450 * sim.Microsecond), Kind: fault.NodeRepair, Node: 3},
+		{At: sim.Time(0).Add(500 * sim.Microsecond), Kind: fault.LossStop},
+	}}
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := c.Endpoints
+	for _, s := range []int{1, 2} {
+		s := s
+		rng := sim.NewRNG(seed ^ uint64(s)<<32)
+		k.Spawn(fmt.Sprintf("tx%d", s), func(p *sim.Proc) {
+			for i := 0; i < perSender; i++ {
+				// Randomized size (2..61 B), sender and index in the
+				// first two bytes; the RNG stream is a function of (seed,
+				// sender) only, so both poll modes see one workload.
+				msg := make([]byte, 2+int(rng.Uint64()%60))
+				msg[0], msg[1] = byte(s), byte(i)
+				if err := eps[s].Send(p, 0, msg); err != nil {
+					t.Errorf("sender %d msg %d: %v", s, i, err)
+					return
+				}
+				p.Delay(sim.Duration(10+rng.Uint64()%40) * sim.Microsecond)
+			}
+		})
+	}
+	order := map[int][]byte{}
+	k.Spawn("sink", func(p *sim.Proc) {
+		buf := make([]byte, 128)
+		for i := 0; i < 2*perSender; i++ {
+			src, n, err := eps[0].RecvAny(p, buf)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if n < 2 || int(buf[0]) != src {
+				t.Errorf("recv %d: %d bytes from %d, tag %d", i, n, src, buf[0])
+				return
+			}
+			order[src] = append(order[src], buf[1])
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return order, eps[0].(*core.Endpoint).Stats()
+}
+
+// TestBurstPollEquivalenceUnderFaults runs the randomized lossy
+// workload with per-word and with forced-burst polling across several
+// seeds and demands identical per-source delivery: same message set,
+// same order, nothing lost (the retry layer guarantees completeness),
+// with the burst run actually exercising wide reads.
+func TestBurstPollEquivalenceUnderFaults(t *testing.T) {
+	for _, seed := range []uint64{20250806, 424242, 7} {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			perWord, pwStats := runBurstWorkload(t, seed, core.BurstOff)
+			burst, buStats := runBurstWorkload(t, seed, core.BurstOn)
+			for _, s := range []int{1, 2} {
+				if got, want := fmt.Sprintf("%v", burst[s]), fmt.Sprintf("%v", perWord[s]); got != want {
+					t.Errorf("sender %d delivery order diverged:\n  per-word: %s\n  burst:    %s", s, want, got)
+				}
+				if len(perWord[s]) != 8 {
+					t.Errorf("sender %d: per-word run delivered %d of 8", s, len(perWord[s]))
+				}
+			}
+			if pwStats.BurstPolls != 0 {
+				t.Errorf("BurstOff sink performed %d burst polls", pwStats.BurstPolls)
+			}
+			if buStats.BurstPolls == 0 {
+				t.Error("BurstOn sink performed no burst polls")
+			}
+			if buStats.Received != pwStats.Received {
+				t.Errorf("received diverged: per-word %d, burst %d", pwStats.Received, buStats.Received)
+			}
+		})
+	}
+}
+
+// runAckLossOnce posts a single message whose ACK write is surgically
+// dropped by a total-loss window that opens only after the message has
+// been published and consumed, forcing the sender to retransmit and the
+// receiver to re-acknowledge from its slot floor. Returns the
+// receiver's stats.
+func runAckLossOnce(t *testing.T, mode core.BurstMode) core.Stats {
+	t.Helper()
+	k := sim.NewKernel()
+	defer k.Close()
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig() // first retransmit after 200µs
+	bbp.BurstPoll = mode
+	// The sender's publish completes within a few µs; the receiver
+	// first polls at 20µs (local reads generate no ring traffic), so
+	// the only packet inside the [10µs, 190µs] total-loss window is its
+	// ACK write. The retransmission at ~200µs lands after the repair.
+	script := &fault.Script{Seed: 1, Actions: []fault.Action{
+		{At: sim.Time(0).Add(10 * sim.Microsecond), Kind: fault.LossStart, Rate: 1.0},
+		{At: sim.Time(0).Add(190 * sim.Microsecond), Kind: fault.LossStop},
+	}}
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := c.Endpoints
+	k.Spawn("tx", func(p *sim.Proc) {
+		if err := eps[1].Send(p, 0, []byte("ack-me")); err != nil {
+			t.Error(err)
+		}
+	})
+	k.SpawnDaemon("rx", func(p *sim.Proc) {
+		buf := make([]byte, 16)
+		p.Delay(20 * sim.Microsecond)
+		for {
+			if _, ok, _ := eps[0].TryRecv(p, 1, buf); !ok {
+				p.Delay(20 * sim.Microsecond)
+			}
+		}
+	})
+	k.RunFor(2 * sim.Millisecond)
+	return eps[0].(*core.Endpoint).Stats()
+}
+
+// TestBurstPollReAckEquivalence pins the retransmission re-ACK path:
+// with the ACK write scripted away, the per-word and burst poll paths
+// must consume the message once, observe the retransmission, and issue
+// exactly the same number of re-ACKs.
+func TestBurstPollReAckEquivalence(t *testing.T) {
+	pw := runAckLossOnce(t, core.BurstOff)
+	bu := runAckLossOnce(t, core.BurstOn)
+	for _, c := range []struct {
+		name string
+		st   core.Stats
+	}{{"per-word", pw}, {"burst", bu}} {
+		if c.st.Received != 1 {
+			t.Errorf("%s: received %d, want exactly 1 (re-ACK must not redeliver)", c.name, c.st.Received)
+		}
+		if c.st.ReAcks == 0 {
+			t.Errorf("%s: no re-ACKs — the scripted ACK loss did not bite", c.name)
+		}
+	}
+	if pw.ReAcks != bu.ReAcks {
+		t.Errorf("re-ACK count diverged: per-word %d, burst %d", pw.ReAcks, bu.ReAcks)
+	}
+	if bu.BurstPolls == 0 {
+		t.Error("burst run performed no burst polls")
+	}
+}
