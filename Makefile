@@ -14,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover verify figures bench timeline clean
+.PHONY: all build test race vet cover verify figures bench timeline soak clean
 
 all: build
 
@@ -36,8 +36,20 @@ cover:
 	$(GO) tool cover -html=cover.out -o cover.html
 	@echo "wrote cover.html"
 
-verify: vet test race timeline
-	@echo "verify tier green: vet + test + race + timeline"
+verify: vet test race timeline soak
+	@echo "verify tier green: vet + test + race + timeline + soak"
+
+# Robustness soak tier: the multi-seed fault + liveness battery under
+# the race detector. Each seed generates a script mixing loss windows
+# with node fail/repair cycles against a heartbeat-enabled cluster and
+# live retry traffic, then requires every node's failure detector to
+# have reconverged to an all-alive membership view with the traffic
+# delivered intact. The false-positive property (loss windows alone
+# never kill anyone) and the MPI dead-peer acceptance test run in the
+# same package.
+soak: build
+	$(GO) test -race -count=1 -run 'TestSoak|TestLossWindowsNeverKill|TestMPIBarrierDeadPeer|TestFlappingNode' ./internal/liveness
+	@echo "soak tier green: liveness battery survives scripted faults under -race"
 
 # Observability smoke tier: replay the E6 fault-sweep point at 15% loss
 # with span tracing and snapshot streaming on, and require cmd/timeline

@@ -20,7 +20,12 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hybrid"
+	"repro/internal/liveness"
 	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -31,7 +36,13 @@ import (
 // Schema 2: added poll_aggregation (E9 burst-read poll figure) and
 // adaptive_recv_dma_bytes; the bbp.* rollup gained the burst-poll and
 // adaptive-threshold instruments.
-const Schema = 2
+//
+// Schema 3: added failover_latency (E10): with the heartbeat failure
+// detector on, the delay from a node bypass to MPI surfacing a
+// DeadPeerError mid-Barrier and to the hybrid router's first proactive
+// reroute. Default-path figures and the rollup are unchanged — liveness
+// is off everywhere else, and the disabled layout is byte-identical.
+const Schema = 3
 
 // Options selects the sweep resolution. The default runs the figure
 // suite at the paper's panel sizes; Reduced is a fast subset for tests.
@@ -103,6 +114,10 @@ type Report struct {
 	// bbp.recv_dma_threshold_bytes gauge after an instrumented run with
 	// adaptation enabled); it must agree with the measured crossover.
 	AdaptiveRecvDMABytes int64 `json:"adaptive_recv_dma_bytes"`
+	// FailoverLatency is the E10 measurement: node-death-to-action
+	// delays with the heartbeat failure detector on. Check() gates both
+	// delays against the detector's configured windows.
+	FailoverLatency FailoverLatency `json:"failover_latency"`
 	// Rollup is the cluster-wide metrics snapshot of the canonical
 	// instrumented run (the 4-byte SCRAMNet ping-pong): protocol and
 	// hardware counters that must not drift silently.
@@ -173,6 +188,39 @@ type PollAggregation struct {
 	ReductionPct float64 `json:"reduction_pct"`
 }
 
+// FailoverLatency is the E10 measurement (EXPERIMENTS.md): how quickly
+// the stack turns a node death into action once the heartbeat failure
+// detector (liveness.DefaultConfig) is on. Both delays are measured
+// from the instant the fault script bypasses the node's ring card.
+type FailoverLatency struct {
+	Nodes int `json:"nodes"`
+	// SuspectWindowUs / ConfirmWindowUs record the detector calibration
+	// the run used, so the gated delays are self-describing.
+	SuspectWindowUs float64 `json:"suspect_window_us"`
+	ConfirmWindowUs float64 `json:"confirm_window_us"`
+	// MPIErrorUs is the worst delay, across surviving ranks, until a
+	// Barrier interrupted by the death returns DeadPeerError. Bounded by
+	// the confirmation window — not the retry daemon's MaxRetries ×
+	// doubling-Timeout budget (~51 ms).
+	MPIErrorUs float64 `json:"mpi_error_us"`
+	// HybridRerouteUs is the delay until the hybrid router's first
+	// proactive reroute of a ring-preferred send onto the high-bandwidth
+	// substrate. Bounded by the suspicion window: rerouting starts on
+	// suspicion, before confirmation.
+	HybridRerouteUs float64 `json:"hybrid_reroute_us"`
+}
+
+// MaxMPIDeadPeerErrorUs and MaxHybridRerouteUs are the `make bench`
+// regression gates on E10: the MPI error must land within the 2500 µs
+// confirmation window plus scan slack, and the hybrid reroute within
+// the 500 µs suspicion window plus the sender's probe spacing. Either
+// drifting upward means death discovery regressed toward the ~51 ms
+// retry-exhaustion path this subsystem replaces.
+const (
+	MaxMPIDeadPeerErrorUs = 3500.0
+	MaxHybridRerouteUs    = 1200.0
+)
+
 // MinPollReductionPct is the `make bench` regression gate on the burst
 // poll path (ISSUE 4): the sink's poll read transactions at 0 B /
 // PollAggregationNodes nodes must drop by at least this percentage
@@ -194,6 +242,15 @@ func (r Report) Check() error {
 	if p.ReductionPct < MinPollReductionPct {
 		return fmt.Errorf("poll aggregation gate: burst polling cut the sink's poll reads by %.1f%% (%d → %d at %d B / %d nodes); the gate requires ≥ %.0f%%",
 			p.ReductionPct, p.PerWordPollReads, p.BurstPollReads, p.Bytes, p.Nodes, MinPollReductionPct)
+	}
+	f := r.FailoverLatency
+	if f.MPIErrorUs <= f.ConfirmWindowUs || f.MPIErrorUs > MaxMPIDeadPeerErrorUs {
+		return fmt.Errorf("failover gate: mid-Barrier DeadPeerError took %.1f µs after the bypass; must be within (%.0f, %.0f] µs (confirmation window + scan slack)",
+			f.MPIErrorUs, f.ConfirmWindowUs, MaxMPIDeadPeerErrorUs)
+	}
+	if f.HybridRerouteUs <= f.SuspectWindowUs || f.HybridRerouteUs > MaxHybridRerouteUs {
+		return fmt.Errorf("failover gate: first proactive hybrid reroute took %.1f µs after the bypass; must be within (%.0f, %.0f] µs (suspicion window + probe spacing)",
+			f.HybridRerouteUs, f.SuspectWindowUs, MaxHybridRerouteUs)
 	}
 	return nil
 }
@@ -311,6 +368,117 @@ func adaptiveConverged() int64 {
 	return g.Value
 }
 
+// mpiDeadPeerLatency kills one node mid-Barrier and returns the worst
+// delay, in µs after the bypass, until a surviving rank's Barrier
+// returns DeadPeerError.
+func mpiDeadPeerLatency(lcfg liveness.Config) float64 {
+	const nodes, victim = 4, 2
+	kill := sim.Time(0).Add(1 * sim.Millisecond)
+	k := sim.NewKernel()
+	defer k.Close()
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	bbp.Thresholds.SendDMA = 1 << 30 // the paper's PIO-only channel device
+	bbp.Thresholds.RecvDMA = 1 << 30
+	bbp.Thresholds.Adaptive = core.AdaptiveConfig{}
+	script := &fault.Script{Seed: 101, Actions: []fault.Action{
+		{At: kill, Kind: fault.NodeFail, Node: victim},
+	}}
+	c, err := cluster.New(k, cluster.Options{
+		Nodes: nodes, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script, Liveness: &lcfg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mcfg := mpi.DefaultConfig()
+	mcfg.McastCollectives = true
+	w := mpi.NewWorld(c.Endpoints, mcfg)
+	var worst sim.Time
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if err := cm.Barrier(p); err != nil {
+			panic(err) // the pre-death barrier must succeed
+		}
+		if cm.Rank() == victim {
+			return // the machine dies with its process
+		}
+		if err := cm.Barrier(p); err == nil {
+			panic("barrier with a dead participant completed")
+		}
+		if p.Now() > worst {
+			worst = p.Now()
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return round3(float64(worst.Sub(kill)) / float64(sim.Microsecond))
+}
+
+// hybridRerouteLatency bypasses a node's ring card (its Myrinet link
+// stays up) under a steady stream of small ring-preferred sends, and
+// returns the delay, in µs after the bypass, until the router's first
+// proactive reroute completes on the high substrate.
+func hybridRerouteLatency(lcfg liveness.Config) float64 {
+	const nodes, dst = 3, 2
+	kill := sim.Time(0).Add(1 * sim.Millisecond)
+	k := sim.NewKernel()
+	defer k.Close()
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	// Nothing consumes at dst (the probe stream only exists to trip the
+	// router), so no ACKs ever return: give the sender enough billboard
+	// slots that it never stalls on allocation while probing.
+	bbp.Buffers = 32
+	script := &fault.Script{Seed: 102, Actions: []fault.Action{
+		{At: kill, Kind: fault.NodeFail, Node: dst},
+	}}
+	low, err := cluster.New(k, cluster.Options{
+		Nodes: nodes, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script, Liveness: &lcfg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	san, err := myrinet.New(k, myrinet.DefaultConfig(nodes))
+	if err != nil {
+		panic(err)
+	}
+	router, err := hybrid.New(low.Endpoints[0],
+		myrinet.OpenAPI(san, 0, myrinet.DefaultAPIConfig()), hybrid.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	var reroute sim.Time
+	k.Spawn("tx", func(p *sim.Proc) {
+		msg := make([]byte, 16) // far below the crossover: prefers the ring
+		for {
+			if err := router.Send(p, dst, msg); err != nil {
+				panic(err)
+			}
+			if router.Stats().ProactiveFailovers > 0 {
+				reroute = p.Now()
+				return
+			}
+			p.Delay(50 * sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return round3(float64(reroute.Sub(kill)) / float64(sim.Microsecond))
+}
+
+// failoverLatency assembles the E10 row.
+func failoverLatency() FailoverLatency {
+	lcfg := liveness.DefaultConfig()
+	return FailoverLatency{
+		Nodes:           4,
+		SuspectWindowUs: round3(float64(lcfg.SuspectAfter) / float64(sim.Microsecond)),
+		ConfirmWindowUs: round3(float64(lcfg.ConfirmAfter) / float64(sim.Microsecond)),
+		MPIErrorUs:      mpiDeadPeerLatency(lcfg),
+		HybridRerouteUs: hybridRerouteLatency(lcfg),
+	}
+}
+
 // busPoint measures one size of the bus-utilization sweep.
 func busPoint(n int) BusPoint {
 	pioUs, snap, elapsed := instrumented(n, pioOnly)
@@ -374,6 +542,7 @@ func Run(opts Options) Report {
 	r.RecvDMACrossoverBytes = recvDMACrossover(opts.CrossoverLo, opts.CrossoverHi, opts.CrossoverStep)
 	r.PollAggregation = pollAggregation()
 	r.AdaptiveRecvDMABytes = adaptiveConverged()
+	r.FailoverLatency = failoverLatency()
 	_, snap, _ := instrumented(4, nil)
 	r.Rollup = snap.Rollup()
 	return r

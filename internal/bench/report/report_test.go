@@ -19,12 +19,12 @@ func TestReportByteStable(t *testing.T) {
 	}
 }
 
-// TestReportSchemaAndShape pins the document structure a schema-2
+// TestReportSchemaAndShape pins the document structure a schema-3
 // consumer relies on.
 func TestReportSchemaAndShape(t *testing.T) {
 	r := Run(ReducedOptions())
-	if r.Schema != 2 {
-		t.Fatalf("schema = %d, want 2", r.Schema)
+	if r.Schema != 3 {
+		t.Fatalf("schema = %d, want 3", r.Schema)
 	}
 	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
 	if len(r.Figures) != len(wantFigs) {
@@ -108,7 +108,11 @@ func TestBusSweepShowsPIOReadDominance(t *testing.T) {
 // threshold must converge on the measured 20 B crossover (E7) on the
 // default uncontended bus.
 func TestPollAggregationGate(t *testing.T) {
-	r := Report{PollAggregation: pollAggregation(), AdaptiveRecvDMABytes: adaptiveConverged()}
+	r := Report{
+		PollAggregation:      pollAggregation(),
+		AdaptiveRecvDMABytes: adaptiveConverged(),
+		FailoverLatency:      failoverLatency(), // Check gates the whole report
+	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -118,6 +122,24 @@ func TestPollAggregationGate(t *testing.T) {
 	}
 	if r.AdaptiveRecvDMABytes != 20 {
 		t.Errorf("adaptive threshold converged on %d B, want the 20 B E7 crossover", r.AdaptiveRecvDMABytes)
+	}
+}
+
+// TestFailoverLatencyGate runs the E10 measurement and enforces the
+// `make bench` gate in-tree: a node death mid-Barrier must surface as a
+// DeadPeerError within the detector's confirmation window (plus scan
+// slack), and the hybrid router must reroute within the suspicion
+// window (plus probe spacing) — both orders of magnitude below the
+// ~51 ms retry-exhaustion path the failure detector replaces.
+func TestFailoverLatencyGate(t *testing.T) {
+	f := failoverLatency()
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if f.MPIErrorUs <= f.HybridRerouteUs {
+		t.Errorf("MPI error (%v µs, confirmation-bound) should be slower than the hybrid reroute (%v µs, suspicion-bound)",
+			f.MPIErrorUs, f.HybridRerouteUs)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/fault"
 	"repro/internal/hybrid"
+	"repro/internal/liveness"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/myrinet"
@@ -63,6 +64,12 @@ type Options struct {
 	// PIOOnlyBBP forces the BBP endpoints onto the programmed-I/O path,
 	// as the paper's minimal MPICH channel device does.
 	PIOOnlyBBP bool
+	// Liveness, when non-nil, enables heartbeat-based failure detection
+	// on the BBP substrate (SCRAMNet, and the SCRAMNet side of Hybrid —
+	// where the router and any MPI world above inherit the membership
+	// view through liveness.Provider). It overrides any Liveness setting
+	// in Options.BBP.
+	Liveness *liveness.Config
 	// Faults optionally schedules a fault script against the built
 	// network. On SCRAMNet the script drives the ring's optical bypass
 	// and CRC-drop model directly (the ring's drop stream is re-seeded
@@ -185,6 +192,9 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 			bbpCfg.Thresholds.RecvDMA = 1 << 30
 			bbpCfg.Thresholds.Adaptive = core.AdaptiveConfig{}
 		}
+		if opts.Liveness != nil {
+			bbpCfg.Liveness = *opts.Liveness
+		}
 		var bbpOpts []core.Option
 		if opts.Metrics != nil {
 			bbpOpts = append(bbpOpts, core.WithMetrics(opts.Metrics))
@@ -243,7 +253,7 @@ func New(k *sim.Kernel, opts Options) (*Cluster, error) {
 	case Hybrid:
 		// Both NICs in every workstation: a SCRAMNet ring for latency
 		// and a Myrinet SAN for bandwidth. A fault script hits both.
-		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults, Metrics: opts.Metrics, Trace: opts.Trace})
+		low, err := New(k, Options{Nodes: opts.Nodes, Net: SCRAMNet, BBP: opts.BBP, Ring: opts.Ring, Faults: opts.Faults, Metrics: opts.Metrics, Trace: opts.Trace, Liveness: opts.Liveness})
 		if err != nil {
 			return nil, err
 		}

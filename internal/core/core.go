@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/liveness"
 	"repro/internal/metrics"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
@@ -109,6 +110,12 @@ type Config struct {
 	// rings. The base protocol (and the paper's hardware) assumes the
 	// ring never drops writes; the zero value keeps that behavior.
 	Retry RetryConfig
+	// Liveness enables heartbeat-based membership: every node publishes
+	// a (beat, incarnation) pair in the single-writer heartbeat table
+	// and runs a failure detector over its replica of it (DESIGN.md
+	// §11). Off by default — the table and its periodic bus traffic
+	// would shift the calibrated fault-free figures.
+	Liveness liveness.Config
 	// Costs are the software path costs.
 	Costs Costs
 }
@@ -276,6 +283,7 @@ type layout struct {
 	buffers  int
 	ackWords int
 	retry    bool
+	hbBytes  int // global single-writer heartbeat table ahead of the partitions (0 when liveness is off)
 	ackBase  int // partition-relative offset of the ACK region
 	descBase int // partition-relative offset of the descriptor region
 	partSize int
@@ -283,9 +291,17 @@ type layout struct {
 	dataSize int
 }
 
-func newLayout(nprocs, buffers, ackWords, memBytes int, retry bool) (layout, error) {
+func newLayout(nprocs, buffers, ackWords, memBytes int, retry, hb bool) (layout, error) {
 	l := layout{nprocs: nprocs, buffers: buffers, ackWords: ackWords, retry: retry}
-	l.partSize = (memBytes / nprocs) &^ 63
+	if hb {
+		// One (beat, incarnation) word pair per node, each pair written
+		// only by its owner — the same single-writer-per-word discipline
+		// as the MESSAGE flags, placed once globally instead of fanned
+		// out per partition so a detector reads every peer in one
+		// contiguous burst and a publisher pays one pair write total.
+		l.hbBytes = (hbSlotSize*nprocs + 63) &^ 63
+	}
+	l.partSize = ((memBytes - l.hbBytes) / nprocs) &^ 63
 	l.ackBase = 4 * nprocs // MESSAGE flag words
 	if retry {
 		l.ackBase += 4 * nprocs // MIN-UNACKED words
@@ -299,7 +315,7 @@ func newLayout(nprocs, buffers, ackWords, memBytes int, retry bool) (layout, err
 	return l, nil
 }
 
-func (l layout) base(i int) int        { return i * l.partSize }
+func (l layout) base(i int) int        { return l.hbBytes + i*l.partSize }
 func (l layout) msgFlags(i, s int) int { return l.base(i) + 4*s }
 func (l layout) minUn(i, s int) int    { return l.base(i) + 4*l.nprocs + 4*s }
 func (l layout) ackFlags(i, r int) int { return l.base(i) + l.ackBase + 4*l.ackWords*r }
@@ -309,6 +325,15 @@ func (l layout) ackSlot(i, r, b int) int {
 func (l layout) desc(i, b int) int      { return l.base(i) + l.descBase + descSize*b }
 func (l layout) dataBase(i int) int     { return l.base(i) + l.ctrlSize }
 func (l layout) dataOff(i, rel int) int { return l.dataBase(i) + rel }
+
+// hbSlotSize is the per-node heartbeat table entry: beat word +
+// incarnation word.
+const hbSlotSize = 8
+
+// hbBeat/hbInc address node i's heartbeat pair in the global table.
+// Both words are written only by node i.
+func (l layout) hbBeat(i int) int { return hbSlotSize * i }
+func (l layout) hbInc(i int) int  { return hbSlotSize*i + 4 }
 
 // RingNetwork is the replicated-memory hardware the protocol runs on: a
 // flat SCRAMNet ring (*scramnet.Network) or a bridged ring-of-rings
@@ -329,6 +354,11 @@ type System struct {
 	eps     []*Endpoint
 	tracer  *trace.Recorder
 	metrics *metrics.Registry
+	// hbWake is the shared heartbeat tick broadcast: one observer timer
+	// per System wakes every endpoint's liveness daemon, so n daemons
+	// cost one kernel event per period and the ticker stops itself when
+	// only observers remain (see armHbTicker).
+	hbWake *sim.Cond
 }
 
 // New divides the replicated memory among the hosts and prepares one
@@ -354,17 +384,24 @@ func New(net RingNetwork, cfg Config, opts ...Option) (*System, error) {
 		return nil, fmt.Errorf("bbp: Retry enabled with Timeout %v MaxRetries %d (both must be positive)",
 			cfg.Retry.Timeout, cfg.Retry.MaxRetries)
 	}
+	if err := cfg.Liveness.Validate(); err != nil {
+		return nil, err
+	}
 	ackWords := 1
 	if cfg.Retry.Enabled {
 		ackWords = cfg.Buffers
 	}
-	lay, err := newLayout(n, cfg.Buffers, ackWords, net.MemBytes(), cfg.Retry.Enabled)
+	lay, err := newLayout(n, cfg.Buffers, ackWords, net.MemBytes(), cfg.Retry.Enabled, cfg.Liveness.Enabled)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{net: net, cfg: cfg, lay: lay, eps: make([]*Endpoint, n)}
 	for _, o := range opts {
 		o(s)
+	}
+	if cfg.Liveness.Enabled {
+		s.hbWake = sim.NewCond(net.Kernel())
+		s.armHbTicker()
 	}
 	return s, nil
 }
@@ -420,6 +457,10 @@ func (s *System) Attach(rank int) (*Endpoint, error) {
 	if s.cfg.Retry.Enabled {
 		s.net.Kernel().SpawnDaemon(fmt.Sprintf("bbp-retry-%d", rank), e.retryLoop)
 	}
+	if s.cfg.Liveness.Enabled {
+		e.initLiveness()
+		s.net.Kernel().SpawnDaemon(fmt.Sprintf("bbp-hb-%d", rank), e.hbLoop)
+	}
 	e.initPollPlan()
 	e.initAdaptive()
 	e.setMetrics(s.metrics)
@@ -450,4 +491,6 @@ type Stats struct {
 	RetryFailures int64 // buffers reclaimed with MaxRetries exhausted
 	ChecksumDrops int64 // descriptors rejected by the receiver pending retry
 	StaleDescs    int64 // flag toggles whose descriptor was stale or torn
+	// Liveness counters (zero unless Config.Liveness.Enabled).
+	DeadPeerReclaims int64 // (buffer, receiver) ACK obligations abandoned because the detector confirmed the receiver dead
 }

@@ -80,6 +80,10 @@ type Endpoint struct {
 	// adapt is the adaptive receive-DMA threshold estimator (adaptive.go).
 	adapt adaptiveState
 
+	// hb is the heartbeat publisher + failure detector pair (liveness.go);
+	// nil unless Config.Liveness.Enabled.
+	hb *hbState
+
 	intrWake  *sim.Cond
 	retryWake *sim.Cond
 	stats     Stats
@@ -401,6 +405,21 @@ func (e *Endpoint) collect(p *sim.Proc) {
 		for r := 0; r < e.Procs(); r++ {
 			bit := uint32(1) << uint(r)
 			if lb.dests&bit == 0 || lb.acked&bit != 0 {
+				continue
+			}
+			if e.deadPeer(r) {
+				// The failure detector confirmed r dead: its ACK will
+				// never come, so stop waiting for it. This reclaims the
+				// buffer within the detector's confirmation window —
+				// in particular a multicast with one dead receiver in
+				// the group no longer pins its slot until retry
+				// exhaustion — and the survivors' ACKs still count.
+				lb.acked |= bit
+				e.stats.DeadPeerReclaims++
+				if e.hb != nil {
+					e.hb.deadReclaims.Inc()
+				}
+				e.sys.tracer.EmitMsg(p.Now(), trace.BBP, e.me, "dead-reclaim", lb.msg, lb.span, "receiver=%d slot=%d", r, s)
 				continue
 			}
 			if retry {

@@ -166,6 +166,25 @@ func (s *Script) String() string {
 	return out + "}"
 }
 
+// Flap builds a script that rapidly cycles one node through count
+// fail→repair pairs, one full cycle per period: the node goes down at
+// (k+1)·period and comes back half a period later, for k = 0..count-1.
+// Flapping is the classic failure-detector stress test — a node that
+// oscillates near the suspicion threshold must be fenced consistently
+// (stale incarnations never resurrect) without poisoning verdicts about
+// anyone else. The first cycle is delayed a full period so the cluster
+// has a quiet warm-up window.
+func Flap(node int, period sim.Duration, count int) *Script {
+	s := &Script{Seed: uint64(node)*1000003 + 1}
+	for k := 0; k < count; k++ {
+		down := sim.Time(0).Add(sim.Duration(k+1) * period)
+		s.Actions = append(s.Actions,
+			Action{At: down, Kind: NodeFail, Node: node},
+			Action{At: down.Add(period / 2), Kind: NodeRepair, Node: node})
+	}
+	return s
+}
+
 // GenConfig bounds the random script generator.
 type GenConfig struct {
 	// Horizon is the script length; all actions land inside it.

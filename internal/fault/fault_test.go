@@ -49,6 +49,30 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+func TestFlapScript(t *testing.T) {
+	period := 2 * sim.Millisecond
+	s := fault.Flap(3, period, 4)
+	if len(s.Actions) != 8 {
+		t.Fatalf("got %d actions, want 8", len(s.Actions))
+	}
+	for k := 0; k < 4; k++ {
+		down, up := s.Actions[2*k], s.Actions[2*k+1]
+		wantDown := sim.Time(0).Add(sim.Duration(k+1) * period)
+		if down.Kind != fault.NodeFail || down.Node != 3 || down.At != wantDown {
+			t.Fatalf("cycle %d fail action wrong: %+v", k, down)
+		}
+		if up.Kind != fault.NodeRepair || up.Node != 3 || up.At != wantDown.Add(period/2) {
+			t.Fatalf("cycle %d repair action wrong: %+v", k, up)
+		}
+	}
+	if s.MaxLoss() != 0 {
+		t.Fatalf("flap script opens loss windows: %v", s)
+	}
+	if !reflect.DeepEqual(s, fault.Flap(3, period, 4)) {
+		t.Fatal("Flap is not deterministic")
+	}
+}
+
 func TestApplyDrivesRing(t *testing.T) {
 	k := sim.NewKernel()
 	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet})

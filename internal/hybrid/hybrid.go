@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/liveness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -60,6 +61,12 @@ type Endpoint struct {
 	low, high xport.Endpoint // same rank on both substrates
 	cfg       Config
 
+	// live is the low substrate's membership view (liveness.Provider),
+	// nil when it runs no failure detector. Consulted on every routing
+	// decision so a suspect or dead ring peer is avoided proactively
+	// instead of after a send error (see Send).
+	live liveness.View
+
 	sendSeq []uint32 // per destination
 	nextSeq []uint32 // per source: next sequence to release
 	held    []map[uint32][]byte
@@ -72,12 +79,13 @@ type Endpoint struct {
 // hybInstruments are the router's metrics, keyed by its rank (nil =
 // disabled no-ops).
 type hybInstruments struct {
-	lowSends   *metrics.Counter // hybrid.low_sends
-	highSends  *metrics.Counter // hybrid.high_sends
-	failovers  *metrics.Counter // hybrid.failovers
-	subErrors  *metrics.Counter // hybrid.sub_errors
-	duplicates *metrics.Counter // hybrid.duplicates
-	heldDepth  *metrics.Gauge   // hybrid.reorder_depth
+	lowSends      *metrics.Counter // hybrid.low_sends
+	highSends     *metrics.Counter // hybrid.high_sends
+	failovers     *metrics.Counter // hybrid.failovers
+	proactiveFail *metrics.Counter // hybrid.proactive_failovers
+	subErrors     *metrics.Counter // hybrid.sub_errors
+	duplicates    *metrics.Counter // hybrid.duplicates
+	heldDepth     *metrics.Gauge   // hybrid.reorder_depth
 }
 
 // SetMetrics installs the router's instruments (nil disables). It does
@@ -89,12 +97,13 @@ func (e *Endpoint) SetMetrics(m *metrics.Registry) {
 		return
 	}
 	e.im = hybInstruments{
-		lowSends:   m.Counter("hybrid.low_sends", e.Rank()),
-		highSends:  m.Counter("hybrid.high_sends", e.Rank()),
-		failovers:  m.Counter("hybrid.failovers", e.Rank()),
-		subErrors:  m.Counter("hybrid.sub_errors", e.Rank()),
-		duplicates: m.Counter("hybrid.duplicates", e.Rank()),
-		heldDepth:  m.Gauge("hybrid.reorder_depth", e.Rank()),
+		lowSends:      m.Counter("hybrid.low_sends", e.Rank()),
+		highSends:     m.Counter("hybrid.high_sends", e.Rank()),
+		failovers:     m.Counter("hybrid.failovers", e.Rank()),
+		proactiveFail: m.Counter("hybrid.proactive_failovers", e.Rank()),
+		subErrors:     m.Counter("hybrid.sub_errors", e.Rank()),
+		duplicates:    m.Counter("hybrid.duplicates", e.Rank()),
+		heldDepth:     m.Gauge("hybrid.reorder_depth", e.Rank()),
 	}
 }
 
@@ -117,6 +126,10 @@ type Stats struct {
 	// the resequencer (a substrate's recovery layer retransmitting into
 	// a stream the router had already moved past).
 	Duplicates int64
+	// ProactiveFailovers counts sends steered onto the other substrate
+	// before any error, because the liveness view reported the
+	// destination suspect or dead on the size-preferred one.
+	ProactiveFailovers int64
 }
 
 // Stats returns a copy of the fault-tolerance counters.
@@ -145,7 +158,21 @@ func New(low, high xport.Endpoint, cfg Config) (*Endpoint, error) {
 	for i := range e.held {
 		e.held[i] = map[uint32][]byte{}
 	}
+	if lp, ok := low.(liveness.Provider); ok {
+		e.live = lp.Liveness()
+	}
 	return e, nil
+}
+
+// Liveness exposes the low substrate's membership view, so layers above
+// the router (MPI) inherit the ring's failure detector transparently
+// (liveness.Provider). Nil when the low substrate runs no detector.
+func (e *Endpoint) Liveness() liveness.View { return e.live }
+
+// alive reports whether the liveness view (if any) considers dst
+// healthy on the ring; without a view everyone is presumed healthy.
+func (e *Endpoint) alive(dst int) bool {
+	return e.live == nil || e.live.State(dst) == liveness.Alive
 }
 
 func maxInt(a, b int) int {
@@ -188,6 +215,19 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	binary.LittleEndian.PutUint32(msg, seq)
 	copy(msg[hdrBytes:], data)
 	sub := e.route(len(data))
+	proactive := false
+	if sub == e.low && !e.alive(dst) && len(msg) <= e.high.MaxMessage() {
+		// The ring's failure detector doubts dst (suspect or dead):
+		// steer the send onto the high-bandwidth substrate now rather
+		// than discover the problem through a send error or a
+		// billboard buffer pinned behind a missing ACK. A refuted
+		// suspicion costs one detour; an unheeded one costs a retry
+		// storm.
+		sub = e.high
+		proactive = true
+		e.stats.ProactiveFailovers++
+		e.im.proactiveFail.Inc()
+	}
 	via := "low"
 	if sub == e.low {
 		e.im.lowSends.Inc()
@@ -196,6 +236,9 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 		via = "high"
 	}
 	span := e.tracer.BeginSpan(p.Now(), trace.Hybrid, e.Rank(), "route", 0, e.tracer.Parent(), "dst=%d len=%d via=%s seq=%d", dst, len(data), via, seq)
+	if proactive {
+		e.tracer.EmitMsg(p.Now(), trace.Hybrid, e.Rank(), "proactive-failover", 0, span, "dst=%d state=%s", dst, e.live.State(dst))
+	}
 	e.tracer.PushParent(span)
 	err := sub.Send(p, dst, msg)
 	e.tracer.PopParent()
@@ -234,7 +277,14 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 // Mcast replicates one message to several destinations over the
 // low-latency substrate when it fits, else loops over Send.
 func (e *Endpoint) Mcast(p *sim.Proc, dsts []int, data []byte) error {
-	if len(data) <= e.cfg.Threshold && e.low.NativeMcast() {
+	allAlive := true
+	for _, d := range dsts {
+		if !e.alive(d) {
+			allAlive = false
+			break
+		}
+	}
+	if len(data) <= e.cfg.Threshold && e.low.NativeMcast() && allAlive {
 		// One posted buffer, but per-destination sequence numbers must
 		// still advance identically; BBP flags already fan out, so tag
 		// with each stream's sequence only if they agree — otherwise

@@ -1,0 +1,345 @@
+// Package liveness implements heartbeat-based cluster membership on top
+// of the BillBoard Protocol's replicated memory.
+//
+// Every node publishes a (beat, incarnation) word pair in a
+// single-writer heartbeat table that replicates like any other SCRAMNet
+// write — there is no new wire mechanism. Each node also runs a local
+// timeout-based failure Detector over its replica of the table: a peer
+// whose beat word stops advancing moves alive → suspect after
+// SuspectAfter and suspect → dead after ConfirmAfter, both measured
+// from the last observed progress. Because the table replicates to all
+// banks in one ring revolution, detectors converge without exchanging
+// verdicts.
+//
+// Incarnation numbers fence stale identities: a node that was declared
+// dead stays dead to its peers until it publishes a strictly higher
+// incarnation (which it does after noticing its own link went down),
+// at which point it rejoins as a fresh instance. Beats that arrive at a
+// dead peer's old incarnation are counted but ignored — the old
+// identity cannot be resurrected.
+//
+// The package is transport-agnostic: internal/core owns the heartbeat
+// table layout and the publish/scan daemon and feeds samples into a
+// Detector; hybrid and MPI layers consume the resulting View through
+// the Provider interface.
+package liveness
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// State is a detector's verdict about one peer.
+type State uint8
+
+const (
+	// Alive: the peer's beat advanced within SuspectAfter.
+	Alive State = iota
+	// Suspect: no progress for SuspectAfter; the peer may be dead, or
+	// the ring may be losing its beats. Consumers should prepare to
+	// fail over but must not reclaim the peer's resources yet.
+	Suspect
+	// Dead: no progress for ConfirmAfter; the peer's identity is
+	// fenced. Only a higher incarnation revives it.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Config calibrates the heartbeat publisher and failure detector.
+type Config struct {
+	// Enabled turns the subsystem on. The zero Config disables it and
+	// leaves the control-partition layout unchanged.
+	Enabled bool
+
+	// Period is the heartbeat publish/scan interval.
+	Period sim.Duration
+
+	// SuspectAfter is how long a peer's beat may stall before the
+	// detector moves it alive → suspect. Measured from the last
+	// observed beat advance, so it must comfortably exceed Period plus
+	// one ring revolution.
+	SuspectAfter sim.Duration
+
+	// ConfirmAfter is how long a stall lasts before suspect → dead.
+	// Measured from the last observed beat advance (not from the
+	// suspicion), so ConfirmAfter > SuspectAfter. This bounds how long
+	// any layer waits on a dead peer; it replaces the retry daemon's
+	// MaxRetries × Timeout death discovery.
+	ConfirmAfter sim.Duration
+}
+
+// DefaultConfig returns a calibration that tolerates the fault
+// battery's loss windows: confirming death requires ConfirmAfter/Period
+// = 25 consecutive lost heartbeat packets, so a loss window at rate r
+// produces a false death with probability ~r^25 (≈ 3e-6 even at
+// r = 0.6) while a real death is confirmed within 2.5 ms — twenty times
+// faster than the retry daemon's 8 × 200 µs-doubling backoff budget.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:      true,
+		Period:       100 * sim.Microsecond,
+		SuspectAfter: 500 * sim.Microsecond,
+		ConfirmAfter: 2500 * sim.Microsecond,
+	}
+}
+
+// Validate checks the window ordering Period < SuspectAfter <
+// ConfirmAfter that the detector state machine assumes.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("liveness: Period %v must be positive", c.Period)
+	}
+	if c.SuspectAfter < c.Period {
+		return fmt.Errorf("liveness: SuspectAfter %v < Period %v", c.SuspectAfter, c.Period)
+	}
+	if c.ConfirmAfter <= c.SuspectAfter {
+		return fmt.Errorf("liveness: ConfirmAfter %v must exceed SuspectAfter %v", c.ConfirmAfter, c.SuspectAfter)
+	}
+	return nil
+}
+
+// View is a read-only membership view, safe to consult on every send.
+// Implementations are local state machines: State costs no virtual
+// time and never blocks.
+type View interface {
+	// State returns the current verdict about node (Alive for self).
+	State(node int) State
+	// Incarnation returns the newest incarnation observed for node.
+	Incarnation(node int) uint32
+}
+
+// Provider is implemented by transports that run a failure detector
+// (core.Endpoint; the hybrid router delegates to its low side). Layers
+// above discover liveness by asserting their endpoint to Provider.
+// Liveness returns nil when the subsystem is disabled.
+type Provider interface {
+	Liveness() View
+}
+
+// Stats counts detector transitions since creation.
+type Stats struct {
+	Beats       int64 // heartbeats published by the local node
+	Suspects    int64 // alive → suspect transitions
+	Refutes     int64 // suspect → alive (a late beat refuted the suspicion)
+	Confirms    int64 // suspect → dead transitions
+	Rejoins     int64 // dead → alive via a fresh incarnation
+	FencedBeats int64 // beat advances ignored at a dead peer's stale incarnation
+	SelfRejoins int64 // local incarnation bumps after a link-down epoch
+}
+
+// Detector is one node's failure detector over the replicated heartbeat
+// table. The owning transport feeds it samples (Observe) and clock
+// ticks (Tick); everything else reads it through View.
+type Detector struct {
+	me  int
+	n   int
+	cfg Config
+
+	state      []State
+	inc        []uint32
+	beat       []uint32
+	lastFresh  []sim.Time     // last time the peer's beat/incarnation advanced
+	suspectSpn []trace.SpanID // open suspect span per peer
+
+	stats  Stats
+	tracer *trace.Recorder
+	im     struct {
+		suspects, refutes, confirms, rejoins, fenced *metrics.Counter
+		deadPeers                                    *metrics.Gauge
+	}
+}
+
+// NewDetector returns a detector for `me` in an n-node cluster, with
+// every peer initially Alive as of virtual time now. tracer and reg may
+// be nil.
+func NewDetector(me, n int, cfg Config, now sim.Time, tracer *trace.Recorder, reg *metrics.Registry) *Detector {
+	d := &Detector{
+		me:         me,
+		n:          n,
+		cfg:        cfg,
+		state:      make([]State, n),
+		inc:        make([]uint32, n),
+		beat:       make([]uint32, n),
+		lastFresh:  make([]sim.Time, n),
+		suspectSpn: make([]trace.SpanID, n),
+		tracer:     tracer,
+	}
+	for i := range d.lastFresh {
+		d.lastFresh[i] = now
+	}
+	d.im.suspects = reg.Counter("liveness.suspects", me)
+	d.im.refutes = reg.Counter("liveness.refutes", me)
+	d.im.confirms = reg.Counter("liveness.confirms_dead", me)
+	d.im.rejoins = reg.Counter("liveness.rejoins", me)
+	d.im.fenced = reg.Counter("liveness.fenced_beats", me)
+	d.im.deadPeers = reg.Gauge("liveness.dead_peers", me)
+	return d
+}
+
+// State implements View.
+func (d *Detector) State(node int) State {
+	if node == d.me {
+		return Alive
+	}
+	return d.state[node]
+}
+
+// Incarnation implements View.
+func (d *Detector) Incarnation(node int) uint32 { return d.inc[node] }
+
+// Stats returns transition counts. The owning transport adds Beats and
+// SelfRejoins, which the detector itself cannot see.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// AddBeat is called by the owning publisher so Stats covers both halves
+// of the subsystem.
+func (d *Detector) AddBeat() { d.stats.Beats++ }
+
+// AddSelfRejoin records a local incarnation bump.
+func (d *Detector) AddSelfRejoin() { d.stats.SelfRejoins++ }
+
+// incLess compares incarnations with wraparound, like ACK sequence
+// numbers: a is older than b if the signed distance is negative.
+func incLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// Observe feeds one sample of peer `node`'s heartbeat pair, read from
+// the local replica of the table at virtual time now.
+func (d *Detector) Observe(now sim.Time, node int, beat, inc uint32) {
+	if node == d.me || node < 0 || node >= d.n {
+		return
+	}
+	switch {
+	case incLess(d.inc[node], inc):
+		// A strictly newer incarnation always wins: the peer restarted
+		// (or healed from a partition) and rejoined as a fresh identity.
+		was := d.state[node]
+		d.closeSuspect(now, node, "superseded")
+		d.state[node] = Alive
+		d.inc[node] = inc
+		d.beat[node] = beat
+		d.lastFresh[node] = now
+		if was == Dead {
+			d.stats.Rejoins++
+			d.im.rejoins.Inc()
+			d.im.deadPeers.Set(d.deadCount())
+			d.tracer.Emitf(now, trace.Live, d.me, "rejoin", "node=%d inc=%d", node, inc)
+		}
+	case inc == d.inc[node]:
+		if beat == d.beat[node] {
+			return // no progress; Tick handles timeouts
+		}
+		d.beat[node] = beat
+		if d.state[node] == Dead {
+			// Fencing: the dead identity keeps beating (e.g. its stale
+			// state replicated after a repair, before it noticed the
+			// outage) but cannot come back without a new incarnation.
+			d.stats.FencedBeats++
+			d.im.fenced.Inc()
+			d.tracer.Emitf(now, trace.Live, d.me, "fence", "node=%d inc=%d beat=%d", node, inc, beat)
+			return
+		}
+		d.lastFresh[node] = now
+		if d.state[node] == Suspect {
+			d.stats.Refutes++
+			d.im.refutes.Inc()
+			d.closeSuspect(now, node, "refuted")
+			d.state[node] = Alive
+		}
+	default:
+		// A sample older than what we already saw: a stale replica
+		// racing a rejoin. Ignore it entirely.
+	}
+}
+
+// Tick advances timeout-based transitions at virtual time now. The
+// owner calls it once per heartbeat period, after the Observe pass.
+func (d *Detector) Tick(now sim.Time) {
+	for node := 0; node < d.n; node++ {
+		if node == d.me {
+			continue
+		}
+		stall := now.Sub(d.lastFresh[node])
+		switch d.state[node] {
+		case Alive:
+			if stall >= d.cfg.SuspectAfter {
+				d.state[node] = Suspect
+				d.stats.Suspects++
+				d.im.suspects.Inc()
+				d.suspectSpn[node] = d.tracer.BeginSpan(now, trace.Live, d.me, "suspect", 0, d.tracer.Parent(),
+					"node=%d inc=%d stall=%v", node, d.inc[node], stall)
+			}
+		case Suspect:
+			if stall >= d.cfg.ConfirmAfter {
+				d.state[node] = Dead
+				d.stats.Confirms++
+				d.im.confirms.Inc()
+				d.im.deadPeers.Set(d.deadCount())
+				d.closeSuspect(now, node, "confirmed-dead")
+				d.tracer.Emitf(now, trace.Live, d.me, "dead", "node=%d inc=%d stall=%v", node, d.inc[node], stall)
+			}
+		}
+	}
+}
+
+// Reset forgets every verdict and restarts all stall clocks at now. The
+// owner calls it when the local node bumps its own incarnation after a
+// link outage: verdicts formed while partitioned observed a frozen
+// replica and are meaningless.
+func (d *Detector) Reset(now sim.Time) {
+	for node := 0; node < d.n; node++ {
+		d.closeSuspect(now, node, "reset")
+		d.state[node] = Alive
+		d.lastFresh[node] = now
+	}
+	d.im.deadPeers.Set(0)
+}
+
+func (d *Detector) closeSuspect(now sim.Time, node int, why string) {
+	if d.suspectSpn[node] != 0 {
+		d.tracer.EndSpan(now, trace.Live, d.me, "suspect-end", d.suspectSpn[node], 0, "node=%d %s", node, why)
+		d.suspectSpn[node] = 0
+	}
+}
+
+func (d *Detector) deadCount() int64 {
+	var n int64
+	for _, s := range d.state {
+		if s == Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// DeadIn returns the lowest-numbered member of group (node ids) that is
+// confirmed Dead, or -1 when all are Alive or merely Suspect. Nil-safe
+// on a nil *Detector.
+func (d *Detector) DeadIn(group []int) int {
+	if d == nil {
+		return -1
+	}
+	for _, node := range group {
+		if node != d.me && node >= 0 && node < d.n && d.state[node] == Dead {
+			return node
+		}
+	}
+	return -1
+}

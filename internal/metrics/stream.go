@@ -50,14 +50,17 @@ func (s *Stream) capture() {
 }
 
 func (s *Stream) arm() {
-	s.timer = s.k.After(s.every, func() {
+	// Observer scheduling keeps this tick out of Pending, so the stream
+	// and any other periodic observer (e.g. a liveness ticker) cannot
+	// keep each other alive after the workload drains.
+	s.timer = s.k.AfterObserver(s.every, func() {
 		if s.stopped {
 			return
 		}
 		s.capture()
-		// Our own tick has been popped already, so any remaining event
-		// belongs to the workload; with none left the run is over and
-		// rearming would only keep the kernel spinning forever.
+		// Our own tick has been popped already, so any remaining
+		// non-observer event belongs to the workload; with none left the
+		// run is over and rearming would only keep the kernel spinning.
 		if s.k.Pending() > 0 {
 			s.arm()
 		}

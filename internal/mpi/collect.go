@@ -24,8 +24,12 @@ func collHdr(op byte, seq uint16) []byte {
 // recvColl receives the next multicast fast-path message with the given
 // op and sequence from srcWorld, steering any interleaved point-to-point
 // envelopes through the normal engine path. Returns the payload length
-// copied into out.
-func (e *Engine) recvColl(p *sim.Proc, srcWorld int, op byte, seq uint16, out []byte) int {
+// copied into out. group is the collective's world-rank membership:
+// with a liveness view, the wait is abandoned with a DeadPeerError as
+// soon as any member is confirmed dead (a collective with a dead
+// participant can never complete), which bounds a mid-collective node
+// death by the detector's confirmation window.
+func (e *Engine) recvColl(p *sim.Proc, srcWorld int, group []int, op byte, seq uint16, out []byte) (int, error) {
 	accept := func(msg []byte) int {
 		gotOp := msg[1]
 		gotSeq := uint16(msg[2]) | uint16(msg[3])<<8
@@ -42,18 +46,48 @@ func (e *Engine) recvColl(p *sim.Proc, srcWorld int, op byte, seq uint16, out []
 	if q := e.collQ[srcWorld]; len(q) > 0 {
 		msg := q[0]
 		e.collQ[srcWorld] = q[1:]
-		return accept(msg)
+		return accept(msg), nil
+	}
+	if e.live == nil {
+		// No detector: the transport's own blocking receive (and its
+		// RecvTimeout) is the only bound, exactly as before.
+		for {
+			n, err := e.ep.Recv(p, srcWorld, e.scratch)
+			if err != nil {
+				panic(fmt.Sprintf("mpi: collective recv from %d: %v", srcWorld, err))
+			}
+			if n >= collHdrBytes && e.scratch[0] == collMagic {
+				return accept(e.scratch[:n]), nil
+			}
+			// A point-to-point envelope overtook the collective on this
+			// stream: process it and keep waiting.
+			e.handleRaw(p, srcWorld, append([]byte(nil), e.scratch[:n]...))
+		}
+	}
+	// Liveness-aware wait: poll the stream one probe at a time (the same
+	// per-iteration poll costs the blocking receive pays internally) so
+	// the membership view is consulted between probes.
+	deadline := sim.Time(-1)
+	if e.cfg.WaitTimeout > 0 {
+		deadline = p.Now().Add(e.cfg.WaitTimeout)
 	}
 	for {
-		n, err := e.ep.Recv(p, srcWorld, e.scratch)
+		if w := e.deadIn(group); w >= 0 {
+			return 0, &DeadPeerError{Rank: w}
+		}
+		n, ok, err := e.ep.TryRecv(p, srcWorld, e.scratch)
 		if err != nil {
 			panic(fmt.Sprintf("mpi: collective recv from %d: %v", srcWorld, err))
 		}
-		if n >= collHdrBytes && e.scratch[0] == collMagic {
-			return accept(e.scratch[:n])
+		if !ok {
+			if deadline >= 0 && p.Now() > deadline {
+				return 0, ErrTimeout
+			}
+			continue
 		}
-		// A point-to-point envelope overtook the collective on this
-		// stream: process it and keep waiting.
+		if n >= collHdrBytes && e.scratch[0] == collMagic {
+			return accept(e.scratch[:n]), nil
+		}
 		e.handleRaw(p, srcWorld, append([]byte(nil), e.scratch[:n]...))
 	}
 }
@@ -113,7 +147,10 @@ func (c *Comm) BcastMcast(p *sim.Proc, root int, buf []byte) error {
 	rootWorld := c.group[root]
 	off := 0
 	for i := 0; i < nchunks; i++ {
-		n := e.recvColl(p, rootWorld, opBcast, seq, buf[off:])
+		n, err := e.recvColl(p, rootWorld, c.group, opBcast, seq, buf[off:])
+		if err != nil {
+			return err
+		}
 		off += n
 	}
 	if off != len(buf) {
@@ -178,15 +215,17 @@ func (c *Comm) BarrierMcast(p *sim.Proc) error {
 	p.Delay(e.cfg.Costs.CollOverhead)
 	if c.rank == 0 {
 		for r := 1; r < c.Size(); r++ {
-			e.recvColl(p, c.group[r], opBarrierArrive, seq, nil)
+			if _, err := e.recvColl(p, c.group[r], c.group, opBarrierArrive, seq, nil); err != nil {
+				return err
+			}
 		}
 		return e.ep.Mcast(p, c.othersWorld(0), collHdr(opBarrierRelease, seq))
 	}
 	if err := e.ep.Send(p, c.group[0], collHdr(opBarrierArrive, seq)); err != nil {
 		return err
 	}
-	e.recvColl(p, c.group[0], opBarrierRelease, seq, nil)
-	return nil
+	_, err := e.recvColl(p, c.group[0], c.group, opBarrierRelease, seq, nil)
+	return err
 }
 
 // BarrierTree is the point-to-point barrier: binomial gather of arrival

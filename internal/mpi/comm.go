@@ -127,6 +127,12 @@ func (c *Comm) isend(p *sim.Proc, dst, tag int, data []byte) (*Request, error) {
 	e := c.eng
 	p.Delay(e.cfg.Costs.SendOverhead)
 	world := c.group[dst]
+	if e.peerDead(world) {
+		// Fail before committing billboard buffers to a receiver the
+		// detector already confirmed dead; a false verdict cannot reach
+		// here (the confirmation window is calibrated against it).
+		return nil, &DeadPeerError{Rank: world}
+	}
 	req := &Request{eng: e, isSend: true, ctx: c.ctx, tag: tag, dst: world, comm: c}
 	if len(data) <= e.cfg.EagerMax {
 		// The eager span covers envelope + chunks; the BBP posts they

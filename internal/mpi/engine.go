@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/liveness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -26,6 +27,13 @@ type Engine struct {
 	// the general progress loop before the collective call consumed
 	// them (a rank running ahead into its next collective).
 	collQ [][][]byte
+
+	// live is the transport's membership view when it runs a failure
+	// detector (liveness.Provider); nil otherwise. Blocking paths
+	// consult it so a dead peer produces a DeadPeerError within the
+	// detector's confirmation window instead of a hang or an
+	// ErrTimeout-after-5s.
+	live liveness.View
 
 	scratch []byte
 	stats   EngineStats
@@ -103,6 +111,9 @@ func newEngine(ep xport.Endpoint, cfg Config) *Engine {
 	}
 	if cfg.ChunkSize <= 0 {
 		panic("mpi: ChunkSize must be positive")
+	}
+	if lp, ok := ep.(liveness.Provider); ok {
+		e.live = lp.Liveness()
 	}
 	return e
 }
@@ -360,8 +371,62 @@ func (e *Engine) commRank(ctx uint32, world int) int {
 	return c.rankOfWorld(world)
 }
 
+// peerDead reports whether the failure detector (if any) has confirmed
+// world rank `world` dead.
+func (e *Engine) peerDead(world int) bool {
+	return e.live != nil && world >= 0 && world != e.ep.Rank() && e.live.State(world) == liveness.Dead
+}
+
+// deadIn returns the first world rank in group confirmed dead, or -1.
+func (e *Engine) deadIn(group []int) int {
+	if e.live == nil {
+		return -1
+	}
+	for _, w := range group {
+		if e.peerDead(w) {
+			return w
+		}
+	}
+	return -1
+}
+
+// checkDead decides whether req can still complete under the current
+// membership view. A send or a specific-source user receive depends on
+// exactly one peer; an AnySource receive or an internal-tag (collective
+// tree) operation is abandoned when any group member dies, because the
+// collective as a whole can never complete — failing fast here is what
+// turns a would-be distributed hang into an error on every survivor.
+func (e *Engine) checkDead(req *Request) error {
+	if e.live == nil {
+		return nil
+	}
+	if req.isSend {
+		if e.peerDead(req.dst) {
+			return &DeadPeerError{Rank: req.dst}
+		}
+		return nil
+	}
+	c := req.comm
+	if c == nil {
+		return nil
+	}
+	if req.src != AnySource && req.tag >= 0 {
+		if w := c.group[req.src]; e.peerDead(w) {
+			return &DeadPeerError{Rank: w}
+		}
+		return nil
+	}
+	if w := e.deadIn(c.group); w >= 0 {
+		return &DeadPeerError{Rank: w}
+	}
+	return nil
+}
+
 // wait progresses until req completes or the wait timeout expires (a
-// guard against protocol bugs spinning the simulation forever).
+// guard against protocol bugs spinning the simulation forever). With a
+// liveness view, waiting on a confirmed-dead peer fails in bounded time
+// instead; anything already delivered completes first (progress runs
+// before the verdict check).
 func (e *Engine) wait(p *sim.Proc, req *Request) (Status, error) {
 	deadline := sim.Time(-1)
 	if e.cfg.WaitTimeout > 0 {
@@ -369,6 +434,12 @@ func (e *Engine) wait(p *sim.Proc, req *Request) (Status, error) {
 	}
 	for !req.done {
 		e.progressOnce(p)
+		if req.done {
+			break
+		}
+		if err := e.checkDead(req); err != nil {
+			return Status{}, err
+		}
 		if deadline >= 0 && p.Now() > deadline {
 			return Status{}, ErrTimeout
 		}

@@ -66,6 +66,21 @@ var (
 	ErrTimeout   = errors.New("mpi: wait timed out")
 )
 
+// DeadPeerError reports that a blocking operation was abandoned because
+// the transport's failure detector confirmed a required peer dead. It
+// is returned within the detector's confirmation window — bounded by
+// liveness.Config, not by retry budgets or WaitTimeout — by sends and
+// waits naming the peer, and by collectives when any group member dies
+// (the operation can never complete once a participant is gone).
+// Errors from a transport without liveness still surface as ErrTimeout.
+type DeadPeerError struct {
+	Rank int // world rank of the dead peer
+}
+
+func (e *DeadPeerError) Error() string {
+	return fmt.Sprintf("mpi: peer (world rank %d) confirmed dead by the failure detector", e.Rank)
+}
+
 // Status describes a completed receive.
 type Status struct {
 	Source int // communicator rank of the sender

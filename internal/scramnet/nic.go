@@ -87,6 +87,12 @@ func (nic *NIC) ID() int { return nic.id }
 // Bus returns the host I/O bus the card is attached to.
 func (nic *NIC) Bus() *pci.Bus { return nic.bus }
 
+// LinkUp reports whether the card sees carrier on its ring receiver. A
+// bypassed (failed) card loses carrier; the host can sample this status
+// register to notice it was partitioned from the ring and rejoin with a
+// fresh identity once the bypass is removed.
+func (nic *NIC) LinkUp() bool { return !nic.failed }
+
 // NetworkConfig returns the configuration of the ring this card sits
 // on (used by layers that need propagation bounds, e.g. scrsync).
 func (nic *NIC) NetworkConfig() Config { return nic.net.cfg }

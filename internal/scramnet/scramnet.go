@@ -325,6 +325,15 @@ func (n *Network) inject(pkt *packet) {
 	src.link.Serve(wire, func() {
 		src.txBacklog -= len(pkt.data)
 		src.txDrain.Broadcast()
+		if src.failed {
+			// The origin was optically bypassed: its transmitter drives
+			// the bypass loop, not the ring, so the packet reaches no
+			// other node. The local bank already holds the write; only
+			// replication is lost.
+			src.stats.PacketsLost++
+			n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "bypassed")
+			return
+		}
 		if n.cfg.DropRate > 0 && n.faults.Float64() < n.cfg.DropRate {
 			// Corrupted in flight: the next hop's CRC check discards it.
 			src.stats.PacketsLost++

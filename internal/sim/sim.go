@@ -67,6 +67,10 @@ type event struct {
 	fn  func()
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
+	// observer events (periodic monitors: metrics streams, heartbeat
+	// tickers) are invisible to Pending, so several observers never keep
+	// each other — or a finished simulation — alive.
+	observer bool
 }
 
 type eventHeap []*event
@@ -143,6 +147,24 @@ func (k *Kernel) After(d Duration, fn func()) *Timer {
 	return k.At(k.now.Add(d), fn)
 }
 
+// AtObserver schedules fn like At but marks the event as an observer
+// event: it fires normally yet is not counted by Pending. Periodic
+// monitors (metrics streams, liveness tickers) schedule themselves this
+// way so that each can use "Pending() == 0" to mean "only observers
+// remain — the workload is done", even when several observers coexist.
+func (k *Kernel) AtObserver(t Time, fn func()) *Timer {
+	tm := k.At(t, fn)
+	tm.ev.observer = true
+	return tm
+}
+
+// AfterObserver schedules fn like After, as an observer event.
+func (k *Kernel) AfterObserver(d Duration, fn func()) *Timer {
+	tm := k.After(d, fn)
+	tm.ev.observer = true
+	return tm
+}
+
 // step executes the next pending event. It reports false when no events
 // remain.
 func (k *Kernel) step() bool {
@@ -208,15 +230,17 @@ func (k *Kernel) peek() *event {
 	return nil
 }
 
-// Pending counts scheduled, non-canceled events still in the heap. A
-// periodic observer (e.g. a metrics snapshot stream) uses it to decide
-// whether rescheduling itself would keep an otherwise-finished
-// simulation alive: when Pending is zero inside a timer callback, every
-// remaining event belongs to the observer itself.
+// Pending counts scheduled, non-canceled, non-observer events still in
+// the heap. A periodic observer (e.g. a metrics snapshot stream or a
+// heartbeat ticker) uses it to decide whether rescheduling itself would
+// keep an otherwise-finished simulation alive: when Pending is zero
+// inside a timer callback, every remaining event belongs to observers,
+// which all terminate themselves by the same test. Observers must
+// schedule with AtObserver/AfterObserver for this to hold.
 func (k *Kernel) Pending() int {
 	n := 0
 	for _, ev := range k.events {
-		if !ev.canceled {
+		if !ev.canceled && !ev.observer {
 			n++
 		}
 	}

@@ -410,6 +410,60 @@ func TestDurationString(t *testing.T) {
 	}
 }
 
+func TestObserverEventsExcludedFromPending(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	// Two periodic observers, each rearming only while real work remains:
+	// because observer events never count in Pending, neither keeps the
+	// other alive, and both stop after the last real event drains.
+	var tickA, tickB func()
+	tickA = func() {
+		fired++
+		if k.Pending() > 0 {
+			k.AfterObserver(3, tickA)
+		}
+	}
+	tickB = func() {
+		fired++
+		if k.Pending() > 0 {
+			k.AfterObserver(5, tickB)
+		}
+	}
+	k.AfterObserver(3, tickA)
+	k.AfterObserver(5, tickB)
+	if k.Pending() != 0 {
+		t.Fatalf("observer events counted in Pending: %d", k.Pending())
+	}
+	k.At(20, func() {})
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("observer ticks never fired")
+	}
+	// Both tickers must have self-terminated: a second Run finds nothing.
+	if k.Pending() != 0 {
+		t.Fatalf("observers left pending work: %d", k.Pending())
+	}
+}
+
+func TestObserverTimerStop(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.AtObserver(10, func() { fired = true })
+	k.At(20, func() {})
+	tm.Stop()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped observer timer fired")
+	}
+}
+
 func TestDaemonNotADeadlock(t *testing.T) {
 	k := NewKernel()
 	q := NewQueue[int](k)

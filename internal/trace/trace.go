@@ -37,6 +37,7 @@ const (
 	MPI    Category = "mpi"   // MPICH layers above the channel device
 	Hybrid Category = "hyb"   // hybrid router decisions
 	Fault  Category = "fault" // injected fault-script actions
+	Live   Category = "live"  // liveness detector verdicts (suspect/dead/rejoin)
 )
 
 // SpanID identifies one span within a recorder; 0 means "no span".
