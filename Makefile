@@ -3,8 +3,9 @@
 # tier-1 (`make test`) is the fast gate every change must keep green:
 # a full build plus the unit/integration suite in virtual time.
 #
-# `make verify` is the release tier: vet, the full suite, and the same
-# suite under the Go race detector. The simulation kernel hands a
+# `make verify` is the release tier: vet, the full suite, the same
+# suite under the Go race detector, and the internal/mpi coverage
+# floor. The simulation kernel hands a
 # single execution token between cooperative Procs, so simulated code
 # is race-clean by construction — the race run exists to prove that
 # claim stays true (kernel internals, test goroutines, and any future
@@ -14,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover verify figures bench timeline soak clean
+.PHONY: all build test race vet cover covercheck verify figures bench timeline soak clean
 
 all: build
 
@@ -36,8 +37,26 @@ cover:
 	$(GO) tool cover -html=cover.out -o cover.html
 	@echo "wrote cover.html"
 
-verify: vet test race timeline soak
-	@echo "verify tier green: vet + test + race + timeline + soak"
+# Per-package coverage floor for the protocol engine: the rendezvous
+# conformance/fault/edge batteries (ISSUE 6) hold internal/mpi at 85%+
+# statement coverage; the floor sits a few points below so ordinary
+# refactors pass while a PR that lands uncovered protocol paths fails
+# loudly here instead of rotting silently.
+MPI_COVER_FLOOR := 80.0
+
+covercheck: build
+	@$(GO) test -coverprofile=.cover.mpi.out ./internal/mpi > /dev/null
+	@pct=$$($(GO) tool cover -func=.cover.mpi.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.mpi.out; \
+	if awk "BEGIN {exit !($$pct >= $(MPI_COVER_FLOOR))}"; then \
+		echo "covercheck green: internal/mpi statement coverage $$pct% (floor $(MPI_COVER_FLOOR)%)"; \
+	else \
+		echo "internal/mpi statement coverage $$pct% fell below the $(MPI_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi
+
+verify: vet test race covercheck timeline soak
+	@echo "verify tier green: vet + test + race + covercheck + timeline + soak"
 
 # Robustness soak tier: the multi-seed fault + liveness battery under
 # the race detector. Each seed generates a script mixing loss windows
@@ -78,13 +97,15 @@ figures:
 # `$(GO) run ./cmd/figures -json BENCH_figures.json` so it lands in
 # review alongside the change that caused it.
 #
-# The run itself also enforces the E9 poll-aggregation gate before
-# writing anything: cmd/figures -json exits 1 unless burst-read polling
-# cuts the 16-node 0-byte incast sink's full-round-trip poll reads by
-# at least report.MinPollReductionPct (60%) versus per-word polling and
-# the adaptive threshold converges on the 20 B E7 crossover — so a
-# regression in either cannot silently regenerate itself into a new
-# baseline.
+# The run itself also enforces the regression gates before writing
+# anything: cmd/figures -json exits 1 unless burst-read polling cuts
+# the 16-node 0-byte incast sink's full-round-trip poll reads by at
+# least report.MinPollReductionPct (60%) versus per-word polling, the
+# adaptive threshold converges on the 20 B E7 crossover, the E10
+# failover delays stay inside the detector's windows, and the E11
+# windowed pipelined rendezvous beats the sequential path at 64 KiB by
+# at least report.MinRndvImprovementPct — so a regression in any of
+# them cannot silently regenerate itself into a new baseline.
 bench: build
 	$(GO) run ./cmd/figures -json .bench.tmp.json
 	@if diff -u BENCH_figures.json .bench.tmp.json; then \

@@ -19,12 +19,12 @@ func TestReportByteStable(t *testing.T) {
 	}
 }
 
-// TestReportSchemaAndShape pins the document structure a schema-3
+// TestReportSchemaAndShape pins the document structure a schema-4
 // consumer relies on.
 func TestReportSchemaAndShape(t *testing.T) {
 	r := Run(ReducedOptions())
-	if r.Schema != 3 {
-		t.Fatalf("schema = %d, want 3", r.Schema)
+	if r.Schema != 4 {
+		t.Fatalf("schema = %d, want 4", r.Schema)
 	}
 	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
 	if len(r.Figures) != len(wantFigs) {
@@ -112,6 +112,7 @@ func TestPollAggregationGate(t *testing.T) {
 		PollAggregation:      pollAggregation(),
 		AdaptiveRecvDMABytes: adaptiveConverged(),
 		FailoverLatency:      failoverLatency(), // Check gates the whole report
+		RndvPipeline:         rndvPipeline(),
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
@@ -133,13 +134,37 @@ func TestPollAggregationGate(t *testing.T) {
 // ~51 ms retry-exhaustion path the failure detector replaces.
 func TestFailoverLatencyGate(t *testing.T) {
 	f := failoverLatency()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline()}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
 	if f.MPIErrorUs <= f.HybridRerouteUs {
 		t.Errorf("MPI error (%v µs, confirmation-bound) should be slower than the hybrid reroute (%v µs, suspicion-bound)",
 			f.MPIErrorUs, f.HybridRerouteUs)
+	}
+}
+
+// TestRndvPipelineGate runs the E11 measurement and enforces the
+// `make bench` gate in-tree: the receiver-posted-window pipelined
+// rendezvous must beat the sequential path at the 64 KiB panel point
+// by at least MinRndvImprovementPct. The ring wire bounds both paths,
+// so the improvement must also stay below the sequential path's
+// non-wire share — a larger number would mean the windowed path
+// stopped paying for the wire at all, i.e. the model broke.
+func TestRndvPipelineGate(t *testing.T) {
+	z := rndvPipeline()
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if z.PipelinedUs >= z.SequentialUs {
+		t.Errorf("windowed path (%v µs) not faster than sequential (%v µs)", z.PipelinedUs, z.SequentialUs)
+	}
+	// 64 KiB at 615 ns per 4-byte ring packet is ~10.1 ms of wire that
+	// no protocol can remove.
+	wireUs := float64(z.Bytes/4) * 0.615
+	if z.PipelinedUs < wireUs {
+		t.Errorf("pipelined latency %v µs beat the %v µs wire bound — model broken", z.PipelinedUs, wireUs)
 	}
 }
 

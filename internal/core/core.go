@@ -47,12 +47,17 @@ import (
 const MaxProcs = 32
 
 // descWords is the portion of a descriptor actually transferred:
-// offset, length, sequence. The fourth word is reserved in the base
-// protocol; the retry extension uses it for an integrity checksum.
+// offset, length, sequence. The base protocol needs nothing more —
+// its per-receiver MESSAGE flag words carry the addressing. The retry
+// extension adds the destination mask and an integrity checksum over
+// all of it: its receivers detect by scanning every descriptor of a
+// sender (the flag word is just a post counter), so without the mask a
+// scan could adopt a slot addressed to a different receiver whose
+// sequence happens to fit this receiver's delivery window.
 const (
 	descWords      = 3
-	descWordsRetry = 4
-	descSize       = 16
+	descWordsRetry = 5
+	descSize       = 20
 )
 
 // Costs are the software-path CPU costs charged by the protocol,
@@ -470,12 +475,12 @@ func (s *System) Attach(rank int) (*Endpoint, error) {
 
 // Stats counts protocol-level activity on one endpoint.
 type Stats struct {
-	Sent         int64
-	McastSent    int64
-	Received     int64
-	BytesSent    int64
-	BytesRecv    int64
-	Polls        int64
+	Sent      int64
+	McastSent int64
+	Received  int64
+	BytesSent int64
+	BytesRecv int64
+	Polls     int64
 	// PollWords counts flag/floor words fetched while polling, whatever
 	// the transaction shape; BurstPolls/BurstPollWords count the subset
 	// moved by wide reads (so per-word full-round-trip poll reads are

@@ -173,9 +173,11 @@ type message struct {
 	slot   int
 	off, n int
 	seq    uint32
-	// Retry-extension fields: the descriptor checksum, and the slot's
-	// previous sequence floor so a checksum-failed detection can be
-	// rolled back for a fresh descriptor read (see consume).
+	// Retry-extension fields: the destination mask and descriptor
+	// checksum, and the slot's previous sequence floor so a
+	// checksum-failed detection can be rolled back for a fresh
+	// descriptor read (see consume).
+	dests     uint32
 	ck        uint32
 	prevFloor uint32
 }
@@ -274,7 +276,8 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 	putWord(desc[8:], e.sendSeq)
 	dw := descWords
 	if cfg.Retry.Enabled {
-		putWord(desc[12:], descCheck(off, len(data), e.sendSeq, data))
+		putWord(desc[12:], dests)
+		putWord(desc[16:], descCheck(off, len(data), e.sendSeq, dests, data))
 		dw = descWordsRetry
 	}
 	e.nic.Write(p, lay.desc(e.me, slot), desc[:dw*4])

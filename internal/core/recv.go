@@ -194,14 +194,23 @@ scan:
 	for b := 0; b < cfg.Buffers; b++ {
 		d := descs[descSize*b:]
 		m := message{
-			slot: b,
-			off:  int(getWord(d[0:])),
-			n:    int(getWord(d[4:])),
-			seq:  getWord(d[8:]),
-			ck:   getWord(d[12:]),
+			slot:  b,
+			off:   int(getWord(d[0:])),
+			n:     int(getWord(d[4:])),
+			seq:   getWord(d[8:]),
+			dests: getWord(d[12:]),
+			ck:    getWord(d[16:]),
 		}
 		if m.ck == 0 {
 			continue // never written
+		}
+		if m.dests&(1<<uint(e.me)) == 0 {
+			// Addressed elsewhere (or the mask is torn — then no ACK
+			// reaches the sender and its retransmission repairs the
+			// descriptor and re-bumps our post counter). Skipping
+			// before any floor bookkeeping keeps this slot's history
+			// entirely the business of its real receivers.
+			continue
 		}
 		for _, q := range e.pending[s] {
 			if q.seq == m.seq {
@@ -279,7 +288,7 @@ func (e *Endpoint) consume(p *sim.Proc, s int, m message, buf []byte) (int, erro
 			e.observeWordReads(pci.WordsFor(m.n), p.Now().Sub(t0))
 		}
 	}
-	if cfg.Retry.Enabled && descCheck(m.off, m.n, m.seq, buf[:m.n]) != m.ck {
+	if cfg.Retry.Enabled && descCheck(m.off, m.n, m.seq, m.dests, buf[:m.n]) != m.ck {
 		// Part of the descriptor or payload was dropped in flight — and
 		// what this message struct holds may itself be a torn snapshot.
 		// Roll the detection back (slot floor, plus a forced rescan

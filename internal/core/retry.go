@@ -21,10 +21,11 @@ import (
 // (the receiver is presumed dead).
 
 // descCheck is the integrity checksum the retry extension stores in
-// the reserved fourth descriptor word: FNV-1a over the descriptor
-// fields and the payload, forced nonzero so an all-zero (never
-// written) descriptor can never validate.
-func descCheck(off, n int, seq uint32, data []byte) uint32 {
+// the last descriptor word: FNV-1a over the descriptor fields —
+// including the destination mask, so a torn mask can never route a
+// message to the wrong receiver — and the payload, forced nonzero so
+// an all-zero (never written) descriptor can never validate.
+func descCheck(off, n int, seq, dests uint32, data []byte) uint32 {
 	const (
 		basis = 2166136261
 		prime = 16777619
@@ -39,6 +40,7 @@ func descCheck(off, n int, seq uint32, data []byte) uint32 {
 	word(uint32(off))
 	word(uint32(n))
 	word(seq)
+	word(dests)
 	for _, b := range data {
 		h ^= uint32(b)
 		h *= prime
@@ -136,7 +138,8 @@ func (e *Endpoint) retransmit(p *sim.Proc, s int, lb *liveBuf) {
 	putWord(desc[0:], uint32(lb.off))
 	putWord(desc[4:], uint32(lb.n))
 	putWord(desc[8:], lb.seq)
-	putWord(desc[12:], descCheck(lb.off, lb.n, lb.seq, lb.data))
+	putWord(desc[12:], lb.dests)
+	putWord(desc[16:], descCheck(lb.off, lb.n, lb.seq, lb.dests, lb.data))
 	e.nic.Write(p, lay.desc(e.me, s), desc[:])
 
 	for r := 0; r < e.Procs(); r++ {

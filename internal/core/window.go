@@ -1,0 +1,95 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// Receiver-posted rendezvous windows (xport.Windowed).
+//
+// A window is a contiguous span of the receiver's data partition,
+// reserved from the same first-fit allocator that backs billboard
+// buffers and lent to exactly one sender. The loan is a word-ownership
+// hand-over in the SCRAMNet single-writer table: while the window is
+// posted the sender is the one writer of those words, and the release
+// hands them back. Unlike a billboard post, window traffic carries no
+// descriptors, MESSAGE flags or ACK words — delivery notification and
+// recovery belong to the layer above (the MPI rendezvous protocol),
+// which is what makes the path zero-copy: payload crosses each host
+// bus exactly once, as a burst.
+
+// windowDMAMin is the size at or above which window reads and writes
+// use the DMA engine. The posted-window path exists so the DMA engine
+// can burst payload between host memory and the replicated bank — the
+// MPICH2-over-InfiniBand RDMA design mapped onto SCRAMNet — so it is
+// deliberately not subject to Config.Thresholds: those calibrate the
+// generic billboard path, whose channel device the paper models as
+// PIO-only. Below this floor the setup cost outweighs the burst and
+// plain word I/O is used.
+const windowDMAMin = 128
+
+// ReserveWindow reserves n bytes in this endpoint's data partition and
+// grants write ownership of the words to process src. When the
+// partition is fragmented or full it runs one garbage-collection pass
+// (as the billboard allocator does) and retries once; ok is false when
+// no contiguous n-byte span exists even then — the caller is expected
+// to fall back to the sequential path, not to spin.
+func (e *Endpoint) ReserveWindow(p *sim.Proc, src, n int) (off int, ok bool) {
+	if n <= 0 || src == e.me || src < 0 || src >= e.Procs() {
+		return 0, false
+	}
+	off, ok = e.alloc.alloc(n)
+	if !ok {
+		e.collect(p)
+		off, ok = e.alloc.alloc(n)
+	}
+	if !ok {
+		return 0, false
+	}
+	e.nic.AssignOwner(src, e.sys.lay.dataOff(e.me, off), n)
+	return off, true
+}
+
+// ReleaseWindow returns the window [off, off+n) to the partition's
+// free pool and reclaims write ownership for this endpoint, so the
+// words can back ordinary billboard buffers (or a new window) again.
+// Bookkeeping only; safe to call when abandoning a transfer whose
+// sender the failure detector confirmed dead.
+func (e *Endpoint) ReleaseWindow(off, n int) {
+	if n <= 0 {
+		return
+	}
+	e.nic.AssignOwner(e.me, e.sys.lay.dataOff(e.me, off), n)
+	e.alloc.release(off, n)
+}
+
+// WriteWindow writes data into dst's partition at partition-relative
+// offset off — a window dst reserved for this endpoint — and returns
+// the NIC's conservative drain bound: the virtual time by which the
+// written bytes are applied at every live node. The write is
+// burst-priced (DMA engine) at or above windowDMAMin.
+func (e *Endpoint) WriteWindow(p *sim.Proc, dst, off int, data []byte) sim.Time {
+	abs := e.sys.lay.dataOff(dst, off)
+	if len(data) >= windowDMAMin {
+		e.nic.WriteDMA(p, abs, data)
+	} else {
+		e.nic.Write(p, abs, data)
+	}
+	return e.nic.DrainBound()
+}
+
+// ReadWindow reads len(buf) bytes from this endpoint's own partition
+// at partition-relative offset off: a local bank read, burst-priced at
+// or above windowDMAMin. It deliberately does not feed the adaptive
+// receive-threshold estimator — that estimator calibrates the generic
+// billboard consume path, and window reads would skew its samples.
+func (e *Endpoint) ReadWindow(p *sim.Proc, off int, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	abs := e.sys.lay.dataOff(e.me, off)
+	if len(buf) >= windowDMAMin {
+		e.nic.ReadDMA(p, abs, buf)
+	} else {
+		e.nic.Read(p, abs, buf)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 )
@@ -344,5 +345,68 @@ func TestEngineStatsAccounting(t *testing.T) {
 	if s1.Received != 4 {
 		t.Errorf("receiver stats: %+v", s1)
 	}
+	// The rendezvous above ran sequentially: the windowed instruments
+	// must all be untouched.
+	if s0.RndvZeroCopy != 0 || s0.WindowStalls != 0 {
+		t.Errorf("sequential run touched windowed stats: %+v", s0)
+	}
 	_ = fmt.Sprintf("%+v", s0) // stats are printable
+
+	// Windowed run with a metrics registry installed: every EngineStats
+	// field must mirror its mpi.* counter identically, and the pipeline
+	// depth gauge's high-water mark must respect the configured bound.
+	const depth = 1 // deterministic: every chunk after the first waits
+	k := sim.NewKernel()
+	c2, err := cluster.New(k, cluster.Options{Nodes: 2, Net: cluster.SCRAMNet, PIOOnlyBBP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mpi.DefaultConfig()
+	cfg.ChunkSize = 4 << 10
+	cfg.RndvZeroCopy = true
+	cfg.RndvPipelineDepth = depth
+	w2 := mpi.NewWorld(c2.Endpoints, cfg)
+	reg := metrics.New()
+	w2.SetMetrics(reg)
+	w2.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if cm.Rank() == 0 {
+			if err := cm.Send(p, 1, 0, make([]byte, 64<<10)); err != nil {
+				t.Error(err)
+			}
+		} else if _, err := cm.Recv(p, 0, 0, make([]byte, 64<<10)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		s := w2.Engine(r).Stats()
+		for _, pair := range []struct {
+			name string
+			stat int64
+		}{
+			{"mpi.eager_sent", s.EagerSent},
+			{"mpi.rndv_sent", s.RndvSent},
+			{"mpi.received", s.Received},
+			{"mpi.unexpected_msgs", s.UnexpectedMsgs},
+			{"mpi.chunks_sent", s.ChunksSent},
+			{"mpi.rndv_zero_copy", s.RndvZeroCopy},
+			{"mpi.window_stalls", s.WindowStalls},
+		} {
+			if got := reg.Counter(pair.name, r).Value(); got != pair.stat {
+				t.Errorf("rank %d %s = %d, stats say %d", r, pair.name, got, pair.stat)
+			}
+		}
+	}
+	ws := w2.Engine(0).Stats()
+	if ws.RndvZeroCopy != 1 || ws.ChunksSent != 16 {
+		t.Errorf("windowed sender stats: %+v, want 1 zero-copy transfer of 16 chunks", ws)
+	}
+	if ws.WindowStalls == 0 {
+		t.Errorf("depth-1 pipeline over a slow ring never stalled: %+v", ws)
+	}
+	if hw := reg.Gauge("mpi.pipeline_depth", 0).Max(); hw < 1 || hw > depth {
+		t.Errorf("pipeline depth high-water %d outside [1, %d]", hw, depth)
+	}
 }

@@ -35,6 +35,12 @@ type Engine struct {
 	// ErrTimeout-after-5s.
 	live liveness.View
 
+	// wnd is the transport's receiver-posted-window extension, set only
+	// when Config.RndvZeroCopy is on AND the endpoint implements
+	// xport.Windowed (the BillBoard Protocol on SCRAMNet). nil keeps
+	// every rendezvous on the legacy sequential path.
+	wnd xport.Windowed
+
 	scratch []byte
 	stats   EngineStats
 	im      engInstruments
@@ -45,12 +51,19 @@ type Engine struct {
 // the engine's world rank, plus an unexpected-queue depth gauge whose
 // Max() is the high-water mark (nil = disabled no-ops).
 type engInstruments struct {
-	eagerSent  *metrics.Counter // mpi.eager_sent
-	rndvSent   *metrics.Counter // mpi.rndv_sent
-	received   *metrics.Counter // mpi.received
-	unexpected *metrics.Counter // mpi.unexpected_msgs
-	chunksSent *metrics.Counter // mpi.chunks_sent
-	unexpDepth *metrics.Gauge   // mpi.unexpected_depth
+	eagerSent    *metrics.Counter // mpi.eager_sent
+	rndvSent     *metrics.Counter // mpi.rndv_sent
+	received     *metrics.Counter // mpi.received
+	unexpected   *metrics.Counter // mpi.unexpected_msgs
+	chunksSent   *metrics.Counter // mpi.chunks_sent
+	rndvZeroCopy *metrics.Counter // mpi.rndv_zero_copy
+	windowStalls *metrics.Counter // mpi.window_stalls
+	unexpDepth   *metrics.Gauge   // mpi.unexpected_depth
+	// pipelineDepth tracks the windowed sender's in-flight chunk count;
+	// its Max() is the high-water mark. Like unexpDepth it has no
+	// EngineStats twin — gauges describe instantaneous state, not
+	// protocol activity totals.
+	pipelineDepth *metrics.Gauge // mpi.pipeline_depth
 }
 
 // setMetrics (re)creates the engine's instruments against m.
@@ -61,12 +74,15 @@ func (e *Engine) setMetrics(m *metrics.Registry) {
 	}
 	rank := e.ep.Rank()
 	e.im = engInstruments{
-		eagerSent:  m.Counter("mpi.eager_sent", rank),
-		rndvSent:   m.Counter("mpi.rndv_sent", rank),
-		received:   m.Counter("mpi.received", rank),
-		unexpected: m.Counter("mpi.unexpected_msgs", rank),
-		chunksSent: m.Counter("mpi.chunks_sent", rank),
-		unexpDepth: m.Gauge("mpi.unexpected_depth", rank),
+		eagerSent:     m.Counter("mpi.eager_sent", rank),
+		rndvSent:      m.Counter("mpi.rndv_sent", rank),
+		received:      m.Counter("mpi.received", rank),
+		unexpected:    m.Counter("mpi.unexpected_msgs", rank),
+		chunksSent:    m.Counter("mpi.chunks_sent", rank),
+		rndvZeroCopy:  m.Counter("mpi.rndv_zero_copy", rank),
+		windowStalls:  m.Counter("mpi.window_stalls", rank),
+		unexpDepth:    m.Gauge("mpi.unexpected_depth", rank),
+		pipelineDepth: m.Gauge("mpi.pipeline_depth", rank),
 	}
 }
 
@@ -82,6 +98,13 @@ type EngineStats struct {
 	Received       int64
 	UnexpectedMsgs int64
 	ChunksSent     int64
+	// RndvZeroCopy counts rendezvous transfers that went through a
+	// receiver-posted window; WindowStalls counts the times the
+	// windowed sender's bounded pipeline actually waited for a chunk's
+	// ring drain before writing the next one. Both are mirrored 1:1
+	// into the mpi.rndv_zero_copy / mpi.window_stalls counters.
+	RndvZeroCopy int64
+	WindowStalls int64
 }
 
 // inMsg is an arrived-but-unmatched message: a fully staged eager
@@ -99,6 +122,9 @@ func newEngine(ep xport.Endpoint, cfg Config) *Engine {
 		cfg.Costs.RecvOverhead = cfg.Costs.RecvOverhead * 6 / 10
 		cfg.Costs.PerChunk /= 2
 	}
+	if cfg.RndvPipelineDepth <= 0 {
+		cfg.RndvPipelineDepth = defaultRndvPipelineDepth
+	}
 	e := &Engine{
 		ep:        ep,
 		cfg:       cfg,
@@ -107,13 +133,18 @@ func newEngine(ep xport.Endpoint, cfg Config) *Engine {
 		comms:     map[uint32]*Comm{},
 		nextCtx:   1,
 		collQ:     make([][][]byte, ep.Procs()),
-		scratch:   make([]byte, maxInt(cfg.CollChunk+8, envBytes)),
+		scratch:   make([]byte, maxInt(cfg.CollChunk+8, envWinBytes)),
 	}
 	if cfg.ChunkSize <= 0 {
 		panic("mpi: ChunkSize must be positive")
 	}
 	if lp, ok := ep.(liveness.Provider); ok {
 		e.live = lp.Liveness()
+	}
+	if cfg.RndvZeroCopy {
+		if w, ok := ep.(xport.Windowed); ok {
+			e.wnd = w
+		}
 	}
 	return e
 }
@@ -174,6 +205,14 @@ func (e *Engine) handleRaw(p *sim.Proc, src int, raw []byte) {
 		e.handleCTS(p, src, env)
 	case kRData:
 		e.handleRData(p, src, env)
+	case kCTSW:
+		e.handleCTSW(p, src, env)
+	case kRDone:
+		e.handleRDone(p, src, env)
+	case kRNak:
+		e.handleRNak(p, src, env)
+	case kRAck:
+		e.handleRAck(p, src, env)
 	default:
 		panic(fmt.Sprintf("mpi: unknown packet kind %d from %d", env.kind, src))
 	}
@@ -211,7 +250,14 @@ func (e *Engine) handleRTS(p *sim.Proc, src int, env envelope) {
 }
 
 // sendCTS registers req to receive the rendezvous data and tells the
-// sender to go ahead.
+// sender to go ahead. With the zero-copy path enabled it first tries
+// to post a window covering the whole payload in this receiver's data
+// partition; on success the reply is a kCTSW carrying the window
+// descriptor, and the sender writes payload straight into the window.
+// Truncation, a zero-length payload, a reservation failure, or a
+// transport without windows all fall back to the plain kCTS and the
+// sequential kRData protocol — the sender never has to guess: the CTS
+// kind itself is the agreement.
 func (e *Engine) sendCTS(p *sim.Proc, src int, rts envelope, req *Request) {
 	if int(rts.total) > len(req.buf) {
 		// Still must clear the protocol: accept and discard.
@@ -221,7 +267,17 @@ func (e *Engine) sendCTS(p *sim.Proc, src int, rts envelope, req *Request) {
 	e.nextReq++
 	e.pendRecvs[id] = req
 	req.id = id
+	req.peerID = rts.reqID
 	req.status = Status{Source: e.commRank(rts.ctx, src), Tag: int(rts.tag), Len: int(rts.total)}
+	if e.wnd != nil && req.err == nil && rts.total > 0 {
+		if off, ok := e.wnd.ReserveWindow(p, src, int(rts.total)); ok {
+			req.winOff, req.winCap, req.hasWin = off, int(rts.total), true
+			cts := envelope{kind: kCTSW, ctx: rts.ctx, tag: rts.tag, total: rts.total,
+				reqID: rts.reqID, aux: id, winOff: uint32(off), winCap: rts.total}
+			e.sendControl(p, src, cts)
+			return
+		}
+	}
 	cts := envelope{kind: kCTS, ctx: rts.ctx, tag: rts.tag, total: rts.total, reqID: rts.reqID, aux: id}
 	e.sendControl(p, src, cts)
 }
@@ -238,6 +294,132 @@ func (e *Engine) handleCTS(p *sim.Proc, src int, env envelope) {
 	e.sendChunks(p, req.dst, req.data)
 	e.tracer.PopParent()
 	e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-end", req.span, 0, "total=%d", len(req.data))
+	req.done = true
+}
+
+// handleCTSW is the windowed sender's go-ahead: write the payload into
+// the advertised window through the bounded pipeline, then announce
+// completion with kRDone. The request stays in pendSends — it
+// completes only when the receiver's kRAck confirms the payload
+// checksum, because window writes carry none of the billboard's
+// per-message recovery machinery and a lossy ring can corrupt the
+// window silently.
+func (e *Engine) handleCTSW(p *sim.Proc, src int, env envelope) {
+	req := e.pendSends[env.reqID]
+	if req == nil {
+		panic(fmt.Sprintf("mpi: window CTS for unknown send request %d", env.reqID))
+	}
+	if e.wnd == nil {
+		panic(fmt.Sprintf("mpi: window CTS from %d on a transport without windows", src))
+	}
+	if int(env.winCap) < len(req.data) {
+		panic(fmt.Sprintf("mpi: %d-byte window CTS for a %d-byte send", env.winCap, len(req.data)))
+	}
+	req.peerID = env.aux
+	req.winOff, req.winCap = int(env.winOff), int(env.winCap)
+	e.tracer.PushParent(req.span)
+	e.writeWindowed(p, src, req)
+	e.tracer.PopParent()
+	e.stats.RndvZeroCopy++
+	e.im.rndvZeroCopy.Inc()
+	done := envelope{kind: kRDone, ctx: env.ctx, tag: env.tag, total: uint32(len(req.data)),
+		reqID: req.peerID, aux: payloadCheck(req.data)}
+	e.trySendControl(p, src, done)
+}
+
+// writeWindowed fills the receiver's posted window through a bounded
+// pipeline: up to Config.RndvPipelineDepth chunks may be in flight on
+// the ring before the sender waits for the oldest chunk's drain bound,
+// overlapping each chunk's DMA setup and bus burst with its
+// predecessors' ring circulation. Correctness never depends on the
+// bound — the kRDone control message rides the same per-sender FIFO
+// stream behind the window data — so the wait is pure pacing, and each
+// actual wait is counted as a window stall.
+func (e *Engine) writeWindowed(p *sim.Proc, dst int, req *Request) {
+	data := req.data
+	inflight := make([]sim.Time, 0, e.cfg.RndvPipelineDepth)
+	for off := 0; off < len(data); {
+		m := minInt(len(data)-off, e.cfg.ChunkSize)
+		if len(inflight) >= e.cfg.RndvPipelineDepth {
+			if t := inflight[0]; t > p.Now() {
+				p.Delay(t.Sub(p.Now()))
+				e.stats.WindowStalls++
+				e.im.windowStalls.Inc()
+			}
+			inflight = inflight[1:]
+		}
+		p.Delay(e.cfg.Costs.PerChunk)
+		span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-chunk", 0, req.span, "dst=%d off=%d len=%d", dst, off, m)
+		bound := e.wnd.WriteWindow(p, dst, req.winOff+off, data[off:off+m])
+		e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-chunk-end", span, 0, "len=%d", m)
+		inflight = append(inflight, bound)
+		e.im.pipelineDepth.Set(int64(len(inflight)))
+		e.stats.ChunksSent++
+		e.im.chunksSent.Inc()
+		off += m
+	}
+}
+
+// handleRDone is the receiver's end of a windowed transfer: read the
+// window back (one local burst), verify the checksum, release the
+// window and acknowledge. A mismatch means ring packets carrying
+// window data were lost; the receiver keeps the window posted and
+// sends kRNak, and the sender rewrites the whole window and announces
+// again.
+func (e *Engine) handleRDone(p *sim.Proc, src int, env envelope) {
+	req := e.pendRecvs[env.reqID]
+	if req == nil {
+		panic(fmt.Sprintf("mpi: RDONE for unknown recv request %d", env.reqID))
+	}
+	if !req.hasWin || int(env.total) > req.winCap || int(env.total) > len(req.buf) {
+		panic(fmt.Sprintf("mpi: RDONE total=%d does not fit request window (cap=%d posted=%v)", env.total, req.winCap, req.hasWin))
+	}
+	n := int(env.total)
+	e.wnd.ReadWindow(p, req.winOff, req.buf[:n])
+	if payloadCheck(req.buf[:n]) != env.aux {
+		nak := envelope{kind: kRNak, ctx: env.ctx, tag: env.tag, total: env.total, reqID: req.peerID, aux: env.reqID}
+		e.trySendControl(p, src, nak)
+		return
+	}
+	e.wnd.ReleaseWindow(req.winOff, req.winCap)
+	req.hasWin = false
+	delete(e.pendRecvs, env.reqID)
+	// The payload is delivered even if the ack cannot reach a sender
+	// that died after writing it — exactly-once holds locally.
+	ack := envelope{kind: kRAck, ctx: env.ctx, tag: env.tag, total: env.total, reqID: req.peerID, aux: env.reqID}
+	e.trySendControl(p, src, ack)
+	req.done = true
+	e.stats.Received++
+	e.im.received.Inc()
+}
+
+// handleRNak rewrites the whole window and re-announces. The request
+// may already be gone if the wait was abandoned (dead peer, timeout);
+// then there is nothing to repair — the receiver's own abandonment
+// reclaims the window.
+func (e *Engine) handleRNak(p *sim.Proc, src int, env envelope) {
+	req := e.pendSends[env.reqID]
+	if req == nil {
+		return
+	}
+	e.tracer.PushParent(req.span)
+	e.writeWindowed(p, src, req)
+	e.tracer.PopParent()
+	done := envelope{kind: kRDone, ctx: env.ctx, tag: env.tag, total: uint32(len(req.data)),
+		reqID: req.peerID, aux: payloadCheck(req.data)}
+	e.trySendControl(p, src, done)
+}
+
+// handleRAck completes a windowed send: the receiver has verified the
+// payload, so the data reference can be dropped and the rndv span
+// closed.
+func (e *Engine) handleRAck(p *sim.Proc, src int, env envelope) {
+	req := e.pendSends[env.reqID]
+	if req == nil {
+		return
+	}
+	delete(e.pendSends, env.reqID)
+	e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-end", req.span, 0, "total=%d zero-copy", len(req.data))
 	req.done = true
 }
 
@@ -298,6 +480,16 @@ func (e *Engine) sendControl(p *sim.Proc, dstWorld int, env envelope) {
 	if err := e.ep.Send(p, dstWorld, encodeEnv(env)); err != nil {
 		panic(fmt.Sprintf("mpi: control send to %d: %v", dstWorld, err))
 	}
+}
+
+// trySendControl transmits one envelope packet, tolerating a transport
+// refusal. The windowed rendezvous notices (kRDone, kRNak, kRAck) use
+// it because either end can leave the membership mid-transfer: the
+// caller just leaves its request pending and the blocked wait on each
+// side surfaces the death within the detector's confirmation window —
+// abandoning the request is what reclaims any posted window.
+func (e *Engine) trySendControl(p *sim.Proc, dstWorld int, env envelope) bool {
+	return e.ep.Send(p, dstWorld, encodeEnv(env)) == nil
 }
 
 // sendChunks streams data to dstWorld in channel-size pieces.
@@ -438,11 +630,41 @@ func (e *Engine) wait(p *sim.Proc, req *Request) (Status, error) {
 			break
 		}
 		if err := e.checkDead(req); err != nil {
+			e.abandon(req)
 			return Status{}, err
 		}
 		if deadline >= 0 && p.Now() > deadline {
+			e.abandon(req)
 			return Status{}, ErrTimeout
 		}
 	}
 	return req.status, req.err
+}
+
+// abandon tears down a request whose wait ended without completion
+// (dead peer or timeout): any window it holds is released back to the
+// partition — an aborted rendezvous must not pin receiver buffer space,
+// mirroring the dead-peer reclaim in the billboard's collector — and
+// its protocol-table entries are dropped so a late control packet for
+// it is ignored rather than mis-matched.
+func (e *Engine) abandon(req *Request) {
+	if req.hasWin && e.wnd != nil {
+		e.wnd.ReleaseWindow(req.winOff, req.winCap)
+		req.hasWin = false
+	}
+	if req.isSend {
+		if e.pendSends[req.id] == req {
+			delete(e.pendSends, req.id)
+		}
+		return
+	}
+	if e.pendRecvs[req.id] == req {
+		delete(e.pendRecvs, req.id)
+	}
+	for i, r := range e.posted {
+		if r == req {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			break
+		}
+	}
 }

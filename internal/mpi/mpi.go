@@ -141,9 +141,25 @@ type Config struct {
 	DirectADI bool
 	// WaitTimeout bounds blocking waits in virtual time (0 = forever).
 	WaitTimeout sim.Duration
+	// RndvZeroCopy enables the receiver-posted-window rendezvous path
+	// on transports that implement xport.Windowed: the CTS reply
+	// carries a data-partition window descriptor and the sender writes
+	// payload straight into the receiver's partition through a bounded
+	// chunk pipeline. Off (the default), the wire protocol is
+	// byte-identical to the legacy sequential rendezvous.
+	RndvZeroCopy bool
+	// RndvPipelineDepth bounds how many chunks the windowed sender may
+	// have in flight on the ring before it waits for the oldest one's
+	// drain bound (<= 0 selects the default depth of 2; 1 degenerates
+	// to a fully sequential window fill).
+	RndvPipelineDepth int
 	// Costs is the software cost model.
 	Costs Costs
 }
+
+// defaultRndvPipelineDepth is the bounded-pipeline depth used when
+// Config.RndvPipelineDepth is unset.
+const defaultRndvPipelineDepth = 2
 
 // DefaultConfig returns the configuration used for the paper figures.
 func DefaultConfig() Config {
@@ -170,8 +186,18 @@ const (
 	kRTS   = 2
 	kCTS   = 3
 	kRData = 4
+	// Receiver-posted-window rendezvous kinds (Config.RndvZeroCopy).
+	// None of them is ever emitted when the feature is off, so the
+	// legacy wire protocol stays byte-identical.
+	kCTSW  = 5 // CTS carrying a window descriptor (envWinBytes long)
+	kRDone = 6 // sender: window fully written (aux = payload checksum)
+	kRNak  = 7 // receiver: checksum mismatch, rewrite the window
+	kRAck  = 8 // receiver: payload verified, sender may complete
 
 	envBytes = 24
+	// envWinBytes is the kCTSW envelope length: the legacy 24 bytes
+	// plus the window descriptor (offset and capacity words).
+	envWinBytes = 32
 	// collMagic prefixes multicast fast-path messages so the engine can
 	// distinguish them from envelopes on the same FIFO stream.
 	collMagic = 0xC0
@@ -183,32 +209,66 @@ type envelope struct {
 	tag   int32
 	total uint32
 	reqID uint32
-	aux   uint32 // CTS: receiver-side request id
+	aux   uint32 // CTS: receiver-side request id; kRDone: payload checksum
+	// Window descriptor, carried only by kCTSW: the partition-relative
+	// byte offset of the posted window and its capacity in bytes.
+	winOff uint32
+	winCap uint32
 }
 
 func encodeEnv(e envelope) []byte {
-	b := make([]byte, envBytes)
+	n := envBytes
+	if e.kind == kCTSW {
+		n = envWinBytes
+	}
+	b := make([]byte, n)
 	b[0] = e.kind
 	binary.LittleEndian.PutUint32(b[4:], e.ctx)
 	binary.LittleEndian.PutUint32(b[8:], uint32(e.tag))
 	binary.LittleEndian.PutUint32(b[12:], e.total)
 	binary.LittleEndian.PutUint32(b[16:], e.reqID)
 	binary.LittleEndian.PutUint32(b[20:], e.aux)
+	if e.kind == kCTSW {
+		binary.LittleEndian.PutUint32(b[24:], e.winOff)
+		binary.LittleEndian.PutUint32(b[28:], e.winCap)
+	}
 	return b
 }
 
 func decodeEnv(b []byte) (envelope, error) {
-	if len(b) != envBytes {
+	if len(b) != envBytes && !(len(b) == envWinBytes && b[0] == kCTSW) {
 		return envelope{}, fmt.Errorf("%w: %d-byte control packet", ErrProtocol, len(b))
 	}
-	return envelope{
+	env := envelope{
 		kind:  b[0],
 		ctx:   binary.LittleEndian.Uint32(b[4:]),
 		tag:   int32(binary.LittleEndian.Uint32(b[8:])),
 		total: binary.LittleEndian.Uint32(b[12:]),
 		reqID: binary.LittleEndian.Uint32(b[16:]),
 		aux:   binary.LittleEndian.Uint32(b[20:]),
-	}, nil
+	}
+	if env.kind == kCTSW {
+		if len(b) != envWinBytes {
+			return envelope{}, fmt.Errorf("%w: %d-byte window CTS", ErrProtocol, len(b))
+		}
+		env.winOff = binary.LittleEndian.Uint32(b[24:])
+		env.winCap = binary.LittleEndian.Uint32(b[28:])
+	}
+	return env, nil
+}
+
+// payloadCheck is the FNV-1a digest the windowed rendezvous uses to
+// verify a window's contents: window writes carry no per-chunk
+// descriptors or checksums (unlike billboard posts), so kRDone carries
+// one digest over the whole payload and a mismatch triggers a kRNak
+// rewrite of the window.
+func payloadCheck(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
 }
 
 // Request is a nonblocking operation handle.
@@ -231,6 +291,18 @@ type Request struct {
 	dst  int // world rank
 	id   uint32
 	span trace.SpanID // open rndv span, closed when CTS releases the data
+
+	// Windowed-rendezvous state (Config.RndvZeroCopy). peerID is the
+	// other side's request id — on the receiver the sender's RTS id
+	// (addressed by kRNak/kRAck), on the sender the receiver's CTS id
+	// (addressed by kRDone). hasWin marks a live window reservation on
+	// the receiver, released in handleRDone or when the wait is
+	// abandoned (dead peer / timeout) so an aborted transfer never pins
+	// partition space.
+	peerID uint32
+	winOff int
+	winCap int
+	hasWin bool
 }
 
 // Done reports whether the operation has completed (poll without

@@ -1,0 +1,254 @@
+package mpi_test
+
+// Boundary and fallback edges of the receiver-posted-window rendezvous
+// (Config.RndvZeroCopy): the EagerMax threshold, zero-length payloads,
+// truncation, reservation failure, and symmetric windowed exchanges.
+// Every fallback must land on the legacy sequential path — the CTS kind
+// is the agreement — and never count a zero-copy transfer.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// windowedPair builds a 2-node SCRAMNet world with the zero-copy
+// rendezvous enabled on top of cfg.
+func windowedPair(t *testing.T, cfg mpi.Config) (*sim.Kernel, *cluster.Cluster, *mpi.World) {
+	t.Helper()
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: 2, Net: cluster.SCRAMNet, PIOOnlyBBP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, c, mpi.NewWorld(c.Endpoints, cfg)
+}
+
+// TestRendezvousBoundaryAtEagerMax pins the protocol selection edge:
+// len == EagerMax stays eager, len == EagerMax+1 goes rendezvous — and
+// with zero-copy on, exactly the rendezvous message uses a window.
+func TestRendezvousBoundaryAtEagerMax(t *testing.T) {
+	for _, zc := range []bool{false, true} {
+		zc := zc
+		t.Run(fmt.Sprintf("zeroCopy=%v", zc), func(t *testing.T) {
+			cfg := mpi.DefaultConfig()
+			cfg.EagerMax = 1024
+			cfg.ChunkSize = 256
+			cfg.RndvZeroCopy = zc
+			k, _, w := windowedPair(t, cfg)
+			w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+				atMax := bytes.Repeat([]byte{0xa5}, cfg.EagerMax)
+				overMax := bytes.Repeat([]byte{0x5a}, cfg.EagerMax+1)
+				if cm.Rank() == 0 {
+					if err := cm.Send(p, 1, 0, atMax); err != nil {
+						t.Error(err)
+					}
+					if err := cm.Send(p, 1, 1, overMax); err != nil {
+						t.Error(err)
+					}
+					return
+				}
+				buf := make([]byte, cfg.EagerMax+1)
+				st, err := cm.Recv(p, 0, 0, buf)
+				if err != nil || st.Len != cfg.EagerMax || !bytes.Equal(buf[:st.Len], atMax) {
+					t.Errorf("at-max recv: %+v %v", st, err)
+				}
+				st, err = cm.Recv(p, 0, 1, buf)
+				if err != nil || st.Len != cfg.EagerMax+1 || !bytes.Equal(buf[:st.Len], overMax) {
+					t.Errorf("over-max recv: %+v %v", st, err)
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			s0 := w.Engine(0).Stats()
+			if s0.EagerSent != 1 || s0.RndvSent != 1 {
+				t.Errorf("sender stats: %+v, want 1 eager + 1 rndv", s0)
+			}
+			wantZC := int64(0)
+			if zc {
+				wantZC = 1
+			}
+			if s0.RndvZeroCopy != wantZC {
+				t.Errorf("RndvZeroCopy = %d, want %d", s0.RndvZeroCopy, wantZC)
+			}
+		})
+	}
+}
+
+// TestZeroLengthRendezvous forces even an empty message through the
+// rendezvous handshake (EagerMax = -1). The zero-copy path must decline
+// a zero-byte window — there is nothing to hand ownership of — and the
+// plain-CTS fallback must complete with no data chunks at all.
+func TestZeroLengthRendezvous(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.EagerMax = -1
+	cfg.RndvZeroCopy = true
+	k, _, w := windowedPair(t, cfg)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if cm.Rank() == 0 {
+			if err := cm.Send(p, 1, 9, nil); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		st, err := cm.Recv(p, 0, 9, nil)
+		if err != nil || st.Len != 0 || st.Tag != 9 {
+			t.Errorf("zero-length recv: %+v %v", st, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := w.Engine(0).Stats(), w.Engine(1).Stats()
+	if s0.RndvSent != 1 || s0.ChunksSent != 0 {
+		t.Errorf("sender stats: %+v, want 1 rndv and 0 chunks", s0)
+	}
+	if s0.RndvZeroCopy != 0 || s1.Received != 1 {
+		t.Errorf("stats: sender %+v receiver %+v, want sequential fallback", s0, s1)
+	}
+}
+
+// TestTruncatedRendezvousSkipsWindow: a receive buffer smaller than the
+// payload is flagged ErrTruncated at CTS time, and the windowed path
+// must not reserve partition space just to discard into it — the
+// fallback drains and discards sequentially, exactly like the legacy
+// protocol. The next well-sized transfer goes windowed again.
+func TestTruncatedRendezvousSkipsWindow(t *testing.T) {
+	const size = 64 << 10
+	cfg := mpi.DefaultConfig()
+	cfg.RndvZeroCopy = true
+	k, _, w := windowedPair(t, cfg)
+	payload := bytes.Repeat([]byte{0x3c}, size)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if cm.Rank() == 0 {
+			if err := cm.Send(p, 1, 0, payload); err != nil {
+				t.Errorf("truncated-side send: %v", err)
+			}
+			if err := cm.Send(p, 1, 1, payload); err != nil {
+				t.Errorf("follow-up send: %v", err)
+			}
+			return
+		}
+		small := make([]byte, size/2)
+		if _, err := cm.Recv(p, 0, 0, small); !errors.Is(err, mpi.ErrTruncated) {
+			t.Errorf("short recv err = %v, want ErrTruncated", err)
+		}
+		full := make([]byte, size)
+		st, err := cm.Recv(p, 0, 1, full)
+		if err != nil || st.Len != size || !bytes.Equal(full, payload) {
+			t.Errorf("full recv: %+v %v", st, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s0 := w.Engine(0).Stats(); s0.RndvZeroCopy != 1 {
+		t.Errorf("sender RndvZeroCopy = %d, want 1 (truncated transfer must stay sequential)", s0.RndvZeroCopy)
+	}
+}
+
+// TestWindowReservationFailureFallsBack exhausts the receiver's data
+// partition so ReserveWindow cannot find a contiguous span for the
+// payload: the CTS must degrade to the plain kind and the transfer
+// complete sequentially. Releasing the space restores the windowed path
+// — proving the fallback is per-transfer, not sticky.
+func TestWindowReservationFailureFallsBack(t *testing.T) {
+	const size = 64 << 10
+	cfg := mpi.DefaultConfig()
+	cfg.RndvZeroCopy = true
+	k, c, w := windowedPair(t, cfg)
+	payload := bytes.Repeat([]byte{0xd7}, size)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if cm.Rank() == 0 {
+			if err := cm.Send(p, 1, 0, payload); err != nil {
+				t.Errorf("fallback send: %v", err)
+			}
+			if err := cm.Send(p, 1, 1, payload); err != nil {
+				t.Errorf("windowed send: %v", err)
+			}
+			return
+		}
+		wnd, ok := c.Endpoints[1].(xport.Windowed)
+		if !ok {
+			t.Error("BBP endpoint lost the Windowed extension")
+			return
+		}
+		// Pin all but a sliver of the partition so a 64 KiB window can
+		// never be carved out (control-packet buffers still fit).
+		pin := c.Endpoints[1].MaxMessage() - 8<<10
+		off, ok := wnd.ReserveWindow(p, 0, pin)
+		if !ok {
+			t.Errorf("could not pin %d bytes of the data partition", pin)
+			return
+		}
+		buf := make([]byte, size)
+		st, err := cm.Recv(p, 0, 0, buf)
+		if err != nil || st.Len != size || !bytes.Equal(buf, payload) {
+			t.Errorf("fallback recv: %+v %v", st, err)
+		}
+		wnd.ReleaseWindow(off, pin)
+		for i := range buf {
+			buf[i] = 0
+		}
+		st, err = cm.Recv(p, 0, 1, buf)
+		if err != nil || st.Len != size || !bytes.Equal(buf, payload) {
+			t.Errorf("windowed recv: %+v %v", st, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s0 := w.Engine(0).Stats()
+	if s0.RndvSent != 2 {
+		t.Fatalf("sender stats: %+v, want 2 rendezvous sends", s0)
+	}
+	if s0.RndvZeroCopy != 1 {
+		t.Errorf("RndvZeroCopy = %d, want exactly the post-release transfer windowed", s0.RndvZeroCopy)
+	}
+}
+
+// TestWindowedBidirectionalExchange extends the classic symmetric
+// Sendrecv deadlock test to the windowed path: both ranks are in the
+// pipelined rendezvous at once, each writing into the other's posted
+// window, at the degenerate depth 1 and a deep pipeline.
+func TestWindowedBidirectionalExchange(t *testing.T) {
+	const size = 64 << 10
+	for _, depth := range []int{1, 4} {
+		depth := depth
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			cfg := mpi.DefaultConfig()
+			cfg.ChunkSize = 8 << 10
+			cfg.RndvZeroCopy = true
+			cfg.RndvPipelineDepth = depth
+			k, _, w := windowedPair(t, cfg)
+			w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+				peer := 1 - cm.Rank()
+				out := bytes.Repeat([]byte{byte(cm.Rank() + 1)}, size)
+				in := make([]byte, size)
+				st, err := cm.Sendrecv(p, peer, 0, out, peer, 0, in)
+				if err != nil || st.Len != size {
+					t.Errorf("rank %d: %+v %v", cm.Rank(), st, err)
+					return
+				}
+				if in[0] != byte(peer+1) || in[size-1] != byte(peer+1) {
+					t.Errorf("rank %d got wrong payload", cm.Rank())
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 2; r++ {
+				if s := w.Engine(r).Stats(); s.RndvZeroCopy != 1 {
+					t.Errorf("rank %d RndvZeroCopy = %d, want 1", r, s.RndvZeroCopy)
+				}
+			}
+		})
+	}
+}

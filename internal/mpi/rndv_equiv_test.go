@@ -1,0 +1,269 @@
+package mpi_test
+
+// Randomized conformance battery for the receiver-posted-window
+// rendezvous path (Config.RndvZeroCopy): across seeds, message sizes
+// straddling EagerMax and pipeline depths 1–8, the pipelined zero-copy
+// protocol must deliver exactly the payloads, lengths, tags and
+// per-(receiver, source) completion order of the legacy sequential
+// rendezvous. The battery runs every schedule once with the feature
+// off (the oracle) and once per depth with it on, then compares the
+// observation streams byte for byte.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// msgRec is one delivered message as its receiver observed it.
+type msgRec struct {
+	tag int
+	n   int
+	sum uint32 // FNV-1a over the payload
+}
+
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// pairRNG derives the deterministic stream generator for the ordered
+// pair (src, dst) under a battery seed, so sender and checker agree on
+// sizes and payloads regardless of protocol mode or interleaving.
+func pairRNG(seed uint64, src, dst int) *sim.RNG {
+	return sim.NewRNG(seed*1_000_003 + uint64(src)*8191 + uint64(dst)*131 + 7)
+}
+
+// pairSizes returns the per-pair message size schedule: random sizes in
+// [0, maxSize] with the first entries pinned to straddle EagerMax
+// exactly (EagerMax stays eager, EagerMax+1 goes rendezvous).
+func pairSizes(rng *sim.RNG, cfg mpi.Config, perPair, maxSize int) []int {
+	sizes := make([]int, perPair)
+	for i := range sizes {
+		switch i {
+		case 0:
+			sizes[i] = cfg.EagerMax
+		case 1:
+			sizes[i] = cfg.EagerMax + 1
+		case 2:
+			sizes[i] = 0
+		default:
+			sizes[i] = rng.Intn(maxSize + 1)
+		}
+	}
+	return sizes
+}
+
+// runRndvSchedule executes one all-pairs randomized schedule: every
+// rank posts all its receives up front (in per-source order), then
+// issues its sends in a seed-determined interleaving across
+// destinations. It returns the per-(receiver, source) observation
+// streams and the world-total zero-copy transfer count.
+func runRndvSchedule(t *testing.T, seed uint64, cfg mpi.Config, nodes, perPair, maxSize int) (map[[2]int][]msgRec, int64) {
+	t.Helper()
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: nodes, Net: cluster.SCRAMNet, PIOOnlyBBP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(c.Endpoints, cfg)
+	streams := make(map[[2]int][]msgRec)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		me := cm.Rank()
+		type slot struct {
+			src int
+			buf []byte
+			req *mpi.Request
+		}
+		var slots []slot
+		for src := 0; src < nodes; src++ {
+			if src == me {
+				continue
+			}
+			for i := 0; i < perPair; i++ {
+				buf := make([]byte, maxSize)
+				req, err := cm.Irecv(p, src, mpi.AnyTag, buf)
+				if err != nil {
+					t.Errorf("rank %d Irecv(%d): %v", me, src, err)
+					return
+				}
+				slots = append(slots, slot{src, buf, req})
+			}
+		}
+
+		// Build the deterministic per-destination payload schedules.
+		type outMsg struct {
+			dst  int
+			tag  int
+			data []byte
+		}
+		var pending [][]outMsg
+		for dst := 0; dst < nodes; dst++ {
+			if dst == me {
+				continue
+			}
+			rng := pairRNG(seed, me, dst)
+			sizes := pairSizes(rng, cfg, perPair, maxSize)
+			msgs := make([]outMsg, perPair)
+			for i, n := range sizes {
+				data := make([]byte, n)
+				rng.Bytes(data)
+				msgs[i] = outMsg{dst: dst, tag: i, data: data}
+			}
+			pending = append(pending, msgs)
+		}
+
+		// Interleave sends across destinations in a seed-determined
+		// (mode-independent) order.
+		ilv := sim.NewRNG(seed*29 + uint64(me)*17 + 3)
+		var sendReqs []*mpi.Request
+		for len(pending) > 0 {
+			i := ilv.Intn(len(pending))
+			m := pending[i][0]
+			pending[i] = pending[i][1:]
+			if len(pending[i]) == 0 {
+				pending = append(pending[:i], pending[i+1:]...)
+			}
+			req, err := cm.Isend(p, m.dst, m.tag, m.data)
+			if err != nil {
+				t.Errorf("rank %d Isend(%d): %v", me, m.dst, err)
+				return
+			}
+			sendReqs = append(sendReqs, req)
+			// Drive inbound progress between sends: with every rank in
+			// its send phase, an undrained eager flood would pin all of
+			// the transport's message slots and deadlock the schedule.
+			for i := range slots {
+				if !slots[i].req.Done() {
+					if _, _, err := cm.Test(p, slots[i].req); err != nil {
+						t.Errorf("rank %d Test: %v", me, err)
+						return
+					}
+				}
+			}
+		}
+		if err := cm.Waitall(p, sendReqs); err != nil {
+			t.Errorf("rank %d send Waitall: %v", me, err)
+			return
+		}
+
+		for _, s := range slots {
+			st, err := cm.Wait(p, s.req)
+			if err != nil {
+				t.Errorf("rank %d recv from %d: %v", me, s.src, err)
+				return
+			}
+			key := [2]int{me, s.src}
+			streams[key] = append(streams[key], msgRec{
+				tag: st.Tag,
+				n:   st.Len,
+				sum: fnv1a(s.buf[:st.Len]),
+			})
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var zc int64
+	for r := 0; r < nodes; r++ {
+		zc += w.Engine(r).Stats().RndvZeroCopy
+	}
+	return streams, zc
+}
+
+// checkStreams verifies every (receiver, source) stream against the
+// deterministic schedule: tags in order, lengths and digests matching
+// the sender-side generator. This catches corruption even if both
+// modes were wrong the same way.
+func checkStreams(t *testing.T, streams map[[2]int][]msgRec, seed uint64, cfg mpi.Config, nodes, perPair, maxSize int) {
+	t.Helper()
+	for dst := 0; dst < nodes; dst++ {
+		for src := 0; src < nodes; src++ {
+			if src == dst {
+				continue
+			}
+			got := streams[[2]int{dst, src}]
+			if len(got) != perPair {
+				t.Fatalf("stream %d<-%d: %d messages, want %d", dst, src, len(got), perPair)
+			}
+			rng := pairRNG(seed, src, dst)
+			sizes := pairSizes(rng, cfg, perPair, maxSize)
+			for i, n := range sizes {
+				data := make([]byte, n)
+				rng.Bytes(data)
+				want := msgRec{tag: i, n: n, sum: fnv1a(data)}
+				if got[i] != want {
+					t.Fatalf("stream %d<-%d msg %d: got %+v, want %+v", dst, src, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func streamsEqual(a, b map[[2]int][]msgRec) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("stream count %d vs %d", len(a), len(b))
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return fmt.Errorf("stream %v missing", k)
+		}
+		if len(av) != len(bv) {
+			return fmt.Errorf("stream %v length %d vs %d", k, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return fmt.Errorf("stream %v msg %d: %+v vs %+v", k, i, av[i], bv[i])
+			}
+		}
+	}
+	return nil
+}
+
+// TestRendezvousEquivalenceBattery is the randomized conformance
+// battery: for each seed, the sequential oracle run is compared to a
+// zero-copy run at every pipeline depth in 1–8. Small EagerMax and
+// ChunkSize keep virtual payloads multi-chunk while the wall clock
+// stays in test range.
+func TestRendezvousEquivalenceBattery(t *testing.T) {
+	const (
+		nodes   = 4
+		perPair = 6
+		maxSize = 2048 // 8 chunks at ChunkSize 256
+	)
+	base := mpi.DefaultConfig()
+	base.EagerMax = 512
+	base.ChunkSize = 256
+
+	for _, seed := range []uint64{1, 20250808, 0xfeedface} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			oracle, zc := runRndvSchedule(t, seed, base, nodes, perPair, maxSize)
+			if zc != 0 {
+				t.Fatalf("sequential run counted %d zero-copy transfers", zc)
+			}
+			checkStreams(t, oracle, seed, base, nodes, perPair, maxSize)
+
+			for _, depth := range []int{1, 2, 4, 8} {
+				cfg := base
+				cfg.RndvZeroCopy = true
+				cfg.RndvPipelineDepth = depth
+				got, zc := runRndvSchedule(t, seed, cfg, nodes, perPair, maxSize)
+				if zc == 0 {
+					t.Fatalf("depth %d: windowed path never taken", depth)
+				}
+				if err := streamsEqual(oracle, got); err != nil {
+					t.Fatalf("depth %d diverges from sequential oracle: %v", depth, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,330 @@
+package mpi_test
+
+// Fault battery for the receiver-posted-window rendezvous: loss
+// windows corrupting window data (repaired by the kRDone checksum /
+// kRNak rewrite loop), senders and receivers confirmed dead
+// mid-transfer (the survivor gets a DeadPeerError and the posted
+// window is reclaimed, never pinned), a flapping receiver (bypass
+// windows shorter than the detector's confirmation window), and a
+// testing/quick property over generated loss scripts asserting
+// exactly-once delivery.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/liveness"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+func faultAt(d sim.Duration) sim.Time { return sim.Time(0).Add(d) }
+
+// windowedWorld builds an n-node SCRAMNet cluster with the BBP retry
+// extension (reliable control under loss), the failure detector, the
+// paper's PIO-only billboard thresholds, and an MPI world with the
+// zero-copy rendezvous enabled.
+func windowedWorld(t testing.TB, k *sim.Kernel, n int, script *fault.Script) (*cluster.Cluster, *mpi.World) {
+	t.Helper()
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	bbp.Thresholds.SendDMA = 1 << 30
+	bbp.Thresholds.RecvDMA = 1 << 30
+	bbp.Thresholds.Adaptive = core.AdaptiveConfig{}
+	lcfg := liveness.DefaultConfig()
+	c, err := cluster.New(k, cluster.Options{
+		Nodes: n, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script, Liveness: &lcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := mpi.DefaultConfig()
+	mcfg.RndvZeroCopy = true
+	mcfg.WaitTimeout = 400 * sim.Millisecond
+	return c, mpi.NewWorld(c.Endpoints, mcfg)
+}
+
+func rndvPayload(seed uint64, n int) []byte {
+	b := make([]byte, n)
+	sim.NewRNG(seed).Bytes(b)
+	return b
+}
+
+// TestWindowedRendezvousUnderLossWindow opens a 25% packet-loss window
+// across the start of a 64 KiB windowed transfer. Window writes carry
+// no per-chunk recovery, so the loss corrupts the receiver's replica
+// of the window; the kRDone checksum must catch it and the kRNak
+// rewrite must deliver the payload bit-exact, exactly once.
+func TestWindowedRendezvousUnderLossWindow(t *testing.T) {
+	const size = 64 << 10
+	script := &fault.Script{Seed: 77, Actions: []fault.Action{
+		{At: faultAt(100 * sim.Microsecond), Kind: fault.LossStart, Rate: 0.25},
+		{At: faultAt(2 * sim.Millisecond), Kind: fault.LossStop},
+	}}
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w := windowedWorld(t, k, 4, script)
+	want := rndvPayload(0x1055, size)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			if err := cm.Send(p, 1, 3, want); err != nil {
+				t.Errorf("send under loss: %v", err)
+			}
+		case 1:
+			buf := make([]byte, size)
+			st, err := cm.Recv(p, 0, 3, buf)
+			if err != nil || st.Len != size {
+				t.Errorf("recv under loss: %+v %v", st, err)
+				return
+			}
+			if !bytes.Equal(buf, want) {
+				t.Error("payload corrupted despite checksum repair")
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := w.Engine(0).Stats(), w.Engine(1).Stats()
+	if s0.RndvZeroCopy != 1 {
+		t.Errorf("RndvZeroCopy = %d, want 1 (windowed path not taken)", s0.RndvZeroCopy)
+	}
+	if s1.Received != 1 {
+		t.Errorf("Received = %d, want exactly-once", s1.Received)
+	}
+	base := int64((size + (16 << 10) - 1) / (16 << 10))
+	if s0.ChunksSent <= base {
+		t.Errorf("ChunksSent = %d, want > %d (kRNak rewrite never exercised)", s0.ChunksSent, base)
+	}
+}
+
+// TestWindowedRendezvousSenderDiesMidTransfer kills the sender while
+// it is filling the receiver's posted window. The receiver must get a
+// DeadPeerError within the detector's window, the posted window must
+// be reclaimed (proved by reserving most of the partition right
+// afterwards), and a subsequent transfer from a live peer must still
+// go zero-copy.
+func TestWindowedRendezvousSenderDiesMidTransfer(t *testing.T) {
+	const (
+		victim = 1
+		size   = 256 << 10
+	)
+	script := &fault.Script{Seed: 9, Actions: []fault.Action{
+		{At: faultAt(5 * sim.Millisecond), Kind: fault.NodeFail, Node: victim},
+	}}
+	k := sim.NewKernel()
+	defer k.Close()
+	c, w := windowedWorld(t, k, 4, script)
+	follow := rndvPayload(0xf0110, 64<<10)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			buf := make([]byte, size)
+			_, err := cm.Recv(p, victim, 4, buf)
+			var dpe *mpi.DeadPeerError
+			if !errors.As(err, &dpe) || dpe.Rank != victim {
+				t.Errorf("recv from dying sender: %v, want DeadPeerError{%d}", err, victim)
+				return
+			}
+			// The abandoned transfer's window must be back in the free
+			// pool: reserving 3/4 of the partition only works if the
+			// 256 KiB window was released.
+			wnd := c.Endpoints[0].(xport.Windowed)
+			n := c.Endpoints[0].MaxMessage() * 3 / 4
+			off, ok := wnd.ReserveWindow(p, 2, n)
+			if !ok {
+				t.Errorf("partition still pinned after abandoned transfer")
+				return
+			}
+			wnd.ReleaseWindow(off, n)
+			// A live peer can still run the zero-copy path end to end.
+			got := make([]byte, len(follow))
+			st, err := cm.Recv(p, 2, 5, got)
+			if err != nil || st.Len != len(follow) || !bytes.Equal(got, follow) {
+				t.Errorf("follow-up transfer: %+v %v", st, err)
+			}
+		case victim:
+			// Dies mid-write; the engine must surface an error rather
+			// than panic, and the machine is gone either way.
+			if err := cm.Send(p, 0, 4, make([]byte, size)); err == nil {
+				t.Errorf("dying sender's Send reported success")
+			}
+		case 2:
+			p.Delay(20 * sim.Millisecond)
+			if err := cm.Send(p, 0, 5, follow); err != nil {
+				t.Errorf("live sender after death: %v", err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Engine(2).Stats().RndvZeroCopy; got != 1 {
+		t.Errorf("follow-up RndvZeroCopy = %d, want 1 (window leak forced fallback?)", got)
+	}
+}
+
+// TestWindowedRendezvousReceiverDiesMidTransfer is the mirror image:
+// the receiver posts the window, goes down mid-fill, and the sender —
+// blocked waiting for the kRAck that will never come — must get a
+// DeadPeerError and stay fully usable for transfers to other ranks.
+func TestWindowedRendezvousReceiverDiesMidTransfer(t *testing.T) {
+	const (
+		victim = 1
+		size   = 256 << 10
+	)
+	script := &fault.Script{Seed: 13, Actions: []fault.Action{
+		{At: faultAt(5 * sim.Millisecond), Kind: fault.NodeFail, Node: victim},
+	}}
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w := windowedWorld(t, k, 4, script)
+	follow := rndvPayload(0xdead2, 64<<10)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			err := cm.Send(p, victim, 6, make([]byte, size))
+			var dpe *mpi.DeadPeerError
+			if !errors.As(err, &dpe) || dpe.Rank != victim {
+				t.Errorf("send to dying receiver: %v, want DeadPeerError{%d}", err, victim)
+				return
+			}
+			if err := cm.Send(p, 2, 7, follow); err != nil {
+				t.Errorf("send to live rank after death: %v", err)
+			}
+		case victim:
+			// Progress the handshake (match the RTS, post the window,
+			// reply kCTSW) until the machine dies under the transfer.
+			buf := make([]byte, size)
+			req, err := cm.Irecv(p, 0, 6, buf)
+			if err != nil {
+				t.Errorf("victim Irecv: %v", err)
+				return
+			}
+			for !req.Done() && p.Now() < faultAt(8*sim.Millisecond) {
+				if _, _, err := cm.Test(p, req); err != nil {
+					return // dead machines get no guarantees
+				}
+				p.Delay(20 * sim.Microsecond)
+			}
+		case 2:
+			got := make([]byte, len(follow))
+			st, err := cm.Recv(p, 0, 7, got)
+			if err != nil || st.Len != len(follow) || !bytes.Equal(got, follow) {
+				t.Errorf("follow-up transfer: %+v %v", st, err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Engine(0).Stats().RndvZeroCopy; got != 2 {
+		t.Errorf("sender RndvZeroCopy = %d, want 2 (doomed + follow-up)", got)
+	}
+}
+
+// TestWindowedRendezvousFlappingReceiver bounces the receiver through
+// fail/repair cycles each shorter than the confirmation window, so
+// nobody is ever declared dead but ring packets written during the
+// bypass phases never reach the receiver's replica. The checksum loop
+// must still converge to bit-exact exactly-once delivery.
+func TestWindowedRendezvousFlappingReceiver(t *testing.T) {
+	const size = 64 << 10
+	// Down 500 µs, up 500 µs, four cycles across the transfer's fill.
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w := windowedWorld(t, k, 4, fault.Flap(1, sim.Millisecond, 4))
+	want := rndvPayload(0xf1a9, size)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			if err := cm.Send(p, 1, 8, want); err != nil {
+				t.Errorf("send to flapping receiver: %v", err)
+			}
+		case 1:
+			buf := make([]byte, size)
+			st, err := cm.Recv(p, 0, 8, buf)
+			if err != nil || st.Len != size || !bytes.Equal(buf, want) {
+				t.Errorf("flapping recv: %+v %v", st, err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Engine(1).Stats().Received; got != 1 {
+		t.Errorf("Received = %d, want exactly-once through the flaps", got)
+	}
+	if got := w.Engine(0).Stats().RndvZeroCopy; got != 1 {
+		t.Errorf("RndvZeroCopy = %d, want 1", got)
+	}
+}
+
+// TestWindowedRendezvousLossProperty is the exactly-once property over
+// generated loss-only fault scripts: whatever loss windows open, a
+// windowed transfer followed by a second one (proving the window was
+// recycled, not pinned) delivers both payloads bit-exact with
+// Received counting each exactly once.
+func TestWindowedRendezvousLossProperty(t *testing.T) {
+	const size = 32 << 10
+	prop := func(seed uint64) bool {
+		script := fault.Generate(seed, fault.GenConfig{
+			Horizon:     6 * sim.Millisecond,
+			Nodes:       4,
+			LossWindows: 2,
+			MaxLossRate: 0.5,
+		})
+		k := sim.NewKernel()
+		defer k.Close()
+		_, w := windowedWorld(t, k, 4, script)
+		ok := true
+		w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+			for round := 0; round < 2; round++ {
+				want := rndvPayload(seed<<8|uint64(round), size)
+				switch cm.Rank() {
+				case 0:
+					if err := cm.Send(p, 1, round, want); err != nil {
+						t.Errorf("seed %d round %d send: %v", seed, round, err)
+						ok = false
+						return
+					}
+				case 1:
+					buf := make([]byte, size)
+					st, err := cm.Recv(p, 0, round, buf)
+					if err != nil || st.Len != size || !bytes.Equal(buf, want) {
+						t.Errorf("seed %d round %d recv: %+v %v", seed, round, st, err)
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		if got := w.Engine(1).Stats().Received; got != 2 {
+			t.Errorf("seed %d: Received = %d, want 2", seed, got)
+			ok = false
+		}
+		if got := w.Engine(0).Stats().RndvZeroCopy; got != 2 {
+			t.Errorf("seed %d: RndvZeroCopy = %d, want 2", seed, got)
+			ok = false
+		}
+		return ok
+	}
+	max := 5
+	if testing.Short() {
+		max = 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: max}); err != nil {
+		t.Fatal(err)
+	}
+}

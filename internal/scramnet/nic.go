@@ -103,6 +103,48 @@ func (nic *NIC) Size() int { return len(nic.mem) }
 // Stats returns a copy of the card's counters.
 func (nic *NIC) Stats() Stats { return nic.stats }
 
+// AssignOwner transfers single-writer ownership of the words covering
+// [off, off+n) to the given host number, overwriting the recorded
+// owner. Protocol layers call it at explicit hand-over points (posting
+// and reclaiming a rendezvous window); it is bookkeeping only and
+// charges no bus or wire time.
+func (nic *NIC) AssignOwner(owner, off, n int) {
+	nic.checkRange(off, n)
+	nic.net.assignOwner(owner, off, n)
+}
+
+// checkWriter enforces the single-writer discipline for a host write
+// from this card. A bypassed (failed) card is exempt: its transmitter
+// drives the optical bypass loop, so its writes reach no other bank and
+// cannot conflict with a live writer — in particular, a dead sender
+// blindly finishing a rendezvous window whose words have already been
+// reclaimed and re-lent by the receiver must not trip the assertion.
+func (nic *NIC) checkWriter(off, n int) {
+	if nic.failed {
+		return
+	}
+	nic.net.checkOwner(nic.ownerID, off, n)
+}
+
+// DrainBound returns a conservative virtual time by which every write
+// this card has issued so far will have been applied at every live
+// node: the transmit link's busy horizon (all queued local and transit
+// packets serialized) plus one full revolution of worst-case hop and
+// wire delays. Layers that pipeline writes against ring circulation
+// (the rendezvous window path) use it to bound how far they run ahead.
+func (nic *NIC) DrainBound() sim.Time {
+	t := nic.net.k.Now()
+	if busy := nic.link.BusyUntil(); busy > t {
+		t = busy
+	}
+	cfg := nic.net.cfg
+	wire := cfg.FixedPacketWire
+	if cfg.Mode == VariablePackets {
+		wire = cfg.VarHeaderWire + sim.Duration(MaxVarPayload)*cfg.VarPerByteWire
+	}
+	return t.Add(sim.Duration(cfg.Nodes) * (cfg.HopDelay + wire))
+}
+
 func (nic *NIC) checkRange(off, n int) {
 	if off < 0 || n < 0 || off+n > len(nic.mem) {
 		panic(fmt.Sprintf("scramnet: access [%d,%d) outside %d-byte bank", off, off+n, len(nic.mem)))
@@ -183,7 +225,7 @@ func (nic *NIC) WriteWordInterrupt(p *sim.Proc, off int, v uint32) {
 
 func (nic *NIC) writeWord(p *sim.Proc, off int, v uint32, intr bool) {
 	nic.checkRange(off, 4)
-	nic.net.checkOwner(nic.ownerID, off, 4)
+	nic.checkWriter(off, 4)
 	nic.bus.PIOWrite(p, 1)
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
@@ -208,7 +250,7 @@ func (nic *NIC) Write(p *sim.Proc, off int, data []byte) {
 		return
 	}
 	nic.checkRange(off, len(data))
-	nic.net.checkOwner(nic.ownerID, off, len(data))
+	nic.checkWriter(off, len(data))
 	copy(nic.mem[off:], data)
 	nic.send(p, off, data, false, func(chunk int) {
 		nic.bus.PIOWrite(p, pci.WordsFor(chunk))
@@ -224,7 +266,7 @@ func (nic *NIC) WriteDMA(p *sim.Proc, off int, data []byte) {
 		return
 	}
 	nic.checkRange(off, len(data))
-	nic.net.checkOwner(nic.ownerID, off, len(data))
+	nic.checkWriter(off, len(data))
 	copy(nic.mem[off:], data)
 	cfg := nic.bus.Config()
 	nic.bus.CountDMABurst(len(data))

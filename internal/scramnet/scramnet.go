@@ -160,6 +160,20 @@ type ownerTable struct {
 	m       map[int]int
 }
 
+// assign transfers ownership of the words covering [off, off+size) to
+// writer, overwriting any previous owner. The BillBoard layer uses it
+// when a process lends part of its data partition to a peer (a posted
+// rendezvous window): the discipline stays one-writer-per-word at any
+// instant, but the writer changes hands at well-defined protocol points.
+func (t *ownerTable) assign(writer, off, size int) {
+	if !t.enabled {
+		return
+	}
+	for w := off / 4; w <= (off+size-1)/4; w++ {
+		t.m[w] = writer
+	}
+}
+
 func (t *ownerTable) check(writer, off, size int) {
 	if !t.enabled {
 		return
@@ -304,6 +318,12 @@ func (n *Network) maxPayload() int {
 // checkOwner enforces the single-writer discipline when enabled.
 func (n *Network) checkOwner(node, off, size int) {
 	n.owner.check(node, off, size)
+}
+
+// assignOwner hands the words in [off, off+size) to node (see
+// ownerTable.assign).
+func (n *Network) assignOwner(node, off, size int) {
+	n.owner.assign(node, off, size)
 }
 
 // MemBytes returns the replicated bank size.

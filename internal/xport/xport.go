@@ -33,3 +33,33 @@ type Endpoint interface {
 	// operation (true only for the BillBoard Protocol on SCRAMNet).
 	NativeMcast() bool
 }
+
+// Windowed is the optional receiver-posted-window extension (only the
+// BillBoard Protocol on SCRAMNet implements it). A receiver reserves a
+// contiguous window in its own data partition and advertises it to one
+// sender, who then writes payload straight into the remote replica of
+// that window — no per-chunk descriptors, flags or acknowledgments —
+// and the receiver reads it back locally. Layers that want the
+// zero-copy rendezvous path type-assert their Endpoint against this
+// interface and fall back to plain sends when the assertion fails.
+type Windowed interface {
+	// ReserveWindow reserves n bytes of this endpoint's data partition
+	// and grants write ownership of the window to process src. It may
+	// run garbage collection to make room; ok is false when no
+	// contiguous window of n bytes can be found.
+	ReserveWindow(p *sim.Proc, src, n int) (off int, ok bool)
+	// ReleaseWindow returns a reserved window to the partition's free
+	// pool and reclaims write ownership for the endpoint. Pure
+	// bookkeeping: no bus or wire time, callable outside a process
+	// context (e.g. when abandoning a transfer after a peer death).
+	ReleaseWindow(off, n int)
+	// WriteWindow writes data into dst's partition at the
+	// partition-relative offset off (within a window dst reserved for
+	// this endpoint). It returns a conservative bound on the virtual
+	// time by which the written bytes are visible at every live node,
+	// letting callers pipeline further writes against ring circulation.
+	WriteWindow(p *sim.Proc, dst, off int, data []byte) sim.Time
+	// ReadWindow reads len(buf) bytes from this endpoint's own
+	// partition at partition-relative offset off (a local bank read).
+	ReadWindow(p *sim.Proc, off int, buf []byte)
+}
