@@ -41,6 +41,16 @@ type Engine struct {
 	// every rendezvous on the legacy sequential path.
 	wnd xport.Windowed
 
+	// zombies holds the windows of abandoned receives whose borrower
+	// was still alive at abandon time, keyed by the receive request id.
+	// Releasing such a window immediately would hand single-writer
+	// ownership of the words to a new owner while the sender may be
+	// mid-writeWindowed; instead the reservation is kept until the
+	// sender's late kRDone/kRRej proves the transfer is over
+	// (reapZombie) or the failure detector confirms the sender dead
+	// (sweepZombies).
+	zombies map[uint32]zombieWin
+
 	scratch []byte
 	stats   EngineStats
 	im      engInstruments
@@ -107,6 +117,13 @@ type EngineStats struct {
 	WindowStalls int64
 }
 
+// zombieWin is a posted window whose receive was abandoned while the
+// borrowing sender was (as far as the detector knows) still alive.
+type zombieWin struct {
+	off, cap int
+	peer     int // world rank of the borrowing sender
+}
+
 // inMsg is an arrived-but-unmatched message: a fully staged eager
 // payload, or a rendezvous request awaiting a matching receive.
 type inMsg struct {
@@ -130,6 +147,7 @@ func newEngine(ep xport.Endpoint, cfg Config) *Engine {
 		cfg:       cfg,
 		pendSends: map[uint32]*Request{},
 		pendRecvs: map[uint32]*Request{},
+		zombies:   map[uint32]zombieWin{},
 		comms:     map[uint32]*Comm{},
 		nextCtx:   1,
 		collQ:     make([][][]byte, ep.Procs()),
@@ -165,6 +183,9 @@ func (e *Engine) Transport() xport.Endpoint { return e.ep }
 // progressOnce polls every peer for one control packet each and handles
 // whatever arrived. It returns true if anything was processed.
 func (e *Engine) progressOnce(p *sim.Proc) bool {
+	if len(e.zombies) > 0 {
+		e.sweepZombies()
+	}
 	any := false
 	for s := 0; s < e.ep.Procs(); s++ {
 		if s == e.ep.Rank() {
@@ -213,6 +234,10 @@ func (e *Engine) handleRaw(p *sim.Proc, src int, raw []byte) {
 		e.handleRNak(p, src, env)
 	case kRAck:
 		e.handleRAck(p, src, env)
+	case kRRej:
+		e.handleRRej(p, src, env)
+	case kRFall:
+		e.handleRFall(p, src, env)
 	default:
 		panic(fmt.Sprintf("mpi: unknown packet kind %d from %d", env.kind, src))
 	}
@@ -272,6 +297,7 @@ func (e *Engine) sendCTS(p *sim.Proc, src int, rts envelope, req *Request) {
 	if e.wnd != nil && req.err == nil && rts.total > 0 {
 		if off, ok := e.wnd.ReserveWindow(p, src, int(rts.total)); ok {
 			req.winOff, req.winCap, req.hasWin = off, int(rts.total), true
+			req.winPeer = src
 			cts := envelope{kind: kCTSW, ctx: rts.ctx, tag: rts.tag, total: rts.total,
 				reqID: rts.reqID, aux: id, winOff: uint32(off), winCap: rts.total}
 			e.sendControl(p, src, cts)
@@ -285,7 +311,10 @@ func (e *Engine) sendCTS(p *sim.Proc, src int, rts envelope, req *Request) {
 func (e *Engine) handleCTS(p *sim.Proc, src int, env envelope) {
 	req := e.pendSends[env.reqID]
 	if req == nil {
-		panic(fmt.Sprintf("mpi: CTS for unknown send request %d", env.reqID))
+		// The send was abandoned (timeout) before the go-ahead arrived;
+		// a late CTS is benign. The receiver pins nothing on the
+		// sequential path, so its own wait bounds the non-delivery.
+		return
 	}
 	delete(e.pendSends, env.reqID)
 	hdr := envelope{kind: kRData, ctx: env.ctx, tag: env.tag, total: uint32(len(req.data)), reqID: env.aux}
@@ -307,7 +336,13 @@ func (e *Engine) handleCTS(p *sim.Proc, src int, env envelope) {
 func (e *Engine) handleCTSW(p *sim.Proc, src int, env envelope) {
 	req := e.pendSends[env.reqID]
 	if req == nil {
-		panic(fmt.Sprintf("mpi: window CTS for unknown send request %d", env.reqID))
+		// The send was abandoned (timeout) before the window grant
+		// arrived. Unlike the sequential case the receiver is pinning a
+		// window for us, so reject explicitly: nothing will ever be
+		// written into it and the receiver may reclaim it at once.
+		rej := envelope{kind: kRRej, ctx: env.ctx, tag: env.tag, total: env.total, reqID: env.aux}
+		e.trySendControl(p, src, rej)
+		return
 	}
 	if e.wnd == nil {
 		panic(fmt.Sprintf("mpi: window CTS from %d on a transport without windows", src))
@@ -347,6 +382,7 @@ func (e *Engine) writeWindowed(p *sim.Proc, dst int, req *Request) {
 				e.im.windowStalls.Inc()
 			}
 			inflight = inflight[1:]
+			e.im.pipelineDepth.Set(int64(len(inflight)))
 		}
 		p.Delay(e.cfg.Costs.PerChunk)
 		span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-chunk", 0, req.span, "dst=%d off=%d len=%d", dst, off, m)
@@ -358,6 +394,10 @@ func (e *Engine) writeWindowed(p *sim.Proc, dst int, req *Request) {
 		e.im.chunksSent.Inc()
 		off += m
 	}
+	// The fill is over: whatever is still circulating drains without the
+	// sender tracking it, so the instantaneous depth is back to zero
+	// (Max() keeps the high-water mark).
+	e.im.pipelineDepth.Set(0)
 }
 
 // handleRDone is the receiver's end of a windowed transfer: read the
@@ -365,11 +405,18 @@ func (e *Engine) writeWindowed(p *sim.Proc, dst int, req *Request) {
 // window and acknowledge. A mismatch means ring packets carrying
 // window data were lost; the receiver keeps the window posted and
 // sends kRNak, and the sender rewrites the whole window and announces
-// again.
+// again — at most maxWindowNaks times, after which the receiver gives
+// the window up (kRFall) and the payload is resent sequentially.
 func (e *Engine) handleRDone(p *sim.Proc, src int, env envelope) {
 	req := e.pendRecvs[env.reqID]
 	if req == nil {
-		panic(fmt.Sprintf("mpi: RDONE for unknown recv request %d", env.reqID))
+		// The receive was abandoned (timeout) mid-transfer. The kRDone
+		// proves the sender has finished writing, so the parked window
+		// can finally be reclaimed; no ack — the payload was never
+		// delivered to the application, and the sender's own wait
+		// bounds its non-completion.
+		e.reapZombie(env.reqID)
+		return
 	}
 	if !req.hasWin || int(env.total) > req.winCap || int(env.total) > len(req.buf) {
 		panic(fmt.Sprintf("mpi: RDONE total=%d does not fit request window (cap=%d posted=%v)", env.total, req.winCap, req.hasWin))
@@ -377,8 +424,22 @@ func (e *Engine) handleRDone(p *sim.Proc, src int, env envelope) {
 	n := int(env.total)
 	e.wnd.ReadWindow(p, req.winOff, req.buf[:n])
 	if payloadCheck(req.buf[:n]) != env.aux {
-		nak := envelope{kind: kRNak, ctx: env.ctx, tag: env.tag, total: env.total, reqID: req.peerID, aux: env.reqID}
-		e.trySendControl(p, src, nak)
+		req.naks++
+		if req.naks < maxWindowNaks {
+			nak := envelope{kind: kRNak, ctx: env.ctx, tag: env.tag, total: env.total, reqID: req.peerID, aux: env.reqID}
+			e.trySendControl(p, src, nak)
+			return
+		}
+		// Persistent corruption: rewriting the unprotected window is
+		// not converging, so fall back to the sequential kRData path,
+		// which rides the billboard's own recovery machinery. The
+		// kRDone in hand proves the sender is not mid-write, so the
+		// release cannot race its stores; the request stays in
+		// pendRecvs to match the kRData announcement.
+		e.wnd.ReleaseWindow(req.winOff, req.winCap)
+		req.hasWin = false
+		fall := envelope{kind: kRFall, ctx: env.ctx, tag: env.tag, total: env.total, reqID: req.peerID, aux: env.reqID}
+		e.trySendControl(p, src, fall)
 		return
 	}
 	e.wnd.ReleaseWindow(req.winOff, req.winCap)
@@ -423,10 +484,59 @@ func (e *Engine) handleRAck(p *sim.Proc, src int, env envelope) {
 	req.done = true
 }
 
+// handleRRej is the sender's refusal of a window grant: its send was
+// abandoned before the kCTSW arrived, so the window will never be
+// written and the receiver can take ownership back immediately. The
+// receive request itself stays pending — its own wait bounds the
+// non-delivery — but it no longer pins partition space.
+func (e *Engine) handleRRej(p *sim.Proc, src int, env envelope) {
+	req := e.pendRecvs[env.reqID]
+	if req == nil {
+		e.reapZombie(env.reqID)
+		return
+	}
+	delete(e.pendRecvs, env.reqID)
+	if req.hasWin && e.wnd != nil {
+		e.wnd.ReleaseWindow(req.winOff, req.winCap)
+		req.hasWin = false
+	}
+}
+
+// handleRFall is the receiver's verdict that the window rewrite loop
+// is not converging (maxWindowNaks consecutive checksum mismatches):
+// it has released the window, and the sender must deliver the payload
+// through the sequential kRData path instead, exactly as a plain kCTS
+// would have. The request may already be gone if the wait was
+// abandoned; then the transfer stays undelivered and both waits bound
+// the failure.
+func (e *Engine) handleRFall(p *sim.Proc, src int, env envelope) {
+	req := e.pendSends[env.reqID]
+	if req == nil {
+		return
+	}
+	hdr := envelope{kind: kRData, ctx: env.ctx, tag: env.tag, total: uint32(len(req.data)), reqID: req.peerID}
+	if !e.trySendControl(p, src, hdr) {
+		// Receiver unreachable (fenced mid-protocol): leave the request
+		// pending so the sender's wait surfaces the death or timeout.
+		return
+	}
+	delete(e.pendSends, env.reqID)
+	e.tracer.PushParent(req.span)
+	e.sendChunks(p, req.dst, req.data)
+	e.tracer.PopParent()
+	e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "rndv-end", req.span, 0, "total=%d fallback", len(req.data))
+	req.done = true
+}
+
 func (e *Engine) handleRData(p *sim.Proc, src int, env envelope) {
 	req := e.pendRecvs[env.reqID]
 	if req == nil {
-		panic(fmt.Sprintf("mpi: RDATA for unknown recv request %d", env.reqID))
+		// The receive was abandoned (timeout) after granting the CTS.
+		// The payload chunks are already behind this announcement on
+		// the same FIFO stream, so they must be drained to keep the
+		// stream parseable — then discarded.
+		e.drainDiscard(p, src, int(env.total))
+		return
 	}
 	delete(e.pendRecvs, env.reqID)
 	if req.err != nil { // truncation already flagged at CTS time
@@ -642,14 +752,23 @@ func (e *Engine) wait(p *sim.Proc, req *Request) (Status, error) {
 }
 
 // abandon tears down a request whose wait ended without completion
-// (dead peer or timeout): any window it holds is released back to the
-// partition — an aborted rendezvous must not pin receiver buffer space,
-// mirroring the dead-peer reclaim in the billboard's collector — and
-// its protocol-table entries are dropped so a late control packet for
-// it is ignored rather than mis-matched.
+// (dead peer or timeout): its protocol-table entries are dropped so a
+// late control packet for it is ignored rather than mis-matched, and
+// any window it holds is reclaimed — an aborted rendezvous must not
+// pin receiver buffer space, mirroring the dead-peer reclaim in the
+// billboard's collector. Reclaim is immediate only when the borrowing
+// sender is confirmed dead (a fenced card's writes reach no live
+// bank); with a live borrower possibly mid-writeWindowed, releasing
+// now would re-lend the words under its stores, so the window is
+// parked as a zombie until the sender's late kRDone/kRRej proves the
+// transfer over, or the detector confirms the sender dead.
 func (e *Engine) abandon(req *Request) {
 	if req.hasWin && e.wnd != nil {
-		e.wnd.ReleaseWindow(req.winOff, req.winCap)
+		if e.peerDead(req.winPeer) {
+			e.wnd.ReleaseWindow(req.winOff, req.winCap)
+		} else {
+			e.zombies[req.id] = zombieWin{off: req.winOff, cap: req.winCap, peer: req.winPeer}
+		}
 		req.hasWin = false
 	}
 	if req.isSend {
@@ -665,6 +784,28 @@ func (e *Engine) abandon(req *Request) {
 		if r == req {
 			e.posted = append(e.posted[:i], e.posted[i+1:]...)
 			break
+		}
+	}
+}
+
+// reapZombie releases the zombie window parked for an abandoned
+// receive, if any: a late kRDone (the borrower finished writing) or
+// kRRej (it never will) makes the release race-free.
+func (e *Engine) reapZombie(id uint32) {
+	if z, ok := e.zombies[id]; ok {
+		e.wnd.ReleaseWindow(z.off, z.cap)
+		delete(e.zombies, id)
+	}
+}
+
+// sweepZombies reclaims zombie windows whose borrower the failure
+// detector has since confirmed dead: the fenced card's writes reach no
+// live bank, so handing the words back cannot race anything.
+func (e *Engine) sweepZombies() {
+	for id, z := range e.zombies {
+		if e.peerDead(z.peer) {
+			e.wnd.ReleaseWindow(z.off, z.cap)
+			delete(e.zombies, id)
 		}
 	}
 }

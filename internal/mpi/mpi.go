@@ -161,6 +161,14 @@ type Config struct {
 // Config.RndvPipelineDepth is unset.
 const defaultRndvPipelineDepth = 2
 
+// maxWindowNaks bounds the kRNak/kRDone rewrite loop per transfer:
+// after this many consecutive whole-window checksum mismatches the
+// receiver gives the window up (kRFall) and the payload is resent on
+// the sequential kRData path, which rides the billboard's per-message
+// recovery machinery. Without the bound, persistent ring loss would
+// cycle rewrite-and-renak until the wait timeout.
+const maxWindowNaks = 3
+
 // DefaultConfig returns the configuration used for the paper figures.
 func DefaultConfig() Config {
 	// ChunkSize equals EagerMax: the paper's channel device is a
@@ -189,10 +197,12 @@ const (
 	// Receiver-posted-window rendezvous kinds (Config.RndvZeroCopy).
 	// None of them is ever emitted when the feature is off, so the
 	// legacy wire protocol stays byte-identical.
-	kCTSW  = 5 // CTS carrying a window descriptor (envWinBytes long)
-	kRDone = 6 // sender: window fully written (aux = payload checksum)
-	kRNak  = 7 // receiver: checksum mismatch, rewrite the window
-	kRAck  = 8 // receiver: payload verified, sender may complete
+	kCTSW  = 5  // CTS carrying a window descriptor (envWinBytes long)
+	kRDone = 6  // sender: window fully written (aux = payload checksum)
+	kRNak  = 7  // receiver: checksum mismatch, rewrite the window
+	kRAck  = 8  // receiver: payload verified, sender may complete
+	kRRej  = 9  // sender: send abandoned, receiver may reclaim the window
+	kRFall = 10 // receiver: nak budget spent, resend via sequential kRData
 
 	envBytes = 24
 	// envWinBytes is the kCTSW envelope length: the legacy 24 bytes
@@ -296,13 +306,20 @@ type Request struct {
 	// other side's request id — on the receiver the sender's RTS id
 	// (addressed by kRNak/kRAck), on the sender the receiver's CTS id
 	// (addressed by kRDone). hasWin marks a live window reservation on
-	// the receiver, released in handleRDone or when the wait is
-	// abandoned (dead peer / timeout) so an aborted transfer never pins
-	// partition space.
-	peerID uint32
-	winOff int
-	winCap int
-	hasWin bool
+	// the receiver, released in handleRDone, on a kRRej/kRFall
+	// hand-back, or when the wait is abandoned — immediately if the
+	// borrower (winPeer, the sender's world rank) is confirmed dead,
+	// otherwise parked as a zombie until the borrower is provably done
+	// writing — so an aborted transfer never pins partition space and a
+	// release never races a live sender's in-flight window stores. naks
+	// counts consecutive kRDone checksum mismatches against
+	// maxWindowNaks.
+	peerID  uint32
+	winOff  int
+	winCap  int
+	winPeer int
+	hasWin  bool
+	naks    int
 }
 
 // Done reports whether the operation has completed (poll without

@@ -32,6 +32,14 @@ func faultAt(d sim.Duration) sim.Time { return sim.Time(0).Add(d) }
 // zero-copy rendezvous enabled.
 func windowedWorld(t testing.TB, k *sim.Kernel, n int, script *fault.Script) (*cluster.Cluster, *mpi.World) {
 	t.Helper()
+	return windowedWorldTimeout(t, k, n, script, 400*sim.Millisecond)
+}
+
+// windowedWorldTimeout is windowedWorld with an explicit wait timeout,
+// for the abandonment tests that need waits expiring mid-handshake
+// while every peer stays alive.
+func windowedWorldTimeout(t testing.TB, k *sim.Kernel, n int, script *fault.Script, wt sim.Duration) (*cluster.Cluster, *mpi.World) {
+	t.Helper()
 	bbp := core.DefaultConfig()
 	bbp.Retry = core.DefaultRetryConfig()
 	bbp.Thresholds.SendDMA = 1 << 30
@@ -46,8 +54,23 @@ func windowedWorld(t testing.TB, k *sim.Kernel, n int, script *fault.Script) (*c
 	}
 	mcfg := mpi.DefaultConfig()
 	mcfg.RndvZeroCopy = true
-	mcfg.WaitTimeout = 400 * sim.Millisecond
+	mcfg.WaitTimeout = wt
 	return c, mpi.NewWorld(c.Endpoints, mcfg)
+}
+
+// recvEventually re-posts a receive across wait timeouts (each attempt
+// progresses the engine, delivering any late protocol traffic) until
+// the message lands or the attempt budget is spent.
+func recvEventually(p *sim.Proc, cm *mpi.Comm, src, tag int, buf []byte, tries int) (mpi.Status, error) {
+	var st mpi.Status
+	var err error
+	for i := 0; i < tries; i++ {
+		st, err = cm.Recv(p, src, tag, buf)
+		if !errors.Is(err, mpi.ErrTimeout) {
+			break
+		}
+	}
+	return st, err
 }
 
 func rndvPayload(seed uint64, n int) []byte {
@@ -326,5 +349,177 @@ func TestWindowedRendezvousLossProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: max}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWindowedRendezvousReceiverTimeoutLiveSenderReapsWindow times the
+// receiver out mid-transfer while the sender — alive the whole time —
+// is still filling the posted window. The abandoned window must NOT be
+// released under the sender's in-flight stores (that would re-lend the
+// words and trip the single-writer check); it is parked until the
+// sender's late kRDone proves the fill over, at which point it is
+// reclaimed without panicking the engine, without delivering the
+// abandoned payload, and without pinning partition space.
+func TestWindowedRendezvousReceiverTimeoutLiveSenderReapsWindow(t *testing.T) {
+	const size = 256 << 10
+	k := sim.NewKernel()
+	defer k.Close()
+	c, w := windowedWorldTimeout(t, k, 4, nil, 2*sim.Millisecond)
+	follow := rndvPayload(0x2ea9, 1<<10)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			// Start late enough that the kCTSW beats the receiver's
+			// deadline but the ~40 ms window fill does not.
+			p.Delay(500 * sim.Microsecond)
+			if err := cm.Send(p, 1, 10, make([]byte, size)); !errors.Is(err, mpi.ErrTimeout) {
+				t.Errorf("slow send past an abandoned receiver: %v, want ErrTimeout", err)
+			}
+		case 1:
+			buf := make([]byte, size)
+			if _, err := cm.Recv(p, 0, 10, buf); !errors.Is(err, mpi.ErrTimeout) {
+				t.Errorf("recv from slow sender: %v, want ErrTimeout", err)
+				return
+			}
+			// Keep progressing until rank 2's message lands (~50 ms):
+			// the sender's kRDone arrives meanwhile and must reap the
+			// parked window instead of panicking on the unknown request.
+			got := make([]byte, len(follow))
+			st, err := recvEventually(p, cm, 2, 11, got, 60)
+			if err != nil || st.Len != len(follow) || !bytes.Equal(got, follow) {
+				t.Errorf("follow-up eager recv: %+v %v", st, err)
+				return
+			}
+			// The zombie window must be back in the free pool.
+			wnd := c.Endpoints[1].(xport.Windowed)
+			n := c.Endpoints[1].MaxMessage() * 3 / 4
+			off, ok := wnd.ReserveWindow(p, 0, n)
+			if !ok {
+				t.Errorf("partition still pinned after the late kRDone reap")
+				return
+			}
+			wnd.ReleaseWindow(off, n)
+		case 2:
+			p.Delay(50 * sim.Millisecond)
+			if err := cm.Send(p, 1, 11, follow); err != nil {
+				t.Errorf("follow-up eager send: %v", err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The abandoned payload must never count as delivered.
+	if got := w.Engine(1).Stats().Received; got != 1 {
+		t.Errorf("Received = %d, want 1 (follow-up only)", got)
+	}
+}
+
+// TestWindowedRendezvousSenderTimeoutRejectsWindowGrant is the mirror
+// abandonment: the sender gives up before the window grant arrives.
+// Its kCTSW handler must not panic on the unknown request; it replies
+// kRRej so the receiver — which posted a whole-payload window — can
+// reclaim the span immediately instead of leaking it until peer death.
+func TestWindowedRendezvousSenderTimeoutRejectsWindowGrant(t *testing.T) {
+	const size = 256 << 10
+	k := sim.NewKernel()
+	defer k.Close()
+	c, w := windowedWorldTimeout(t, k, 4, nil, 2*sim.Millisecond)
+	follow := rndvPayload(0x2e1, 1<<10)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			// The receiver only posts its receive at 3 ms, past this
+			// send's 2 ms deadline.
+			if err := cm.Send(p, 1, 12, make([]byte, size)); !errors.Is(err, mpi.ErrTimeout) {
+				t.Errorf("send to tardy receiver: %v, want ErrTimeout", err)
+				return
+			}
+			// Keep progressing so the late kCTSW is answered with kRRej.
+			got := make([]byte, len(follow))
+			st, err := recvEventually(p, cm, 2, 13, got, 60)
+			if err != nil || st.Len != len(follow) || !bytes.Equal(got, follow) {
+				t.Errorf("follow-up eager recv: %+v %v", st, err)
+			}
+		case 1:
+			p.Delay(3 * sim.Millisecond)
+			buf := make([]byte, size)
+			if _, err := cm.Recv(p, 0, 12, buf); !errors.Is(err, mpi.ErrTimeout) {
+				t.Errorf("recv whose sender abandoned: %v, want ErrTimeout", err)
+				return
+			}
+			// The rejected grant must have released the window already.
+			wnd := c.Endpoints[1].(xport.Windowed)
+			n := c.Endpoints[1].MaxMessage() * 3 / 4
+			off, ok := wnd.ReserveWindow(p, 0, n)
+			if !ok {
+				t.Errorf("partition still pinned after kRRej")
+				return
+			}
+			wnd.ReleaseWindow(off, n)
+		case 2:
+			p.Delay(8 * sim.Millisecond)
+			if err := cm.Send(p, 0, 13, follow); err != nil {
+				t.Errorf("follow-up eager send: %v", err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowedRendezvousPersistentLossFallsBackSequential holds a 35%
+// loss rate across the first three window fills of a 64 KiB transfer
+// (each fill takes ~14 ms; the window closes at 34 ms, inside the
+// third). Every fill is torn — tens of thousands of unprotected window
+// packets cannot all survive — so the kRNak rewrite loop must not
+// cycle until the wait timeout: after maxWindowNaks consecutive
+// mismatches the receiver hands the window back (kRFall) and the
+// payload is delivered bit-exact through the sequential kRData path,
+// which rides the billboard retry machinery (its 8 × 200 µs budget
+// bridges the residual overlap with the loss window).
+func TestWindowedRendezvousPersistentLossFallsBackSequential(t *testing.T) {
+	const size = 64 << 10
+	script := &fault.Script{Seed: 41, Actions: []fault.Action{
+		{At: faultAt(100 * sim.Microsecond), Kind: fault.LossStart, Rate: 0.35},
+		{At: faultAt(34 * sim.Millisecond), Kind: fault.LossStop},
+	}}
+	k := sim.NewKernel()
+	defer k.Close()
+	_, w := windowedWorld(t, k, 4, script)
+	want := rndvPayload(0xfa11, size)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		switch cm.Rank() {
+		case 0:
+			if err := cm.Send(p, 1, 14, want); err != nil {
+				t.Errorf("send under persistent loss: %v", err)
+			}
+		case 1:
+			buf := make([]byte, size)
+			st, err := cm.Recv(p, 0, 14, buf)
+			if err != nil || st.Len != size {
+				t.Errorf("recv under persistent loss: %+v %v", st, err)
+				return
+			}
+			if !bytes.Equal(buf, want) {
+				t.Error("payload corrupted through the sequential fallback")
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := w.Engine(0).Stats(), w.Engine(1).Stats()
+	if s1.Received != 1 {
+		t.Errorf("Received = %d, want exactly-once", s1.Received)
+	}
+	if s0.RndvZeroCopy != 1 {
+		t.Errorf("RndvZeroCopy = %d, want 1 (the windowed path was attempted)", s0.RndvZeroCopy)
+	}
+	// Three torn window fills plus the sequential resend.
+	base := int64((size + (16 << 10) - 1) / (16 << 10))
+	if s0.ChunksSent < 4*base {
+		t.Errorf("ChunksSent = %d, want >= %d (fallback after the nak budget)", s0.ChunksSent, 4*base)
 	}
 }
