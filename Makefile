@@ -15,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover covercheck verify figures bench timeline soak clean
+.PHONY: all build test race vet lint cover covercheck verify figures bench timeline soak clean
 
 all: build
 
@@ -27,6 +27,15 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Style tier: gofmt cleanliness plus vet. gofmt -l prints offending
+# files; any output fails the tier so an unformatted file cannot land.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@echo "lint green: gofmt + vet clean"
 
 race:
 	$(GO) test -race ./...
@@ -43,6 +52,10 @@ cover:
 # refactors pass while a PR that lands uncovered protocol paths fails
 # loudly here instead of rotting silently.
 MPI_COVER_FLOOR := 80.0
+# The in-network handler engine (ISSUE 7) carries the same discipline:
+# the spin package's verdict/budget/rollback semantics are what the ring
+# integration and the E12 figures rest on.
+SPIN_COVER_FLOOR := 80.0
 
 covercheck: build
 	@$(GO) test -coverprofile=.cover.mpi.out ./internal/mpi > /dev/null
@@ -54,9 +67,18 @@ covercheck: build
 		echo "internal/mpi statement coverage $$pct% fell below the $(MPI_COVER_FLOOR)% floor"; \
 		exit 1; \
 	fi
+	@$(GO) test -coverprofile=.cover.spin.out ./internal/spin > /dev/null
+	@pct=$$($(GO) tool cover -func=.cover.spin.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.spin.out; \
+	if awk "BEGIN {exit !($$pct >= $(SPIN_COVER_FLOOR))}"; then \
+		echo "covercheck green: internal/spin statement coverage $$pct% (floor $(SPIN_COVER_FLOOR)%)"; \
+	else \
+		echo "internal/spin statement coverage $$pct% fell below the $(SPIN_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi
 
-verify: vet test race covercheck timeline soak
-	@echo "verify tier green: vet + test + race + covercheck + timeline + soak"
+verify: lint test race covercheck timeline soak
+	@echo "verify tier green: lint + test + race + covercheck + timeline + soak"
 
 # Robustness soak tier: the multi-seed fault + liveness battery under
 # the race detector. Each seed generates a script mixing loss windows
@@ -119,4 +141,4 @@ bench: build
 	fi
 
 clean:
-	rm -f cover.out cover.html .bench.tmp.json .timeline.tmp.out
+	rm -f cover.out cover.html .cover.mpi.out .cover.spin.out .bench.tmp.json .timeline.tmp.out

@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	anatomy [-size 4] [-nodes 4] [-mcast]
+//	anatomy [-size 4] [-nodes 4] [-mcast] [-earlyack]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "ring size")
 	mcast := flag.Bool("mcast", false, "broadcast to all nodes instead of unicast")
 	recvany := flag.Bool("recvany", false, "receivers use RecvAny (exercises the burst-read poll sweep)")
+	earlyack := flag.Bool("earlyack", false, "acknowledge posts at ring transit (in-network handler) instead of at host consume")
 	tcap := flag.Int("tracecap", 4096, "trace ring-buffer capacity (0 = unbounded)")
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 	}
 	m := metrics.New()
 	bcfg := core.DefaultConfig()
+	bcfg.EarlyAck = *earlyack
 	sys, err := core.New(ring, bcfg, core.WithTracer(rec), core.WithMetrics(m))
 	if err != nil {
 		log.Fatal(err)
@@ -183,6 +185,7 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 		{"post", "bbp.sends"},
 		{"detect", "bbp.recvs"},
 		{"consume", "bbp.recvs"},
+		{"handler", "spin.handlers_run"},
 	} {
 		if got, want := int64(rec.Count(pc.event)), global(pc.metric); got != want {
 			fail("trace %q count %d != rollup %s %d", pc.event, got, pc.metric, want)
@@ -204,6 +207,17 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 	}
 	if nicApplied != global("ring.packets_applied") {
 		fail("NIC Stats say %d packets applied, metrics say %d", nicApplied, global("ring.packets_applied"))
+	}
+	var hRun, hCycles, hTraps int64
+	for i := range eps {
+		hs := ring.NIC(i).HandlerStats()
+		hRun += hs.HandlersRun
+		hCycles += hs.HandlerCycles
+		hTraps += hs.TrapsToHost
+	}
+	if hRun != global("spin.handlers_run") || hCycles != global("spin.handler_cycles") || hTraps != global("spin.traps_to_host") {
+		fail("engine HandlerStats (run=%d cycles=%d traps=%d) disagree with spin.* metrics (%d/%d/%d)",
+			hRun, hCycles, hTraps, global("spin.handlers_run"), global("spin.handler_cycles"), global("spin.traps_to_host"))
 	}
 	var epSent, epRecv, epPolls, epPollW, epBursts, epBurstW int64
 	for _, e := range eps {
@@ -317,6 +331,12 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 	}
 	drain := buscfg.PIOWriteWord // ACK toggle write
 	drainModel := fmt.Sprintf("1 wr × %s", buscfg.PIOWriteWord)
+	if bcfg.EarlyAck {
+		// The transit handler acknowledged the post; the host consume
+		// performs no ACK write.
+		drain = 0
+		drainModel = "early-ack (no host ACK write)"
+	}
 	if dmaRecv {
 		drain += buscfg.DMASetup + sim.Duration(size)*buscfg.DMAPerByte + buscfg.DMACompletionCheck
 		drainModel = "DMA " + fmt.Sprint(size) + " B + " + drainModel

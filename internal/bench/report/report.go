@@ -27,6 +27,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
+	"repro/internal/spin"
 )
 
 // Schema is the report format version. Bump it whenever a field is
@@ -50,7 +51,16 @@ import (
 // its descriptors from 4 to 5 words (a checksummed destination mask),
 // which moves retry-enabled timings (E10) by a few microseconds;
 // default-path figures are unchanged (retry is off there).
-const Schema = 4
+//
+// Schema 5: added stream_allreduce (E12): the A/B between the in-network
+// handler-engine streaming allreduce (spin.Reducer at every ring transit
+// point) and the rank-side software tree at 16 nodes, plus the degraded
+// round where a suspect member forces the fast path back onto the tree.
+// The rollup gained the always-present (zero off the fast path)
+// bbp.stream_* and mpi.stream_* instruments; default-path figures are
+// unchanged — no handlers are installed there, and the un-handled
+// transit path charges nothing.
+const Schema = 5
 
 // Options selects the sweep resolution. The default runs the figure
 // suite at the paper's panel sizes; Reduced is a fast subset for tests.
@@ -131,6 +141,12 @@ type Report struct {
 	// receiver-posted-window pipelined rendezvous. Check() gates
 	// ImprovementPct.
 	RndvPipeline RndvPipeline `json:"rndv_pipeline"`
+	// StreamAllreduce is the E12 measurement: one small-vector allreduce
+	// at 16 nodes through the in-network handler engine vs the rank-side
+	// software tree, and whether a suspect member degrades the fast path
+	// back onto the tree. Check() gates the improvement, the non-zero
+	// handler cycle charge, and the degradation.
+	StreamAllreduce StreamAllreduce `json:"stream_allreduce"`
 	// Rollup is the cluster-wide metrics snapshot of the canonical
 	// instrumented run (the 4-byte SCRAMNet ping-pong): protocol and
 	// hardware counters that must not drift silently.
@@ -241,6 +257,52 @@ type RndvPipeline struct {
 	ImprovementPct float64 `json:"improvement_pct"`
 }
 
+// StreamAllreduce is the E12 measurement (EXPERIMENTS.md): the
+// completion latency of one Bytes-long 32-bit-lane sum allreduce across
+// Nodes ranks, (a) through Comm.AllreduceW's in-network fast path — the
+// vector circulates the ring once and every transit NIC's spin.Reducer
+// handler folds the local contribution in — and (b) through the
+// rank-side binomial tree over the identical RingOpFunc fold. Both runs
+// use the same substrate and cost model; the handler path additionally
+// pays HandlerCycles × scramnet.Config.HandlerCycleCost of in-network
+// compute, so the win is honest. SuspectFallback records the liveness
+// gate: with one member suspected (bypassed then repaired), the same
+// call must decline the fast path and complete on the tree.
+type StreamAllreduce struct {
+	Nodes int `json:"nodes"`
+	Bytes int `json:"bytes"`
+	// TreeUs / HandlerUs are the worst-rank completion latencies of the
+	// software tree and the handler fast path.
+	TreeUs    float64 `json:"tree_us"`
+	HandlerUs float64 `json:"handler_us"`
+	// ImprovementPct is how much of the tree latency the handler path
+	// removes, in percent.
+	ImprovementPct float64 `json:"improvement_pct"`
+	// HandlerCycles is the cluster-wide spin.handler_cycles total of the
+	// fast-path run — the virtual-time cost the NICs charged for the
+	// in-network compute.
+	HandlerCycles int64 `json:"handler_cycles"`
+	// SuspectFallback reports that the degraded run declined the fast
+	// path on suspicion and still produced the correct sums on the tree.
+	SuspectFallback bool `json:"suspect_fallback"`
+}
+
+// StreamAllreduceNodes / StreamAllreduceBytes are the E12 panel point:
+// the acceptance cluster size and the vector size (16 32-bit lanes).
+const (
+	StreamAllreduceNodes = 16
+	StreamAllreduceBytes = 64
+)
+
+// MinStreamImprovementPct is the `make bench` regression gate on E12
+// (ISSUE 7): the in-network streaming allreduce must cut the 16-node
+// small-vector allreduce latency by at least this percentage versus the
+// rank-side tree. The tree pays log2(16) = 4 serialized rounds of
+// software send/receive overhead (~27.5 µs + ~20 µs per hop); the
+// stream path pays one arrival barrier plus one ring revolution of
+// header+vector+mask packets and the cycle-priced handler work.
+const MinStreamImprovementPct = 25.0
+
 // RndvPipelineBytes / RndvPipelineDepth are the E11 panel point: the
 // acceptance size for "pipelining pays off at or above 64 KiB", at the
 // engine's default pipeline depth.
@@ -312,6 +374,21 @@ func (r Report) Check() error {
 	if z.ImprovementPct < MinRndvImprovementPct {
 		return fmt.Errorf("rendezvous pipeline gate: the windowed path cut the %d B one-way latency by %.1f%% (%.1f → %.1f µs at depth %d); the gate requires ≥ %.0f%%",
 			z.Bytes, z.ImprovementPct, z.SequentialUs, z.PipelinedUs, z.PipelineDepth, MinRndvImprovementPct)
+	}
+	s := r.StreamAllreduce
+	if s.TreeUs <= 0 || s.HandlerUs <= 0 {
+		return fmt.Errorf("stream allreduce gate: degenerate measurement (tree %.1f µs, handler %.1f µs)",
+			s.TreeUs, s.HandlerUs)
+	}
+	if s.ImprovementPct < MinStreamImprovementPct {
+		return fmt.Errorf("stream allreduce gate: the handler path cut the %d B / %d-node allreduce by %.1f%% (%.1f → %.1f µs); the gate requires ≥ %.0f%%",
+			s.Bytes, s.Nodes, s.ImprovementPct, s.TreeUs, s.HandlerUs, MinStreamImprovementPct)
+	}
+	if s.HandlerCycles <= 0 {
+		return fmt.Errorf("stream allreduce gate: fast path ran without charging handler cycles — the in-network compute is no longer priced in virtual time")
+	}
+	if !s.SuspectFallback {
+		return fmt.Errorf("stream allreduce gate: a suspect member did not degrade the fast path to the tree")
 	}
 	return nil
 }
@@ -599,6 +676,107 @@ func rndvPipeline() RndvPipeline {
 	}
 }
 
+// streamRun executes one 16-rank sum allreduce over a patterned
+// StreamAllreduceBytes vector and returns the worst-rank completion
+// latency (µs past start), the cluster-wide spin.handler_cycles total,
+// and whether any rank degraded to the tree. fast selects AllreduceW
+// (the in-network path) vs the explicit RingOpFunc tree; script/live
+// optionally fault the run, with start delaying the collective past the
+// scripted suspicion window.
+func streamRun(fast bool, script *fault.Script, live *liveness.Config, start sim.Duration) (us float64, cycles int64, fellBack bool) {
+	k := sim.NewKernel()
+	defer k.Close()
+	m := metrics.New()
+	bbp := core.DefaultConfig()
+	bbp.Stream.Enabled = true
+	c, err := cluster.New(k, cluster.Options{
+		Nodes: StreamAllreduceNodes, Net: cluster.SCRAMNet,
+		BBP: &bbp, Metrics: m, Liveness: live, Faults: script,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w := mpi.NewWorld(c.Endpoints, mpi.DefaultConfig())
+	var worst sim.Time
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if start > 0 {
+			p.Delay(start)
+		}
+		me := cm.Rank()
+		send := make([]byte, StreamAllreduceBytes)
+		for i := 0; i+4 <= len(send); i += 4 {
+			lane := uint32(me+1) * uint32(i/4+1)
+			send[i], send[i+1], send[i+2], send[i+3] = byte(lane), byte(lane>>8), byte(lane>>16), byte(lane>>24)
+		}
+		recv := make([]byte, StreamAllreduceBytes)
+		if fast {
+			err = cm.AllreduceW(p, spin.OpSumU32, send, recv)
+		} else {
+			err = cm.Allreduce(p, mpi.RingOpFunc(spin.OpSumU32), send, recv)
+		}
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i+4 <= len(recv); i += 4 {
+			var want uint32
+			for r := 0; r < StreamAllreduceNodes; r++ {
+				want += uint32(r+1) * uint32(i/4+1)
+			}
+			got := uint32(recv[i]) | uint32(recv[i+1])<<8 | uint32(recv[i+2])<<16 | uint32(recv[i+3])<<24
+			if got != want {
+				panic(fmt.Sprintf("E12 rank %d lane %d: got %d want %d", me, i/4, got, want))
+			}
+		}
+		if p.Now() > worst {
+			worst = p.Now()
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	cyc, _ := m.Snapshot().Rollup().Counter("spin.handler_cycles", metrics.NodeGlobal)
+	for i := 0; i < StreamAllreduceNodes; i++ {
+		fellBack = fellBack || w.Engine(i).Stats().StreamFallbacks > 0
+	}
+	return round3(float64(worst.Sub(sim.Time(0).Add(start))) / float64(sim.Microsecond)), cyc, fellBack
+}
+
+// streamAllreduce measures the E12 row and its degradation scenario.
+func streamAllreduce() StreamAllreduce {
+	treeUs, _, _ := streamRun(false, nil, nil, 0)
+	fastUs, cycles, fell := streamRun(true, nil, nil, 0)
+	if fell {
+		panic("E12 fast-path run fell back with all members alive")
+	}
+	if cycles <= 0 {
+		panic("E12 fast-path run charged no handler cycles")
+	}
+	// Degradation: rank 11's card is bypassed at 1 ms and repaired at
+	// 1.7 ms; the collective starts at 1.72 ms, inside the suspicion
+	// window (suspected from 1.5 ms until its next heartbeat circulates
+	// after the repair), so the fast path must decline and the tree —
+	// with every member alive again — must complete correctly.
+	live := liveness.DefaultConfig()
+	script := &fault.Script{Seed: 112, Actions: []fault.Action{
+		{At: sim.Time(0).Add(1 * sim.Millisecond), Kind: fault.NodeFail, Node: 11},
+		{At: sim.Time(0).Add(1700 * sim.Microsecond), Kind: fault.NodeRepair, Node: 11},
+	}}
+	_, _, degraded := streamRun(true, script, &live, 1720*sim.Microsecond)
+	imp := 0.0
+	if treeUs > 0 {
+		imp = 100 * (1 - fastUs/treeUs)
+	}
+	return StreamAllreduce{
+		Nodes:           StreamAllreduceNodes,
+		Bytes:           StreamAllreduceBytes,
+		TreeUs:          treeUs,
+		HandlerUs:       fastUs,
+		ImprovementPct:  round3(imp),
+		HandlerCycles:   cycles,
+		SuspectFallback: degraded,
+	}
+}
+
 // busPoint measures one size of the bus-utilization sweep.
 func busPoint(n int) BusPoint {
 	pioUs, snap, elapsed := instrumented(n, pioOnly)
@@ -664,6 +842,7 @@ func Run(opts Options) Report {
 	r.AdaptiveRecvDMABytes = adaptiveConverged()
 	r.FailoverLatency = failoverLatency()
 	r.RndvPipeline = rndvPipeline()
+	r.StreamAllreduce = streamAllreduce()
 	_, snap, _ := instrumented(4, nil)
 	r.Rollup = snap.Rollup()
 	return r

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/scramnet"
 )
 
 // TestReportByteStable is the stability guarantee the `make bench` tier
@@ -19,12 +21,12 @@ func TestReportByteStable(t *testing.T) {
 	}
 }
 
-// TestReportSchemaAndShape pins the document structure a schema-4
+// TestReportSchemaAndShape pins the document structure a schema-5
 // consumer relies on.
 func TestReportSchemaAndShape(t *testing.T) {
 	r := Run(ReducedOptions())
-	if r.Schema != 4 {
-		t.Fatalf("schema = %d, want 4", r.Schema)
+	if r.Schema != 5 {
+		t.Fatalf("schema = %d, want 5", r.Schema)
 	}
 	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
 	if len(r.Figures) != len(wantFigs) {
@@ -113,6 +115,7 @@ func TestPollAggregationGate(t *testing.T) {
 		AdaptiveRecvDMABytes: adaptiveConverged(),
 		FailoverLatency:      failoverLatency(), // Check gates the whole report
 		RndvPipeline:         rndvPipeline(),
+		StreamAllreduce:      passingStream,
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
@@ -134,7 +137,7 @@ func TestPollAggregationGate(t *testing.T) {
 // ~51 ms retry-exhaustion path the failure detector replaces.
 func TestFailoverLatencyGate(t *testing.T) {
 	f := failoverLatency()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline()}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline(), StreamAllreduce: passingStream}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +156,7 @@ func TestFailoverLatencyGate(t *testing.T) {
 // stopped paying for the wire at all, i.e. the model broke.
 func TestRndvPipelineGate(t *testing.T) {
 	z := rndvPipeline()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z, StreamAllreduce: passingStream}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -187,5 +190,42 @@ func TestGoldenBenchJSON(t *testing.T) {
 		t.Fatalf("BENCH_figures.json drifted from the checked-in golden.\n"+
 			"If the change is intended, regenerate with: go run ./cmd/figures -json BENCH_figures.json\n"+
 			"(got %d bytes, want %d)", len(got), len(want))
+	}
+}
+
+// passingStream is a synthetic E12 row that satisfies Check(), for
+// gate tests aimed at other subsystems; TestStreamAllreduceGate runs
+// the real measurement.
+var passingStream = StreamAllreduce{
+	Nodes: StreamAllreduceNodes, Bytes: StreamAllreduceBytes,
+	TreeUs: 700, HandlerUs: 220, ImprovementPct: 68,
+	HandlerCycles: 540, SuspectFallback: true,
+}
+
+// TestStreamAllreduceGate runs the E12 measurement and enforces the
+// `make bench` gate in-tree: the in-network handler allreduce must
+// beat the rank-side tree at 16 nodes by at least
+// MinStreamImprovementPct, must charge handler cycles in virtual time,
+// and must degrade to the tree when a member is suspect.
+func TestStreamAllreduceGate(t *testing.T) {
+	s := streamAllreduce()
+	r := Report{
+		PollAggregation: pollAggregation(),
+		FailoverLatency: failoverLatency(),
+		RndvPipeline:    rndvPipeline(),
+		StreamAllreduce: s,
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if s.HandlerUs >= s.TreeUs {
+		t.Errorf("handler path (%v µs) not faster than the tree (%v µs)", s.HandlerUs, s.TreeUs)
+	}
+	// The vector still circulates the whole ring once: 16 nodes of wire
+	// and hop delay bound the fast path from below.
+	cfg := scramnet.DefaultConfig(StreamAllreduceNodes)
+	wireUs := float64(cfg.Nodes) * (float64(cfg.HopDelay) + 615.0) / 1000.0
+	if s.HandlerUs < wireUs {
+		t.Errorf("handler latency %v µs beat the %v µs one-revolution bound — model broken", s.HandlerUs, wireUs)
 	}
 }

@@ -121,7 +121,7 @@ func (e *Endpoint) recomputeThreshold() {
 		}
 	} else {
 		n := (4*a.fixedNs + (a.wordNs - b4) - 1) / (a.wordNs - b4) // ceil(4F / (w−4b))
-		t = int(n+3) &^ 3                                         // whole words
+		t = int(n+3) &^ 3                                          // whole words
 	}
 	if t < a.floor {
 		t = a.floor

@@ -121,9 +121,42 @@ type Config struct {
 	// §11). Off by default — the table and its periodic bus traffic
 	// would shift the calibrated fault-free figures.
 	Liveness liveness.Config
+	// Stream enables the in-network streaming-allreduce extension: a
+	// global stream region is carved out of the replicated memory and
+	// every endpoint installs a spin.Reducer at its ring transit point,
+	// so a reduction's vector is combined as it circulates instead of
+	// being shuffled through a software tree (DESIGN.md §13). Requires a
+	// flat ring (handlers do not cross hierarchy bridges).
+	Stream StreamConfig
+	// EarlyAck installs a spin.EarlyAck transit handler per (receiver,
+	// sender) pair: the receiver's NIC acknowledges a MESSAGE-flag
+	// packet the moment it transits, one revolution after the post,
+	// instead of waiting for the host's poll-consume-ack cycle. The
+	// host-side ACK write is suppressed. ACK semantics weaken from
+	// "consumed" to "arrived at the receiver's bank", so it is
+	// incompatible with the retry extension, whose per-slot sequence
+	// ACKs must prove consumption (DESIGN.md §13).
+	EarlyAck bool
 	// Costs are the software path costs.
 	Costs Costs
 }
+
+// StreamConfig parameterizes the in-network streaming-allreduce
+// extension (Config.Stream).
+type StreamConfig struct {
+	// Enabled turns the extension on. Off by default: the stream region
+	// shrinks every data partition, which would shift the calibrated
+	// figures.
+	Enabled bool
+	// MaxBytes caps the vector one streaming round can carry; it must
+	// be a positive multiple of 4 (the ring combines 32-bit lanes).
+	// 0 means DefaultStreamMax.
+	MaxBytes int
+}
+
+// DefaultStreamMax is the stream-region vector capacity when
+// StreamConfig.MaxBytes is zero.
+const DefaultStreamMax = 256
 
 // Thresholds are the message lengths at or above which data crosses the
 // I/O bus by DMA instead of PIO, per direction. They differ because
@@ -289,6 +322,8 @@ type layout struct {
 	ackWords int
 	retry    bool
 	hbBytes  int // global single-writer heartbeat table ahead of the partitions (0 when liveness is off)
+	strMax   int // stream-region vector capacity in bytes (0 when Config.Stream is off)
+	strBytes int // global streaming-allreduce region after the heartbeat table (0 when off)
 	ackBase  int // partition-relative offset of the ACK region
 	descBase int // partition-relative offset of the descriptor region
 	partSize int
@@ -296,7 +331,7 @@ type layout struct {
 	dataSize int
 }
 
-func newLayout(nprocs, buffers, ackWords, memBytes int, retry, hb bool) (layout, error) {
+func newLayout(nprocs, buffers, ackWords, memBytes int, retry, hb bool, strMax int) (layout, error) {
 	l := layout{nprocs: nprocs, buffers: buffers, ackWords: ackWords, retry: retry}
 	if hb {
 		// One (beat, incarnation) word pair per node, each pair written
@@ -306,7 +341,16 @@ func newLayout(nprocs, buffers, ackWords, memBytes int, retry, hb bool) (layout,
 		// contiguous burst and a publisher pays one pair write total.
 		l.hbBytes = (hbSlotSize*nprocs + 63) &^ 63
 	}
-	l.partSize = ((memBytes - l.hbBytes) / nprocs) &^ 63
+	if strMax > 0 {
+		// The streaming-allreduce region keeps the global single-writer
+		// discipline word by word: a contribution area plus an arrival
+		// word per node (each written only by its owner), then the
+		// initiator-owned control block — header word, mask word, the
+		// circulating vector, the done word and the published result.
+		l.strMax = strMax
+		l.strBytes = (nprocs*(strMax+4) + 16 + 2*strMax + 63) &^ 63
+	}
+	l.partSize = ((memBytes - l.hbBytes - l.strBytes) / nprocs) &^ 63
 	l.ackBase = 4 * nprocs // MESSAGE flag words
 	if retry {
 		l.ackBase += 4 * nprocs // MIN-UNACKED words
@@ -320,7 +364,7 @@ func newLayout(nprocs, buffers, ackWords, memBytes int, retry, hb bool) (layout,
 	return l, nil
 }
 
-func (l layout) base(i int) int        { return l.hbBytes + i*l.partSize }
+func (l layout) base(i int) int        { return l.hbBytes + l.strBytes + i*l.partSize }
 func (l layout) msgFlags(i, s int) int { return l.base(i) + 4*s }
 func (l layout) minUn(i, s int) int    { return l.base(i) + 4*l.nprocs + 4*s }
 func (l layout) ackFlags(i, r int) int { return l.base(i) + l.ackBase + 4*l.ackWords*r }
@@ -330,6 +374,20 @@ func (l layout) ackSlot(i, r, b int) int {
 func (l layout) desc(i, b int) int      { return l.base(i) + l.descBase + descSize*b }
 func (l layout) dataBase(i int) int     { return l.base(i) + l.ctrlSize }
 func (l layout) dataOff(i, rel int) int { return l.dataBase(i) + rel }
+
+// Stream-region accessors (meaningful only when strBytes > 0). The
+// region sits between the heartbeat table and the partitions:
+// per-node contribution areas, per-node arrival words (contiguous, so
+// the initiator reads all of them in one burst), then the
+// initiator-owned control block.
+func (l layout) strContrib(i int) int { return l.hbBytes + i*l.strMax }
+func (l layout) strArrival(i int) int { return l.hbBytes + l.nprocs*l.strMax + 4*i }
+func (l layout) strCtl() int          { return l.hbBytes + l.nprocs*(l.strMax+4) }
+func (l layout) strHdr() int          { return l.strCtl() }
+func (l layout) strMask() int         { return l.strCtl() + 4 }
+func (l layout) strVec() int          { return l.strCtl() + 8 }
+func (l layout) strDone() int         { return l.strCtl() + 8 + l.strMax }
+func (l layout) strResult() int       { return l.strCtl() + 12 + l.strMax }
 
 // hbSlotSize is the per-node heartbeat table entry: beat word +
 // incarnation word.
@@ -392,11 +450,34 @@ func New(net RingNetwork, cfg Config, opts ...Option) (*System, error) {
 	if err := cfg.Liveness.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.EarlyAck && cfg.Retry.Enabled {
+		return nil, fmt.Errorf("bbp: EarlyAck is incompatible with the retry extension (a transit handler cannot prove consumption, which per-slot sequence ACKs must)")
+	}
+	strMax := 0
+	if cfg.Stream.Enabled {
+		strMax = cfg.Stream.MaxBytes
+		if strMax == 0 {
+			strMax = DefaultStreamMax
+		}
+		if strMax < 4 || strMax%4 != 0 || strMax > 0xffffff {
+			return nil, fmt.Errorf("bbp: Stream.MaxBytes %d must be a positive multiple of 4 below 2^24", cfg.Stream.MaxBytes)
+		}
+	} else if cfg.Stream.MaxBytes != 0 {
+		return nil, fmt.Errorf("bbp: Stream.MaxBytes %d set but Stream.Enabled is false", cfg.Stream.MaxBytes)
+	}
+	if cfg.Stream.Enabled || cfg.EarlyAck {
+		// In-network handlers run at one ring's transit points; a
+		// hierarchy bridge re-injects packets with a new origin, which
+		// would re-run handlers and break the one-revolution semantics.
+		if _, flat := net.(*scramnet.Network); !flat {
+			return nil, fmt.Errorf("bbp: in-network handlers (Stream/EarlyAck) require a flat ring, not %T", net)
+		}
+	}
 	ackWords := 1
 	if cfg.Retry.Enabled {
 		ackWords = cfg.Buffers
 	}
-	lay, err := newLayout(n, cfg.Buffers, ackWords, net.MemBytes(), cfg.Retry.Enabled, cfg.Liveness.Enabled)
+	lay, err := newLayout(n, cfg.Buffers, ackWords, net.MemBytes(), cfg.Retry.Enabled, cfg.Liveness.Enabled, strMax)
 	if err != nil {
 		return nil, err
 	}
@@ -459,6 +540,12 @@ func (s *System) Attach(rank int) (*Endpoint, error) {
 	if s.cfg.InterruptDriven {
 		e.nic.EnableInterrupts(true, func(off int) { e.intrWake.Broadcast() })
 	}
+	if s.cfg.Stream.Enabled {
+		e.initStream()
+	}
+	if s.cfg.EarlyAck {
+		e.initEarlyAck()
+	}
 	if s.cfg.Retry.Enabled {
 		s.net.Kernel().SpawnDaemon(fmt.Sprintf("bbp-retry-%d", rank), e.retryLoop)
 	}
@@ -498,4 +585,7 @@ type Stats struct {
 	StaleDescs    int64 // flag toggles whose descriptor was stale or torn
 	// Liveness counters (zero unless Config.Liveness.Enabled).
 	DeadPeerReclaims int64 // (buffer, receiver) ACK obligations abandoned because the detector confirmed the receiver dead
+	// Streaming-allreduce counters (zero unless Config.Stream.Enabled).
+	StreamRounds    int64 // fast-path rounds attempted (gating declines not counted)
+	StreamFallbacks int64 // rounds degraded to the caller's tree path (suspicion, loss, or timeout)
 }

@@ -84,6 +84,10 @@ type Endpoint struct {
 	// nil unless Config.Liveness.Enabled.
 	hb *hbState
 
+	// stream is the in-network allreduce state (stream.go); zero unless
+	// Config.Stream.Enabled.
+	stream streamState
+
 	intrWake  *sim.Cond
 	retryWake *sim.Cond
 	stats     Stats
@@ -114,6 +118,9 @@ type epInstruments struct {
 	recvThresholdBytes *metrics.Gauge     // bbp.recv_dma_threshold_bytes
 	thresholdAdapts    *metrics.Counter   // bbp.threshold_adaptations
 	recvSize           *metrics.Histogram // bbp.recv_size_bytes
+	// Streaming-allreduce instruments (PR 7).
+	streamRounds    *metrics.Counter // bbp.stream_rounds
+	streamFallbacks *metrics.Counter // bbp.stream_fallbacks
 }
 
 // setMetrics (re)creates the endpoint's instruments against m.
@@ -144,6 +151,9 @@ func (e *Endpoint) setMetrics(m *metrics.Registry) {
 		recvThresholdBytes: m.Gauge("bbp.recv_dma_threshold_bytes", e.me),
 		thresholdAdapts:    m.Counter("bbp.threshold_adaptations", e.me),
 		recvSize:           m.Histogram("bbp.recv_size_bytes", e.me),
+
+		streamRounds:    m.Counter("bbp.stream_rounds", e.me),
+		streamFallbacks: m.Counter("bbp.stream_fallbacks", e.me),
 	}
 	e.im.recvThresholdBytes.Set(int64(e.recvDMAThreshold()))
 }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"repro/internal/liveness"
+	"repro/internal/sim"
+	"repro/internal/spin"
+	"repro/internal/trace"
+)
+
+// This file implements the streaming-allreduce fast path over the
+// in-network handler engine (DESIGN.md §13, PROTOCOL.md "In-network
+// handler extension"). Rank 0 initiates every round; the reduction is
+// computed *on the ring* by the spin.Reducer each endpoint installs at
+// its transit point, so one revolution of the vector replaces the
+// software tree's log(P) store-and-forward stages.
+//
+// A round, in ring write order (per-origin FIFO makes each sequence
+// arrive everywhere in order):
+//
+//  1. Every rank writes its vector into its own contribution area,
+//     then its arrival word = round. The contribution is staged before
+//     the arrival word announces it, so a transit node whose arrival
+//     has been seen is guaranteed to combine current-round lanes.
+//  2. Rank 0 polls the arrival words from its local replica (one burst
+//     read). If the failure detector reports a missing rank Suspect or
+//     Dead, rank 0 publishes a fallback verdict instead of starting
+//     the reduction — rank 0 alone decides, so every rank degrades to
+//     the same software tree on the same round.
+//  3. Rank 0 writes the header word (operator + vector length, arming
+//     every transit Reducer), the vector seeded with its own
+//     contribution, and the completion mask with its own bit pre-set.
+//     Each transit combines its staged lanes into the circulating
+//     packets (Rewrite) and sets its mask bit only if it combined
+//     every byte of the round; the origin's strip-apply lands the
+//     fully combined vector and mask back in rank 0's replica.
+//  4. Rank 0 polls its local mask word. All bits set — publish the
+//     result (conventional replicated write) and the done word. A
+//     clear bit past the drain horizon means a vector packet was
+//     dropped at injection or a node died mid-transit: publish a
+//     fallback verdict instead. Either way non-roots learn the round's
+//     outcome from the done word alone.
+//
+// The contribution, arrival, and control words keep the single-writer
+// discipline: contrib(i)/arrival(i) are written only by rank i, the
+// control block only by rank 0. The vector scratch region intentionally
+// diverges across replicas mid-round (each transit's bank holds the
+// partial combined up to itself); no rank ever reads another's scratch
+// — the result region is the published truth.
+
+// streamState is the per-endpoint streaming-allreduce state.
+type streamState struct {
+	reducer *spin.Reducer
+	round   uint32
+	arrBuf  []uint32
+}
+
+// initStream installs this endpoint's transit Reducer over the
+// contiguous header+mask+vector block of the stream region.
+func (e *Endpoint) initStream() {
+	lay := e.sys.lay
+	e.stream.arrBuf = make([]uint32, e.Procs())
+	e.stream.reducer = &spin.Reducer{
+		HdrOff:     lay.strHdr(),
+		VecOff:     lay.strVec(),
+		MaskOff:    lay.strMask(),
+		MaxBytes:   lay.strMax,
+		ContribOff: lay.strContrib(e.me),
+		Bit:        1 << uint(e.me),
+	}
+	e.nic.InstallHandler(lay.strHdr(), 8+lay.strMax, e.stream.reducer)
+}
+
+// initEarlyAck installs one spin.EarlyAck per sender over this
+// receiver's MESSAGE-flag word for that sender. The handler injects the
+// ACK toggle at transit; the host-side ackWrite is suppressed.
+func (e *Endpoint) initEarlyAck() {
+	lay := e.sys.lay
+	for s := 0; s < e.Procs(); s++ {
+		if s == e.me {
+			continue
+		}
+		e.nic.InstallHandler(lay.msgFlags(e.me, s), 4, &spin.EarlyAck{
+			FlagsOff: lay.msgFlags(e.me, s),
+			AckOff:   lay.ackFlags(s, e.me),
+		})
+	}
+}
+
+// StreamMax returns the largest vector StreamAllreduce can carry on the
+// fast path (0 when Config.Stream is disabled). Part of
+// xport.StreamReducer.
+func (e *Endpoint) StreamMax() int {
+	if !e.sys.cfg.Stream.Enabled {
+		return 0
+	}
+	return e.sys.lay.strMax
+}
+
+// StreamAllreduce runs one in-network allreduce round over 32-bit
+// lanes. Every process must call it collectively with the same op and
+// length. done=false with a nil error means the fast path declined or
+// degraded — the caller must run its software fallback (every rank
+// reports the same verdict for the same round, so the fallback is
+// collective too). done=true means recv holds the reduction of every
+// rank's send. Part of xport.StreamReducer.
+func (e *Endpoint) StreamAllreduce(p *sim.Proc, op spin.RingOp, send, recv []byte) (bool, error) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	n := len(send)
+	// Gating predicates are rank-uniform for a collective call, so
+	// either every rank proceeds (and the round counters stay in step)
+	// or every rank declines.
+	if !cfg.Stream.Enabled || !op.Valid() || n == 0 || n%4 != 0 || n > lay.strMax || len(recv) < n {
+		return false, nil
+	}
+	e.stream.round++
+	r := e.stream.round
+	e.stats.StreamRounds++
+	e.im.streamRounds.Inc()
+	span := e.sys.tracer.BeginSpan(p.Now(), trace.BBP, e.me, "stream-allreduce", 0, e.sys.tracer.Parent(), "round=%d op=%v len=%d", r, op, n)
+	fast, err := e.streamRound(p, op, send, recv[:n], r)
+	if !fast {
+		e.stats.StreamFallbacks++
+		e.im.streamFallbacks.Inc()
+	}
+	e.sys.tracer.EndSpan(p.Now(), trace.BBP, e.me, "stream-allreduce-end", span, 0, "round=%d fast=%v err=%v", r, fast, err)
+	return fast, err
+}
+
+func (e *Endpoint) streamRound(p *sim.Proc, op spin.RingOp, send, recv []byte, r uint32) (bool, error) {
+	lay := e.sys.lay
+	if e.me != 0 {
+		// Stage the contribution, then announce it; per-origin FIFO
+		// guarantees every transit node's bank holds the contribution
+		// by the time the arrival word is visible there.
+		e.nic.Write(p, lay.strContrib(e.me), send)
+		e.nic.WriteWord(p, lay.strArrival(e.me), r)
+		return e.streamLeaf(p, recv, r)
+	}
+	// Rank 0 contributes by seeding the circulating vector directly, so
+	// it announces arrival without staging.
+	e.nic.WriteWord(p, lay.strArrival(0), r)
+	return e.streamRoot(p, op, send, recv, r)
+}
+
+// streamRoot is rank 0's side of a round: gather arrivals, decide,
+// drive the reduction, publish the verdict.
+func (e *Endpoint) streamRoot(p *sim.Proc, op spin.RingOp, send, recv []byte, r uint32) (bool, error) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	n := len(send)
+	deadline := sim.Time(-1)
+	if cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(cfg.RecvTimeout)
+	}
+	arr := e.stream.arrBuf
+	for {
+		e.nic.ReadWords(p, lay.strArrival(0), arr)
+		all := true
+		for i := range arr {
+			if arr[i] != r {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		if v := e.Liveness(); v != nil {
+			for i := range arr {
+				if arr[i] != r && v.State(i) != liveness.Alive {
+					return e.streamAbort(p, r, "rank %d not alive", i)
+				}
+			}
+		}
+		if deadline >= 0 && p.Now() > deadline {
+			// Publish the fallback verdict anyway so non-roots escape
+			// their done-word wait instead of timing out one by one.
+			e.streamAbort(p, r, "arrival wait timed out")
+			return false, ErrTimeout
+		}
+		p.Delay(cfg.Costs.PollOverhead)
+	}
+
+	// Header arms every transit Reducer; the vector is seeded with our
+	// own contribution; the mask carries our pre-set bit. FIFO order
+	// guarantees each transit sees them in this order.
+	e.nic.WriteWord(p, lay.strHdr(), spin.HdrWord(op, n))
+	e.nic.Write(p, lay.strVec(), send)
+	e.nic.WriteWord(p, lay.strMask(), 1)
+
+	// One revolution later our own strip-apply lands the combined
+	// vector and mask in the local replica. A clear bit past the drain
+	// horizon (plus worst-case handler stalls at every transit) means a
+	// vector packet was dropped at injection or a node died mid-round.
+	full := uint32(1)<<uint(e.Procs()) - 1
+	ncfg := e.nic.NetworkConfig()
+	maskBy := e.nic.DrainBound().
+		Add(sim.Duration(ncfg.Nodes) * sim.Duration(ncfg.HandlerBudget) * ncfg.HandlerCycleCost)
+	for {
+		m := e.nic.ReadWord(p, lay.strMask())
+		if m == full {
+			break
+		}
+		if p.Now() > maskBy {
+			return e.streamAbort(p, r, "mask %#x != %#x past drain bound", m, full)
+		}
+		p.Delay(cfg.Costs.PollOverhead)
+	}
+
+	// Publish: the combined vector is read from the local replica and
+	// replicated conventionally through the result region, then the
+	// done word releases every non-root.
+	if n >= e.recvDMAThreshold() {
+		e.nic.ReadDMA(p, lay.strVec(), recv)
+	} else {
+		e.nic.Read(p, lay.strVec(), recv)
+	}
+	if n >= cfg.Thresholds.SendDMA {
+		e.nic.WriteDMA(p, lay.strResult(), recv)
+	} else {
+		e.nic.Write(p, lay.strResult(), recv)
+	}
+	e.nic.WriteWord(p, lay.strDone(), r<<1)
+	return true, nil
+}
+
+// streamAbort publishes a fallback verdict for round r: every non-root
+// reads it from the done word and degrades to the same software tree.
+func (e *Endpoint) streamAbort(p *sim.Proc, r uint32, format string, args ...any) (bool, error) {
+	e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "stream-fallback", format, args...)
+	e.nic.WriteWord(p, e.sys.lay.strDone(), r<<1|1)
+	return false, nil
+}
+
+// streamLeaf is a non-root's side of a round: wait for rank 0's done
+// word, then either read the published result or report the fallback.
+func (e *Endpoint) streamLeaf(p *sim.Proc, recv []byte, r uint32) (bool, error) {
+	lay, cfg := e.sys.lay, e.sys.cfg
+	deadline := sim.Time(-1)
+	if cfg.RecvTimeout > 0 {
+		deadline = p.Now().Add(cfg.RecvTimeout)
+	}
+	for {
+		d := e.nic.ReadWord(p, lay.strDone())
+		if d>>1 == r {
+			if d&1 != 0 {
+				return false, nil
+			}
+			if len(recv) >= e.recvDMAThreshold() {
+				e.nic.ReadDMA(p, lay.strResult(), recv)
+			} else {
+				e.nic.Read(p, lay.strResult(), recv)
+			}
+			return true, nil
+		}
+		if v := e.Liveness(); v != nil && v.State(0) == liveness.Dead {
+			// The initiator died before publishing a verdict. Degrade;
+			// the software tree then surfaces the death as its own
+			// error.
+			e.sys.tracer.Emitf(p.Now(), trace.BBP, e.me, "stream-fallback", "initiator confirmed dead")
+			return false, nil
+		}
+		if deadline >= 0 && p.Now() > deadline {
+			return false, ErrTimeout
+		}
+		p.Delay(cfg.Costs.PollOverhead)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/spin"
+	"repro/internal/trace"
 )
 
 // Collective fast-path message ops.
@@ -332,6 +334,54 @@ func (c *Comm) Allreduce(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
 		return err
 	}
 	return c.Bcast(p, 0, recvBuf)
+}
+
+// RingOpFunc returns the software Op equivalent of a streamable ring
+// operator: op folded over little-endian 32-bit lanes. AllreduceW's
+// tree fallback uses it, so a fast-path round and a degraded round
+// compute byte-identical results.
+func RingOpFunc(op spin.RingOp) Op {
+	return func(acc, in []byte) {
+		for i := 0; i+4 <= len(acc) && i+4 <= len(in); i += 4 {
+			v := op.Combine(binary.LittleEndian.Uint32(acc[i:]), binary.LittleEndian.Uint32(in[i:]))
+			binary.LittleEndian.PutUint32(acc[i:], v)
+		}
+	}
+}
+
+// AllreduceW is Allreduce over 32-bit lanes with a streamable operator.
+// On the world communicator of a transport with in-network handlers
+// (xport.StreamReducer) the reduction is computed by the ring itself in
+// one revolution; the transport declines collectively — same verdict on
+// every rank for the same round — whenever the membership view reports
+// a rank suspect or dead, a packet was lost mid-round, or the vector
+// does not fit, and the call degrades to the Reduce+Bcast tree (which
+// then surfaces a genuinely dead member as a DeadPeerError). Every
+// gating predicate below is rank-uniform for a collective call, so the
+// ranks that try the fast path are exactly the ranks that must.
+func (c *Comm) AllreduceW(p *sim.Proc, op spin.RingOp, sendBuf, recvBuf []byte) error {
+	e := c.eng
+	n := len(sendBuf)
+	if e.stream != nil && c.ctx == 1 && op.Valid() &&
+		n > 0 && n%4 == 0 && n <= e.stream.StreamMax() && len(recvBuf) >= n {
+		p.Delay(e.cfg.Costs.CollOverhead)
+		span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "allreduce-stream", 0, e.tracer.Parent(), "op=%v len=%d", op, n)
+		e.tracer.PushParent(span)
+		done, err := e.stream.StreamAllreduce(p, op, sendBuf, recvBuf[:n])
+		e.tracer.PopParent()
+		e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "allreduce-stream-end", span, 0, "done=%v err=%v", done, err)
+		if err != nil {
+			return err
+		}
+		if done {
+			e.stats.StreamAllreduces++
+			e.im.streamAllred.Inc()
+			return nil
+		}
+		e.stats.StreamFallbacks++
+		e.im.streamFalls.Inc()
+	}
+	return c.Allreduce(p, RingOpFunc(op), sendBuf, recvBuf)
 }
 
 // Gather concatenates equal-size contributions at root:

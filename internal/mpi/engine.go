@@ -41,6 +41,12 @@ type Engine struct {
 	// every rendezvous on the legacy sequential path.
 	wnd xport.Windowed
 
+	// stream is the transport's in-network collective extension, set
+	// when the endpoint implements xport.StreamReducer with a non-zero
+	// vector capacity (the BillBoard Protocol with Config.Stream). nil
+	// keeps AllreduceW on the software tree.
+	stream xport.StreamReducer
+
 	// zombies holds the windows of abandoned receives whose borrower
 	// was still alive at abandon time, keyed by the receive request id.
 	// Releasing such a window immediately would hand single-writer
@@ -68,6 +74,8 @@ type engInstruments struct {
 	chunksSent   *metrics.Counter // mpi.chunks_sent
 	rndvZeroCopy *metrics.Counter // mpi.rndv_zero_copy
 	windowStalls *metrics.Counter // mpi.window_stalls
+	streamAllred *metrics.Counter // mpi.stream_allreduces
+	streamFalls  *metrics.Counter // mpi.stream_fallbacks
 	unexpDepth   *metrics.Gauge   // mpi.unexpected_depth
 	// pipelineDepth tracks the windowed sender's in-flight chunk count;
 	// its Max() is the high-water mark. Like unexpDepth it has no
@@ -91,6 +99,8 @@ func (e *Engine) setMetrics(m *metrics.Registry) {
 		chunksSent:    m.Counter("mpi.chunks_sent", rank),
 		rndvZeroCopy:  m.Counter("mpi.rndv_zero_copy", rank),
 		windowStalls:  m.Counter("mpi.window_stalls", rank),
+		streamAllred:  m.Counter("mpi.stream_allreduces", rank),
+		streamFalls:   m.Counter("mpi.stream_fallbacks", rank),
 		unexpDepth:    m.Gauge("mpi.unexpected_depth", rank),
 		pipelineDepth: m.Gauge("mpi.pipeline_depth", rank),
 	}
@@ -115,6 +125,13 @@ type EngineStats struct {
 	// into the mpi.rndv_zero_copy / mpi.window_stalls counters.
 	RndvZeroCopy int64
 	WindowStalls int64
+	// StreamAllreduces counts AllreduceW rounds completed by the
+	// in-network fast path; StreamFallbacks the rounds that degraded to
+	// the software tree after the transport declined (suspicion, loss,
+	// or timeout). Mirrored into mpi.stream_allreduces /
+	// mpi.stream_fallbacks.
+	StreamAllreduces int64
+	StreamFallbacks  int64
 }
 
 // zombieWin is a posted window whose receive was abandoned while the
@@ -163,6 +180,9 @@ func newEngine(ep xport.Endpoint, cfg Config) *Engine {
 		if w, ok := ep.(xport.Windowed); ok {
 			e.wnd = w
 		}
+	}
+	if sr, ok := ep.(xport.StreamReducer); ok && sr.StreamMax() > 0 {
+		e.stream = sr
 	}
 	return e
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
+	"repro/internal/spin"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,13 @@ type NIC struct {
 	// bank (used by hierarchy bridges to forward between rings).
 	onApply func(pkt *packet)
 
+	// handlers is the card's in-network handler engine (internal/spin),
+	// created lazily on the first InstallHandler so an un-handled card
+	// adds nothing to the transit path. mreg remembers the metrics
+	// registry so a lazily created engine gets its spin.* instruments.
+	handlers *spin.Engine
+	mreg     *metrics.Registry
+
 	stats Stats
 	im    nicInstruments
 }
@@ -65,6 +73,10 @@ func (nic *NIC) setMetrics(m *metrics.Registry) {
 		interrupts:    m.Counter("ring.interrupts_taken", nic.ownerID),
 	}
 	nic.bus.SetMetrics(m, nic.ownerID)
+	nic.mreg = m
+	if nic.handlers != nil {
+		nic.handlers.SetMetrics(m)
+	}
 }
 
 // SetTraceContext attributes subsequent injections from this card to
@@ -158,14 +170,107 @@ func (nic *NIC) apply(pkt *packet) {
 	nic.im.applied.Inc()
 	nic.net.tracer.EmitMsg(nic.net.k.Now(), trace.Ring, nic.id, "apply", pkt.msg, pkt.span, "off=%#x len=%d from=%d", pkt.off, len(pkt.data), pkt.origin)
 	if pkt.interrupt && nic.intrOn && nic.intrHandler != nil {
-		off := pkt.off
+		// Capture the handler at vectoring time: the host may disable
+		// or reconfigure interrupts during the dispatch latency, and
+		// the card must deliver through the vector it latched, not
+		// through whatever the field holds when the timer fires (a nil
+		// there used to panic the simulation).
+		off, h := pkt.off, nic.intrHandler
 		nic.stats.InterruptsTaken++
 		nic.im.interrupts.Inc()
-		nic.net.k.After(nic.net.cfg.InterruptLatency, func() { nic.intrHandler(off) })
+		nic.net.k.After(nic.net.cfg.InterruptLatency, func() { h(off) })
 	}
 	if nic.onApply != nil {
 		nic.onApply(pkt)
 	}
+}
+
+// stripApply installs a handler-rewritten packet into the origin's own
+// bank at strip time, closing the streaming-reduction loop: after one
+// revolution the initiator's replica holds the fully combined lanes.
+// Not an "apply" for accounting purposes — the trace/metrics identity
+// (apply events == ring.packets_applied) counts remote applies only.
+func (nic *NIC) stripApply(pkt *packet) {
+	copy(nic.mem[pkt.off:], pkt.data)
+	nic.net.tracer.EmitMsg(nic.net.k.Now(), trace.Spin, nic.id, "strip-apply", pkt.msg, pkt.span, "off=%#x len=%d", pkt.off, len(pkt.data))
+}
+
+// InstallHandler registers an in-network handler (internal/spin) for
+// ring packets overlapping [off, off+n) at this card's transit point,
+// returning an id for UninstallHandler. Handlers run before the local
+// apply and the forward decision, in install order, and their cycle
+// cost is charged in virtual time per Config.HandlerCycleCost /
+// Config.HandlerBudget.
+func (nic *NIC) InstallHandler(off, n int, h spin.Handler) int {
+	nic.checkRange(off, n)
+	if nic.handlers == nil {
+		nic.handlers = spin.NewEngine(nic.ownerID, nic.net.cfg.HandlerBudget)
+		if nic.mreg != nil {
+			nic.handlers.SetMetrics(nic.mreg)
+		}
+	}
+	return nic.handlers.Install(off, n, h)
+}
+
+// UninstallHandler removes the handler registered under id, reporting
+// whether it was installed.
+func (nic *NIC) UninstallHandler(id int) bool {
+	return nic.handlers != nil && nic.handlers.Uninstall(id)
+}
+
+// HandlerStats returns a copy of the card's spin.* counters (zero when
+// no handler was ever installed).
+func (nic *NIC) HandlerStats() spin.Stats {
+	if nic.handlers == nil {
+		return spin.Stats{}
+	}
+	return nic.handlers.Stats()
+}
+
+// transit runs the card's in-network handlers against a packet hopping
+// through, returning the verdict, the virtual-time cost to charge
+// before the packet progresses, and the open handler span (closed by
+// the ring once the cost has elapsed). ran is false — and everything
+// else zero — when no installed range overlaps the packet, which keeps
+// un-handled traffic cost-free.
+func (nic *NIC) transit(pkt *packet) (v spin.Verdict, cost sim.Duration, span trace.SpanID, ran bool) {
+	if nic.handlers == nil || !nic.handlers.Covers(pkt.off, len(pkt.data)) {
+		return spin.Forward, 0, 0, false
+	}
+	net := nic.net
+	ctx := &spin.HandlerCtx{
+		Node: nic.id,
+		Now:  net.k.Now(),
+		Bank: func(off, n int) []byte {
+			nic.checkRange(off, n)
+			return nic.mem[off : off+n]
+		},
+		Inject: func(off int, data []byte) { nic.handlerInject(off, data, pkt) },
+	}
+	span = net.tracer.BeginSpan(net.k.Now(), trace.Spin, nic.id, "handler", pkt.msg, pkt.span, "off=%#x len=%d from=%d", pkt.off, len(pkt.data), pkt.origin)
+	v, cycles, trapped := nic.handlers.Run(ctx, spin.Packet{Origin: pkt.origin, Off: pkt.off, Hops: pkt.hops, Data: pkt.data, Interrupt: pkt.interrupt})
+	if v == spin.Rewrite {
+		pkt.rewritten = true
+	}
+	if trapped {
+		net.tracer.EmitMsg(net.k.Now(), trace.Spin, nic.id, "trap", pkt.msg, span, "budget=%d", net.cfg.HandlerBudget)
+	}
+	return v, sim.Duration(cycles) * net.cfg.HandlerCycleCost, span, true
+}
+
+// handlerInject posts a NIC-originated ring write on behalf of an
+// in-network handler (HandlerCtx.Inject): local bank update plus a
+// ring packet, with no host-bus cost — the handler engine sits on the
+// card side of the bus. The injected packet inherits the triggering
+// packet's trace attribution, and the single-writer discipline applies
+// exactly as for a host write from this node.
+func (nic *NIC) handlerInject(off int, data []byte, cause *packet) {
+	nic.checkRange(off, len(data))
+	nic.checkWriter(off, len(data))
+	data = append([]byte(nil), data...)
+	copy(nic.mem[off:], data)
+	nic.txBacklog += len(data)
+	nic.net.inject(&packet{origin: nic.id, off: off, data: data, msg: cause.msg, parent: cause.span})
 }
 
 // injectForwarded re-posts a write that arrived from another ring, as if
@@ -329,8 +434,10 @@ func (nic *NIC) Peek(off, n int) []byte {
 
 // EnableInterrupts turns interrupt delivery on or off and installs the
 // handler invoked (after Config.InterruptLatency) for each arriving
-// packet that carries the interrupt bit.
+// packet that carries the interrupt bit. Enabling with a nil handler
+// is equivalent to disabling: the card masks the interrupt rather than
+// vectoring through a null pointer on the first interrupt-bit packet.
 func (nic *NIC) EnableInterrupts(on bool, handler func(off int)) {
-	nic.intrOn = on
+	nic.intrOn = on && handler != nil
 	nic.intrHandler = handler
 }

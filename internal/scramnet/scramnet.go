@@ -32,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pci"
 	"repro/internal/sim"
+	"repro/internal/spin"
 	"repro/internal/trace"
 )
 
@@ -101,7 +102,27 @@ type Config struct {
 	DropRate float64
 	// Seed drives the fault-injection generator.
 	Seed uint64
+	// HandlerCycleCost is the virtual-time cost of one in-network
+	// handler cycle (internal/spin) at a ring transit point. Zero
+	// selects DefaultHandlerCycleCost. Handler cost is charged only on
+	// packets overlapping an installed handler range, so an un-handled
+	// ring reproduces the calibrated figures exactly.
+	HandlerCycleCost sim.Duration
+	// HandlerBudget caps the handler cycles one packet may consume at
+	// one transit; on overrun the packet traps to the host — handler
+	// mutations roll back and the packet proceeds as if unhandled.
+	// Zero selects DefaultHandlerBudget.
+	HandlerBudget int64
 }
+
+// Default in-network handler cost parameters: a ~200 MHz handler core
+// (5 ns/cycle, the sPIN ballpark) and a budget generous enough for a
+// full 1 KB variable packet's worth of lane combines, small enough
+// that a runaway handler stalls one transit by at most ~1.3 µs.
+const (
+	DefaultHandlerCycleCost = 5 * sim.Nanosecond
+	DefaultHandlerBudget    = 260
+)
 
 // DefaultConfig returns a ring matching the paper's testbed: 4 nodes,
 // fixed 4-byte packets, fiber hop delay, 2 MB banks, PCI host interface.
@@ -131,6 +152,17 @@ func (c *Config) validate() error {
 	if c.TxFIFOBytes < 4 {
 		return fmt.Errorf("scramnet: TX FIFO %d too small", c.TxFIFOBytes)
 	}
+	// The comparison is written to also reject NaN, which satisfies
+	// neither bound.
+	if !(c.DropRate >= 0 && c.DropRate <= 1) {
+		return fmt.Errorf("scramnet: DropRate %v outside [0,1]", c.DropRate)
+	}
+	if c.HandlerCycleCost < 0 {
+		return fmt.Errorf("scramnet: negative HandlerCycleCost %v", c.HandlerCycleCost)
+	}
+	if c.HandlerBudget < 0 {
+		return fmt.Errorf("scramnet: negative HandlerBudget %d", c.HandlerBudget)
+	}
 	return nil
 }
 
@@ -143,6 +175,11 @@ type packet struct {
 	data      []byte
 	interrupt bool
 	hops      int
+	// rewritten marks a payload mutated by an in-network handler
+	// (spin.Rewrite): the origin applies it at strip time, so one
+	// revolution delivers the fully combined value back to the
+	// initiator's bank.
+	rewritten bool
 	// Trace attribution (zero when tracing is off or the write is not
 	// message-attributed): msg is the BBP message id stamped from the
 	// injecting NIC's context, parent the causal parent span, span the
@@ -226,6 +263,10 @@ func (n *Network) SetMetrics(m *metrics.Registry) {
 		for _, nic := range n.nics {
 			nic.im = nicInstruments{}
 			nic.bus.SetMetrics(nil, 0)
+			nic.mreg = nil
+			if nic.handlers != nil {
+				nic.handlers.SetMetrics(nil)
+			}
 		}
 		return
 	}
@@ -244,6 +285,12 @@ func (n *Network) SetMetrics(m *metrics.Registry) {
 func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.HandlerCycleCost == 0 {
+		cfg.HandlerCycleCost = DefaultHandlerCycleCost
+	}
+	if cfg.HandlerBudget == 0 {
+		cfg.HandlerBudget = DefaultHandlerBudget
 	}
 	n := &Network{
 		k:      k,
@@ -386,15 +433,41 @@ func (n *Network) forward(from int, pkt *packet) {
 			// Stripped by the source after a full revolution — or aged
 			// out after as many hops, which is what removes a packet
 			// whose origin was optically bypassed while it circulated.
+			// A handler-rewritten packet is applied to the origin's own
+			// bank first: the strip is how the initiator of a streaming
+			// reduction observes the fully combined value.
+			if pkt.rewritten && next == pkt.origin {
+				n.nics[next].stripApply(pkt)
+			}
 			n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "strip hops=%d", pkt.hops)
 			return
 		}
 		nic := n.nics[next]
-		nic.apply(pkt)
-		// Transit: the packet occupies this node's outgoing link too.
-		nic.link.Serve(n.wireTime(pkt), func() {
-			n.forward(next, pkt)
-		})
+		// In-network handlers run before the local apply and the
+		// forward decision; their cycle cost occupies the transit point
+		// for real virtual time before the packet progresses.
+		verdict, cost, hspan, ran := nic.transit(pkt)
+		proceed := func() {
+			if ran {
+				n.tracer.EndSpan(n.k.Now(), trace.Spin, nic.id, "handler-end", hspan, pkt.msg, "verdict=%s", verdict)
+			}
+			if verdict != spin.Steer {
+				nic.apply(pkt)
+			}
+			if verdict == spin.Consume {
+				n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "consumed node=%d hops=%d", nic.id, pkt.hops)
+				return
+			}
+			// Transit: the packet occupies this node's outgoing link too.
+			nic.link.Serve(n.wireTime(pkt), func() {
+				n.forward(next, pkt)
+			})
+		}
+		if cost > 0 {
+			n.k.After(cost, proceed)
+		} else {
+			proceed()
+		}
 	})
 }
 
@@ -425,8 +498,18 @@ func (n *Network) NodeFailed(i int) bool { return n.nics[i].failed }
 
 // SetDropRate adjusts the in-flight corruption probability at run time.
 // Fault-injection scripts use it to open and close transient loss
-// windows; the generator stream (Config.Seed) is unaffected.
-func (n *Network) SetDropRate(r float64) { n.cfg.DropRate = r }
+// windows; the generator stream (Config.Seed) is unaffected. Rates
+// outside [0,1] are clamped — a drop probability can be nothing else,
+// and a scripted sweep that overshoots must saturate, not corrupt the
+// comparison against the RNG (NaN clamps to 0).
+func (n *Network) SetDropRate(r float64) {
+	if !(r >= 0) {
+		r = 0
+	} else if r > 1 {
+		r = 1
+	}
+	n.cfg.DropRate = r
+}
 
 // Quiescent reports whether no packets are in flight anywhere (all link
 // servers idle). Useful for replication tests.

@@ -1,0 +1,229 @@
+package spin
+
+import "fmt"
+
+// RingOp names a 32-bit-lane combining operator a transit handler can
+// apply. Operators are identified by number, not function value, so an
+// initiator can name the round's operator in a control word and every
+// transit node resolves the same code — nothing but data crosses the
+// simulated wire. Lanes are 4 bytes because the fixed-packet ring
+// fragments anything wider: an 8-byte element can be split across two
+// packets that transit independently, so only operators that combine
+// 32-bit lanes independently are streamable (fold wider element types
+// on the tree path instead).
+type RingOp uint8
+
+// The streamable operators.
+const (
+	OpNone RingOp = iota
+	OpSumU32
+	OpMaxU32
+	OpMinU32
+	OpBOR
+	OpBAND
+	OpBXOR
+	opEnd
+)
+
+// Valid reports whether o names a streamable operator.
+func (o RingOp) Valid() bool { return o > OpNone && o < opEnd }
+
+func (o RingOp) String() string {
+	switch o {
+	case OpSumU32:
+		return "sum-u32"
+	case OpMaxU32:
+		return "max-u32"
+	case OpMinU32:
+		return "min-u32"
+	case OpBOR:
+		return "bor"
+	case OpBAND:
+		return "band"
+	case OpBXOR:
+		return "bxor"
+	}
+	return fmt.Sprintf("spin.RingOp(%d)", int(o))
+}
+
+// Combine applies the operator to two 32-bit lanes.
+func (o RingOp) Combine(a, b uint32) uint32 {
+	switch o {
+	case OpSumU32:
+		return a + b
+	case OpMaxU32:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMinU32:
+		if b < a {
+			return b
+		}
+		return a
+	case OpBOR:
+		return a | b
+	case OpBAND:
+		return a & b
+	case OpBXOR:
+		return a ^ b
+	}
+	panic(fmt.Sprintf("spin: Combine on %v", o))
+}
+
+func word(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putWord(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// Reducer is the streaming reduction-on-the-ring handler. The
+// initiator lays out three single-writer regions it owns — a header
+// word at HdrOff naming the round's operator and vector length, the
+// circulating vector at VecOff, and a completion mask word at MaskOff —
+// and writes them in that order, so the ring's per-origin FIFO delivers
+// them to every transit node in that order. At each transit the handler
+// combines this node's staged contribution (read from the local bank at
+// ContribOff) into the circulating vector lanes and, on the mask word,
+// sets this node's bit — but only if every vector byte of the round was
+// seen and combined, which is what lets the initiator detect a lost
+// vector packet or a node that died mid-round from the stripped mask
+// alone. See DESIGN.md §13 and PROTOCOL.md "In-network handler
+// extension".
+type Reducer struct {
+	// HdrOff, VecOff, MaskOff locate the initiator-owned header word,
+	// vector region (MaxBytes capacity) and mask word in the bank.
+	HdrOff, VecOff, MaskOff int
+	MaxBytes                int
+	// ContribOff locates this node's staged contribution in the local
+	// bank (its own single-writer region, replicated like any other).
+	ContribOff int
+	// Bit is this node's completion bit in the mask word.
+	Bit uint32
+
+	op       RingOp
+	expect   int
+	combined int
+	active   bool
+}
+
+// HdrWord encodes a round header: vector byte length in the low 24
+// bits, operator code in the high 8.
+func HdrWord(op RingOp, vecLen int) uint32 {
+	return uint32(vecLen)&0xffffff | uint32(op)<<24
+}
+
+// DecodeHdr inverts HdrWord.
+func DecodeHdr(v uint32) (op RingOp, vecLen int) {
+	return RingOp(v >> 24), int(v & 0xffffff)
+}
+
+// OnTransit implements Handler.
+func (r *Reducer) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
+	switch {
+	case pkt.Off == r.HdrOff && len(pkt.Data) >= 4:
+		// Round start: reset per-round state. The header is applied and
+		// forwarded unchanged.
+		ctx.Charge(2)
+		r.op, r.expect = DecodeHdr(word(pkt.Data))
+		r.combined = 0
+		r.active = r.op.Valid() && r.expect > 0 && r.expect <= r.MaxBytes
+		return Forward
+	case pkt.Off == r.MaskOff && len(pkt.Data) >= 4:
+		ctx.Charge(2)
+		if !r.active || r.combined != r.expect {
+			// A vector packet was lost upstream of the ring, or this
+			// node joined mid-round: leaving the bit clear is the
+			// integrity signal the initiator acts on.
+			r.active = false
+			return Forward
+		}
+		r.active = false
+		putWord(pkt.Data, word(pkt.Data)|r.Bit)
+		return Rewrite
+	case pkt.Off >= r.VecOff && pkt.Off < r.VecOff+r.MaxBytes:
+		if !r.active {
+			return Forward
+		}
+		// Combine this node's staged lanes into the circulating partial.
+		rel := pkt.Off - r.VecOff
+		n := 0
+		for ; n+4 <= len(pkt.Data) && rel+n+4 <= r.expect; n += 4 {
+			c := word(ctx.Bank(r.ContribOff+rel+n, 4))
+			putWord(pkt.Data[n:], r.op.Combine(word(pkt.Data[n:]), c))
+		}
+		ctx.Charge(int64(1 + n/4))
+		if n == 0 {
+			return Forward
+		}
+		r.combined += n
+		return Rewrite
+	}
+	return Forward
+}
+
+// TopicFilter is the pub/sub fan-out handler: the publisher partitions
+// a region of its partition into fixed-size topic slots, and each
+// subscriber node installs a filter over the region. Packets for
+// subscribed topics pass through (Forward — applied locally and
+// forwarded); packets for other topics are steered past this node's
+// bank (Steer), so a node's replica only ever materializes the topics
+// it asked for. Demonstrated by examples/pubsub.
+type TopicFilter struct {
+	// Base and SlotBytes partition [Base, Base+Topics*SlotBytes) into
+	// topic slots.
+	Base, SlotBytes, Topics int
+	// Subscribed reports interest in a topic. It must be deterministic.
+	Subscribed func(topic int) bool
+}
+
+// OnTransit implements Handler.
+func (f *TopicFilter) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
+	ctx.Charge(2)
+	t := (pkt.Off - f.Base) / f.SlotBytes
+	if t < 0 || t >= f.Topics || f.Subscribed(t) {
+		return Forward
+	}
+	return Steer
+}
+
+// EarlyAck acknowledges BillBoard posts at ring transit instead of at
+// host consumption: when a sender's MESSAGE-flag packet transits the
+// addressed receiver's NIC, the handler diffs it against the bank's
+// previous value and injects the matching ACK-toggle write on the
+// spot. The sender's garbage collector then sees the acknowledgment
+// one ring revolution after the post, without waiting for the
+// receiver's poll-consume-ack cycle. The semantics weaken from
+// "consumed" to "arrived at the receiver's bank" — see DESIGN.md §13
+// for the slot-reuse hazard window this opens and why the base
+// protocol's flow control must come from buffer depth instead.
+type EarlyAck struct {
+	// FlagsOff is the bank offset of this receiver's MESSAGE-flag word
+	// for the sender this instance watches; AckOff the ACK-toggle word
+	// this receiver owns in that sender's control partition.
+	FlagsOff, AckOff int
+
+	ackOut uint32
+}
+
+// OnTransit implements Handler.
+func (a *EarlyAck) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
+	if pkt.Off != a.FlagsOff || len(pkt.Data) < 4 {
+		return Forward
+	}
+	ctx.Charge(3)
+	diff := word(pkt.Data) ^ word(ctx.Bank(a.FlagsOff, 4))
+	if diff == 0 {
+		return Forward
+	}
+	a.ackOut ^= diff
+	var ack [4]byte
+	putWord(ack[:], a.ackOut)
+	ctx.Inject(a.AckOff, ack[:])
+	return Forward
+}

@@ -1,0 +1,289 @@
+// Package spin is a sPIN-style in-network handler engine for the
+// SCRAMNet NIC model (Hoefler et al., PAPERS.md): applications install
+// small deterministic handlers that execute at ring transit points,
+// before a circulating packet is applied to the local bank and
+// forwarded downstream. A handler can let the packet pass (Forward),
+// absorb it (Consume), mutate its payload in flight (Rewrite — the
+// streaming reduction-on-the-ring primitive), or skip the local apply
+// while forwarding unchanged (Steer — topic filtering for pub/sub
+// fan-out).
+//
+// Handler cost is charged in the virtual-time model: each handler
+// reports its work in handler cycles via HandlerCtx.Charge, the NIC
+// converts cycles to time with scramnet.Config.HandlerCycleCost, and a
+// per-packet budget (scramnet.Config.HandlerBudget) bounds the transit
+// stall. A packet whose handlers overrun the budget traps to the host:
+// every in-flight mutation is rolled back and the packet proceeds as if
+// no handler were installed, so a buggy or adversarial handler can slow
+// one transit but never wedge or corrupt the ring.
+//
+// The package is hardware-agnostic on purpose: it knows offsets, bytes
+// and cycles, never *scramnet.NIC (which imports this package). All
+// engine state is mutated only from simulation callbacks, so handler
+// execution is deterministic for a fixed event order — the property the
+// determinism battery in internal/scramnet locks in.
+package spin
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Verdict is a handler's decision about the packet in transit.
+type Verdict int
+
+const (
+	// Forward applies the packet to the local bank and forwards it
+	// unchanged — the default ring behavior.
+	Forward Verdict = iota
+	// Consume applies the packet locally and strips it from the ring:
+	// no downstream node sees it.
+	Consume
+	// Rewrite is Forward for a packet whose payload the handler mutated
+	// in place: the local bank and every downstream node observe the
+	// rewritten bytes, and the origin applies them at strip time.
+	Rewrite
+	// Steer forwards the packet unchanged but skips the local apply:
+	// this node's bank never sees the write.
+	Steer
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Forward:
+		return "forward"
+	case Consume:
+		return "consume"
+	case Rewrite:
+		return "rewrite"
+	case Steer:
+		return "steer"
+	}
+	return fmt.Sprintf("spin.Verdict(%d)", int(v))
+}
+
+// Packet is the transit view of one ring transfer unit. Data aliases
+// the circulating payload: writing through it is how a Rewrite verdict
+// mutates the packet for the local apply, every downstream node, and
+// the origin's strip-apply.
+type Packet struct {
+	// Origin is the injecting node, Off the bank offset the payload
+	// lands at, Hops the link traversals so far (including this one).
+	Origin int
+	Off    int
+	Hops   int
+	// Data is the payload, mutable in place.
+	Data []byte
+	// Interrupt mirrors the packet's interrupt bit.
+	Interrupt bool
+}
+
+// HandlerCtx is the per-transit execution context handed to handlers.
+// The hardware hooks (Bank, Inject) are wired by the NIC before each
+// run; handlers must not retain the context across calls.
+type HandlerCtx struct {
+	// Node is the transit node the handler executes on.
+	Node int
+	// Now is the virtual time of the transit.
+	Now sim.Time
+	// Bank reads n bytes of the local replicated bank at off without
+	// charging time — handler memory accesses are on-card, not across
+	// the host bus. The returned slice aliases the bank: read-only.
+	Bank func(off, n int) []byte
+	// Inject posts a NIC-originated ring write of data at off, as if
+	// this node's host had written it but without host-bus cost (the
+	// early-ACK primitive). The local bank is updated immediately.
+	Inject func(off int, data []byte)
+
+	spent  int64
+	budget int64
+}
+
+// Charge records cycles of handler work. Once the per-packet budget is
+// exceeded the engine traps the packet to the host: mutations roll
+// back and the packet proceeds un-handled.
+func (c *HandlerCtx) Charge(cycles int64) {
+	if cycles > 0 {
+		c.spent += cycles
+	}
+}
+
+// Spent returns the cycles charged so far this transit.
+func (c *HandlerCtx) Spent() int64 { return c.spent }
+
+// Overrun reports whether the charged cycles exceed the packet budget.
+func (c *HandlerCtx) Overrun() bool { return c.spent > c.budget }
+
+// Handler executes at a ring transit point for packets overlapping its
+// installed offset range. It must be deterministic: its decision may
+// depend only on the packet, the local bank, and its own state.
+type Handler interface {
+	OnTransit(ctx *HandlerCtx, pkt Packet) Verdict
+}
+
+// rng is one installed handler's offset range.
+type rng struct {
+	id      int
+	off, n  int
+	handler Handler
+}
+
+// Engine is one NIC's handler table: installed ranges in install
+// order, plus the spin.* instruments. The zero value is unusable; NICs
+// create engines lazily on first install so an un-handled ring charges
+// nothing.
+type Engine struct {
+	node    int
+	budget  int64
+	nextID  int
+	ranges  []rng
+	stats   Stats
+	im      instruments
+	scratch []byte // rollback snapshot, reused across transits
+}
+
+// Stats counts handler activity on one engine.
+type Stats struct {
+	HandlersRun      int64 // handler executions (one per matching handler per transit)
+	HandlerCycles    int64 // cycles charged, including trapped transits
+	TrapsToHost      int64 // transits rolled back on budget overrun
+	PacketsConsumed  int64
+	PacketsRewritten int64
+	PacketsSteered   int64
+}
+
+// instruments mirror Stats into the metrics registry (nil = no-ops).
+type instruments struct {
+	handlersRun      *metrics.Counter // spin.handlers_run
+	handlerCycles    *metrics.Counter // spin.handler_cycles
+	trapsToHost      *metrics.Counter // spin.traps_to_host
+	packetsConsumed  *metrics.Counter // spin.packets_consumed
+	packetsRewritten *metrics.Counter // spin.packets_rewritten
+	packetsSteered   *metrics.Counter // spin.packets_steered
+}
+
+// NewEngine builds a handler engine for one transit node with the
+// given per-packet cycle budget.
+func NewEngine(node int, budget int64) *Engine {
+	if budget <= 0 {
+		panic("spin: handler budget must be positive")
+	}
+	return &Engine{node: node, budget: budget}
+}
+
+// SetMetrics (re)creates the engine's spin.* instruments against m,
+// keyed by the engine's node (nil disables).
+func (e *Engine) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		e.im = instruments{}
+		return
+	}
+	e.im = instruments{
+		handlersRun:      m.Counter("spin.handlers_run", e.node),
+		handlerCycles:    m.Counter("spin.handler_cycles", e.node),
+		trapsToHost:      m.Counter("spin.traps_to_host", e.node),
+		packetsConsumed:  m.Counter("spin.packets_consumed", e.node),
+		packetsRewritten: m.Counter("spin.packets_rewritten", e.node),
+		packetsSteered:   m.Counter("spin.packets_steered", e.node),
+	}
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Install registers h for packets overlapping [off, off+n) and returns
+// an id for Uninstall. Handlers run in install order; ranges may
+// overlap.
+func (e *Engine) Install(off, n int, h Handler) int {
+	if off < 0 || n <= 0 {
+		panic(fmt.Sprintf("spin: bad handler range [%d,%d)", off, off+n))
+	}
+	if h == nil {
+		panic("spin: nil handler")
+	}
+	e.nextID++
+	e.ranges = append(e.ranges, rng{id: e.nextID, off: off, n: n, handler: h})
+	return e.nextID
+}
+
+// Uninstall removes the handler registered under id, reporting whether
+// it was installed.
+func (e *Engine) Uninstall(id int) bool {
+	for i := range e.ranges {
+		if e.ranges[i].id == id {
+			e.ranges = append(e.ranges[:i], e.ranges[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether any installed range overlaps [off, off+n) —
+// the fast path that keeps un-handled traffic free of handler cost.
+func (e *Engine) Covers(off, n int) bool {
+	for i := range e.ranges {
+		r := &e.ranges[i]
+		if off < r.off+r.n && r.off < off+n {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every matching handler against the packet, in install
+// order. A Consume or Steer verdict ends the chain; Rewrite is sticky
+// across the remaining handlers. On budget overrun the payload is
+// rolled back to its pre-handler bytes and the packet traps to the
+// host: verdict Forward, as if no handler were installed. The cycles
+// actually charged (capped at the budget) are returned so the NIC can
+// convert them to transit time.
+func (e *Engine) Run(ctx *HandlerCtx, pkt Packet) (v Verdict, cycles int64, trapped bool) {
+	ctx.spent, ctx.budget = 0, e.budget
+	e.scratch = append(e.scratch[:0], pkt.Data...)
+	v = Forward
+run:
+	for i := range e.ranges {
+		r := &e.ranges[i]
+		if pkt.Off >= r.off+r.n || r.off >= pkt.Off+len(pkt.Data) {
+			continue
+		}
+		hv := r.handler.OnTransit(ctx, pkt)
+		e.stats.HandlersRun++
+		e.im.handlersRun.Inc()
+		if ctx.Overrun() {
+			trapped = true
+			break
+		}
+		switch hv {
+		case Consume, Steer:
+			v = hv
+			break run
+		case Rewrite:
+			v = Rewrite
+		}
+	}
+	cycles = ctx.spent
+	if trapped {
+		cycles = e.budget
+		copy(pkt.Data, e.scratch)
+		v = Forward
+		e.stats.TrapsToHost++
+		e.im.trapsToHost.Inc()
+	}
+	e.stats.HandlerCycles += cycles
+	e.im.handlerCycles.Add(cycles)
+	switch v {
+	case Consume:
+		e.stats.PacketsConsumed++
+		e.im.packetsConsumed.Inc()
+	case Rewrite:
+		e.stats.PacketsRewritten++
+		e.im.packetsRewritten.Inc()
+	case Steer:
+		e.stats.PacketsSteered++
+		e.im.packetsSteered.Inc()
+	}
+	return v, cycles, trapped
+}

@@ -1,0 +1,356 @@
+package spin
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// verdictFn adapts a function to the Handler interface.
+type verdictFn func(ctx *HandlerCtx, pkt Packet) Verdict
+
+func (f verdictFn) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict { return f(ctx, pkt) }
+
+// bankOf builds a HandlerCtx.Bank hook over a flat byte slice.
+func bankOf(mem []byte) func(off, n int) []byte {
+	return func(off, n int) []byte { return mem[off : off+n] }
+}
+
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{
+		Forward: "forward", Consume: "consume", Rewrite: "rewrite", Steer: "steer",
+		Verdict(99): "spin.Verdict(99)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d: got %q want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestRingOps(t *testing.T) {
+	if OpNone.Valid() || RingOp(200).Valid() {
+		t.Error("invalid ops reported valid")
+	}
+	cases := []struct {
+		op      RingOp
+		a, b, c uint32
+		name    string
+	}{
+		{OpSumU32, 7, 5, 12, "sum-u32"},
+		{OpMaxU32, 7, 5, 7, "max-u32"},
+		{OpMaxU32, 5, 7, 7, "max-u32"},
+		{OpMinU32, 7, 5, 5, "min-u32"},
+		{OpMinU32, 5, 7, 5, "min-u32"},
+		{OpBOR, 0b1010, 0b0110, 0b1110, "bor"},
+		{OpBAND, 0b1010, 0b0110, 0b0010, "band"},
+		{OpBXOR, 0b1010, 0b0110, 0b1100, "bxor"},
+	}
+	for _, c := range cases {
+		if !c.op.Valid() {
+			t.Errorf("%v: not valid", c.op)
+		}
+		if got := c.op.Combine(c.a, c.b); got != c.c {
+			t.Errorf("%v(%d,%d): got %d want %d", c.op, c.a, c.b, got, c.c)
+		}
+		if got := c.op.String(); got != c.name {
+			t.Errorf("op string: got %q want %q", got, c.name)
+		}
+	}
+	if got := RingOp(77).String(); got != "spin.RingOp(77)" {
+		t.Errorf("unknown op string %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Combine on OpNone did not panic")
+		}
+	}()
+	OpNone.Combine(1, 2)
+}
+
+func TestHdrWordRoundtrip(t *testing.T) {
+	for _, c := range []struct {
+		op RingOp
+		n  int
+	}{{OpSumU32, 4}, {OpBXOR, 256}, {OpMaxU32, 0xffffff}} {
+		op, n := DecodeHdr(HdrWord(c.op, c.n))
+		if op != c.op || n != c.n {
+			t.Errorf("roundtrip (%v,%d) -> (%v,%d)", c.op, c.n, op, n)
+		}
+	}
+}
+
+func TestEngineInstallValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero budget", func() { NewEngine(0, 0) })
+	e := NewEngine(0, 100)
+	mustPanic("negative off", func() { e.Install(-1, 4, verdictFn(nil)) })
+	mustPanic("zero len", func() { e.Install(0, 0, verdictFn(nil)) })
+	mustPanic("nil handler", func() { e.Install(0, 4, nil) })
+}
+
+func TestEngineCoversAndUninstall(t *testing.T) {
+	e := NewEngine(0, 100)
+	id := e.Install(100, 8, verdictFn(func(*HandlerCtx, Packet) Verdict { return Forward }))
+	for _, c := range []struct {
+		off, n int
+		want   bool
+	}{
+		{100, 4, true}, {104, 4, true}, {96, 4, false}, {108, 4, false},
+		{96, 8, true}, {107, 2, true}, {0, 100, false}, {0, 101, true},
+	} {
+		if got := e.Covers(c.off, c.n); got != c.want {
+			t.Errorf("Covers(%d,%d) = %v want %v", c.off, c.n, got, c.want)
+		}
+	}
+	if !e.Uninstall(id) {
+		t.Error("Uninstall of live id failed")
+	}
+	if e.Uninstall(id) {
+		t.Error("double Uninstall succeeded")
+	}
+	if e.Covers(100, 8) {
+		t.Error("range still covered after Uninstall")
+	}
+}
+
+func TestEngineRunOrderAndVerdicts(t *testing.T) {
+	e := NewEngine(3, 1000)
+	var order []int
+	mk := func(tag int, v Verdict) verdictFn {
+		return func(ctx *HandlerCtx, pkt Packet) Verdict {
+			order = append(order, tag)
+			ctx.Charge(1)
+			return v
+		}
+	}
+	// Three overlapping handlers: forward, rewrite, forward — rewrite
+	// must be sticky across handler 3.
+	e.Install(0, 16, mk(1, Forward))
+	e.Install(4, 8, mk(2, Rewrite))
+	e.Install(0, 16, mk(3, Forward))
+	ctx := &HandlerCtx{Node: 3, Bank: bankOf(make([]byte, 32))}
+	v, cycles, trapped := e.Run(ctx, Packet{Off: 4, Data: make([]byte, 4)})
+	if v != Rewrite || trapped || cycles != 3 {
+		t.Errorf("run: v=%v cycles=%d trapped=%v", v, cycles, trapped)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("install order not respected: %v", order)
+	}
+	// A packet outside handler 2's range runs only 1 and 3.
+	order = nil
+	v, _, _ = e.Run(ctx, Packet{Off: 12, Data: make([]byte, 4)})
+	if v != Forward || len(order) != 2 {
+		t.Errorf("range filter: v=%v order=%v", v, order)
+	}
+	// Consume ends the chain.
+	e2 := NewEngine(0, 1000)
+	e2.Install(0, 4, mk(4, Consume))
+	e2.Install(0, 4, mk(5, Forward))
+	order = nil
+	v, _, _ = e2.Run(ctx, Packet{Off: 0, Data: make([]byte, 4)})
+	if v != Consume || len(order) != 1 {
+		t.Errorf("consume chain: v=%v order=%v", v, order)
+	}
+	// Steer ends the chain too.
+	e3 := NewEngine(0, 1000)
+	e3.Install(0, 4, mk(6, Steer))
+	e3.Install(0, 4, mk(7, Rewrite))
+	order = nil
+	v, _, _ = e3.Run(ctx, Packet{Off: 0, Data: make([]byte, 4)})
+	if v != Steer || len(order) != 1 {
+		t.Errorf("steer chain: v=%v order=%v", v, order)
+	}
+	st := e.Stats()
+	if st.HandlersRun != 5 || st.PacketsRewritten != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestEngineBudgetTrapRollsBack(t *testing.T) {
+	m := metrics.New()
+	e := NewEngine(1, 10)
+	e.SetMetrics(m)
+	e.Install(0, 4, verdictFn(func(ctx *HandlerCtx, pkt Packet) Verdict {
+		putWord(pkt.Data, 0xdeadbeef) // mutation that must be rolled back
+		ctx.Charge(50)                // blows the 10-cycle budget
+		return Rewrite
+	}))
+	ran := false
+	e.Install(0, 4, verdictFn(func(ctx *HandlerCtx, pkt Packet) Verdict {
+		ran = true
+		return Forward
+	}))
+	data := []byte{1, 2, 3, 4}
+	ctx := &HandlerCtx{Bank: bankOf(make([]byte, 8))}
+	v, cycles, trapped := e.Run(ctx, Packet{Off: 0, Data: data})
+	if !trapped || v != Forward {
+		t.Fatalf("v=%v trapped=%v", v, trapped)
+	}
+	if cycles != 10 {
+		t.Errorf("trapped transit must charge exactly the budget, got %d", cycles)
+	}
+	if ran {
+		t.Error("handler after the overrun still ran")
+	}
+	if !bytes.Equal(data, []byte{1, 2, 3, 4}) {
+		t.Errorf("mutation not rolled back: %x", data)
+	}
+	st := e.Stats()
+	if st.TrapsToHost != 1 || st.HandlerCycles != 10 || st.PacketsRewritten != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if m.Counter("spin.traps_to_host", 1).Value() != 1 ||
+		m.Counter("spin.handler_cycles", 1).Value() != 10 {
+		t.Error("spin.* instruments out of sync with stats")
+	}
+}
+
+func TestReducerRound(t *testing.T) {
+	const (
+		hdrOff  = 0
+		maskOff = 4
+		vecOff  = 8
+		maxB    = 16
+		conOff  = 64
+	)
+	mem := make([]byte, 128)
+	putWord(mem[conOff:], 100)
+	putWord(mem[conOff+4:], 200)
+	e := NewEngine(2, 1000)
+	e.Install(hdrOff, 8+maxB, &Reducer{
+		HdrOff: hdrOff, VecOff: vecOff, MaskOff: maskOff,
+		MaxBytes: maxB, ContribOff: conOff, Bit: 1 << 2,
+	})
+	ctx := &HandlerCtx{Node: 2, Bank: bankOf(mem)}
+	run := func(off int, data []byte) (Verdict, []byte) {
+		v, _, _ := e.Run(ctx, Packet{Off: off, Data: data})
+		return v, data
+	}
+
+	// Header announces an 8-byte sum round.
+	hdr := make([]byte, 4)
+	putWord(hdr, HdrWord(OpSumU32, 8))
+	if v, _ := run(hdrOff, hdr); v != Forward {
+		t.Fatalf("hdr verdict %v", v)
+	}
+	// Vector packets get this node's lanes combined in.
+	v1 := make([]byte, 4)
+	putWord(v1, 1)
+	verdict, out := run(vecOff, v1)
+	if verdict != Rewrite || word(out) != 101 {
+		t.Fatalf("vec0: v=%v lane=%d", verdict, word(out))
+	}
+	v2 := make([]byte, 4)
+	putWord(v2, 2)
+	verdict, out = run(vecOff+4, v2)
+	if verdict != Rewrite || word(out) != 202 {
+		t.Fatalf("vec1: v=%v lane=%d", verdict, word(out))
+	}
+	// All bytes combined: the mask packet gets our bit.
+	mask := make([]byte, 4)
+	putWord(mask, 0b1)
+	verdict, out = run(maskOff, mask)
+	if verdict != Rewrite || word(out) != 0b101 {
+		t.Fatalf("mask: v=%v bits=%b", verdict, word(out))
+	}
+
+	// Second round loses a vector packet: the mask must pass untouched.
+	putWord(hdr, HdrWord(OpSumU32, 8))
+	run(hdrOff, hdr)
+	run(vecOff, v1) // second packet "lost" — never transits
+	putWord(mask, 0b1)
+	verdict, out = run(maskOff, mask)
+	if verdict != Forward || word(out) != 0b1 {
+		t.Fatalf("lossy mask: v=%v bits=%b", verdict, word(out))
+	}
+
+	// A bad header (oversize vector) deactivates the round entirely.
+	putWord(hdr, HdrWord(OpSumU32, maxB+4))
+	run(hdrOff, hdr)
+	putWord(v1, 1)
+	if verdict, _ = run(vecOff, v1); verdict != Forward {
+		t.Fatalf("inactive vec verdict %v", verdict)
+	}
+	putWord(mask, 0)
+	if verdict, out = run(maskOff, mask); verdict != Forward || word(out) != 0 {
+		t.Fatalf("inactive mask: v=%v bits=%b", verdict, word(out))
+	}
+}
+
+func TestTopicFilter(t *testing.T) {
+	e := NewEngine(0, 100)
+	e.Install(100, 40, &TopicFilter{
+		Base: 100, SlotBytes: 10, Topics: 4,
+		Subscribed: func(topic int) bool { return topic%2 == 0 },
+	})
+	ctx := &HandlerCtx{Bank: bankOf(make([]byte, 256))}
+	for _, c := range []struct {
+		off  int
+		want Verdict
+	}{
+		{100, Forward}, // topic 0: subscribed
+		{112, Steer},   // topic 1: not subscribed
+		{125, Forward}, // topic 2
+		{133, Steer},   // topic 3
+	} {
+		if v, _, _ := e.Run(ctx, Packet{Off: c.off, Data: make([]byte, 4)}); v != c.want {
+			t.Errorf("off %d: got %v want %v", c.off, v, c.want)
+		}
+	}
+}
+
+func TestEarlyAck(t *testing.T) {
+	const flagsOff, ackOff = 0, 32
+	mem := make([]byte, 64)
+	var injected []struct {
+		off  int
+		data []byte
+	}
+	e := NewEngine(1, 100)
+	e.Install(flagsOff, 4, &EarlyAck{FlagsOff: flagsOff, AckOff: ackOff})
+	ctx := &HandlerCtx{
+		Node: 1,
+		Bank: bankOf(mem),
+		Inject: func(off int, data []byte) {
+			injected = append(injected, struct {
+				off  int
+				data []byte
+			}{off, append([]byte(nil), data...)})
+		},
+	}
+	// First post toggles slot bit 0: handler injects the matching ack.
+	flags := make([]byte, 4)
+	putWord(flags, 0b1)
+	if v, _, _ := e.Run(ctx, Packet{Off: flagsOff, Data: flags}); v != Forward {
+		t.Fatal("early-ack must forward")
+	}
+	if len(injected) != 1 || injected[0].off != ackOff || word(injected[0].data) != 0b1 {
+		t.Fatalf("injected %+v", injected)
+	}
+	// Apply the flags to the bank (as the NIC would after Forward), then
+	// a duplicate packet with no new toggles injects nothing.
+	copy(mem[flagsOff:], flags)
+	if v, _, _ := e.Run(ctx, Packet{Off: flagsOff, Data: flags}); v != Forward || len(injected) != 1 {
+		t.Fatalf("duplicate flags injected an ack: v=%v n=%d", v, len(injected))
+	}
+	// Second post toggles bit 1: ack word accumulates both toggles.
+	putWord(flags, 0b11)
+	e.Run(ctx, Packet{Off: flagsOff, Data: flags})
+	if len(injected) != 2 || word(injected[1].data) != 0b11 {
+		t.Fatalf("injected %+v", injected)
+	}
+	// Short packets pass through untouched.
+	if v, _, _ := e.Run(ctx, Packet{Off: flagsOff, Data: []byte{1}}); v != Forward || len(injected) != 2 {
+		t.Fatal("short packet mishandled")
+	}
+}

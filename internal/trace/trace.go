@@ -38,6 +38,7 @@ const (
 	Hybrid Category = "hyb"   // hybrid router decisions
 	Fault  Category = "fault" // injected fault-script actions
 	Live   Category = "live"  // liveness detector verdicts (suspect/dead/rejoin)
+	Spin   Category = "spin"  // in-network handler execution at ring transit points
 )
 
 // SpanID identifies one span within a recorder; 0 means "no span".

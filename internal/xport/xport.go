@@ -7,7 +7,10 @@
 // same MPICH stack over different networks — is reproduced structurally.
 package xport
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/spin"
+)
 
 // Endpoint is one process's handle on a messaging substrate. Sends are
 // reliable and each (sender, receiver) stream is delivered in order.
@@ -32,6 +35,25 @@ type Endpoint interface {
 	// NativeMcast reports whether Mcast is a single-step hardware
 	// operation (true only for the BillBoard Protocol on SCRAMNet).
 	NativeMcast() bool
+}
+
+// StreamReducer is the optional in-network collective extension (only
+// the BillBoard Protocol on SCRAMNet with Config.Stream implements
+// it): an allreduce over 32-bit lanes computed by transit handlers as
+// the vector circulates the ring, one revolution instead of a log(P)
+// software tree. Layers that want the fast path type-assert their
+// Endpoint against this interface and fall back to rank-side
+// reduction when the assertion fails or StreamAllreduce declines.
+type StreamReducer interface {
+	// StreamMax is the largest vector one fast-path round can carry
+	// (0 when the extension is configured off).
+	StreamMax() int
+	// StreamAllreduce runs one collective in-network allreduce round.
+	// done=false with a nil error is a collective decline: every rank
+	// gets the same verdict for the same round and must run the same
+	// software fallback. done=true means recv holds the reduction of
+	// every rank's send.
+	StreamAllreduce(p *sim.Proc, op spin.RingOp, send, recv []byte) (done bool, err error)
 }
 
 // Windowed is the optional receiver-posted-window extension (only the
