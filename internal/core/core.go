@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
+	"repro/internal/spin"
 	"repro/internal/trace"
 )
 
@@ -461,6 +462,14 @@ func New(net RingNetwork, cfg Config, opts ...Option) (*System, error) {
 		}
 		if strMax < 4 || strMax%4 != 0 || strMax > 0xffffff {
 			return nil, fmt.Errorf("bbp: Stream.MaxBytes %d must be a positive multiple of 4 below 2^24", cfg.Stream.MaxBytes)
+		}
+		// The completion-mask word carries one bit per rank in its low
+		// 24 bits and the round tag in the high 8 (spin.MaskWord); a
+		// 25th rank's bit would shift into the tag — or, at 33+, out of
+		// the word entirely — and the mask integrity check would pass
+		// vacuously on rounds that rank never combined.
+		if n > spin.MaskRanks {
+			return nil, fmt.Errorf("bbp: Stream supports at most %d processes (completion-mask bits share a word with the round tag), got %d", spin.MaskRanks, n)
 		}
 	} else if cfg.Stream.MaxBytes != 0 {
 		return nil, fmt.Errorf("bbp: Stream.MaxBytes %d set but Stream.Enabled is false", cfg.Stream.MaxBytes)

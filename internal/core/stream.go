@@ -28,17 +28,24 @@ import (
 //     the same software tree on the same round.
 //  3. Rank 0 writes the header word (operator + vector length, arming
 //     every transit Reducer), the vector seeded with its own
-//     contribution, and the completion mask with its own bit pre-set.
-//     Each transit combines its staged lanes into the circulating
-//     packets (Rewrite) and sets its mask bit only if it combined
-//     every byte of the round; the origin's strip-apply lands the
-//     fully combined vector and mask back in rank 0's replica.
-//  4. Rank 0 polls its local mask word. All bits set — publish the
-//     result (conventional replicated write) and the done word. A
-//     clear bit past the drain horizon means a vector packet was
-//     dropped at injection or a node died mid-transit: publish a
-//     fallback verdict instead. Either way non-roots learn the round's
-//     outcome from the done word alone.
+//     contribution, and the completion mask word — its own bit pre-set
+//     and the round tag in the high byte (spin.MaskWord). Each transit
+//     combines its staged lanes into the circulating packets (Rewrite)
+//     and sets its mask bit only if it combined every byte of the
+//     round; the origin's strip-apply lands the fully combined vector
+//     and mask back in rank 0's replica.
+//  4. Rank 0 polls its local mask word for all bits set *and* the
+//     current round's tag. The tag is load-bearing: rank 0's own seed
+//     write lands in its bank immediately, but strip-applies arrive
+//     arbitrarily late under transit-link queueing — a full mask from
+//     an earlier round rank 0 already abandoned could otherwise strip
+//     into the bank mid-poll and satisfy a later round whose combines
+//     never ran. All bits set with the right tag — publish the result
+//     (conventional replicated write) and the done word. A clear bit
+//     past the drain horizon means a vector packet was dropped at
+//     injection or a node died mid-transit: publish a fallback verdict
+//     instead. Either way non-roots learn the round's outcome from the
+//     done word alone.
 //
 // The contribution, arrival, and control words keep the single-writer
 // discipline: contrib(i)/arrival(i) are written only by rank i, the
@@ -55,7 +62,10 @@ type streamState struct {
 }
 
 // initStream installs this endpoint's transit Reducer over the
-// contiguous header+mask+vector block of the stream region.
+// contiguous header+mask+vector block of the stream region. The
+// completion bit is one of the mask word's low spin.MaskRanks bits
+// (core.New rejects Stream beyond that many ranks — the high byte is
+// the round tag).
 func (e *Endpoint) initStream() {
 	lay := e.sys.lay
 	e.stream.arrBuf = make([]uint32, e.Procs())
@@ -106,9 +116,13 @@ func (e *Endpoint) StreamMax() int {
 func (e *Endpoint) StreamAllreduce(p *sim.Proc, op spin.RingOp, send, recv []byte) (bool, error) {
 	lay, cfg := e.sys.lay, e.sys.cfg
 	n := len(send)
-	// Gating predicates are rank-uniform for a collective call, so
-	// either every rank proceeds (and the round counters stay in step)
-	// or every rank declines.
+	// For a well-formed collective call (every rank passing the same op
+	// and equally sized buffers) these gates are rank-uniform, so either
+	// every rank proceeds (and the round counters stay in step) or every
+	// rank declines. The recv-length gate is the one a buggy caller can
+	// break per-rank; a lone decliner then simply never announces
+	// arrival, rank 0's arrival wait expires, and the whole collective
+	// degrades to the software tree rather than hanging or splitting.
 	if !cfg.Stream.Enabled || !op.Valid() || n == 0 || n%4 != 0 || n > lay.strMax || len(recv) < n {
 		return false, nil
 	}
@@ -172,36 +186,41 @@ func (e *Endpoint) streamRoot(p *sim.Proc, op spin.RingOp, send, recv []byte, r 
 			}
 		}
 		if deadline >= 0 && p.Now() > deadline {
-			// Publish the fallback verdict anyway so non-roots escape
-			// their done-word wait instead of timing out one by one.
-			e.streamAbort(p, r, "arrival wait timed out")
-			return false, ErrTimeout
+			// A rank is unresponsive but not (yet) suspect. Publish the
+			// fallback verdict and decline like the leaves do, so the
+			// collective exits symmetrically: every rank runs the same
+			// software tree, and the tree is what surfaces a genuinely
+			// dead or missing rank as its own error.
+			return e.streamAbort(p, r, "arrival wait timed out")
 		}
 		p.Delay(cfg.Costs.PollOverhead)
 	}
 
 	// Header arms every transit Reducer; the vector is seeded with our
-	// own contribution; the mask carries our pre-set bit. FIFO order
-	// guarantees each transit sees them in this order.
+	// own contribution; the mask carries our pre-set bit plus the round
+	// tag. FIFO order guarantees each transit sees them in this order.
 	e.nic.WriteWord(p, lay.strHdr(), spin.HdrWord(op, n))
 	e.nic.Write(p, lay.strVec(), send)
-	e.nic.WriteWord(p, lay.strMask(), 1)
+	e.nic.WriteWord(p, lay.strMask(), spin.MaskWord(r, 1))
 
 	// One revolution later our own strip-apply lands the combined
-	// vector and mask in the local replica. A clear bit past the drain
+	// vector and mask in the local replica. The poll requires this
+	// round's tag alongside the full bit set: a late strip from an
+	// abandoned earlier round carries that round's tag and cannot
+	// satisfy it (see the file comment). A mismatch past the drain
 	// horizon (plus worst-case handler stalls at every transit) means a
 	// vector packet was dropped at injection or a node died mid-round.
-	full := uint32(1)<<uint(e.Procs()) - 1
+	want := spin.MaskWord(r, uint32(1)<<uint(e.Procs())-1)
 	ncfg := e.nic.NetworkConfig()
 	maskBy := e.nic.DrainBound().
 		Add(sim.Duration(ncfg.Nodes) * sim.Duration(ncfg.HandlerBudget) * ncfg.HandlerCycleCost)
 	for {
 		m := e.nic.ReadWord(p, lay.strMask())
-		if m == full {
+		if m == want {
 			break
 		}
 		if p.Now() > maskBy {
-			return e.streamAbort(p, r, "mask %#x != %#x past drain bound", m, full)
+			return e.streamAbort(p, r, "mask %#x != %#x past drain bound", m, want)
 		}
 		p.Delay(cfg.Costs.PollOverhead)
 	}

@@ -374,6 +374,103 @@ func TestEarlyAckRoundtrip(t *testing.T) {
 	}
 }
 
+// TestStreamRankCap: the completion-mask word holds one bit per rank in
+// its low spin.MaskRanks bits plus the round tag; a ring wider than
+// that must be rejected at construction, not silently pass the mask
+// integrity check with vanished or tag-colliding bits.
+func TestStreamRankCap(t *testing.T) {
+	k := sim.NewKernel()
+	over, err := scramnet.New(k, scramnet.DefaultConfig(spin.MaskRanks+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Stream.Enabled = true
+	if _, err := New(over, cfg); err == nil {
+		t.Fatalf("Stream accepted at %d ranks, want error", spin.MaskRanks+1)
+	}
+	// EarlyAck uses no mask word and stays available on wide rings.
+	cfg = DefaultConfig()
+	cfg.EarlyAck = true
+	if _, err := New(over, cfg); err != nil {
+		t.Errorf("EarlyAck rejected at %d ranks: %v", spin.MaskRanks+1, err)
+	}
+	at, err := scramnet.New(sim.NewKernel(), scramnet.DefaultConfig(spin.MaskRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = DefaultConfig()
+	cfg.Stream.Enabled = true
+	if _, err := New(at, cfg); err != nil {
+		t.Errorf("Stream rejected at exactly %d ranks: %v", spin.MaskRanks, err)
+	}
+}
+
+// TestStreamTrapFallback is the regression test for handler state
+// leaking across a budget-overrun trap: with a budget too small for the
+// vector combine, every transit's work is rolled back — the round must
+// degrade to a fallback verdict on every rank. The old bug let a
+// trapped transit keep its combined-byte count, set its completion bit
+// anyway, and rank 0 published a vector missing every contribution as
+// done=true.
+func TestStreamTrapFallback(t *testing.T) {
+	const nodes = 3
+	k := sim.NewKernel()
+	scfg := scramnet.DefaultConfig(nodes)
+	// Variable packets carry the whole 64-byte vector in one packet,
+	// whose combine costs 1+16 cycles — over the 10-cycle budget. The
+	// header and mask words (2 cycles each) still fit.
+	scfg.Mode = scramnet.VariablePackets
+	scfg.HandlerBudget = 10
+	net, err := scramnet.New(k, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetSingleWriterCheck(true)
+	cfg := DefaultConfig()
+	cfg.Stream.Enabled = true
+	sys, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*Endpoint, nodes)
+	for i := range eps {
+		if eps[i], err = sys.Attach(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("rank-%d", i), func(p *sim.Proc) {
+			send := make([]byte, 64)
+			for w := 0; w < len(send); w += 4 {
+				putWord(send[w:], uint32(100*i+w))
+			}
+			recv := make([]byte, len(send))
+			done, err := eps[i].StreamAllreduce(p, spin.OpSumU32, send, recv)
+			if err != nil {
+				t.Errorf("rank %d: %v", i, err)
+			}
+			if done {
+				t.Errorf("rank %d: trapped round published as done=true", i)
+			}
+			if st := eps[i].Stats(); st.StreamFallbacks != 1 {
+				t.Errorf("rank %d: stats %+v", i, st)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var traps int64
+	for i := 0; i < nodes; i++ {
+		traps += net.NIC(i).HandlerStats().TrapsToHost
+	}
+	if traps == 0 {
+		t.Error("no transit trapped — the test exercised nothing")
+	}
+}
+
 // TestStreamConfigValidation covers the new construction-time checks.
 func TestStreamConfigValidation(t *testing.T) {
 	k := sim.NewKernel()

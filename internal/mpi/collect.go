@@ -356,9 +356,13 @@ func RingOpFunc(op spin.RingOp) Op {
 // every rank for the same round — whenever the membership view reports
 // a rank suspect or dead, a packet was lost mid-round, or the vector
 // does not fit, and the call degrades to the Reduce+Bcast tree (which
-// then surfaces a genuinely dead member as a DeadPeerError). Every
-// gating predicate below is rank-uniform for a collective call, so the
-// ranks that try the fast path are exactly the ranks that must.
+// then surfaces a genuinely dead member as a DeadPeerError). For a
+// well-formed collective call — every rank passing the same op and
+// equally sized buffers — the gating predicates below are rank-uniform,
+// so the ranks that try the fast path are exactly the ranks that must;
+// the one predicate a buggy caller can break per-rank (recvBuf length)
+// makes that rank decline alone, upon which rank 0's arrival wait
+// expires and the whole collective degrades to the tree together.
 func (c *Comm) AllreduceW(p *sim.Proc, op spin.RingOp, sendBuf, recvBuf []byte) error {
 	e := c.eng
 	n := len(sendBuf)

@@ -82,6 +82,28 @@ func putWord(b []byte, v uint32) {
 	b[3] = byte(v >> 24)
 }
 
+// MaskRanks is the completion-mask capacity: the mask word keeps one
+// bit per rank in its low 24 bits and the initiator's round tag in the
+// high 8. The tag is what lets the initiator's completion poll reject a
+// mask stripped back from an *abandoned* round — the initiator's own
+// writes land in its bank immediately, but a strip-apply can arrive
+// arbitrarily late under transit-link queueing, so bare bits would be
+// ambiguous across rounds. Tags collide only for rounds exactly 256
+// apart, far beyond any packet's queueing lifetime (the initiator
+// additionally bounds each round's wait by the ring drain bound).
+const MaskRanks = 24
+
+// MaskWord encodes a completion-mask word: rank bits in the low
+// MaskRanks bits, round tag (round mod 256) in the high 8.
+func MaskWord(round, bits uint32) uint32 {
+	return round<<24 | bits&(1<<MaskRanks-1)
+}
+
+// DecodeMask inverts MaskWord.
+func DecodeMask(v uint32) (round, bits uint32) {
+	return v >> 24, v & (1<<MaskRanks - 1)
+}
+
 // Reducer is the streaming reduction-on-the-ring handler. The
 // initiator lays out three single-writer regions it owns — a header
 // word at HdrOff naming the round's operator and vector length, the
@@ -95,6 +117,11 @@ func putWord(b []byte, v uint32) {
 // vector packet or a node that died mid-round from the stripped mask
 // alone. See DESIGN.md §13 and PROTOCOL.md "In-network handler
 // extension".
+//
+// Reducer implements TrapAware: a budget-overrun trap rolls its
+// per-round state back along with the packet bytes, so a transit whose
+// combine was discarded can never count those bytes toward its
+// end-of-round completion bit.
 type Reducer struct {
 	// HdrOff, VecOff, MaskOff locate the initiator-owned header word,
 	// vector region (MaxBytes capacity) and mask word in the bank.
@@ -103,9 +130,18 @@ type Reducer struct {
 	// ContribOff locates this node's staged contribution in the local
 	// bank (its own single-writer region, replicated like any other).
 	ContribOff int
-	// Bit is this node's completion bit in the mask word.
+	// Bit is this node's completion bit in the mask word. It must be
+	// one of the low MaskRanks bits — the high byte carries the
+	// initiator's round tag (MaskWord), which transits preserve.
 	Bit uint32
 
+	st   reducerState
+	prev reducerState // pre-transit snapshot, restored by OnTrap
+}
+
+// reducerState is the Reducer's per-round progress, kept in one struct
+// so a trap can snapshot and restore it atomically.
+type reducerState struct {
 	op       RingOp
 	expect   int
 	combined int
@@ -123,49 +159,68 @@ func DecodeHdr(v uint32) (op RingOp, vecLen int) {
 	return RingOp(v >> 24), int(v & 0xffffff)
 }
 
-// OnTransit implements Handler.
+// OnTransit implements Handler. Every Charge is checked against the
+// budget *before* the corresponding state commit or payload mutation:
+// an overrun detected mid-handler must leave the round state exactly as
+// it was, because the engine will roll the packet back (OnTrap covers
+// the case where a later handler in the chain causes the trap).
 func (r *Reducer) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
+	r.prev = r.st
 	switch {
 	case pkt.Off == r.HdrOff && len(pkt.Data) >= 4:
 		// Round start: reset per-round state. The header is applied and
 		// forwarded unchanged.
 		ctx.Charge(2)
-		r.op, r.expect = DecodeHdr(word(pkt.Data))
-		r.combined = 0
-		r.active = r.op.Valid() && r.expect > 0 && r.expect <= r.MaxBytes
+		if ctx.Overrun() {
+			return Forward
+		}
+		r.st.op, r.st.expect = DecodeHdr(word(pkt.Data))
+		r.st.combined = 0
+		r.st.active = r.st.op.Valid() && r.st.expect > 0 && r.st.expect <= r.MaxBytes
 		return Forward
 	case pkt.Off == r.MaskOff && len(pkt.Data) >= 4:
 		ctx.Charge(2)
-		if !r.active || r.combined != r.expect {
+		if ctx.Overrun() {
+			return Forward
+		}
+		if !r.st.active || r.st.combined != r.st.expect {
 			// A vector packet was lost upstream of the ring, or this
 			// node joined mid-round: leaving the bit clear is the
 			// integrity signal the initiator acts on.
-			r.active = false
+			r.st.active = false
 			return Forward
 		}
-		r.active = false
+		r.st.active = false
 		putWord(pkt.Data, word(pkt.Data)|r.Bit)
 		return Rewrite
 	case pkt.Off >= r.VecOff && pkt.Off < r.VecOff+r.MaxBytes:
-		if !r.active {
+		if !r.st.active {
 			return Forward
 		}
-		// Combine this node's staged lanes into the circulating partial.
+		// Size this node's share of the packet, charge for it, and only
+		// then combine the staged lanes into the circulating partial.
 		rel := pkt.Off - r.VecOff
 		n := 0
-		for ; n+4 <= len(pkt.Data) && rel+n+4 <= r.expect; n += 4 {
-			c := word(ctx.Bank(r.ContribOff+rel+n, 4))
-			putWord(pkt.Data[n:], r.op.Combine(word(pkt.Data[n:]), c))
+		for n+4 <= len(pkt.Data) && rel+n+4 <= r.st.expect {
+			n += 4
 		}
 		ctx.Charge(int64(1 + n/4))
-		if n == 0 {
+		if ctx.Overrun() || n == 0 {
 			return Forward
 		}
-		r.combined += n
+		for i := 0; i < n; i += 4 {
+			c := word(ctx.Bank(r.ContribOff+rel+i, 4))
+			putWord(pkt.Data[i:], r.st.op.Combine(word(pkt.Data[i:]), c))
+		}
+		r.st.combined += n
 		return Rewrite
 	}
 	return Forward
 }
+
+// OnTrap implements TrapAware: the per-round state reverts to its
+// pre-transit snapshot, matching the engine's payload rollback.
+func (r *Reducer) OnTrap(Packet) { r.st = r.prev }
 
 // TopicFilter is the pub/sub fan-out handler: the publisher partitions
 // a region of its partition into fixed-size topic slots, and each
@@ -202,21 +257,30 @@ func (f *TopicFilter) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
 // "consumed" to "arrived at the receiver's bank" — see DESIGN.md §13
 // for the slot-reuse hazard window this opens and why the base
 // protocol's flow control must come from buffer depth instead.
+// EarlyAck implements TrapAware: its ACK-toggle accumulator reverts on
+// a budget-overrun trap, matching the engine's discard of the staged
+// ACK injection — otherwise the next genuine toggle would inject an
+// ACK word one flip ahead of what the sender's GC has observed.
 type EarlyAck struct {
 	// FlagsOff is the bank offset of this receiver's MESSAGE-flag word
 	// for the sender this instance watches; AckOff the ACK-toggle word
 	// this receiver owns in that sender's control partition.
 	FlagsOff, AckOff int
 
-	ackOut uint32
+	ackOut  uint32
+	prevAck uint32 // pre-transit snapshot, restored by OnTrap
 }
 
 // OnTransit implements Handler.
 func (a *EarlyAck) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
+	a.prevAck = a.ackOut
 	if pkt.Off != a.FlagsOff || len(pkt.Data) < 4 {
 		return Forward
 	}
 	ctx.Charge(3)
+	if ctx.Overrun() {
+		return Forward
+	}
 	diff := word(pkt.Data) ^ word(ctx.Bank(a.FlagsOff, 4))
 	if diff == 0 {
 		return Forward
@@ -227,3 +291,6 @@ func (a *EarlyAck) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
 	ctx.Inject(a.AckOff, ack[:])
 	return Forward
 }
+
+// OnTrap implements TrapAware.
+func (a *EarlyAck) OnTrap(Packet) { a.ackOut = a.prevAck }

@@ -215,6 +215,181 @@ func TestEngineBudgetTrapRollsBack(t *testing.T) {
 	}
 }
 
+func TestMaskWordRoundtrip(t *testing.T) {
+	for _, c := range []struct{ round, bits uint32 }{
+		{0, 1}, {1, 0b111}, {255, 1<<MaskRanks - 1}, {256, 0b101}, {0xffffffff, 0},
+	} {
+		round, bits := DecodeMask(MaskWord(c.round, c.bits))
+		if round != c.round&0xff || bits != c.bits {
+			t.Errorf("roundtrip (%d,%#x) -> (%d,%#x)", c.round, c.bits, round, bits)
+		}
+	}
+	// A full mask from round r must never equal round r+1's expectation
+	// unless the rounds are exactly 256 apart.
+	full := uint32(1<<4 - 1)
+	if MaskWord(7, full) == MaskWord(8, full) {
+		t.Error("round tag does not separate adjacent rounds")
+	}
+	if MaskWord(7, full) != MaskWord(7+256, full) {
+		t.Error("tag arithmetic broken at wraparound")
+	}
+}
+
+// TestTrapRollsBackReducerState is the regression test for handler
+// state surviving a trap: a transit whose vector combine is rolled back
+// (here by an overlapping cycle-burner overrunning the budget after the
+// Reducer committed) must not count those bytes toward its completion
+// bit, or the initiator would read a full mask over lanes that were
+// never combined.
+func TestTrapRollsBackReducerState(t *testing.T) {
+	const (
+		hdrOff  = 0
+		maskOff = 4
+		vecOff  = 8
+		maxB    = 8
+		conOff  = 64
+	)
+	mem := make([]byte, 128)
+	putWord(mem[conOff:], 100)
+	putWord(mem[conOff+4:], 200)
+	e := NewEngine(1, 20)
+	e.Install(hdrOff, 8+maxB, &Reducer{
+		HdrOff: hdrOff, VecOff: vecOff, MaskOff: maskOff,
+		MaxBytes: maxB, ContribOff: conOff, Bit: 1 << 1,
+	})
+	burner := e.Install(vecOff, maxB, verdictFn(func(ctx *HandlerCtx, pkt Packet) Verdict {
+		ctx.Charge(1000)
+		return Forward
+	}))
+	ctx := &HandlerCtx{Node: 1, Bank: bankOf(mem)}
+
+	hdr := make([]byte, 4)
+	putWord(hdr, HdrWord(OpSumU32, maxB))
+	if v, _, trapped := e.Run(ctx, Packet{Off: hdrOff, Data: hdr}); v != Forward || trapped {
+		t.Fatalf("hdr: v=%v trapped=%v", v, trapped)
+	}
+	// Both vector packets trap: the Reducer combines and commits, then
+	// the burner blows the budget. Payload and combined-count must both
+	// roll back.
+	for i := 0; i < maxB; i += 4 {
+		vec := make([]byte, 4)
+		putWord(vec, uint32(i+1))
+		v, _, trapped := e.Run(ctx, Packet{Off: vecOff + i, Data: vec})
+		if !trapped || v != Forward {
+			t.Fatalf("vec@%d: v=%v trapped=%v", i, v, trapped)
+		}
+		if got := word(vec); got != uint32(i+1) {
+			t.Fatalf("vec@%d payload not rolled back: %d", i, got)
+		}
+	}
+	// The mask packet must pass untouched: this node combined nothing
+	// that survived.
+	mask := make([]byte, 4)
+	putWord(mask, MaskWord(1, 0b1))
+	v, _, trapped := e.Run(ctx, Packet{Off: maskOff, Data: mask})
+	if v != Forward || trapped {
+		t.Fatalf("mask: v=%v trapped=%v", v, trapped)
+	}
+	if got := word(mask); got != MaskWord(1, 0b1) {
+		t.Errorf("trapped transit still set its completion bit: %#x", got)
+	}
+
+	// With the burner gone the same reducer must work again: trap
+	// rollback may not wedge later rounds.
+	e.Uninstall(burner)
+	putWord(hdr, HdrWord(OpSumU32, maxB))
+	e.Run(ctx, Packet{Off: hdrOff, Data: hdr})
+	want := []uint32{101, 205}
+	for i := 0; i < maxB; i += 4 {
+		vec := make([]byte, 4)
+		putWord(vec, uint32(i+1))
+		if v, _, _ := e.Run(ctx, Packet{Off: vecOff + i, Data: vec}); v != Rewrite || word(vec) != want[i/4] {
+			t.Fatalf("recovery vec@%d: v=%v lane=%d", i, v, word(vec))
+		}
+	}
+	putWord(mask, MaskWord(2, 0b1))
+	if v, _, _ := e.Run(ctx, Packet{Off: maskOff, Data: mask}); v != Rewrite || word(mask) != MaskWord(2, 0b11) {
+		t.Fatalf("recovery mask: v=%v word=%#x", v, word(mask))
+	}
+}
+
+// TestReducerSelfOverrunCommitsNothing covers the single-handler case:
+// when the Reducer's own Charge overruns the budget it must bail before
+// mutating the payload or committing its combined count.
+func TestReducerSelfOverrunCommitsNothing(t *testing.T) {
+	const (
+		hdrOff  = 0
+		maskOff = 4
+		vecOff  = 8
+		maxB    = 8
+		conOff  = 64
+	)
+	mem := make([]byte, 128)
+	putWord(mem[conOff:], 7)
+	// Budget 2: the header's Charge(2) fits exactly, but an 8-byte
+	// vector packet costs 1+2 = 3 cycles and traps.
+	e := NewEngine(2, 2)
+	e.Install(hdrOff, 8+maxB, &Reducer{
+		HdrOff: hdrOff, VecOff: vecOff, MaskOff: maskOff,
+		MaxBytes: maxB, ContribOff: conOff, Bit: 1 << 2,
+	})
+	ctx := &HandlerCtx{Node: 2, Bank: bankOf(mem)}
+	hdr := make([]byte, 4)
+	putWord(hdr, HdrWord(OpSumU32, maxB))
+	if _, _, trapped := e.Run(ctx, Packet{Off: hdrOff, Data: hdr}); trapped {
+		t.Fatal("header transit trapped under exact budget")
+	}
+	vec := make([]byte, 8)
+	putWord(vec, 1)
+	v, _, trapped := e.Run(ctx, Packet{Off: vecOff, Data: vec})
+	if !trapped || v != Forward || word(vec) != 1 {
+		t.Fatalf("vec: v=%v trapped=%v lane=%d", v, trapped, word(vec))
+	}
+	mask := make([]byte, 4)
+	putWord(mask, MaskWord(1, 0b1))
+	if v, _, _ := e.Run(ctx, Packet{Off: maskOff, Data: mask}); v != Forward || word(mask) != MaskWord(1, 0b1) {
+		t.Fatalf("mask gained a bit from a trapped combine: v=%v word=%#x", v, word(mask))
+	}
+}
+
+// TestTrapDiscardsStagedInjection: an Inject staged before a budget
+// overrun must never reach the ring, and EarlyAck's toggle accumulator
+// must roll back with it — otherwise the next genuine toggle would
+// inject an ACK word one flip ahead.
+func TestTrapDiscardsStagedInjection(t *testing.T) {
+	const flagsOff, ackOff = 0, 32
+	mem := make([]byte, 64)
+	var injected []uint32
+	e := NewEngine(1, 10)
+	e.Install(flagsOff, 4, &EarlyAck{FlagsOff: flagsOff, AckOff: ackOff})
+	burner := e.Install(flagsOff, 4, verdictFn(func(ctx *HandlerCtx, pkt Packet) Verdict {
+		ctx.Charge(1000)
+		return Forward
+	}))
+	ctx := &HandlerCtx{
+		Node:       1,
+		Bank:       bankOf(mem),
+		InjectHook: func(off int, data []byte) { injected = append(injected, word(data)) },
+	}
+	flags := make([]byte, 4)
+	putWord(flags, 0b1)
+	if _, _, trapped := e.Run(ctx, Packet{Off: flagsOff, Data: flags}); !trapped {
+		t.Fatal("burner did not trap")
+	}
+	if len(injected) != 0 {
+		t.Fatalf("staged injection survived the trap: %v", injected)
+	}
+	// Re-run the same toggle without the burner: the ACK must come out
+	// as the first flip (0b1), proving ackOut rolled back to zero.
+	e.Uninstall(burner)
+	if _, _, trapped := e.Run(ctx, Packet{Off: flagsOff, Data: flags}); trapped {
+		t.Fatal("clean transit trapped")
+	}
+	if len(injected) != 1 || injected[0] != 0b1 {
+		t.Fatalf("ack accumulator did not roll back: injected %v, want [1]", injected)
+	}
+}
+
 func TestReducerRound(t *testing.T) {
 	const (
 		hdrOff  = 0
@@ -321,7 +496,7 @@ func TestEarlyAck(t *testing.T) {
 	ctx := &HandlerCtx{
 		Node: 1,
 		Bank: bankOf(mem),
-		Inject: func(off int, data []byte) {
+		InjectHook: func(off int, data []byte) {
 			injected = append(injected, struct {
 				off  int
 				data []byte
