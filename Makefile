@@ -15,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint cover covercheck verify figures bench timeline soak clean
+.PHONY: all build test race vet lint cover covercheck verify figures bench sweep timeline soak clean
 
 all: build
 
@@ -56,6 +56,13 @@ MPI_COVER_FLOOR := 80.0
 # the spin package's verdict/budget/rollback semantics are what the ring
 # integration and the E12 figures rest on.
 SPIN_COVER_FLOOR := 80.0
+# The observability substrate (ISSUE 8): the trace recorder's sampler /
+# capacity drop split and the metrics registry (including the profiler
+# publishing path) are what MayHaveDroppedMsg's truthfulness and the
+# sweep trajectory rest on. Both sit above 90% today; the floors leave
+# refactoring room.
+TRACE_COVER_FLOOR := 85.0
+METRICS_COVER_FLOOR := 85.0
 
 covercheck: build
 	@$(GO) test -coverprofile=.cover.mpi.out ./internal/mpi > /dev/null
@@ -74,6 +81,24 @@ covercheck: build
 		echo "covercheck green: internal/spin statement coverage $$pct% (floor $(SPIN_COVER_FLOOR)%)"; \
 	else \
 		echo "internal/spin statement coverage $$pct% fell below the $(SPIN_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi
+	@$(GO) test -coverprofile=.cover.trace.out ./internal/trace > /dev/null
+	@pct=$$($(GO) tool cover -func=.cover.trace.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.trace.out; \
+	if awk "BEGIN {exit !($$pct >= $(TRACE_COVER_FLOOR))}"; then \
+		echo "covercheck green: internal/trace statement coverage $$pct% (floor $(TRACE_COVER_FLOOR)%)"; \
+	else \
+		echo "internal/trace statement coverage $$pct% fell below the $(TRACE_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi
+	@$(GO) test -coverprofile=.cover.metrics.out ./internal/metrics > /dev/null
+	@pct=$$($(GO) tool cover -func=.cover.metrics.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.metrics.out; \
+	if awk "BEGIN {exit !($$pct >= $(METRICS_COVER_FLOOR))}"; then \
+		echo "covercheck green: internal/metrics statement coverage $$pct% (floor $(METRICS_COVER_FLOOR)%)"; \
+	else \
+		echo "internal/metrics statement coverage $$pct% fell below the $(METRICS_COVER_FLOOR)% floor"; \
 		exit 1; \
 	fi
 
@@ -128,7 +153,7 @@ figures:
 # windowed pipelined rendezvous beats the sequential path at 64 KiB by
 # at least report.MinRndvImprovementPct — so a regression in any of
 # them cannot silently regenerate itself into a new baseline.
-bench: build
+bench: build sweep
 	$(GO) run ./cmd/figures -json .bench.tmp.json
 	@if diff -u BENCH_figures.json .bench.tmp.json; then \
 		rm -f .bench.tmp.json; \
@@ -140,5 +165,39 @@ bench: build
 		exit 1; \
 	fi
 
+# Continuous-performance tier: re-run the OSU-style sweep matrix
+# (internal/bench/sweep), gate it against the trajectory history, and
+# fail on any drift from the checked-in BENCH_sweep.json. The run itself
+# also applies the least-squares trend gate over BENCH_trajectory.jsonl
+# extended with this run — a sustained drift across runs fails even when
+# each individual run sits inside golden-file tolerance. The second step
+# is the gate's own self-test: inject a synthetic +2%/run drift onto the
+# real history and require the gate to catch it (exit code 1 — anything
+# else, including "missed", fails the tier).
+#
+# Record a real run into the trajectory (one line per landed change) with:
+#   $(GO) run ./cmd/sweep -matrix -trajectory BENCH_trajectory.jsonl \
+#     -append -describe "$$(git describe --always)"
+sweep: build
+	$(GO) run ./cmd/sweep -json .sweep.tmp.json -trajectory BENCH_trajectory.jsonl
+	@if diff -u BENCH_sweep.json .sweep.tmp.json; then \
+		rm -f .sweep.tmp.json; \
+	else \
+		rm -f .sweep.tmp.json; \
+		echo "BENCH_sweep.json drifted — if intended, regenerate with:"; \
+		echo "  $(GO) run ./cmd/sweep -json BENCH_sweep.json -trajectory BENCH_trajectory.jsonl"; \
+		exit 1; \
+	fi
+	@$(GO) run ./cmd/sweep -trajectory BENCH_trajectory.jsonl -inject-trend 2 > .sweep.gate.out 2>&1; \
+	code=$$?; \
+	if [ $$code -ne 1 ]; then \
+		cat .sweep.gate.out; rm -f .sweep.gate.out; \
+		echo "sweep tier: trend gate did not catch an injected +2%/run drift (exit $$code)"; \
+		exit 1; \
+	fi; \
+	rm -f .sweep.gate.out
+	@echo "sweep tier green: matrix matches BENCH_sweep.json; trend gate catches injected drift"
+
 clean:
-	rm -f cover.out cover.html .cover.mpi.out .cover.spin.out .bench.tmp.json .timeline.tmp.out
+	rm -f cover.out cover.html .cover.mpi.out .cover.spin.out .cover.trace.out .cover.metrics.out \
+		.bench.tmp.json .sweep.tmp.json .sweep.gate.out .timeline.tmp.out

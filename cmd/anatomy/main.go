@@ -12,7 +12,13 @@
 //
 // Usage:
 //
-//	anatomy [-size 4] [-nodes 4] [-mcast] [-earlyack]
+//	anatomy [-size 4] [-nodes 4] [-mcast] [-earlyack] [-profile]
+//
+// -profile installs the kernel self-profiler for the run and renders
+// its per-event-kind real-time attribution. Profiling reads only the
+// host clock: the decomposition cross-check still passing, plus the
+// profiler's event total matching the kernel's own executed-event
+// counter, proves it charged zero virtual time.
 package main
 
 import (
@@ -36,9 +42,15 @@ func main() {
 	recvany := flag.Bool("recvany", false, "receivers use RecvAny (exercises the burst-read poll sweep)")
 	earlyack := flag.Bool("earlyack", false, "acknowledge posts at ring transit (in-network handler) instead of at host consume")
 	tcap := flag.Int("tracecap", 4096, "trace ring-buffer capacity (0 = unbounded)")
+	profile := flag.Bool("profile", false, "attach the kernel self-profiler and render the per-kind cost table")
 	flag.Parse()
 
 	k := sim.NewKernel()
+	var profiler *sim.Profiler
+	if *profile {
+		profiler = sim.NewProfiler()
+		k.SetProfiler(profiler)
+	}
 	ring, err := scramnet.New(k, scramnet.DefaultConfig(*nodes))
 	if err != nil {
 		log.Fatal(err)
@@ -136,6 +148,20 @@ func main() {
 	}
 	fmt.Println("\ncross-check OK: trace spans, metrics counters, Stats() and the")
 	fmt.Println("bus cost model all agree on the decomposition above.")
+
+	if profiler != nil {
+		// Counter identity: every event the kernel executed was profiled,
+		// and the cross-check above already proved the virtual timeline is
+		// the unprofiled one — together, profiling cost zero virtual time.
+		if profiler.TotalEvents() != k.Executed() {
+			fmt.Printf("\nprofiler counted %d events but the kernel executed %d\n",
+				profiler.TotalEvents(), k.Executed())
+			os.Exit(1)
+		}
+		fmt.Printf("\nkernel self-profile (%d events, identical to the kernel's executed count)\n",
+			profiler.TotalEvents())
+		profiler.Render(os.Stdout)
+	}
 }
 
 // eventTime returns the time of the first (last=false) or last

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	figures [-fig N] [-csv DIR] [-wide] [-json [PATH]]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // -fig selects a single figure (1..6, or 0 for the §2 raw-hardware
 // table); default runs everything. -wide extends the size axis beyond
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bench/report"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -33,12 +35,16 @@ func main() {
 	wide := flag.Bool("wide", false, "extend size axes to show large-message crossovers")
 	faults := flag.Bool("faults", false, "also run the fault-sweep extension (latency vs loss rate)")
 	jsonPath := flag.String("json", "", "write the perf-regression report to this path (\"-\" for stdout) instead of text tables")
+	startProf, stopProf := prof.Flags()
 	flag.Parse()
+	startProf()
+	defer stopProf()
 
 	if *jsonPath != "" {
 		rep := report.Run(report.DefaultOptions())
 		if err := rep.Check(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			stopProf()
 			os.Exit(1)
 		}
 		out := report.Marshal(rep)

@@ -101,7 +101,7 @@ func (n *Network) Transmit(src, dst int, frame []byte) {
 	// The output link is occupied in parallel for contention purposes.
 	n.down[dst].Serve(wire, nil)
 	n.up[src].Serve(wire, func() {
-		n.k.After(2*cfg.PropDelay+cfg.SwitchLatency+cfg.CellTime+cfg.SARCost, func() {
+		n.k.AfterKind(2*cfg.PropDelay+cfg.SwitchLatency+cfg.CellTime+cfg.SARCost, "fabric", func() {
 			if h := n.handlers[dst]; h != nil {
 				h(src, frame)
 			}

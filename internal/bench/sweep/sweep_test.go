@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestReducedMatrixStable proves the document is byte-stable: two
+// independent runs of the reduced matrix marshal identically, and a
+// profiled run changes nothing (profiling reads the host clock but the
+// virtual timeline — and therefore the document — is untouched).
+func TestReducedMatrixStable(t *testing.T) {
+	a := Marshal(Run(ReducedOptions()))
+	b := Marshal(Run(ReducedOptions()))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two reduced-matrix runs marshaled differently")
+	}
+	opts := ReducedOptions()
+	opts.Profiler = sim.NewProfiler()
+	c := Marshal(Run(opts))
+	if !bytes.Equal(a, c) {
+		t.Fatal("a profiled run changed the document — profiling is charging virtual time")
+	}
+	if opts.Profiler.TotalEvents() == 0 {
+		t.Fatal("profiler attached to every kernel but recorded nothing")
+	}
+}
+
+func TestReducedMatrixShape(t *testing.T) {
+	opts := ReducedOptions()
+	r := Run(opts)
+	if r.Schema != Schema {
+		t.Errorf("schema = %d, want %d", r.Schema, Schema)
+	}
+	wantCells := len(opts.Substrates) * len(opts.Ranks)
+	if len(r.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(r.Cells), wantCells)
+	}
+	for _, c := range r.Cells {
+		if len(c.LatencyUs) != len(opts.LatencySizes) {
+			t.Errorf("%s/r%d: %d latency points, want %d", c.Substrate, c.Ranks, len(c.LatencyUs), len(opts.LatencySizes))
+		}
+		if len(c.BandwidthMBs) != len(opts.BandwidthSizes) {
+			t.Errorf("%s/r%d: %d bandwidth points, want %d", c.Substrate, c.Ranks, len(c.BandwidthMBs), len(opts.BandwidthSizes))
+		}
+	}
+	if err := r.Check(nil, DefaultTrendConfig()); err != nil {
+		t.Errorf("reduced matrix failed its own gate: %v", err)
+	}
+}
+
+// TestLatencyScalesWithRanks pins the reason the rank axis exists: the
+// ping-pong runs to the farthest rank, so on the register-insertion
+// ring more ranks must mean more hop delay, not a repeated 2-node
+// measurement.
+func TestLatencyScalesWithRanks(t *testing.T) {
+	l4 := Latency("scramnet", 4, 0, nil)
+	l16 := Latency("scramnet", 16, 0, nil)
+	if l16 <= l4 {
+		t.Errorf("16-rank farthest-pair latency %.3f µs ≤ 4-rank %.3f µs; rank axis is not exercising hops", l16, l4)
+	}
+}
+
+func TestBandwidthSaneAcrossSizes(t *testing.T) {
+	small := Bandwidth("scramnet", 4, 1024, 4, nil)
+	large := Bandwidth("scramnet", 4, 16384, 4, nil)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("degenerate bandwidth: %f / %f MB/s", small, large)
+	}
+	if large <= small {
+		t.Errorf("16 KiB streaming (%.1f MB/s) not above 1 KiB (%.1f MB/s); per-message overhead no longer amortizes", large, small)
+	}
+}
+
+func TestCheckRejectsDegenerate(t *testing.T) {
+	r := Run(ReducedOptions())
+	r.Cells[0].LatencyUs[0].Value = 0
+	if err := r.Check(nil, DefaultTrendConfig()); err == nil {
+		t.Error("zero latency passed the gate")
+	}
+	r = Run(ReducedOptions())
+	r.Cells[0].RateMsgS = -1
+	if err := r.Check(nil, DefaultTrendConfig()); err == nil {
+		t.Error("negative message rate passed the gate")
+	}
+}

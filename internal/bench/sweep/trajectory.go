@@ -1,0 +1,289 @@
+// Trajectory tracking: one compact-JSON record per sweep run, appended
+// to BENCH_trajectory.jsonl, plus the least-squares trend detector that
+// turns the history into a regression gate. A single run can drift
+// inside any golden-file tolerance; a *trend* across runs cannot hide,
+// which is the OSU/ReFrame continuous-benchmarking shape this package
+// reproduces.
+//
+// Records carry no wall-clock values: run metadata (the sequence
+// number, a git describe string, a free-form note) is passed in by the
+// driver, never read inside the sim, so a record is byte-stable for a
+// given (code, metadata) pair.
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metric is one summarized measurement, named by kind and grid cell:
+//
+//	lat_us/<substrate>/r<ranks>/b<bytes>   one-way latency, µs (up = bad)
+//	bw_mbs/<substrate>/r<ranks>/b<bytes>   throughput, MB/s   (down = bad)
+//	rate_mps/<substrate>/r<ranks>          messages/s         (down = bad)
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Record is one trajectory line.
+type Record struct {
+	Schema int `json:"schema"`
+	// Run is the 1-based sequence number in the trajectory.
+	Run int `json:"run"`
+	// Describe is the driver-supplied code identity (git describe).
+	Describe string `json:"describe"`
+	// Note is free-form run context (optional).
+	Note    string   `json:"note,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Summarize flattens a sweep report into the trajectory metric vector,
+// in document order.
+func Summarize(r Report) []Metric {
+	var out []Metric
+	for _, c := range r.Cells {
+		for _, p := range c.LatencyUs {
+			out = append(out, Metric{
+				Name:  fmt.Sprintf("lat_us/%s/r%d/b%d", c.Substrate, c.Ranks, p.Bytes),
+				Value: p.Value,
+			})
+		}
+		for _, p := range c.BandwidthMBs {
+			out = append(out, Metric{
+				Name:  fmt.Sprintf("bw_mbs/%s/r%d/b%d", c.Substrate, c.Ranks, p.Bytes),
+				Value: p.Value,
+			})
+		}
+		out = append(out, Metric{
+			Name:  fmt.Sprintf("rate_mps/%s/r%d", c.Substrate, c.Ranks),
+			Value: c.RateMsgS,
+		})
+	}
+	return out
+}
+
+// MarshalRecord renders one trajectory line: compact JSON plus newline.
+// Byte-stable for identical records (encoding/json preserves struct
+// field order).
+func MarshalRecord(rec Record) []byte {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// LoadTrajectory parses a BENCH_trajectory.jsonl stream. Blank lines
+// are skipped; any malformed line is an error (a corrupt trajectory
+// must not silently weaken the trend gate).
+func LoadTrajectory(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("sweep: trajectory line %d: %w", line, err)
+		}
+		if rec.Schema != Schema {
+			return nil, fmt.Errorf("sweep: trajectory line %d: schema %d, want %d", line, rec.Schema, Schema)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: trajectory: %w", err)
+	}
+	return out, nil
+}
+
+// TrendConfig parameterizes the drift detector.
+type TrendConfig struct {
+	// Window is how many of the newest records the fit runs over.
+	Window int
+	// MinRecords is the fewest points a metric needs before it is
+	// judged at all (a short history proves nothing).
+	MinRecords int
+	// MaxSlopePctPerRun fails a metric whose fitted slope moves in its
+	// bad direction faster than this percentage of the window mean per
+	// run.
+	MaxSlopePctPerRun float64
+}
+
+// DefaultTrendConfig is the `make bench` gate calibration: an 8-run
+// window, judged from 3 records, failing at 1%/run sustained drift.
+// Five runs of +2%/run — each inside a typical ±5% single-run tolerance
+// — trip it; a flat deterministic baseline never does (slope exactly 0).
+func DefaultTrendConfig() TrendConfig {
+	return TrendConfig{Window: 8, MinRecords: 3, MaxSlopePctPerRun: 1.0}
+}
+
+// Trend is one metric's fitted drift across the window.
+type Trend struct {
+	Name string
+	// SlopePctPerRun is the least-squares slope normalized by the
+	// window mean: percent of the typical value per run. Positive =
+	// increasing.
+	SlopePctPerRun float64
+	// N is how many records contributed.
+	N int
+	// Regressing reports the gate verdict: the slope moves in the
+	// metric's bad direction faster than the configured bound.
+	Regressing bool
+}
+
+// badDirection returns +1 when increase is bad (latency), -1 when
+// decrease is bad (bandwidth, rate), 0 for unknown prefixes (never
+// gated, so a future metric kind fails loudly in tests, not silently
+// in CI).
+func badDirection(name string) int {
+	switch {
+	case strings.HasPrefix(name, "lat_us/"):
+		return +1
+	case strings.HasPrefix(name, "bw_mbs/"), strings.HasPrefix(name, "rate_mps/"):
+		return -1
+	}
+	return 0
+}
+
+// Trends fits every metric present in the newest cfg.Window records and
+// returns the per-metric drift, sorted by name. Metrics with fewer than
+// cfg.MinRecords points are skipped.
+func Trends(recs []Record, cfg TrendConfig) []Trend {
+	if cfg.Window > 0 && len(recs) > cfg.Window {
+		recs = recs[len(recs)-cfg.Window:]
+	}
+	// Collect each metric's series in record order.
+	series := map[string][]float64{}
+	for _, rec := range recs {
+		for _, m := range rec.Metrics {
+			series[m.Name] = append(series[m.Name], m.Value)
+		}
+	}
+	minRecs := cfg.MinRecords
+	if minRecs < 2 {
+		minRecs = 2 // a slope needs two points, whatever the config says
+	}
+	var out []Trend
+	for name, vals := range series {
+		if len(vals) < minRecs {
+			continue
+		}
+		slope, mean := leastSquares(vals)
+		pct := 0.0
+		if mean != 0 {
+			pct = 100 * slope / mean
+		}
+		dir := badDirection(name)
+		out = append(out, Trend{
+			Name:           name,
+			SlopePctPerRun: pct,
+			N:              len(vals),
+			Regressing:     dir != 0 && float64(dir)*pct > cfg.MaxSlopePctPerRun,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// leastSquares fits v = a + b*i over i = 0..n-1 and returns the slope b
+// and the mean of v.
+func leastSquares(vals []float64) (slope, mean float64) {
+	n := float64(len(vals))
+	var sumI, sumV, sumIV, sumII float64
+	for i, v := range vals {
+		fi := float64(i)
+		sumI += fi
+		sumV += v
+		sumIV += fi * v
+		sumII += fi * fi
+	}
+	mean = sumV / n
+	den := n*sumII - sumI*sumI
+	if den == 0 {
+		return 0, mean
+	}
+	return (n*sumIV - sumI*sumV) / den, mean
+}
+
+// CheckTrend runs the detector over a trajectory and returns an error
+// naming every regressing metric (nil when the history is clean or too
+// short to judge).
+func CheckTrend(recs []Record, cfg TrendConfig) error {
+	var bad []string
+	for _, t := range Trends(recs, cfg) {
+		if t.Regressing {
+			bad = append(bad, fmt.Sprintf("%s drifting %+.2f%%/run over %d runs", t.Name, t.SlopePctPerRun, t.N))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sweep trend gate (> %.1f%%/run sustained): %s",
+		cfg.MaxSlopePctPerRun, strings.Join(bad, "; "))
+}
+
+// Check is the sweep report's regression gate, wired into `make bench`:
+// it validates that the matrix is non-degenerate (every measurement
+// positive) and then runs the trend detector over history extended with
+// this report's own summary — so a run that *completes* the drift is
+// the run that fails.
+func (r Report) Check(history []Record, cfg TrendConfig) error {
+	for _, c := range r.Cells {
+		for _, p := range c.LatencyUs {
+			if p.Value <= 0 {
+				return fmt.Errorf("sweep gate: degenerate latency %s/r%d/b%d = %.3f µs", c.Substrate, c.Ranks, p.Bytes, p.Value)
+			}
+		}
+		for _, p := range c.BandwidthMBs {
+			if p.Value <= 0 {
+				return fmt.Errorf("sweep gate: degenerate bandwidth %s/r%d/b%d = %.3f MB/s", c.Substrate, c.Ranks, p.Bytes, p.Value)
+			}
+		}
+		if c.RateMsgS <= 0 {
+			return fmt.Errorf("sweep gate: degenerate message rate %s/r%d = %.3f msg/s", c.Substrate, c.Ranks, c.RateMsgS)
+		}
+	}
+	run := len(history) + 1
+	return CheckTrend(append(append([]Record(nil), history...),
+		Record{Schema: Schema, Run: run, Metrics: Summarize(r)}), cfg)
+}
+
+// SyntheticDrift fabricates runs continuing a trajectory with every
+// metric moving pct percent per run in its bad direction (latencies up,
+// bandwidths and rates down), starting from base's values. It exists
+// for the E13 trend-gate demonstration (cmd/sweep -inject-trend) and
+// the gate's own tests: drift the gate must catch, built without
+// waiting N real runs.
+func SyntheticDrift(base Record, runs int, pct float64) []Record {
+	out := make([]Record, 0, runs)
+	vals := map[string]float64{}
+	for _, m := range base.Metrics {
+		vals[m.Name] = m.Value
+	}
+	for i := 0; i < runs; i++ {
+		rec := Record{
+			Schema:   Schema,
+			Run:      base.Run + i + 1,
+			Describe: base.Describe,
+			Note:     fmt.Sprintf("synthetic drift %+.1f%%/run (%d of %d)", pct, i+1, runs),
+		}
+		for _, m := range base.Metrics {
+			step := 1 + float64(badDirection(m.Name))*pct/100
+			vals[m.Name] *= step
+			rec.Metrics = append(rec.Metrics, Metric{Name: m.Name, Value: round3(vals[m.Name])})
+		}
+		out = append(out, rec)
+	}
+	return out
+}

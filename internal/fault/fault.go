@@ -110,7 +110,7 @@ func (s *Script) ApplyObserved(k *sim.Kernel, tgt Target, m *metrics.Registry, r
 		if at < k.Now() {
 			at = k.Now()
 		}
-		k.At(at, func() {
+		k.AtKind(at, "fault", func() {
 			node := metrics.NodeGlobal
 			if a.Kind == NodeFail || a.Kind == NodeRepair {
 				node = a.Node

@@ -153,6 +153,27 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketOf(v)]++
 }
 
+// ObserveN records n identical observations of v in one step (no-op on
+// nil or n <= 0). It is the bulk-import path for pre-bucketed data —
+// internal/metrics.PublishKernelProfile replays a kernel profile's
+// buckets through it at each bucket's lower bound, so the re-imported
+// sum is quantized to bucket floors while count and bucket shape are
+// exact.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * n
+	h.buckets[bucketOf(v)] += n
+}
+
 // Count returns the number of observations (zero on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

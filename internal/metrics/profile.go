@@ -1,0 +1,51 @@
+// Kernel-profile publishing: bridge from internal/sim's self-profiler
+// into a metrics Registry.
+//
+// The split exists because of the import direction: metrics depends on
+// sim (Stream schedules observer events), so the profiler itself lives
+// in sim with its own bucket layout and this file adapts it. The two
+// layouts are asserted identical at compile time below.
+//
+// Profiles measure host wall-clock time and are therefore
+// non-deterministic run to run. Publish them into a registry dedicated
+// to profiling output — never the simulation's registry that feeds
+// byte-stable artifacts (BENCH_*.json, the snapshot stream).
+package metrics
+
+import "repro/internal/sim"
+
+// Compile-time assertion that sim's profiler buckets and the metrics
+// histogram layout agree, so profile buckets re-import losslessly.
+const _ = uint(sim.ProfBuckets-NumBuckets) + uint(NumBuckets-sim.ProfBuckets)
+
+// PublishKernelProfile copies a kernel self-profile into reg at
+// NodeGlobal:
+//
+//	sim.events.<kind>        counter: events executed
+//	sim.wall_ns.<kind>       counter: exact total wall ns
+//	sim.event_wall_ns.<kind> histogram: per-event wall ns, bucket-exact
+//
+// The histogram is rebuilt by replaying each profiler bucket at its
+// lower bound, so its count and bucket population match the profiler
+// exactly while its sum is quantized to bucket floors; the exact sum is
+// the wall_ns counter. No-op on a nil registry or nil profiler.
+func PublishKernelProfile(reg *Registry, p *sim.Profiler) {
+	if reg == nil || p == nil {
+		return
+	}
+	for _, s := range p.Stats() {
+		reg.Counter("sim.events."+s.Kind, NodeGlobal).Add(s.Events)
+		reg.Counter("sim.wall_ns."+s.Kind, NodeGlobal).Add(s.WallNs)
+		h := reg.Histogram("sim.event_wall_ns."+s.Kind, NodeGlobal)
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			lo, _ := BucketBounds(i)
+			if i == 0 {
+				lo = 0
+			}
+			h.ObserveN(lo, n)
+		}
+	}
+}

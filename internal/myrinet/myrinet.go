@@ -100,7 +100,7 @@ func (n *Network) Transmit(src, dst int, frame []byte) {
 	// both the input serialization and the cut-through pipeline.
 	n.down[dst].Serve(wire, nil)
 	n.up[src].Serve(wire, func() {
-		n.k.After(2*cfg.PropDelay+cfg.SwitchLatency, func() {
+		n.k.AfterKind(2*cfg.PropDelay+cfg.SwitchLatency, "fabric", func() {
 			if h := n.handlers[dst]; h != nil {
 				h(src, frame)
 			}

@@ -1,0 +1,73 @@
+// Package prof wires the standard runtime/pprof profiles into a
+// command's flag set. The simulation kernel's own self-profiler
+// (internal/sim.Profiler) attributes wall time to *event kinds*; these
+// profiles attribute it to *functions* — the two views compose: the
+// kind table says which layer is hot, the pprof graph says which code.
+//
+// Usage, in main():
+//
+//	start, stop := prof.Flags()
+//	flag.Parse()
+//	start()
+//	defer stop()
+//
+// Paths that terminate via os.Exit (which skips defers) must call the
+// stop function explicitly first, or the CPU profile is truncated and
+// the heap profile never written.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags registers -cpuprofile and -memprofile on the default flag set.
+// It must be called before flag.Parse; start must be called after.
+// Both returned functions do nothing when the flags were not given, and
+// stop is idempotent.
+func Flags() (start, stop func()) {
+	cpu := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	started := false
+	start = func() {
+		if *cpu == "" {
+			return
+		}
+		f, err := os.Create(*cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		started = true
+	}
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if started {
+			pprof.StopCPUProfile()
+		}
+		if *mem != "" {
+			f, err := os.Create(*mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+	return start, stop
+}

@@ -178,7 +178,7 @@ func (nic *NIC) apply(pkt *packet) {
 		off, h := pkt.off, nic.intrHandler
 		nic.stats.InterruptsTaken++
 		nic.im.interrupts.Inc()
-		nic.net.k.After(nic.net.cfg.InterruptLatency, func() { h(off) })
+		nic.net.k.AfterKind(nic.net.cfg.InterruptLatency, "intr", func() { h(off) })
 	}
 	if nic.onApply != nil {
 		nic.onApply(pkt)

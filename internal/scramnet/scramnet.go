@@ -434,7 +434,7 @@ func (n *Network) forward(from int, pkt *packet) {
 		n.im.bypassHops.Add(int64(hops - 1))
 	}
 	aged := pkt.hops >= n.cfg.Nodes
-	n.k.After(sim.Duration(hops)*n.cfg.HopDelay, func() {
+	n.k.AfterKind(sim.Duration(hops)*n.cfg.HopDelay, "ring", func() {
 		if next == pkt.origin || aged {
 			// Stripped by the source after a full revolution — or aged
 			// out after as many hops, which is what removes a packet
@@ -470,7 +470,7 @@ func (n *Network) forward(from int, pkt *packet) {
 			})
 		}
 		if cost > 0 {
-			n.k.After(cost, proceed)
+			n.k.AfterKind(cost, "ring", proceed)
 		} else {
 			proceed()
 		}

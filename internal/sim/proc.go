@@ -47,7 +47,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.At(k.now, func() { k.handoff(p) })
+	k.AtKind(k.now, "proc", func() { k.handoff(p) })
 	return p
 }
 
@@ -102,14 +102,14 @@ func (p *Proc) Delay(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.k.After(d, func() { p.k.handoff(p) })
+	p.k.AfterKind(d, "proc", func() { p.k.handoff(p) })
 	p.block("delay")
 }
 
 // Yield reschedules the process at the current time behind already-queued
 // events, letting same-timestamp events run first.
 func (p *Proc) Yield() {
-	p.k.After(0, func() { p.k.handoff(p) })
+	p.k.AfterKind(0, "proc", func() { p.k.handoff(p) })
 	p.block("yield")
 }
 
@@ -135,7 +135,7 @@ func (c *Cond) Wait(p *Proc) {
 // It reports true if woken by a signal and false on timeout.
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 	fired := false
-	timer := c.k.After(d, func() {
+	timer := c.k.AfterKind(d, "proc", func() {
 		fired = true
 		c.remove(p)
 		c.k.handoff(p)
@@ -165,7 +165,7 @@ func (c *Cond) Signal() {
 	}
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.k.After(0, func() { c.k.handoff(p) })
+	c.k.AfterKind(0, "proc", func() { c.k.handoff(p) })
 }
 
 // Broadcast wakes every waiting process in FIFO order.
@@ -174,6 +174,6 @@ func (c *Cond) Broadcast() {
 	c.waiters = nil
 	for _, p := range ws {
 		w := p
-		c.k.After(0, func() { c.k.handoff(w) })
+		c.k.AfterKind(0, "proc", func() { c.k.handoff(w) })
 	}
 }

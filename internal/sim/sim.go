@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Time is an absolute virtual time in nanoseconds since the start of the
@@ -71,6 +72,20 @@ type event struct {
 	// tickers) are invisible to Pending, so several observers never keep
 	// each other — or a finished simulation — alive.
 	observer bool
+	// kind labels the event for the self-profiler (AtKind/AfterKind);
+	// empty means the generic "event" kind ("observer" when observer).
+	kind string
+}
+
+// kindOf returns the profiling label of an event.
+func kindOf(ev *event) string {
+	if ev.kind != "" {
+		return ev.kind
+	}
+	if ev.observer {
+		return "observer"
+	}
+	return "event"
 }
 
 type eventHeap []*event
@@ -109,14 +124,16 @@ func (t *Timer) Stop() bool {
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; call NewKernel.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	park    chan struct{}
-	running *Proc
-	procs   []*Proc
-	live    int
-	closed  bool
+	now      Time
+	seq      uint64
+	events   eventHeap
+	park     chan struct{}
+	running  *Proc
+	procs    []*Proc
+	live     int
+	closed   bool
+	executed int64
+	prof     *Profiler
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -165,6 +182,37 @@ func (k *Kernel) AfterObserver(d Duration, fn func()) *Timer {
 	return tm
 }
 
+// AtKind schedules fn like At with a profiling label: when a Profiler
+// is installed, the event's wall-clock execution cost is attributed to
+// kind instead of the generic "event" bucket. The label changes nothing
+// else — ordering, Pending and the virtual clock are untouched.
+func (k *Kernel) AtKind(t Time, kind string, fn func()) *Timer {
+	tm := k.At(t, fn)
+	tm.ev.kind = kind
+	return tm
+}
+
+// AfterKind schedules fn like After, labeled for the profiler.
+func (k *Kernel) AfterKind(d Duration, kind string, fn func()) *Timer {
+	tm := k.After(d, fn)
+	tm.ev.kind = kind
+	return tm
+}
+
+// SetProfiler installs (or, with nil, removes) a kernel self-profiler.
+// Profiling reads the host clock around each executed event and
+// attributes the cost to the event's kind; it charges zero virtual
+// time and cannot reorder events, so a profiled run is bit-for-bit the
+// same simulation. One profiler may be shared by consecutive kernels
+// to accumulate a whole benchmark sweep.
+func (k *Kernel) SetProfiler(p *Profiler) { k.prof = p }
+
+// Executed returns how many events the kernel has executed so far
+// (canceled events are not counted). With a profiler installed this
+// equals the profiler's TotalEvents for this kernel — the identity
+// cmd/anatomy -profile cross-checks.
+func (k *Kernel) Executed() int64 { return k.executed }
+
 // step executes the next pending event. It reports false when no events
 // remain.
 func (k *Kernel) step() bool {
@@ -174,7 +222,14 @@ func (k *Kernel) step() bool {
 			continue
 		}
 		k.now = ev.t
-		ev.fn()
+		k.executed++
+		if k.prof != nil {
+			t0 := time.Now()
+			ev.fn()
+			k.prof.record(kindOf(ev), time.Since(t0).Nanoseconds())
+		} else {
+			ev.fn()
+		}
 		return true
 	}
 	return false

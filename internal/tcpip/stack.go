@@ -129,7 +129,7 @@ func (s *Stack) kernelLoop(p *sim.Proc) {
 				s.sendAck(in.src, pr)
 			case pr.ackTimer == nil:
 				src := in.src
-				pr.ackTimer = s.k.After(s.cfg.DelayedAck, func() {
+				pr.ackTimer = s.k.AfterKind(s.cfg.DelayedAck, "fabric", func() {
 					pr.ackTimer = nil
 					s.sendAck(src, pr)
 				})

@@ -483,6 +483,11 @@ type SweepConfig struct {
 	Gap           sim.Duration // inter-send spacing
 	SnapshotEvery sim.Duration // snapshot-stream period
 	TraceCap      int          // 0 = unbounded recorder
+	// SampleEvery > 1 installs a head-based sampler keeping every n-th
+	// message id: sampled messages retain complete span trees for the
+	// whole run, unsampled ids are absent by design (Breakdowns simply
+	// never sees their events — they are not "dropped").
+	SampleEvery int
 }
 
 // DefaultSweepConfig mirrors the E6 fault-sweep point (30 × 32 B
@@ -535,6 +540,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	c, err := cluster.New(k, cluster.Options{
 		Nodes: 4, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script,
 		Metrics: reg, Trace: rec, SnapshotEvery: cfg.SnapshotEvery,
+		SampleEvery: cfg.SampleEvery,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,109 @@
+// Head-based trace sampling.
+//
+// On week-long soaks a capped recorder keeps complete *recent* history:
+// every message older than the ring is gone, so no old message has a
+// complete span tree. A Sampler inverts the trade: it decides keep/drop
+// once, at message-id origin, and the decision is a pure function of
+// the id — every hop (send, ring transit, detect, consume, ack, retry,
+// MPI, spin handlers) recomputes the identical verdict from the id it
+// already carries, so the decision propagates with zero wire changes
+// and sampled messages retain complete span trees for the whole run.
+// Unsampled ids are absent by design, not dropped: internal/timeline
+// simply never sees them, and capacity-drop accounting
+// (MayHaveDroppedMsg) stays truthful because sampler drops are counted
+// separately.
+//
+// Events with no message attribution (Msg == 0: MPI call spans, router
+// decisions, fault-script actions, liveness verdicts) always pass —
+// they are root context shared by every message.
+package trace
+
+import "repro/internal/metrics"
+
+// Sampler is a deterministic head-based keep/drop rule over message
+// ids. A nil *Sampler keeps everything (the unsampled default).
+type Sampler struct {
+	every uint32
+
+	kept, dropped int64
+	gauge         *metrics.Gauge
+}
+
+// NewSampler returns a sampler keeping every n-th message per sender:
+// the ids whose BBP send sequence s satisfies (s-1) % n == 0, so each
+// sender's first message is always sampled. n <= 1 keeps everything.
+func NewSampler(n int) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	return &Sampler{every: uint32(n)}
+}
+
+// Every returns the sampling period (1 = keep all, also for nil).
+func (s *Sampler) Every() int {
+	if s == nil {
+		return 1
+	}
+	return int(s.every)
+}
+
+// Keep reports the sampling verdict for a message id. It is a pure
+// function of the id — any hop on any node computes the same answer,
+// which is how the origin decision "propagates" without touching the
+// wire. Unattributed events (msg 0) and nil samplers keep everything.
+func (s *Sampler) Keep(msg uint64) bool {
+	if s == nil || s.every <= 1 || msg == 0 {
+		return true
+	}
+	return (MsgSeq(msg)-1)%s.every == 0
+}
+
+// observe accounts one recorder verdict and refreshes the keep-rate
+// gauge (permil of message-attributed events kept).
+func (s *Sampler) observe(keep bool) {
+	if keep {
+		s.kept++
+	} else {
+		s.dropped++
+	}
+	s.gauge.Set(s.KeepPermil())
+}
+
+// Kept and Dropped count message-attributed events the recorder kept
+// and filtered under this sampler.
+func (s *Sampler) Kept() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.kept
+}
+
+func (s *Sampler) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// KeepPermil returns the observed keep rate in permil (0..1000); 1000
+// before any observation.
+func (s *Sampler) KeepPermil() int64 {
+	if s == nil {
+		return 1000
+	}
+	total := s.kept + s.dropped
+	if total == 0 {
+		return 1000
+	}
+	return s.kept * 1000 / total
+}
+
+// WireGauge publishes the keep rate into g on every observation
+// (nil-safe on both sides).
+func (s *Sampler) WireGauge(g *metrics.Gauge) {
+	if s == nil {
+		return
+	}
+	s.gauge = g
+	g.Set(s.KeepPermil())
+}

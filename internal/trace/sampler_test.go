@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	simt "repro/internal/sim"
+)
+
+func TestSamplerKeepDeterministic(t *testing.T) {
+	s := NewSampler(4)
+	// Keep is a pure function of the id: seq 1, 5, 9, ... kept for every
+	// sender; recomputing at a different "hop" gives the same verdict.
+	for sender := 0; sender < 3; sender++ {
+		for seq := uint32(1); seq <= 12; seq++ {
+			id := MsgID(sender, seq)
+			want := (seq-1)%4 == 0
+			if got := s.Keep(id); got != want {
+				t.Errorf("Keep(%d:%d) = %v, want %v", sender, seq, got, want)
+			}
+			if s.Keep(id) != s.Keep(id) {
+				t.Errorf("Keep(%d:%d) not stable", sender, seq)
+			}
+		}
+	}
+	// Unattributed events and nil samplers always pass.
+	if !s.Keep(0) {
+		t.Error("Keep(0) must be true")
+	}
+	var nilS *Sampler
+	if !nilS.Keep(MsgID(1, 2)) {
+		t.Error("nil sampler must keep everything")
+	}
+	if NewSampler(1).Keep(MsgID(0, 7)) != true {
+		t.Error("n=1 sampler must keep everything")
+	}
+	if NewSampler(-3).Every() != 1 {
+		t.Error("n<1 clamps to 1")
+	}
+}
+
+func TestRecorderSamplerFilters(t *testing.T) {
+	r := New()
+	r.SetSampler(NewSampler(2))
+	// seq 1 kept, seq 2 dropped, seq 3 kept, seq 4 dropped.
+	for seq := uint32(1); seq <= 4; seq++ {
+		id := MsgID(0, seq)
+		sp := r.BeginSpan(10, BBP, 0, "send", id, 0, "")
+		r.EmitMsg(20, Ring, 0, "inject", id, sp, "")
+		r.EndSpan(30, BBP, 0, "send", sp, id, "")
+	}
+	// Unattributed events always pass.
+	r.Emit(40, Host, 0, "poll", "")
+
+	if got := len(r.Events()); got != 7 {
+		t.Fatalf("kept %d events, want 7 (2 sampled msgs x3 + 1 unattributed)", got)
+	}
+	if r.SamplerDrops() != 6 {
+		t.Errorf("SamplerDrops = %d, want 6", r.SamplerDrops())
+	}
+	if r.Drops() != 0 {
+		t.Errorf("Drops = %d, want 0 (no capacity evictions)", r.Drops())
+	}
+	for seq := uint32(1); seq <= 4; seq++ {
+		id := MsgID(0, seq)
+		wantSampled := seq%2 == 1
+		if got := r.Sampled(id); got != wantSampled {
+			t.Errorf("Sampled(0:%d) = %v, want %v", seq, got, wantSampled)
+		}
+		// Sampler drops never poison capacity-drop accounting.
+		if r.MayHaveDroppedMsg(id) {
+			t.Errorf("MayHaveDroppedMsg(0:%d) true with zero capacity drops", seq)
+		}
+	}
+	// Sampled ids have complete spans.
+	for _, sp := range r.Spans() {
+		if !sp.Ended {
+			t.Errorf("span %d (msg %d) not ended", sp.ID, sp.Msg)
+		}
+	}
+
+	smp := r.Sampler()
+	if smp.Kept() != 6 || smp.Dropped() != 6 {
+		t.Errorf("sampler kept/dropped = %d/%d, want 6/6", smp.Kept(), smp.Dropped())
+	}
+	if smp.KeepPermil() != 500 {
+		t.Errorf("KeepPermil = %d, want 500", smp.KeepPermil())
+	}
+}
+
+func TestSamplerCapacityDropSplit(t *testing.T) {
+	// A capped+sampled recorder: capacity evictions and sampler filters
+	// are accounted separately, and MayHaveDroppedMsg reflects only the
+	// former.
+	r := NewCapped(4)
+	r.SetSampler(NewSampler(2))
+	for seq := uint32(1); seq <= 8; seq++ {
+		r.EmitMsg(simt.Time(seq), BBP, 0, "post", MsgID(0, seq), 0, "")
+	}
+	// Kept: seq 1,3,5,7 → 4 events, exactly at cap. No capacity drops.
+	if r.Drops() != 0 || r.SamplerDrops() != 4 {
+		t.Fatalf("drops=%d samplerDrops=%d, want 0/4", r.Drops(), r.SamplerDrops())
+	}
+	// Two more sampled messages force two capacity evictions (seq 1, 3).
+	r.EmitMsg(simt.Time(9), BBP, 0, "post", MsgID(0, 9), 0, "")
+	r.EmitMsg(simt.Time(11), BBP, 0, "post", MsgID(0, 11), 0, "")
+	if r.Drops() != 2 {
+		t.Fatalf("Drops = %d, want 2", r.Drops())
+	}
+	if !r.MayHaveDroppedMsg(MsgID(0, 1)) || !r.MayHaveDroppedMsg(MsgID(0, 3)) {
+		t.Error("capacity-evicted ids must report MayHaveDroppedMsg")
+	}
+	// Ids above the evicted range are clean.
+	if r.MayHaveDroppedMsg(MsgID(0, 11)) {
+		t.Error("retained id reports MayHaveDroppedMsg")
+	}
+
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "evicted by the 4-event cap") {
+		t.Errorf("render missing cap note:\n%s", out)
+	}
+	if !strings.Contains(out, "filtered by the 1-in-2 sampler") {
+		t.Errorf("render missing sampler note:\n%s", out)
+	}
+}
+
+func TestSamplerKeepRateGauge(t *testing.T) {
+	reg := metrics.New()
+	r := New()
+	smp := NewSampler(4)
+	r.SetSampler(smp)
+	g := reg.Gauge("trace.sampler_keep_permil", metrics.NodeGlobal)
+	smp.WireGauge(g)
+	if g.Value() != 1000 {
+		t.Errorf("initial keep rate = %d, want 1000", g.Value())
+	}
+	for seq := uint32(1); seq <= 8; seq++ {
+		r.EmitMsg(simt.Time(seq), BBP, 0, "post", MsgID(0, seq), 0, "")
+	}
+	// 2 of 8 kept → 250 permil.
+	if g.Value() != 250 {
+		t.Errorf("keep rate = %d, want 250", g.Value())
+	}
+}
+
+func TestSamplerNilSafety(t *testing.T) {
+	var r *Recorder
+	r.SetSampler(NewSampler(2))
+	if r.Sampler() != nil {
+		t.Error("nil recorder has no sampler")
+	}
+	if !r.Sampled(MsgID(0, 2)) {
+		t.Error("nil recorder samples everything")
+	}
+	if r.SamplerDrops() != 0 {
+		t.Error("nil recorder has no sampler drops")
+	}
+	var s *Sampler
+	if s.Every() != 1 || s.Kept() != 0 || s.Dropped() != 0 || s.KeepPermil() != 1000 {
+		t.Error("nil sampler accessors must be zero-valued")
+	}
+	s.WireGauge(nil) // no panic
+}
+
+func TestRecorderResetClearsSamplerDrops(t *testing.T) {
+	r := New()
+	r.SetSampler(NewSampler(2))
+	r.EmitMsg(1, BBP, 0, "post", MsgID(0, 2), 0, "")
+	if r.SamplerDrops() != 1 {
+		t.Fatalf("SamplerDrops = %d, want 1", r.SamplerDrops())
+	}
+	r.Reset()
+	if r.SamplerDrops() != 0 {
+		t.Errorf("SamplerDrops after Reset = %d, want 0", r.SamplerDrops())
+	}
+	if r.Sampler() == nil {
+		t.Error("Reset must keep the sampler installed")
+	}
+}
