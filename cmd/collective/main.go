@@ -20,14 +20,14 @@ import (
 func main() {
 	op := flag.String("op", "bcast", "operation: bcast, barrier, or bbp-bcast")
 	net := flag.String("net", "scramnet", "network (see cmd/pingpong)")
-	impl := flag.String("impl", "mcast", "collective implementation: p2p or mcast")
+	impl := flag.String("impl", "mcast", "collective implementation: p2p, mcast, or nic (barrier only)")
 	nodes := flag.Int("nodes", 4, "cluster size")
 	size := flag.Int("size", 512, "payload bytes (bcast only)")
 	flag.Parse()
 
 	nw := cluster.Network(*net)
-	if *impl == "mcast" && nw != cluster.SCRAMNet {
-		fmt.Fprintln(os.Stderr, "multicast collectives require -net scramnet")
+	if (*impl == "mcast" || *impl == "nic") && nw != cluster.SCRAMNet {
+		fmt.Fprintln(os.Stderr, "multicast and NIC-combined collectives require -net scramnet")
 		os.Exit(2)
 	}
 	switch *op {
@@ -40,8 +40,11 @@ func main() {
 		fmt.Printf("MPI_Bcast  %-14s %-5s  %d nodes  %5d B  %9.1fµs\n", nw, *impl, *nodes, *size, us)
 	case "barrier":
 		bi := bench.BarrierP2P
-		if *impl == "mcast" {
+		switch *impl {
+		case "mcast":
 			bi = bench.BarrierNative
+		case "nic":
+			bi = bench.BarrierNIC
 		}
 		us := bench.MPIBarrier(nw, bi, *nodes)
 		fmt.Printf("MPI_Barrier %-14s %-5s  %d nodes  %9.1fµs\n", nw, *impl, *nodes, us)

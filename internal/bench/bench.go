@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/scramnet"
 	"repro/internal/sim"
@@ -231,20 +232,18 @@ func MPIBcast(net cluster.Network, impl BcastImpl, nodes, n int) float64 {
 			if c.Rank() == 0 {
 				start[i] = p.Now()
 			}
-			var err error
+			algo := mpi.Tree
 			if impl == BcastNative {
-				err = c.BcastMcast(p, 0, buf)
-			} else {
-				err = c.BcastTree(p, 0, buf)
+				algo = mpi.Mcast
 			}
-			if err != nil {
+			if err := c.Bcast(p, 0, buf, mpi.WithAlgorithm(algo)); err != nil {
 				panic(err)
 			}
 			if p.Now() > lastDone[i] {
 				lastDone[i] = p.Now()
 			}
 			// Re-synchronize so every round starts together.
-			if err := c.BarrierTree(p); err != nil {
+			if err := c.Barrier(p, mpi.WithAlgorithm(mpi.Tree)); err != nil {
 				panic(err)
 			}
 		}
@@ -266,6 +265,9 @@ const (
 	BarrierP2P BarrierImpl = iota
 	// BarrierNative is the coordinator + bbp_Mcast release (SCRAMNet).
 	BarrierNative
+	// BarrierNIC is the NIC-combined 1-lane BAND round over the
+	// in-network handler engine (SCRAMNet only, DESIGN.md §15).
+	BarrierNIC
 )
 
 // MPIBarrier measures barrier latency — simultaneous entry to last
@@ -273,9 +275,28 @@ const (
 func MPIBarrier(net cluster.Network, impl BarrierImpl, nodes int) float64 {
 	k := sim.NewKernel()
 	defer k.Close()
-	_, w, err := cluster.NewMPIWorld(k, net, nodes, impl == BarrierNative)
-	if err != nil {
-		panic(err)
+	var w *mpi.World
+	if impl == BarrierNIC {
+		bbp := core.DefaultConfig()
+		bbp.Stream.Enabled = true
+		c, err := cluster.New(k, cluster.Options{Nodes: nodes, Net: net, BBP: &bbp})
+		if err != nil {
+			panic(err)
+		}
+		w = mpi.NewWorld(c.Endpoints, mpi.DefaultConfig())
+	} else {
+		_, mw, err := cluster.NewMPIWorld(k, net, nodes, impl == BarrierNative)
+		if err != nil {
+			panic(err)
+		}
+		w = mw
+	}
+	algo := mpi.Tree
+	switch impl {
+	case BarrierNative:
+		algo = mpi.Mcast
+	case BarrierNIC:
+		algo = mpi.NICCombined
 	}
 	lastDone := make([]sim.Time, Iters+1)
 	start := make([]sim.Time, Iters+1)
@@ -284,13 +305,7 @@ func MPIBarrier(net cluster.Network, impl BarrierImpl, nodes int) float64 {
 			if start[i] == 0 || p.Now() > start[i] {
 				start[i] = p.Now() // all ranks enter at (nearly) the same time
 			}
-			var err error
-			if impl == BarrierNative {
-				err = c.BarrierMcast(p)
-			} else {
-				err = c.BarrierTree(p)
-			}
-			if err != nil {
+			if err := c.Barrier(p, mpi.WithAlgorithm(algo)); err != nil {
 				panic(err)
 			}
 			if p.Now() > lastDone[i] {

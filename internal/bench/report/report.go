@@ -27,7 +27,8 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
-	"repro/internal/spin"
+	"repro/internal/timeline"
+	"repro/internal/trace"
 )
 
 // Schema is the report format version. Bump it whenever a field is
@@ -60,7 +61,17 @@ import (
 // bbp.stream_* and mpi.stream_* instruments; default-path figures are
 // unchanged — no handlers are installed there, and the un-handled
 // transit path charges nothing.
-const Schema = 5
+//
+// Schema 6: added barrier_scaling (E14): the NIC-combined barrier (a
+// 1-lane BAND spin.Reducer round, gather state accumulated inside the
+// cards) against the 16-node mcast-coordinator baseline, NIC scaling
+// out to 256 nodes, and span-tree critical-path proofs of the gating
+// rank's bus before and after. In the same schema the Reducer's
+// completion word became a combining counter (round tag | count)
+// instead of a 24-rank bitmask, which leaves packet counts and E12
+// timings unchanged, and the rollup gained the always-present
+// ring.packets_combined instrument.
+const Schema = 6
 
 // Options selects the sweep resolution. The default runs the figure
 // suite at the paper's panel sizes; Reduced is a fast subset for tests.
@@ -147,6 +158,13 @@ type Report struct {
 	// back onto the tree. Check() gates the improvement, the non-zero
 	// handler cycle charge, and the degradation.
 	StreamAllreduce StreamAllreduce `json:"stream_allreduce"`
+	// BarrierScaling is the E14 measurement: the NIC-combined barrier (a
+	// 1-lane BAND spin.Reducer round) against the host mcast-coordinator
+	// barrier at 16 nodes, NIC scaling out to the 256-node ring limit,
+	// and the span-tree critical-path proof of which rank's bus gates
+	// each variant. Check() gates the improvement, the scaling exponent,
+	// and the gating rank's bus relief.
+	BarrierScaling BarrierScaling `json:"barrier_scaling"`
 	// Rollup is the cluster-wide metrics snapshot of the canonical
 	// instrumented run (the 4-byte SCRAMNet ping-pong): protocol and
 	// hardware counters that must not drift silently.
@@ -287,6 +305,64 @@ type StreamAllreduce struct {
 	SuspectFallback bool `json:"suspect_fallback"`
 }
 
+// BarrierScaling is the E14 document section. HostUs is the paper-style
+// mcast-coordinator barrier at BarrierHostNodes ranks (the ~137 µs
+// baseline); NIC lists the NIC-combined barrier latency per rank count
+// out to the 256-node ring address limit; ScaleRatio is
+// NIC(256)/NIC(16), which O(ranks) scaling would put at ≥ 16. HostPath
+// and NICPath are the span-tree critical-path decompositions
+// (timeline.CriticalPath) of traced 16-node runs: which rank's
+// sequential work — and hence whose host bus — gates the collective,
+// what fraction of the barrier window sits on that rank's chain, and
+// that rank's PCI bus occupancy over the run.
+type BarrierScaling struct {
+	HostNodes int            `json:"host_nodes"`
+	HostUs    float64        `json:"host_us"`
+	NIC       []BarrierPoint `json:"nic"`
+	// ImprovementPct is how much of the 16-node host barrier the
+	// NIC-combined round removes.
+	ImprovementPct float64     `json:"improvement_pct"`
+	ScaleRatio     float64     `json:"scale_ratio"`
+	HostPath       BarrierPath `json:"host_path"`
+	NICPath        BarrierPath `json:"nic_path"`
+}
+
+// BarrierPoint is one rank count of the NIC barrier scaling sweep.
+type BarrierPoint struct {
+	Nodes int     `json:"nodes"`
+	Us    float64 `json:"us"`
+}
+
+// BarrierPath is the critical-path summary of one traced 16-node
+// barrier: the gating rank (largest critical-path share), that share in
+// µs and as a fraction of the barrier window, and the gating rank's
+// pci.busy_ns occupancy over the run.
+type BarrierPath struct {
+	GatingRank  int     `json:"gating_rank"`
+	PathUs      float64 `json:"path_us"`
+	PathFrac    float64 `json:"path_frac"`
+	BusBusyFrac float64 `json:"bus_busy_frac"`
+}
+
+// BarrierHostNodes / BarrierNICNodes are the E14 panel points: the
+// baseline size the paper's coordinator barrier is proven at, and the
+// NIC sweep out to the flat ring's address limit.
+var BarrierNICNodes = []int{4, 16, 64, 256}
+
+const BarrierHostNodes = 16
+
+// MinBarrierImprovementPct and MaxBarrierScaleRatio are the `make
+// bench` regression gates on E14 (this PR): the NIC-combined barrier
+// must cut the 16-node mcast-coordinator barrier (~137 µs) by at least
+// this percentage, and its 16→256 scaling ratio must stay below
+// O(ranks) growth (which would be 256/16 = 16; measured ~13.6 — the
+// ring revolution is inherently O(ranks), the flatter-than-linear win
+// is the combining pass absorbing all gather work into transit).
+const (
+	MinBarrierImprovementPct = 25.0
+	MaxBarrierScaleRatio     = 16.0
+)
+
 // StreamAllreduceNodes / StreamAllreduceBytes are the E12 panel point:
 // the acceptance cluster size and the vector size (16 32-bit lanes).
 const (
@@ -389,6 +465,27 @@ func (r Report) Check() error {
 	}
 	if !s.SuspectFallback {
 		return fmt.Errorf("stream allreduce gate: a suspect member did not degrade the fast path to the tree")
+	}
+	b := r.BarrierScaling
+	if b.HostUs <= 0 || len(b.NIC) == 0 {
+		return fmt.Errorf("barrier scaling gate: degenerate measurement (host %.1f µs, %d NIC points)",
+			b.HostUs, len(b.NIC))
+	}
+	if b.ImprovementPct < MinBarrierImprovementPct {
+		return fmt.Errorf("barrier scaling gate: the NIC-combined round cut the %d-node coordinator barrier by %.1f%% (%.1f µs baseline); the gate requires ≥ %.0f%%",
+			b.HostNodes, b.ImprovementPct, b.HostUs, MinBarrierImprovementPct)
+	}
+	if b.ScaleRatio <= 0 || b.ScaleRatio >= MaxBarrierScaleRatio {
+		return fmt.Errorf("barrier scaling gate: NIC barrier grew %.1f× from 16 to 256 ranks; O(ranks) would be %.0f× and the gate requires flatter",
+			b.ScaleRatio, MaxBarrierScaleRatio)
+	}
+	if b.HostPath.GatingRank != 0 {
+		return fmt.Errorf("barrier scaling gate: host barrier critical path gated by rank %d, not the rank-0 coordinator — the span-tree proof no longer matches the algorithm",
+			b.HostPath.GatingRank)
+	}
+	if b.NICPath.BusBusyFrac >= b.HostPath.BusBusyFrac {
+		return fmt.Errorf("barrier scaling gate: the gating rank's bus occupancy did not drop (host %.3f → NIC %.3f); the combining pass no longer relieves the coordinator's bus",
+			b.HostPath.BusBusyFrac, b.NICPath.BusBusyFrac)
 	}
 	return nil
 }
@@ -679,10 +776,10 @@ func rndvPipeline() RndvPipeline {
 // streamRun executes one 16-rank sum allreduce over a patterned
 // StreamAllreduceBytes vector and returns the worst-rank completion
 // latency (µs past start), the cluster-wide spin.handler_cycles total,
-// and whether any rank degraded to the tree. fast selects AllreduceW
-// (the in-network path) vs the explicit RingOpFunc tree; script/live
-// optionally fault the run, with start delaying the collective past the
-// scripted suspicion window.
+// and whether any rank degraded to the tree. fast lets the Auto policy
+// take the in-network path vs pinning the rank-side tree with
+// WithAlgorithm; script/live optionally fault the run, with start
+// delaying the collective past the scripted suspicion window.
 func streamRun(fast bool, script *fault.Script, live *liveness.Config, start sim.Duration) (us float64, cycles int64, fellBack bool) {
 	k := sim.NewKernel()
 	defer k.Close()
@@ -710,9 +807,9 @@ func streamRun(fast bool, script *fault.Script, live *liveness.Config, start sim
 		}
 		recv := make([]byte, StreamAllreduceBytes)
 		if fast {
-			err = cm.AllreduceW(p, spin.OpSumU32, send, recv)
+			err = cm.Allreduce(p, mpi.SumU32, send, recv)
 		} else {
-			err = cm.Allreduce(p, mpi.RingOpFunc(spin.OpSumU32), send, recv)
+			err = cm.Allreduce(p, mpi.SumU32, send, recv, mpi.WithAlgorithm(mpi.Tree))
 		}
 		if err != nil {
 			panic(err)
@@ -774,6 +871,131 @@ func streamAllreduce() StreamAllreduce {
 		ImprovementPct:  round3(imp),
 		HandlerCycles:   cycles,
 		SuspectFallback: degraded,
+	}
+}
+
+// barrierRun executes one warmup and one measured barrier on a
+// nodes-rank SCRAMNet cluster and returns the measured barrier's
+// worst-rank latency plus its [start, end] window. nic selects the
+// stream-enabled substrate with the NIC-combined round (asserted to
+// never fall back) vs the paper's mcast-coordinator barrier on the
+// PIO-only testbed. m/rec optionally instrument and trace the run.
+func barrierRun(nodes int, nic bool, m *metrics.Registry, rec *trace.Recorder) (us float64, start, end sim.Time) {
+	k := sim.NewKernel()
+	defer k.Close()
+	opts := cluster.Options{Nodes: nodes, Net: cluster.SCRAMNet, Metrics: m, Trace: rec}
+	mcfg := mpi.DefaultConfig()
+	algo := mpi.Mcast
+	if nic {
+		bbp := core.DefaultConfig()
+		bbp.Stream.Enabled = true
+		opts.BBP = &bbp
+		algo = mpi.NICCombined
+	} else {
+		opts.PIOOnlyBBP = true
+		mcfg.McastCollectives = true
+	}
+	c, err := cluster.New(k, opts)
+	if err != nil {
+		panic(err)
+	}
+	w := mpi.NewWorld(c.Endpoints, mcfg)
+	var t0, t1 sim.Time
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		if err := cm.Barrier(p, mpi.WithAlgorithm(algo)); err != nil {
+			panic(err)
+		}
+		// Every rank re-enters the instant it exits the warmup, so the
+		// last warmup exit is the measured barrier's simultaneous-entry
+		// start — the same convention as bench.MPIBarrier.
+		if p.Now() > t0 {
+			t0 = p.Now()
+		}
+		if err := cm.Barrier(p, mpi.WithAlgorithm(algo)); err != nil {
+			panic(err)
+		}
+		if p.Now() > t1 {
+			t1 = p.Now()
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	if nic {
+		for i := 0; i < nodes; i++ {
+			if got := w.Engine(i).Stats().NICBarriers; got != 2 {
+				panic(fmt.Sprintf("E14 rank %d completed %d of 2 barriers on the NIC path", i, got))
+			}
+		}
+	}
+	return round3(t1.Sub(t0).Microseconds()), t0, t1
+}
+
+// barrierPath runs the traced+instrumented 16-node barrier and reduces
+// it to the E14 critical-path summary. Envelope spans that cover the
+// whole window on every rank (the per-rank "barrier" span and the
+// stream wrappers) are excluded so the attribution lands on the work
+// spans (BBP post/drain, ring inject, spin handler, MPI eager).
+func barrierPath(nic bool) BarrierPath {
+	m := metrics.New()
+	rec := trace.New()
+	_, t0, t1 := barrierRun(BarrierHostNodes, nic, m, rec)
+	var work []trace.SpanRec
+	for _, s := range rec.Spans() {
+		switch s.Name {
+		case "barrier", "allreduce-stream", "stream-allreduce":
+			continue
+		}
+		work = append(work, s)
+	}
+	shares := timeline.CriticalPath(work, t0, t1)
+	if len(shares) == 0 {
+		panic("E14 critical path: traced barrier produced no work spans")
+	}
+	window := t1.Sub(t0).Microseconds()
+	snap := m.Snapshot()
+	busy, _ := snap.Counter("pci.busy_ns", shares[0].Node)
+	frac := 0.0
+	// pci.busy_ns accumulates over the whole run (warmup + measured
+	// barrier, both the same collective), so normalize by total virtual
+	// time rather than the measured window.
+	if t1 > 0 {
+		frac = float64(busy) / float64(t1.Sub(0))
+	}
+	return BarrierPath{
+		GatingRank:  shares[0].Node,
+		PathUs:      round3(shares[0].Us),
+		PathFrac:    round3(shares[0].Us / window),
+		BusBusyFrac: round3(frac),
+	}
+}
+
+// barrierScaling measures the E14 section.
+func barrierScaling() BarrierScaling {
+	hostUs, _, _ := barrierRun(BarrierHostNodes, false, nil, nil)
+	var nic []BarrierPoint
+	byNodes := map[int]float64{}
+	for _, n := range BarrierNICNodes {
+		us, _, _ := barrierRun(n, true, nil, nil)
+		nic = append(nic, BarrierPoint{Nodes: n, Us: us})
+		byNodes[n] = us
+	}
+	imp := 0.0
+	if hostUs > 0 {
+		imp = 100 * (1 - byNodes[BarrierHostNodes]/hostUs)
+	}
+	ratio := 0.0
+	if byNodes[BarrierHostNodes] > 0 {
+		ratio = byNodes[256] / byNodes[BarrierHostNodes]
+	}
+	return BarrierScaling{
+		HostNodes:      BarrierHostNodes,
+		HostUs:         hostUs,
+		NIC:            nic,
+		ImprovementPct: round3(imp),
+		ScaleRatio:     round3(ratio),
+		HostPath:       barrierPath(false),
+		NICPath:        barrierPath(true),
 	}
 }
 
@@ -843,6 +1065,7 @@ func Run(opts Options) Report {
 	r.FailoverLatency = failoverLatency()
 	r.RndvPipeline = rndvPipeline()
 	r.StreamAllreduce = streamAllreduce()
+	r.BarrierScaling = barrierScaling()
 	_, snap, _ := instrumented(4, nil)
 	r.Rollup = snap.Rollup()
 	return r

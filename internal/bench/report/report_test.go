@@ -21,12 +21,12 @@ func TestReportByteStable(t *testing.T) {
 	}
 }
 
-// TestReportSchemaAndShape pins the document structure a schema-5
+// TestReportSchemaAndShape pins the document structure a schema-6
 // consumer relies on.
 func TestReportSchemaAndShape(t *testing.T) {
 	r := Run(ReducedOptions())
-	if r.Schema != 5 {
-		t.Fatalf("schema = %d, want 5", r.Schema)
+	if r.Schema != 6 {
+		t.Fatalf("schema = %d, want 6", r.Schema)
 	}
 	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
 	if len(r.Figures) != len(wantFigs) {
@@ -116,6 +116,7 @@ func TestPollAggregationGate(t *testing.T) {
 		FailoverLatency:      failoverLatency(), // Check gates the whole report
 		RndvPipeline:         rndvPipeline(),
 		StreamAllreduce:      passingStream,
+		BarrierScaling:       passingBarrier,
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
@@ -137,7 +138,7 @@ func TestPollAggregationGate(t *testing.T) {
 // ~51 ms retry-exhaustion path the failure detector replaces.
 func TestFailoverLatencyGate(t *testing.T) {
 	f := failoverLatency()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline(), StreamAllreduce: passingStream}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline(), StreamAllreduce: passingStream, BarrierScaling: passingBarrier}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFailoverLatencyGate(t *testing.T) {
 // stopped paying for the wire at all, i.e. the model broke.
 func TestRndvPipelineGate(t *testing.T) {
 	z := rndvPipeline()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z, StreamAllreduce: passingStream}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z, StreamAllreduce: passingStream, BarrierScaling: passingBarrier}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -202,6 +203,59 @@ var passingStream = StreamAllreduce{
 	HandlerCycles: 540, SuspectFallback: true,
 }
 
+// passingBarrier is the E14 equivalent; TestBarrierScalingGate runs the
+// real measurement.
+var passingBarrier = BarrierScaling{
+	HostNodes: BarrierHostNodes, HostUs: 137,
+	NIC:            []BarrierPoint{{Nodes: 16, Us: 56}, {Nodes: 256, Us: 770}},
+	ImprovementPct: 58, ScaleRatio: 13.6,
+	HostPath: BarrierPath{GatingRank: 0, PathUs: 100, PathFrac: 0.8, BusBusyFrac: 0.5},
+	NICPath:  BarrierPath{GatingRank: 0, PathUs: 30, PathFrac: 0.5, BusBusyFrac: 0.1},
+}
+
+// TestBarrierScalingGate runs the E14 measurement and enforces the
+// `make bench` gate in-tree: the NIC-combined barrier must beat the
+// 16-node mcast-coordinator baseline by MinBarrierImprovementPct, its
+// 16→256 scaling must stay flatter than O(ranks), the host baseline's
+// critical path must pin the rank-0 coordinator as the gating rank,
+// and the combining pass must relieve that rank's bus.
+func TestBarrierScalingGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank barrier sweep in -short mode")
+	}
+	b := barrierScaling()
+	r := Report{
+		PollAggregation: pollAggregation(),
+		FailoverLatency: failoverLatency(),
+		RndvPipeline:    rndvPipeline(),
+		StreamAllreduce: passingStream,
+		BarrierScaling:  b,
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// One ring revolution of wire and hop delay bounds the NIC barrier
+	// from below at every rank count.
+	for _, pt := range b.NIC {
+		cfg := scramnet.DefaultConfig(pt.Nodes)
+		wireUs := float64(cfg.Nodes) * (float64(cfg.HopDelay) + 615.0) / 1000.0
+		if pt.Us < wireUs {
+			t.Errorf("%d-rank NIC barrier %v µs beat the %v µs one-revolution bound — model broken", pt.Nodes, pt.Us, wireUs)
+		}
+	}
+	// The host coordinator serializes size-1 arrival drains plus the
+	// release mcast; its critical-path share must carry a large part of
+	// the window (measured ~0.44 — the rest is concurrent arrival sends
+	// and wire), and the NIC round must cut the gating rank's serialized
+	// work outright (measured ~60 µs → ~30 µs).
+	if b.HostPath.PathFrac < 0.35 {
+		t.Errorf("host barrier gating rank carries only %.2f of the window; coordinator serialization missing", b.HostPath.PathFrac)
+	}
+	if b.NICPath.PathUs >= b.HostPath.PathUs {
+		t.Errorf("gating rank's critical-path share did not shrink: host %v µs → NIC %v µs", b.HostPath.PathUs, b.NICPath.PathUs)
+	}
+}
+
 // TestStreamAllreduceGate runs the E12 measurement and enforces the
 // `make bench` gate in-tree: the in-network handler allreduce must
 // beat the rank-side tree at 16 nodes by at least
@@ -214,6 +268,7 @@ func TestStreamAllreduceGate(t *testing.T) {
 		FailoverLatency: failoverLatency(),
 		RndvPipeline:    rndvPipeline(),
 		StreamAllreduce: s,
+		BarrierScaling:  passingBarrier,
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)

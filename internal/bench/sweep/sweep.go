@@ -33,7 +33,12 @@ import (
 
 // Schema is the sweep document format version. Bump on any field
 // change, as with report.Schema.
-const Schema = 1
+//
+// Schema 2 adds the collective axis to every cell: barrier_us (the
+// point-to-point tree barrier, portable across substrates) and, on the
+// ring, nic_barrier_us (the NIC-combined barrier), so barrier latency
+// rides the same trajectory trend gate as the point-to-point metrics.
+const Schema = 2
 
 // Options selects the matrix axes. The zero value is not runnable; use
 // DefaultOptions or ReducedOptions.
@@ -103,6 +108,12 @@ type Cell struct {
 	// RateMsgS is the small-message rate in messages per second.
 	RateBytes int     `json:"rate_bytes"`
 	RateMsgS  float64 `json:"rate_msg_s"`
+	// BarrierUs is the full-communicator tree-barrier latency (µs per
+	// barrier) — the one collective every substrate supports.
+	BarrierUs float64 `json:"barrier_us"`
+	// NICBarrierUs is the NIC-combined barrier latency, present only on
+	// the ring (the combining stream needs the SCRAMNet substrate).
+	NICBarrierUs float64 `json:"nic_barrier_us,omitempty"`
 }
 
 // Report is the document written to BENCH_sweep.json.
@@ -207,6 +218,14 @@ func MessageRate(net cluster.Network, ranks, n, count int, prof *sim.Profiler) f
 	return float64(count) / (float64(elapsed) / 1e9)
 }
 
+// Barrier measures the full-communicator barrier latency (µs per
+// barrier) at a rank count. Unlike the point-to-point shapes it drives
+// the MPI collective layer, so the trajectory also watches the
+// algorithm-selection path end to end.
+func Barrier(net cluster.Network, ranks int, impl bench.BarrierImpl) float64 {
+	return bench.MPIBarrier(net, impl, ranks)
+}
+
 // Run executes the matrix and assembles the report. Cells appear in
 // axis order (substrates outer, ranks inner), so the document layout is
 // stable for a given Options.
@@ -229,6 +248,10 @@ func Run(opts Options) Report {
 				})
 			}
 			cell.RateMsgS = round3(MessageRate(net, ranks, opts.RateBytes, opts.RateCount, opts.Profiler))
+			cell.BarrierUs = round3(Barrier(net, ranks, bench.BarrierP2P))
+			if net == cluster.SCRAMNet {
+				cell.NICBarrierUs = round3(Barrier(net, ranks, bench.BarrierNIC))
+			}
 			r.Cells = append(r.Cells, cell)
 		}
 	}

@@ -18,13 +18,17 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/cluster"
 )
 
 // Metric is one summarized measurement, named by kind and grid cell:
 //
-//	lat_us/<substrate>/r<ranks>/b<bytes>   one-way latency, µs (up = bad)
-//	bw_mbs/<substrate>/r<ranks>/b<bytes>   throughput, MB/s   (down = bad)
-//	rate_mps/<substrate>/r<ranks>          messages/s         (down = bad)
+//	lat_us/<substrate>/r<ranks>/b<bytes>    one-way latency, µs (up = bad)
+//	bw_mbs/<substrate>/r<ranks>/b<bytes>    throughput, MB/s   (down = bad)
+//	rate_mps/<substrate>/r<ranks>           messages/s         (down = bad)
+//	barrier_us/<substrate>/r<ranks>         tree barrier, µs   (up = bad)
+//	barrier_nic_us/<substrate>/r<ranks>     NIC barrier, µs    (up = bad)
 type Metric struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
@@ -63,6 +67,16 @@ func Summarize(r Report) []Metric {
 			Name:  fmt.Sprintf("rate_mps/%s/r%d", c.Substrate, c.Ranks),
 			Value: c.RateMsgS,
 		})
+		out = append(out, Metric{
+			Name:  fmt.Sprintf("barrier_us/%s/r%d", c.Substrate, c.Ranks),
+			Value: c.BarrierUs,
+		})
+		if c.NICBarrierUs > 0 {
+			out = append(out, Metric{
+				Name:  fmt.Sprintf("barrier_nic_us/%s/r%d", c.Substrate, c.Ranks),
+				Value: c.NICBarrierUs,
+			})
+		}
 	}
 	return out
 }
@@ -96,8 +110,11 @@ func LoadTrajectory(r io.Reader) ([]Record, error) {
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
 			return nil, fmt.Errorf("sweep: trajectory line %d: %w", line, err)
 		}
-		if rec.Schema != Schema {
-			return nil, fmt.Errorf("sweep: trajectory line %d: schema %d, want %d", line, rec.Schema, Schema)
+		// Older schemas are accepted: the record layout only ever grows
+		// new metric *names*, and the trend detector keys by name, so an
+		// old record simply contributes nothing to the newer series.
+		if rec.Schema < 1 || rec.Schema > Schema {
+			return nil, fmt.Errorf("sweep: trajectory line %d: schema %d, want 1..%d", line, rec.Schema, Schema)
 		}
 		out = append(out, rec)
 	}
@@ -148,7 +165,9 @@ type Trend struct {
 // in CI).
 func badDirection(name string) int {
 	switch {
-	case strings.HasPrefix(name, "lat_us/"):
+	case strings.HasPrefix(name, "lat_us/"),
+		strings.HasPrefix(name, "barrier_us/"),
+		strings.HasPrefix(name, "barrier_nic_us/"):
 		return +1
 	case strings.HasPrefix(name, "bw_mbs/"), strings.HasPrefix(name, "rate_mps/"):
 		return -1
@@ -252,6 +271,12 @@ func (r Report) Check(history []Record, cfg TrendConfig) error {
 		}
 		if c.RateMsgS <= 0 {
 			return fmt.Errorf("sweep gate: degenerate message rate %s/r%d = %.3f msg/s", c.Substrate, c.Ranks, c.RateMsgS)
+		}
+		if c.BarrierUs <= 0 {
+			return fmt.Errorf("sweep gate: degenerate barrier %s/r%d = %.3f µs", c.Substrate, c.Ranks, c.BarrierUs)
+		}
+		if c.Substrate == string(cluster.SCRAMNet) && c.NICBarrierUs <= 0 {
+			return fmt.Errorf("sweep gate: ring cell %s/r%d is missing the NIC barrier", c.Substrate, c.Ranks)
 		}
 	}
 	run := len(history) + 1

@@ -186,9 +186,11 @@ func TestSummarizeNames(t *testing.T) {
 		Substrate: "scramnet", Ranks: 8, RateBytes: 4, RateMsgS: 100,
 		LatencyUs:    []SizePoint{{Bytes: 0, Value: 7}},
 		BandwidthMBs: []SizePoint{{Bytes: 1024, Value: 14}},
+		BarrierUs:    120, NICBarrierUs: 40,
 	}}}
 	ms := Summarize(r)
-	want := []string{"lat_us/scramnet/r8/b0", "bw_mbs/scramnet/r8/b1024", "rate_mps/scramnet/r8"}
+	want := []string{"lat_us/scramnet/r8/b0", "bw_mbs/scramnet/r8/b1024", "rate_mps/scramnet/r8",
+		"barrier_us/scramnet/r8", "barrier_nic_us/scramnet/r8"}
 	if len(ms) != len(want) {
 		t.Fatalf("summarized %d metrics, want %d", len(ms), len(want))
 	}

@@ -43,9 +43,15 @@ import (
 	"repro/internal/trace"
 )
 
-// MaxProcs bounds the number of BBP processes: MESSAGE/ACK flags are one
-// 32-bit toggle word per peer with one bit per buffer slot.
-const MaxProcs = 32
+// MaxProcs bounds the number of BBP processes at the SCRAMNet ring's
+// own 256-node address limit. Flag words scale per-peer (MESSAGE/ACK
+// flags are one 32-bit toggle word per peer with one bit per buffer
+// slot — the 32 bound lives on Config.Buffers, not here), and the
+// layout validation rejects any rank count whose per-process partition
+// would fall under the 256-byte data floor for the configured bank
+// size. Hierarchies that address more than 256 hosts are ROADMAP item
+// 4.
+const MaxProcs = 256
 
 // descWords is the portion of a descriptor actually transferred:
 // offset, length, sequence. The base protocol needs nothing more —
@@ -385,7 +391,7 @@ func (l layout) strContrib(i int) int { return l.hbBytes + i*l.strMax }
 func (l layout) strArrival(i int) int { return l.hbBytes + l.nprocs*l.strMax + 4*i }
 func (l layout) strCtl() int          { return l.hbBytes + l.nprocs*(l.strMax+4) }
 func (l layout) strHdr() int          { return l.strCtl() }
-func (l layout) strMask() int         { return l.strCtl() + 4 }
+func (l layout) strCtr() int          { return l.strCtl() + 4 }
 func (l layout) strVec() int          { return l.strCtl() + 8 }
 func (l layout) strDone() int         { return l.strCtl() + 8 + l.strMax }
 func (l layout) strResult() int       { return l.strCtl() + 12 + l.strMax }
@@ -463,13 +469,12 @@ func New(net RingNetwork, cfg Config, opts ...Option) (*System, error) {
 		if strMax < 4 || strMax%4 != 0 || strMax > 0xffffff {
 			return nil, fmt.Errorf("bbp: Stream.MaxBytes %d must be a positive multiple of 4 below 2^24", cfg.Stream.MaxBytes)
 		}
-		// The completion-mask word carries one bit per rank in its low
-		// 24 bits and the round tag in the high 8 (spin.MaskWord); a
-		// 25th rank's bit would shift into the tag — or, at 33+, out of
-		// the word entirely — and the mask integrity check would pass
-		// vacuously on rounds that rank never combined.
-		if n > spin.MaskRanks {
-			return nil, fmt.Errorf("bbp: Stream supports at most %d processes (completion-mask bits share a word with the round tag), got %d", spin.MaskRanks, n)
+		// The combining-counter word carries a participation count in
+		// its low 24 bits and the round tag in the high 8
+		// (spin.CounterWord): every rank the ring can address fits, so
+		// Stream scales to the full 256-node ring limit and beyond.
+		if n >= spin.CounterRanks {
+			return nil, fmt.Errorf("bbp: Stream supports fewer than %d processes (the combining counter shares a word with the round tag), got %d", spin.CounterRanks, n)
 		}
 	} else if cfg.Stream.MaxBytes != 0 {
 		return nil, fmt.Errorf("bbp: Stream.MaxBytes %d set but Stream.Enabled is false", cfg.Stream.MaxBytes)

@@ -280,8 +280,8 @@ func TestAllBufferSlotCounts(t *testing.T) {
 }
 
 func TestMaxProcsRing(t *testing.T) {
-	// A full 32-process BillBoard on one ring: layout arithmetic and
-	// flag words at their limits.
+	// A 32-process BillBoard on one ring: layout arithmetic and flag
+	// words well past the paper's 4-node testbed.
 	k, _, eps := world(t, 32)
 	ok := false
 	k.Spawn("tx", func(p *sim.Proc) {
@@ -300,13 +300,17 @@ func TestMaxProcsRing(t *testing.T) {
 	if !ok {
 		t.Fatal("delivery failed at MaxProcs")
 	}
+	// Beyond MaxProcs the flat ring itself refuses first (the 256-node
+	// address limit is the same bound), so the rejection is exercised on
+	// a hierarchy, which can host more than one ring's worth of nodes.
 	k2 := sim.NewKernel()
-	net, err := scramnet.New(k2, scramnet.DefaultConfig(33))
+	defer k2.Close()
+	hier, err := scramnet.NewHierarchy(k2, scramnet.DefaultHierarchyConfig(2, 160))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(net, DefaultConfig()); err == nil {
-		t.Fatal("33 processes accepted beyond MaxProcs")
+	if _, err := New(hier, DefaultConfig()); err == nil {
+		t.Fatal("320 processes accepted beyond MaxProcs")
 	}
 }
 

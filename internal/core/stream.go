@@ -28,21 +28,24 @@ import (
 //     the same software tree on the same round.
 //  3. Rank 0 writes the header word (operator + vector length, arming
 //     every transit Reducer), the vector seeded with its own
-//     contribution, and the completion mask word — its own bit pre-set
-//     and the round tag in the high byte (spin.MaskWord). Each transit
-//     combines its staged lanes into the circulating packets (Rewrite)
-//     and sets its mask bit only if it combined every byte of the
-//     round; the origin's strip-apply lands the fully combined vector
-//     and mask back in rank 0's replica.
-//  4. Rank 0 polls its local mask word for all bits set *and* the
+//     contribution, and the combining-counter word — count 1 for its
+//     own contribution and the round tag in the high byte
+//     (spin.CounterWord). Each transit combines its staged lanes into
+//     the circulating packets (Rewrite) and increments the counter only
+//     if it combined every byte of the round; the origin's strip-apply
+//     lands the fully combined vector and counter back in rank 0's
+//     replica. The count accumulates *inside the NIC* at each hop — no
+//     per-rank bit assignment, so one word covers the full 256-node
+//     ring.
+//  4. Rank 0 polls its local counter word for count == Procs *and* the
 //     current round's tag. The tag is load-bearing: rank 0's own seed
 //     write lands in its bank immediately, but strip-applies arrive
-//     arbitrarily late under transit-link queueing — a full mask from
-//     an earlier round rank 0 already abandoned could otherwise strip
-//     into the bank mid-poll and satisfy a later round whose combines
-//     never ran. All bits set with the right tag — publish the result
-//     (conventional replicated write) and the done word. A clear bit
-//     past the drain horizon means a vector packet was dropped at
+//     arbitrarily late under transit-link queueing — a full counter
+//     from an earlier round rank 0 already abandoned could otherwise
+//     strip into the bank mid-poll and satisfy a later round whose
+//     combines never ran. Full count with the right tag — publish the
+//     result (conventional replicated write) and the done word. A short
+//     count past the drain horizon means a vector packet was dropped at
 //     injection or a node died mid-transit: publish a fallback verdict
 //     instead. Either way non-roots learn the round's outcome from the
 //     done word alone.
@@ -62,20 +65,19 @@ type streamState struct {
 }
 
 // initStream installs this endpoint's transit Reducer over the
-// contiguous header+mask+vector block of the stream region. The
-// completion bit is one of the mask word's low spin.MaskRanks bits
-// (core.New rejects Stream beyond that many ranks — the high byte is
-// the round tag).
+// contiguous header+counter+vector block of the stream region. Each
+// transit that combined the full round increments the counter word's
+// low 24 bits (the high byte is the round tag), so the scheme is
+// rank-count-agnostic up to the ring's own address limit.
 func (e *Endpoint) initStream() {
 	lay := e.sys.lay
 	e.stream.arrBuf = make([]uint32, e.Procs())
 	e.stream.reducer = &spin.Reducer{
 		HdrOff:     lay.strHdr(),
 		VecOff:     lay.strVec(),
-		MaskOff:    lay.strMask(),
+		CtrOff:     lay.strCtr(),
 		MaxBytes:   lay.strMax,
 		ContribOff: lay.strContrib(e.me),
-		Bit:        1 << uint(e.me),
 	}
 	e.nic.InstallHandler(lay.strHdr(), 8+lay.strMax, e.stream.reducer)
 }
@@ -197,30 +199,31 @@ func (e *Endpoint) streamRoot(p *sim.Proc, op spin.RingOp, send, recv []byte, r 
 	}
 
 	// Header arms every transit Reducer; the vector is seeded with our
-	// own contribution; the mask carries our pre-set bit plus the round
-	// tag. FIFO order guarantees each transit sees them in this order.
+	// own contribution; the counter carries count 1 for that seed plus
+	// the round tag. FIFO order guarantees each transit sees them in
+	// this order.
 	e.nic.WriteWord(p, lay.strHdr(), spin.HdrWord(op, n))
 	e.nic.Write(p, lay.strVec(), send)
-	e.nic.WriteWord(p, lay.strMask(), spin.MaskWord(r, 1))
+	e.nic.WriteWord(p, lay.strCtr(), spin.CounterWord(r, 1))
 
 	// One revolution later our own strip-apply lands the combined
-	// vector and mask in the local replica. The poll requires this
-	// round's tag alongside the full bit set: a late strip from an
+	// vector and counter in the local replica. The poll requires this
+	// round's tag alongside the full count: a late strip from an
 	// abandoned earlier round carries that round's tag and cannot
 	// satisfy it (see the file comment). A mismatch past the drain
 	// horizon (plus worst-case handler stalls at every transit) means a
 	// vector packet was dropped at injection or a node died mid-round.
-	want := spin.MaskWord(r, uint32(1)<<uint(e.Procs())-1)
+	want := spin.CounterWord(r, uint32(e.Procs()))
 	ncfg := e.nic.NetworkConfig()
 	maskBy := e.nic.DrainBound().
 		Add(sim.Duration(ncfg.Nodes) * sim.Duration(ncfg.HandlerBudget) * ncfg.HandlerCycleCost)
 	for {
-		m := e.nic.ReadWord(p, lay.strMask())
+		m := e.nic.ReadWord(p, lay.strCtr())
 		if m == want {
 			break
 		}
 		if p.Now() > maskBy {
-			return e.streamAbort(p, r, "mask %#x != %#x past drain bound", m, want)
+			return e.streamAbort(p, r, "counter %#x != %#x past drain bound", m, want)
 		}
 		p.Delay(cfg.Costs.PollOverhead)
 	}

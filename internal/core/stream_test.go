@@ -374,35 +374,44 @@ func TestEarlyAckRoundtrip(t *testing.T) {
 	}
 }
 
-// TestStreamRankCap: the completion-mask word holds one bit per rank in
-// its low spin.MaskRanks bits plus the round tag; a ring wider than
-// that must be rejected at construction, not silently pass the mask
-// integrity check with vanished or tag-colliding bits.
-func TestStreamRankCap(t *testing.T) {
-	k := sim.NewKernel()
-	over, err := scramnet.New(k, scramnet.DefaultConfig(spin.MaskRanks+1))
-	if err != nil {
+// TestStreamWideRing: the combining counter lifts the old 24-rank
+// completion-bitmask cap — a 28-rank ring (wider than any single mask
+// word could cover) must run a full in-network round on the fast path,
+// with every transit's increment accumulating in the single counter
+// word. This is the regression test for the counter conversion: before
+// it, core.New rejected Stream past 24 ranks outright.
+func TestStreamWideRing(t *testing.T) {
+	const nodes = 28
+	k, _, _, eps := streamWorld(t, nodes)
+	contribs := make([][]byte, nodes)
+	for i := range contribs {
+		contribs[i] = vecU32(uint32(i + 1))
+	}
+	want := reduceRef(spin.OpSumU32, contribs)
+	fastAll := true
+	for i := 0; i < nodes; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("rank-%d", i), func(p *sim.Proc) {
+			recv := make([]byte, 4)
+			done, err := eps[i].StreamAllreduce(p, spin.OpSumU32, contribs[i], recv)
+			if err != nil {
+				t.Errorf("rank %d: %v", i, err)
+				return
+			}
+			if !done {
+				fastAll = false
+				return
+			}
+			if !bytes.Equal(recv, want) {
+				t.Errorf("rank %d: got %x want %x", i, recv, want)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig()
-	cfg.Stream.Enabled = true
-	if _, err := New(over, cfg); err == nil {
-		t.Fatalf("Stream accepted at %d ranks, want error", spin.MaskRanks+1)
-	}
-	// EarlyAck uses no mask word and stays available on wide rings.
-	cfg = DefaultConfig()
-	cfg.EarlyAck = true
-	if _, err := New(over, cfg); err != nil {
-		t.Errorf("EarlyAck rejected at %d ranks: %v", spin.MaskRanks+1, err)
-	}
-	at, err := scramnet.New(sim.NewKernel(), scramnet.DefaultConfig(spin.MaskRanks))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg = DefaultConfig()
-	cfg.Stream.Enabled = true
-	if _, err := New(at, cfg); err != nil {
-		t.Errorf("Stream rejected at exactly %d ranks: %v", spin.MaskRanks, err)
+	if !fastAll {
+		t.Fatalf("fast path declined on a %d-rank ring", nodes)
 	}
 }
 

@@ -15,13 +15,14 @@ const (
 	tagDissem = -110
 	tagRDAll  = -111
 	tagRS     = -112
+	tagPlan   = -113 // re-plan fence record (select.go)
 )
 
-// BarrierDissemination is the dissemination barrier: ceil(log2 n)
+// barrierDissemination is the dissemination barrier: ceil(log2 n)
 // rounds, in round k each rank sends a token to (rank+2^k) mod n and
 // waits for one from (rank-2^k) mod n. More rounds than the tree
 // gather/release for small n, but no root bottleneck.
-func (c *Comm) BarrierDissemination(p *sim.Proc) error {
+func (c *Comm) barrierDissemination(p *sim.Proc) error {
 	n := c.Size()
 	for dist := 1; dist < n; dist <<= 1 {
 		dst := (c.rank + dist) % n
@@ -33,12 +34,12 @@ func (c *Comm) BarrierDissemination(p *sim.Proc) error {
 	return nil
 }
 
-// AllreduceRD is recursive-doubling allreduce: log2(n) exchange rounds
+// allreduceRD is recursive-doubling allreduce: log2(n) exchange rounds
 // for power-of-two communicators, with the standard fold-in/fold-out
 // for the remainder ranks. op must be commutative and associative.
-func (c *Comm) AllreduceRD(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
+func (c *Comm) allreduceRD(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
 	if len(recvBuf) < len(sendBuf) {
-		return fmt.Errorf("%w: AllreduceRD receive buffer too small", ErrProtocol)
+		return fmt.Errorf("%w: allreduce receive buffer too small", ErrProtocol)
 	}
 	n := c.Size()
 	acc := recvBuf[:len(sendBuf)]

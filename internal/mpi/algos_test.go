@@ -70,8 +70,13 @@ func TestAllreduceRDMatchesTreeAllSizes(t *testing.T) {
 			t.Fatal(err)
 		}
 		w.RunSPMD(k, func(p *sim.Proc, c *mpi.Comm) {
-			rd := sumInt64s(t, c, p, c.AllreduceRD, 4)
-			tree := sumInt64s(t, c, p, c.Allreduce, 4)
+			allreduce := func(algo mpi.Algorithm) func(*sim.Proc, mpi.Op, []byte, []byte) error {
+				return func(p *sim.Proc, op mpi.Op, s, r []byte) error {
+					return c.Allreduce(p, op, s, r, mpi.WithAlgorithm(algo))
+				}
+			}
+			rd := sumInt64s(t, c, p, allreduce(mpi.Dissemination), 4)
+			tree := sumInt64s(t, c, p, allreduce(mpi.Tree), 4)
 			if rd == nil || tree == nil {
 				return
 			}

@@ -6,8 +6,6 @@ import (
 	"math"
 
 	"repro/internal/sim"
-	"repro/internal/spin"
-	"repro/internal/trace"
 )
 
 // Collective fast-path message ops.
@@ -105,21 +103,11 @@ func (c *Comm) othersWorld(not int) []int {
 	return out
 }
 
-// Bcast broadcasts buf (same length on all ranks) from root, using the
-// transport's native multicast when configured, else a binomial tree —
-// the two implementations compared in Figure 5.
-func (c *Comm) Bcast(p *sim.Proc, root int, buf []byte) error {
-	if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
-		return c.BcastMcast(p, root, buf)
-	}
-	return c.BcastTree(p, root, buf)
-}
-
-// BcastMcast is the paper's MPI_Bcast over bbp_Mcast: the root posts
+// bcastMcast is the paper's MPI_Bcast over bbp_Mcast: the root posts
 // each chunk once and every receiver reads it from the root's data
 // partition — a single-step broadcast. It is not synchronizing: the
 // root does not wait for receivers (§4).
-func (c *Comm) BcastMcast(p *sim.Proc, root int, buf []byte) error {
+func (c *Comm) bcastMcast(p *sim.Proc, root int, buf []byte) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -161,56 +149,10 @@ func (c *Comm) BcastMcast(p *sim.Proc, root int, buf []byte) error {
 	return nil
 }
 
-// BcastTree is stock MPICH's binomial-tree broadcast over point-to-point.
-func (c *Comm) BcastTree(p *sim.Proc, root int, buf []byte) error {
-	if err := c.checkRank(root); err != nil {
-		return err
-	}
-	size := c.Size()
-	relrank := (c.rank - root + size) % size
-	mask := 1
-	for mask < size {
-		if relrank&mask != 0 {
-			src := c.rank - mask
-			if src < 0 {
-				src += size
-			}
-			if _, err := c.Recv(p, src, tagBcast, buf); err != nil {
-				return err
-			}
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if relrank+mask < size {
-			dst := c.rank + mask
-			if dst >= size {
-				dst -= size
-			}
-			if err := c.Send(p, dst, tagBcast, buf); err != nil {
-				return err
-			}
-		}
-		mask >>= 1
-	}
-	return nil
-}
-
-// Barrier blocks until every member arrives, via the configured
-// implementation — the comparison of Figure 6.
-func (c *Comm) Barrier(p *sim.Proc) error {
-	if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
-		return c.BarrierMcast(p)
-	}
-	return c.BarrierTree(p)
-}
-
-// BarrierMcast is the paper's MPI_Barrier: rank 0 coordinates, waiting
+// barrierMcast is the paper's MPI_Barrier: rank 0 coordinates, waiting
 // for a null message from every other process and then releasing them
 // all with one bbp_Mcast (§4).
-func (c *Comm) BarrierMcast(p *sim.Proc) error {
+func (c *Comm) barrierMcast(p *sim.Proc) error {
 	seq := uint16(c.seq)
 	c.seq++
 	e := c.eng
@@ -228,31 +170,6 @@ func (c *Comm) BarrierMcast(p *sim.Proc) error {
 	}
 	_, err := e.recvColl(p, c.group[0], c.group, opBarrierRelease, seq, nil)
 	return err
-}
-
-// BarrierTree is the point-to-point barrier: binomial gather of arrival
-// tokens to rank 0, then a binomial-tree release.
-func (c *Comm) BarrierTree(p *sim.Proc) error {
-	size := c.Size()
-	relrank := c.rank // root is always 0
-	mask := 1
-	for mask < size {
-		if relrank&mask != 0 {
-			parent := c.rank - mask
-			if err := c.Send(p, parent, tagBarrier, nil); err != nil {
-				return err
-			}
-			break
-		}
-		if relrank+mask < size {
-			child := c.rank + mask
-			if _, err := c.Recv(p, child, tagBarrier, nil); err != nil {
-				return err
-			}
-		}
-		mask <<= 1
-	}
-	return c.BcastTree(p, 0, nil)
 }
 
 // Op combines an incoming contribution into an accumulator, in place.
@@ -326,66 +243,6 @@ func (c *Comm) Reduce(p *sim.Proc, root int, op Op, sendBuf, recvBuf []byte) err
 		copy(recvBuf, acc)
 	}
 	return nil
-}
-
-// Allreduce is Reduce to rank 0 followed by Bcast.
-func (c *Comm) Allreduce(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
-	if err := c.Reduce(p, 0, op, sendBuf, recvBuf); err != nil {
-		return err
-	}
-	return c.Bcast(p, 0, recvBuf)
-}
-
-// RingOpFunc returns the software Op equivalent of a streamable ring
-// operator: op folded over little-endian 32-bit lanes. AllreduceW's
-// tree fallback uses it, so a fast-path round and a degraded round
-// compute byte-identical results.
-func RingOpFunc(op spin.RingOp) Op {
-	return func(acc, in []byte) {
-		for i := 0; i+4 <= len(acc) && i+4 <= len(in); i += 4 {
-			v := op.Combine(binary.LittleEndian.Uint32(acc[i:]), binary.LittleEndian.Uint32(in[i:]))
-			binary.LittleEndian.PutUint32(acc[i:], v)
-		}
-	}
-}
-
-// AllreduceW is Allreduce over 32-bit lanes with a streamable operator.
-// On the world communicator of a transport with in-network handlers
-// (xport.StreamReducer) the reduction is computed by the ring itself in
-// one revolution; the transport declines collectively — same verdict on
-// every rank for the same round — whenever the membership view reports
-// a rank suspect or dead, a packet was lost mid-round, or the vector
-// does not fit, and the call degrades to the Reduce+Bcast tree (which
-// then surfaces a genuinely dead member as a DeadPeerError). For a
-// well-formed collective call — every rank passing the same op and
-// equally sized buffers — the gating predicates below are rank-uniform,
-// so the ranks that try the fast path are exactly the ranks that must;
-// the one predicate a buggy caller can break per-rank (recvBuf length)
-// makes that rank decline alone, upon which rank 0's arrival wait
-// expires and the whole collective degrades to the tree together.
-func (c *Comm) AllreduceW(p *sim.Proc, op spin.RingOp, sendBuf, recvBuf []byte) error {
-	e := c.eng
-	n := len(sendBuf)
-	if e.stream != nil && c.ctx == 1 && op.Valid() &&
-		n > 0 && n%4 == 0 && n <= e.stream.StreamMax() && len(recvBuf) >= n {
-		p.Delay(e.cfg.Costs.CollOverhead)
-		span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "allreduce-stream", 0, e.tracer.Parent(), "op=%v len=%d", op, n)
-		e.tracer.PushParent(span)
-		done, err := e.stream.StreamAllreduce(p, op, sendBuf, recvBuf[:n])
-		e.tracer.PopParent()
-		e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "allreduce-stream-end", span, 0, "done=%v err=%v", done, err)
-		if err != nil {
-			return err
-		}
-		if done {
-			e.stats.StreamAllreduces++
-			e.im.streamAllred.Inc()
-			return nil
-		}
-		e.stats.StreamFallbacks++
-		e.im.streamFalls.Inc()
-	}
-	return c.Allreduce(p, RingOpFunc(op), sendBuf, recvBuf)
 }
 
 // Gather concatenates equal-size contributions at root:

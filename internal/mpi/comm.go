@@ -85,6 +85,10 @@ type Comm struct {
 	group []int // communicator rank -> world rank
 	rank  int   // my communicator rank
 	seq   uint32
+	// Release-tree re-plan state (select.go): the current plan epoch
+	// and, at a collective root, the suspect mask the epoch was cut for.
+	planEpoch    uint32
+	lastPlanMask []byte
 }
 
 // Rank returns the caller's rank within the communicator.

@@ -1,0 +1,76 @@
+package mpi
+
+// Deprecated collective entry points. The package used to select the
+// collective algorithm by method-name suffix (BarrierMcast,
+// BcastTree, AllreduceW, ...); selection now happens behind the single
+// entry points in select.go, per call, via WithAlgorithm. These
+// wrappers keep old callers compiling and delegate verbatim.
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spin"
+)
+
+// BcastMcast broadcasts over the transport's native multicast.
+//
+// Deprecated: use Bcast with WithAlgorithm(Mcast).
+func (c *Comm) BcastMcast(p *sim.Proc, root int, buf []byte) error {
+	return c.Bcast(p, root, buf, WithAlgorithm(Mcast))
+}
+
+// BcastTree broadcasts over the binomial tree.
+//
+// Deprecated: use Bcast with WithAlgorithm(Tree).
+func (c *Comm) BcastTree(p *sim.Proc, root int, buf []byte) error {
+	return c.Bcast(p, root, buf, WithAlgorithm(Tree))
+}
+
+// BarrierMcast runs the multicast-coordinated barrier.
+//
+// Deprecated: use Barrier with WithAlgorithm(Mcast).
+func (c *Comm) BarrierMcast(p *sim.Proc) error {
+	return c.Barrier(p, WithAlgorithm(Mcast))
+}
+
+// BarrierTree runs the binomial gather/release barrier.
+//
+// Deprecated: use Barrier with WithAlgorithm(Tree).
+func (c *Comm) BarrierTree(p *sim.Proc) error {
+	return c.Barrier(p, WithAlgorithm(Tree))
+}
+
+// BarrierDissemination runs the dissemination barrier.
+//
+// Deprecated: use Barrier with WithAlgorithm(Dissemination).
+func (c *Comm) BarrierDissemination(p *sim.Proc) error {
+	return c.Barrier(p, WithAlgorithm(Dissemination))
+}
+
+// AllreduceRD runs recursive-doubling allreduce.
+//
+// Deprecated: use Allreduce with WithAlgorithm(Dissemination).
+func (c *Comm) AllreduceRD(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
+	return c.Allreduce(p, op, sendBuf, recvBuf, WithAlgorithm(Dissemination))
+}
+
+// AllreduceW is Allreduce over 32-bit lanes named by a ring operator.
+//
+// Deprecated: use Allreduce with one of the named u32 ops (SumU32,
+// MaxU32, MinU32, BorU32, BandU32, BxorU32) — Auto offloads them to
+// the NIC combining pass without the caller importing internal/spin.
+func (c *Comm) AllreduceW(p *sim.Proc, op spin.RingOp, sendBuf, recvBuf []byte) error {
+	return c.Allreduce(p, RingOpFunc(op), sendBuf, recvBuf)
+}
+
+// RingOpFunc returns the software Op equivalent of a streamable ring
+// operator: op folded over little-endian 32-bit lanes. For a valid
+// operator this is the corresponding named u32 op, so the result is
+// recognized by the Auto selection policy.
+//
+// Deprecated: name the op directly (SumU32, ..., BxorU32).
+func RingOpFunc(op spin.RingOp) Op {
+	if fn := opOfRing(op); fn != nil {
+		return fn
+	}
+	return func(acc, in []byte) { foldU32(op, acc, in) }
+}

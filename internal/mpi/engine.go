@@ -76,6 +76,8 @@ type engInstruments struct {
 	windowStalls *metrics.Counter // mpi.window_stalls
 	streamAllred *metrics.Counter // mpi.stream_allreduces
 	streamFalls  *metrics.Counter // mpi.stream_fallbacks
+	nicBarriers  *metrics.Counter // mpi.nic_barriers
+	collReplans  *metrics.Counter // mpi.coll_replans
 	unexpDepth   *metrics.Gauge   // mpi.unexpected_depth
 	// pipelineDepth tracks the windowed sender's in-flight chunk count;
 	// its Max() is the high-water mark. Like unexpDepth it has no
@@ -101,6 +103,8 @@ func (e *Engine) setMetrics(m *metrics.Registry) {
 		windowStalls:  m.Counter("mpi.window_stalls", rank),
 		streamAllred:  m.Counter("mpi.stream_allreduces", rank),
 		streamFalls:   m.Counter("mpi.stream_fallbacks", rank),
+		nicBarriers:   m.Counter("mpi.nic_barriers", rank),
+		collReplans:   m.Counter("mpi.coll_replans", rank),
 		unexpDepth:    m.Gauge("mpi.unexpected_depth", rank),
 		pipelineDepth: m.Gauge("mpi.pipeline_depth", rank),
 	}
@@ -132,6 +136,12 @@ type EngineStats struct {
 	// mpi.stream_fallbacks.
 	StreamAllreduces int64
 	StreamFallbacks  int64
+	// NICBarriers counts barriers completed as a NIC-combined 1-lane
+	// BAND round (mpi.nic_barriers); CollReplans counts the times a
+	// collective root observed a changed non-empty suspect set and cut
+	// a new release-tree plan epoch (mpi.coll_replans). See select.go.
+	NICBarriers int64
+	CollReplans int64
 }
 
 // zombieWin is a posted window whose receive was abandoned while the

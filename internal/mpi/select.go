@@ -1,0 +1,614 @@
+package mpi
+
+// This file is the collective selection layer (DESIGN.md §15): one
+// entry point per collective — Barrier, Bcast, Allreduce — with the
+// algorithm chosen per call from an options list. Auto (the default)
+// selects from the membership view, the transport's capabilities, the
+// rank count, and the message size; the variant-suffixed methods the
+// package used to export (BarrierMcast, BcastTree, AllreduceW, ...)
+// survive only as thin deprecated wrappers over WithAlgorithm.
+//
+// Two mechanisms live here besides dispatch:
+//
+//   - The NIC-combined paths: Barrier expressed as one spin.Reducer
+//     round over a single all-ones BAND lane, and Allreduce over the
+//     same streaming pass, so gather state accumulates inside the
+//     SCRAMNet cards at each ring transit (the combining counter,
+//     PROTOCOL.md) instead of in rank-side poll trees.
+//
+//   - The membership-aware re-plan: on a transport with a failure
+//     detector, the tree release phase of Bcast/Barrier is re-planned
+//     around *suspected* members — the root fences the collective with
+//     a plan record (epoch + suspect mask) broadcast over the fixed
+//     tree, then the payload flows over a tree in which suspects hang
+//     off the root as leaves and forward to nobody. A falsely
+//     suspected member still receives and the result matches the
+//     all-alive run; a genuinely dead member surfaces as a
+//     DeadPeerError bounded by the detector's confirmation window,
+//     without having stalled any healthy member's subtree.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"repro/internal/liveness"
+	"repro/internal/sim"
+	"repro/internal/spin"
+	"repro/internal/trace"
+)
+
+// Algorithm selects a collective implementation.
+type Algorithm int
+
+// The selectable algorithms. Not every algorithm applies to every
+// collective — see the policy table in DESIGN.md §15; an inapplicable
+// explicit choice returns ErrBadAlgorithm, while Auto always resolves
+// to an applicable one.
+const (
+	// Auto picks from the membership view, transport capabilities,
+	// rank count, and message size.
+	Auto Algorithm = iota
+	// Mcast uses the transport's single-step native multicast
+	// (the paper's §4 implementation).
+	Mcast
+	// Tree uses the stock binomial tree over point-to-point messages
+	// (with the membership-aware release re-plan when a failure
+	// detector runs).
+	Tree
+	// Dissemination uses the root-free pairwise-exchange family: the
+	// dissemination barrier, or recursive-doubling allreduce.
+	Dissemination
+	// NICCombined combines gather state inside the NICs at ring
+	// transit points (spin.Reducer): the streaming allreduce, or the
+	// barrier as a 1-lane BAND round.
+	NICCombined
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Mcast:
+		return "mcast"
+	case Tree:
+		return "tree"
+	case Dissemination:
+		return "dissemination"
+	case NICCombined:
+		return "nic-combined"
+	}
+	return fmt.Sprintf("mpi.Algorithm(%d)", int(a))
+}
+
+// ErrBadAlgorithm reports an explicit WithAlgorithm choice that does
+// not apply to the collective it was passed to.
+var ErrBadAlgorithm = errors.New("mpi: algorithm not applicable to this collective")
+
+// CollectiveOpts carries per-call collective options.
+type CollectiveOpts struct {
+	Algorithm Algorithm
+}
+
+// CollectiveOption mutates CollectiveOpts.
+type CollectiveOption func(*CollectiveOpts)
+
+// WithAlgorithm pins the collective to one implementation instead of
+// the Auto policy.
+func WithAlgorithm(a Algorithm) CollectiveOption {
+	return func(o *CollectiveOpts) { o.Algorithm = a }
+}
+
+func collectiveOpts(opts []CollectiveOption) CollectiveOpts {
+	var o CollectiveOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// The streamable 32-bit-lane operators as mpi.Op values. These are the
+// ops Auto can offload to the NIC combining pass: they are named
+// top-level functions so the selection layer can recognize them by
+// code pointer and map them to the ring operator — callers never name
+// a ring operator (or import internal/spin) themselves.
+func foldU32(op spin.RingOp, acc, in []byte) {
+	for i := 0; i+4 <= len(acc) && i+4 <= len(in); i += 4 {
+		v := op.Combine(binary.LittleEndian.Uint32(acc[i:]), binary.LittleEndian.Uint32(in[i:]))
+		binary.LittleEndian.PutUint32(acc[i:], v)
+	}
+}
+
+// SumU32 adds little-endian uint32 lanes.
+func SumU32(acc, in []byte) { foldU32(spin.OpSumU32, acc, in) }
+
+// MaxU32 takes the elementwise maximum of uint32 lanes.
+func MaxU32(acc, in []byte) { foldU32(spin.OpMaxU32, acc, in) }
+
+// MinU32 takes the elementwise minimum of uint32 lanes.
+func MinU32(acc, in []byte) { foldU32(spin.OpMinU32, acc, in) }
+
+// BorU32 ORs uint32 lanes.
+func BorU32(acc, in []byte) { foldU32(spin.OpBOR, acc, in) }
+
+// BandU32 ANDs uint32 lanes.
+func BandU32(acc, in []byte) { foldU32(spin.OpBAND, acc, in) }
+
+// BxorU32 XORs uint32 lanes.
+func BxorU32(acc, in []byte) { foldU32(spin.OpBXOR, acc, in) }
+
+// ringOpTable maps the code pointers of the named u32 ops to their
+// ring operators. Named top-level functions have distinct code
+// pointers; closures (which can share one) are never registered, so a
+// user-supplied Op can only ever miss the table and run host-side.
+var ringOpTable = map[uintptr]spin.RingOp{}
+
+func regRingOp(fn Op, op spin.RingOp) {
+	ringOpTable[reflect.ValueOf(fn).Pointer()] = op
+}
+
+func init() {
+	regRingOp(SumU32, spin.OpSumU32)
+	regRingOp(MaxU32, spin.OpMaxU32)
+	regRingOp(MinU32, spin.OpMinU32)
+	regRingOp(BorU32, spin.OpBOR)
+	regRingOp(BandU32, spin.OpBAND)
+	regRingOp(BxorU32, spin.OpBXOR)
+}
+
+// ringOpOf resolves an Op to its streamable ring operator, OpNone when
+// the op is not one of the named u32 ops.
+func ringOpOf(op Op) spin.RingOp {
+	if op == nil {
+		return spin.OpNone
+	}
+	return ringOpTable[reflect.ValueOf(op).Pointer()]
+}
+
+// opOfRing is the inverse: the named host-side Op computing exactly
+// what the ring operator computes, nil for an invalid operator.
+func opOfRing(r spin.RingOp) Op {
+	switch r {
+	case spin.OpSumU32:
+		return SumU32
+	case spin.OpMaxU32:
+		return MaxU32
+	case spin.OpMinU32:
+		return MinU32
+	case spin.OpBOR:
+		return BorU32
+	case spin.OpBAND:
+		return BandU32
+	case spin.OpBXOR:
+		return BxorU32
+	}
+	return nil
+}
+
+// nicEligible reports whether the NIC combining substrate is usable
+// for this communicator at all: an in-network transport, and the world
+// communicator (the stream region is laid out for world ranks).
+func (c *Comm) nicEligible() bool {
+	return c.eng.stream != nil && c.ctx == 1
+}
+
+// chooseHostBarrier is the host-side half of the barrier policy:
+// native multicast coordination when configured, else the tree.
+func (c *Comm) chooseHostBarrier() Algorithm {
+	if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
+		return Mcast
+	}
+	return Tree
+}
+
+// Barrier blocks until every member arrives. Auto prefers the
+// NIC-combined round (gather state accumulated in the cards, one
+// counter poll at rank 0), degrading to the host mcast/tree path when
+// the stream substrate is absent, the membership view is not
+// all-alive, or a packet was lost mid-round — the degradation verdict
+// is rank-uniform, so every member falls back together.
+func (c *Comm) Barrier(p *sim.Proc, opts ...CollectiveOption) error {
+	o := collectiveOpts(opts)
+	algo := o.Algorithm
+	if algo == Auto {
+		if c.nicEligible() {
+			algo = NICCombined
+		} else {
+			algo = c.chooseHostBarrier()
+		}
+	}
+	e := c.eng
+	span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "barrier", 0, e.tracer.Parent(), "algo=%v size=%d", algo, c.Size())
+	e.tracer.PushParent(span)
+	err := c.runBarrier(p, algo)
+	e.tracer.PopParent()
+	e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "barrier-end", span, 0, "err=%v", err)
+	return err
+}
+
+func (c *Comm) runBarrier(p *sim.Proc, algo Algorithm) error {
+	switch algo {
+	case NICCombined:
+		return c.barrierNIC(p)
+	case Mcast:
+		return c.barrierMcast(p)
+	case Tree:
+		return c.barrierTree(p)
+	case Dissemination:
+		return c.barrierDissemination(p)
+	}
+	return fmt.Errorf("%w: %v barrier", ErrBadAlgorithm, algo)
+}
+
+// barrierNIC expresses the barrier as one spin.Reducer round over a
+// single all-ones BAND lane: every rank's "I arrived" is its staged
+// contribution, each transit ANDs the lane and bumps the combining
+// counter inside the card, and rank 0's one counter poll replaces the
+// rank-side gather tree. The transport declines collectively (same
+// verdict every rank) when the all-alive gate fails or a packet was
+// lost, and the barrier degrades to the host path.
+func (c *Comm) barrierNIC(p *sim.Proc) error {
+	e := c.eng
+	if !c.nicEligible() {
+		return c.runBarrier(p, c.chooseHostBarrier())
+	}
+	var one, out [4]byte
+	binary.LittleEndian.PutUint32(one[:], ^uint32(0))
+	p.Delay(e.cfg.Costs.CollOverhead)
+	done, err := e.stream.StreamAllreduce(p, spin.OpBAND, one[:], out[:])
+	if err != nil {
+		return err
+	}
+	if done {
+		e.stats.NICBarriers++
+		e.im.nicBarriers.Inc()
+		return nil
+	}
+	e.stats.StreamFallbacks++
+	e.im.streamFalls.Inc()
+	return c.runBarrier(p, c.chooseHostBarrier())
+}
+
+// Bcast broadcasts buf (same length on all ranks) from root. Auto uses
+// the transport's single-step native multicast when configured, else
+// the binomial tree (re-planned around suspected members when a
+// failure detector runs).
+func (c *Comm) Bcast(p *sim.Proc, root int, buf []byte, opts ...CollectiveOption) error {
+	o := collectiveOpts(opts)
+	algo := o.Algorithm
+	if algo == Auto {
+		if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
+			algo = Mcast
+		} else {
+			algo = Tree
+		}
+	}
+	switch algo {
+	case Mcast:
+		return c.bcastMcast(p, root, buf)
+	case Tree:
+		return c.bcastTree(p, root, buf)
+	}
+	return fmt.Errorf("%w: %v bcast", ErrBadAlgorithm, algo)
+}
+
+// Allreduce combines sendBuf from every rank with op (assumed
+// commutative and associative) into every rank's recvBuf. Auto
+// offloads to the NIC combining pass when the op is one of the named
+// u32 operators (SumU32, ..., BxorU32), the vector fits the stream
+// region, and the substrate is present; everything else runs the
+// Reduce+Bcast tree. Dissemination selects recursive doubling.
+func (c *Comm) Allreduce(p *sim.Proc, op Op, sendBuf, recvBuf []byte, opts ...CollectiveOption) error {
+	o := collectiveOpts(opts)
+	algo := o.Algorithm
+	if algo == Auto {
+		if c.nicReduceEligible(op, sendBuf, recvBuf) {
+			algo = NICCombined
+		} else {
+			algo = Tree
+		}
+	}
+	switch algo {
+	case NICCombined:
+		return c.allreduceNIC(p, op, sendBuf, recvBuf)
+	case Tree:
+		return c.allreduceTree(p, op, sendBuf, recvBuf)
+	case Dissemination:
+		return c.allreduceRD(p, op, sendBuf, recvBuf)
+	}
+	return fmt.Errorf("%w: %v allreduce", ErrBadAlgorithm, algo)
+}
+
+// nicReduceEligible reports whether this allreduce call can try the
+// in-network pass. For a well-formed collective call — every rank
+// passing the same op and equally sized buffers — every predicate is
+// rank-uniform except the recvBuf length, which a buggy caller can
+// break per-rank; that rank then declines alone, rank 0's arrival wait
+// expires, and the whole collective degrades to the tree together (see
+// core.StreamAllreduce).
+func (c *Comm) nicReduceEligible(op Op, sendBuf, recvBuf []byte) bool {
+	n := len(sendBuf)
+	return c.nicEligible() && ringOpOf(op).Valid() &&
+		n > 0 && n%4 == 0 && n <= c.eng.stream.StreamMax() && len(recvBuf) >= n
+}
+
+// allreduceNIC runs the streaming in-network reduction, degrading to
+// the tree when the transport declines (suspicion, loss, or timeout —
+// same verdict on every rank for the same round).
+func (c *Comm) allreduceNIC(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
+	if !c.nicReduceEligible(op, sendBuf, recvBuf) {
+		return c.allreduceTree(p, op, sendBuf, recvBuf)
+	}
+	e := c.eng
+	ring := ringOpOf(op)
+	n := len(sendBuf)
+	p.Delay(e.cfg.Costs.CollOverhead)
+	span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "allreduce-stream", 0, e.tracer.Parent(), "op=%v len=%d", ring, n)
+	e.tracer.PushParent(span)
+	done, err := e.stream.StreamAllreduce(p, ring, sendBuf, recvBuf[:n])
+	e.tracer.PopParent()
+	e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "allreduce-stream-end", span, 0, "done=%v err=%v", done, err)
+	if err != nil {
+		return err
+	}
+	if done {
+		e.stats.StreamAllreduces++
+		e.im.streamAllred.Inc()
+		return nil
+	}
+	e.stats.StreamFallbacks++
+	e.im.streamFalls.Inc()
+	return c.allreduceTree(p, op, sendBuf, recvBuf)
+}
+
+// allreduceTree is Reduce to rank 0 followed by the host broadcast
+// (native multicast when configured, else the tree).
+func (c *Comm) allreduceTree(p *sim.Proc, op Op, sendBuf, recvBuf []byte) error {
+	if err := c.Reduce(p, 0, op, sendBuf, recvBuf); err != nil {
+		return err
+	}
+	if c.eng.cfg.McastCollectives && c.eng.ep.NativeMcast() {
+		return c.bcastMcast(p, 0, recvBuf)
+	}
+	return c.bcastTree(p, 0, recvBuf)
+}
+
+// --- Membership-aware tree re-plan -----------------------------------
+//
+// A planned release tree (bcastTree and the barrier release) demotes
+// every member the root's failure detector holds in Suspect or Dead to
+// a leaf hanging directly off the root: suspects forward to nobody, so
+// a member that is about to be confirmed dead cannot stall a healthy
+// subtree behind it. The plan is decided by the root alone and fenced
+// in-band — a plan record (epoch + suspect mask) rides the fixed-shape
+// tree ahead of the payload — so divergent per-rank membership views
+// cannot split the collective: every member routes by the carried
+// plan, not by its own view. The epoch increments each time the root's
+// suspect set changes (Engine.Stats().CollReplans, mpi.coll_replans),
+// marking re-plan generations in traces.
+
+// suspectMask returns the comm-rank bitmask of members this rank's
+// membership view holds in a non-Alive state (empty without a
+// detector).
+func (c *Comm) suspectMask() []byte {
+	mask := make([]byte, (c.Size()+7)/8)
+	e := c.eng
+	if e.live == nil {
+		return mask
+	}
+	self := e.ep.Rank()
+	for r, w := range c.group {
+		if w != self && e.live.State(w) != liveness.Alive {
+			mask[r/8] |= 1 << (r % 8)
+		}
+	}
+	return mask
+}
+
+func maskBit(mask []byte, r int) bool { return mask[r/8]&(1<<(r%8)) != 0 }
+
+func maskEmpty(mask []byte) bool {
+	for _, b := range mask {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// planOrder lays out the release tree: root at position 0, healthy
+// members in rank order, suspected members last. Positions [0, h) form
+// the binomial tree (h = healthy count); positions [h, size) hang off
+// the root as direct leaves.
+func planOrder(size, root int, mask []byte) (order []int, healthy int) {
+	order = make([]int, 0, size)
+	order = append(order, root)
+	for r := 0; r < size; r++ {
+		if r != root && !maskBit(mask, r) {
+			order = append(order, r)
+		}
+	}
+	healthy = len(order)
+	for r := 0; r < size; r++ {
+		if r != root && maskBit(mask, r) {
+			order = append(order, r)
+		}
+	}
+	return order, healthy
+}
+
+// bcastTree is the tree broadcast: the stock binomial shape without a
+// failure detector, the fenced re-planned shape with one.
+func (c *Comm) bcastTree(p *sim.Proc, root int, buf []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if c.eng.live == nil || c.Size() == 1 {
+		return c.bcastFixed(p, root, tagBcast, buf)
+	}
+	mask, err := c.fencePlan(p, root)
+	if err != nil {
+		return err
+	}
+	return c.bcastPlanned(p, root, mask, buf)
+}
+
+// fencePlan is the re-plan fence: the root reads its membership view,
+// bumps the plan epoch if the suspect set changed, and broadcasts the
+// plan record over the fixed-shape tree so every member holds the same
+// plan before any payload moves. Returns the suspect mask to route by.
+func (c *Comm) fencePlan(p *sim.Proc, root int) ([]byte, error) {
+	e := c.eng
+	nb := (c.Size() + 7) / 8
+	rec := make([]byte, 4+nb)
+	if c.rank == root {
+		mask := c.suspectMask()
+		if !bytesEq(mask, c.lastPlanMask) {
+			c.planEpoch++
+			c.lastPlanMask = append([]byte(nil), mask...)
+			if !maskEmpty(mask) {
+				e.stats.CollReplans++
+				e.im.collReplans.Inc()
+				e.tracer.Emitf(p.Now(), trace.MPI, e.ep.Rank(), "coll-replan", "epoch=%d mask=%x", c.planEpoch, mask)
+			}
+		}
+		binary.LittleEndian.PutUint32(rec, c.planEpoch)
+		copy(rec[4:], mask)
+	}
+	if err := c.bcastFixed(p, root, tagPlan, rec); err != nil {
+		return nil, err
+	}
+	mask := rec[4:]
+	// The root can never be its own suspect; clear defensively so the
+	// order math cannot double-place it.
+	mask[root/8] &^= 1 << (root % 8)
+	if c.rank != root {
+		c.planEpoch = binary.LittleEndian.Uint32(rec)
+	}
+	return mask, nil
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bcastFixed is the stock MPICH binomial-tree broadcast over
+// point-to-point, parameterized by tag so the plan fence and the
+// payload share one shape.
+func (c *Comm) bcastFixed(p *sim.Proc, root, tag int, buf []byte) error {
+	size := c.Size()
+	relrank := (c.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			src := c.rank - mask
+			if src < 0 {
+				src += size
+			}
+			if _, err := c.Recv(p, src, tag, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relrank+mask < size {
+			dst := c.rank + mask
+			if dst >= size {
+				dst -= size
+			}
+			if err := c.Send(p, dst, tag, buf); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// bcastPlanned routes the payload over the re-planned tree: binomial
+// over the healthy positions, suspects fed directly by the root.
+func (c *Comm) bcastPlanned(p *sim.Proc, root int, suspects, buf []byte) error {
+	order, h := planOrder(c.Size(), root, suspects)
+	pos := -1
+	for q, r := range order {
+		if r == c.rank {
+			pos = q
+			break
+		}
+	}
+	if pos >= h {
+		// A suspect (by the root's view — possibly falsely): receive
+		// straight from the root, forward nothing.
+		_, err := c.Recv(p, root, tagBcast, buf)
+		return err
+	}
+	mask := 1
+	for mask < h {
+		if pos&mask != 0 {
+			if _, err := c.Recv(p, order[pos-mask], tagBcast, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if pos+mask < h {
+			if err := c.Send(p, order[pos+mask], tagBcast, buf); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	if pos == 0 {
+		// The root feeds each demoted member last: their payload never
+		// gates a healthy subtree, and a confirmed-dead member surfaces
+		// here (or at its own liveness-aware receive) as DeadPeerError.
+		for q := h; q < len(order); q++ {
+			if err := c.Send(p, order[q], tagBcast, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// barrierTree is the point-to-point barrier: binomial gather of
+// arrival tokens to rank 0 (fixed shape — arrivals flow toward the
+// root regardless of suspicion, since only the root owns the re-plan
+// decision), then the release over the planned tree.
+func (c *Comm) barrierTree(p *sim.Proc) error {
+	size := c.Size()
+	relrank := c.rank // root is always 0
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			parent := c.rank - mask
+			if err := c.Send(p, parent, tagBarrier, nil); err != nil {
+				return err
+			}
+			break
+		}
+		if relrank+mask < size {
+			child := c.rank + mask
+			if _, err := c.Recv(p, child, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	return c.bcastTree(p, 0, nil)
+}

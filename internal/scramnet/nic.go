@@ -60,6 +60,7 @@ type nicInstruments struct {
 	crcDrops      *metrics.Counter // ring.packets_lost (CRC or broken ring)
 	bytesInjected *metrics.Counter // ring.bytes_injected
 	interrupts    *metrics.Counter // ring.interrupts_taken
+	combined      *metrics.Counter // ring.packets_combined (handler rewrites at transit)
 }
 
 // setMetrics creates this card's instruments, keyed by its host number,
@@ -71,6 +72,7 @@ func (nic *NIC) setMetrics(m *metrics.Registry) {
 		crcDrops:      m.Counter("ring.packets_lost", nic.ownerID),
 		bytesInjected: m.Counter("ring.bytes_injected", nic.ownerID),
 		interrupts:    m.Counter("ring.interrupts_taken", nic.ownerID),
+		combined:      m.Counter("ring.packets_combined", nic.ownerID),
 	}
 	nic.bus.SetMetrics(m, nic.ownerID)
 	nic.mreg = m
@@ -251,6 +253,8 @@ func (nic *NIC) transit(pkt *packet) (v spin.Verdict, cost sim.Duration, span tr
 	v, cycles, trapped := nic.handlers.Run(ctx, spin.Packet{Origin: pkt.origin, Off: pkt.off, Hops: pkt.hops, Data: pkt.data, Interrupt: pkt.interrupt})
 	if v == spin.Rewrite {
 		pkt.rewritten = true
+		nic.stats.PacketsCombined++
+		nic.im.combined.Inc()
 	}
 	if trapped {
 		net.tracer.EmitMsg(net.k.Now(), trace.Spin, nic.id, "trap", pkt.msg, span, "budget=%d", net.cfg.HandlerBudget)

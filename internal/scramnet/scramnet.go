@@ -536,4 +536,10 @@ type Stats struct {
 	PacketsLost     int64
 	BytesSent       int64
 	InterruptsTaken int64
+	// PacketsCombined counts ring packets this card's in-network
+	// handlers rewrote in place at its transit point — the NIC-side
+	// gather/combine work of a spin.Reducer round (DESIGN.md §15). It
+	// is the per-hop evidence that a collective's state accumulated in
+	// the card, not in a rank-side poll tree.
+	PacketsCombined int64
 }

@@ -82,58 +82,61 @@ func putWord(b []byte, v uint32) {
 	b[3] = byte(v >> 24)
 }
 
-// MaskRanks is the completion-mask capacity: the mask word keeps one
-// bit per rank in its low 24 bits and the initiator's round tag in the
-// high 8. The tag is what lets the initiator's completion poll reject a
-// mask stripped back from an *abandoned* round — the initiator's own
-// writes land in its bank immediately, but a strip-apply can arrive
-// arbitrarily late under transit-link queueing, so bare bits would be
-// ambiguous across rounds. Tags collide only for rounds exactly 256
+// CounterRanks is the combining-counter capacity: the counter word
+// keeps a participation count in its low 24 bits and the initiator's
+// round tag in the high 8, so a single word covers every rank the
+// 256-node ring (or a hierarchy of rings) can address. Each transit
+// that combined the full round increments the count in place — the NIC
+// accumulates gather state, no per-rank bit assignment needed. The tag
+// is what lets the initiator's completion poll reject a counter
+// stripped back from an *abandoned* round — the initiator's own writes
+// land in its bank immediately, but a strip-apply can arrive
+// arbitrarily late under transit-link queueing, so a bare count would
+// be ambiguous across rounds. Tags collide only for rounds exactly 256
 // apart, far beyond any packet's queueing lifetime (the initiator
 // additionally bounds each round's wait by the ring drain bound).
-const MaskRanks = 24
+const CounterRanks = 1 << 24
 
-// MaskWord encodes a completion-mask word: rank bits in the low
-// MaskRanks bits, round tag (round mod 256) in the high 8.
-func MaskWord(round, bits uint32) uint32 {
-	return round<<24 | bits&(1<<MaskRanks-1)
+// CounterWord encodes a combining-counter word: participation count in
+// the low 24 bits, round tag (round mod 256) in the high 8.
+func CounterWord(round, count uint32) uint32 {
+	return round<<24 | count&(CounterRanks-1)
 }
 
-// DecodeMask inverts MaskWord.
-func DecodeMask(v uint32) (round, bits uint32) {
-	return v >> 24, v & (1<<MaskRanks - 1)
+// DecodeCounter inverts CounterWord.
+func DecodeCounter(v uint32) (round, count uint32) {
+	return v >> 24, v & (CounterRanks - 1)
 }
 
 // Reducer is the streaming reduction-on-the-ring handler. The
 // initiator lays out three single-writer regions it owns — a header
 // word at HdrOff naming the round's operator and vector length, the
-// circulating vector at VecOff, and a completion mask word at MaskOff —
-// and writes them in that order, so the ring's per-origin FIFO delivers
-// them to every transit node in that order. At each transit the handler
-// combines this node's staged contribution (read from the local bank at
-// ContribOff) into the circulating vector lanes and, on the mask word,
-// sets this node's bit — but only if every vector byte of the round was
-// seen and combined, which is what lets the initiator detect a lost
-// vector packet or a node that died mid-round from the stripped mask
-// alone. See DESIGN.md §13 and PROTOCOL.md "In-network handler
-// extension".
+// circulating vector at VecOff, and a combining-counter word at CtrOff
+// — and writes them in that order, so the ring's per-origin FIFO
+// delivers them to every transit node in that order. At each transit
+// the handler combines this node's staged contribution (read from the
+// local bank at ContribOff) into the circulating vector lanes and, on
+// the counter word, increments the count in place — but only if every
+// vector byte of the round was seen and combined, which is what lets
+// the initiator detect a lost vector packet or a node that died
+// mid-round from the stripped count alone. A 1-lane OpBAND round over
+// this machinery *is* a NIC-combined barrier: each hop ANDs its
+// arrival lane and bumps the counter, and the initiator's single
+// counter poll replaces a rank-side gather tree. See DESIGN.md §13/§15
+// and PROTOCOL.md "In-network handler extension".
 //
 // Reducer implements TrapAware: a budget-overrun trap rolls its
 // per-round state back along with the packet bytes, so a transit whose
 // combine was discarded can never count those bytes toward its
-// end-of-round completion bit.
+// end-of-round counter increment.
 type Reducer struct {
-	// HdrOff, VecOff, MaskOff locate the initiator-owned header word,
-	// vector region (MaxBytes capacity) and mask word in the bank.
-	HdrOff, VecOff, MaskOff int
-	MaxBytes                int
+	// HdrOff, VecOff, CtrOff locate the initiator-owned header word,
+	// vector region (MaxBytes capacity) and counter word in the bank.
+	HdrOff, VecOff, CtrOff int
+	MaxBytes               int
 	// ContribOff locates this node's staged contribution in the local
 	// bank (its own single-writer region, replicated like any other).
 	ContribOff int
-	// Bit is this node's completion bit in the mask word. It must be
-	// one of the low MaskRanks bits — the high byte carries the
-	// initiator's round tag (MaskWord), which transits preserve.
-	Bit uint32
 
 	st   reducerState
 	prev reducerState // pre-transit snapshot, restored by OnTrap
@@ -178,20 +181,24 @@ func (r *Reducer) OnTransit(ctx *HandlerCtx, pkt Packet) Verdict {
 		r.st.combined = 0
 		r.st.active = r.st.op.Valid() && r.st.expect > 0 && r.st.expect <= r.MaxBytes
 		return Forward
-	case pkt.Off == r.MaskOff && len(pkt.Data) >= 4:
+	case pkt.Off == r.CtrOff && len(pkt.Data) >= 4:
 		ctx.Charge(2)
 		if ctx.Overrun() {
 			return Forward
 		}
 		if !r.st.active || r.st.combined != r.st.expect {
 			// A vector packet was lost upstream of the ring, or this
-			// node joined mid-round: leaving the bit clear is the
-			// integrity signal the initiator acts on.
+			// node joined mid-round: declining to increment is the
+			// integrity signal the initiator acts on — the stripped
+			// count comes back short of the rank count.
 			r.st.active = false
 			return Forward
 		}
 		r.st.active = false
-		putWord(pkt.Data, word(pkt.Data)|r.Bit)
+		// The low 24 bits carry the count, the high 8 the round tag;
+		// with at most CounterRanks participants the increment can
+		// never carry into the tag.
+		putWord(pkt.Data, word(pkt.Data)+1)
 		return Rewrite
 	case pkt.Off >= r.VecOff && pkt.Off < r.VecOff+r.MaxBytes:
 		if !r.st.active {

@@ -215,47 +215,55 @@ func TestEngineBudgetTrapRollsBack(t *testing.T) {
 	}
 }
 
-func TestMaskWordRoundtrip(t *testing.T) {
-	for _, c := range []struct{ round, bits uint32 }{
-		{0, 1}, {1, 0b111}, {255, 1<<MaskRanks - 1}, {256, 0b101}, {0xffffffff, 0},
+func TestCounterWordRoundtrip(t *testing.T) {
+	for _, c := range []struct{ round, count uint32 }{
+		{0, 1}, {1, 7}, {255, CounterRanks - 1}, {256, 5}, {0xffffffff, 0},
 	} {
-		round, bits := DecodeMask(MaskWord(c.round, c.bits))
-		if round != c.round&0xff || bits != c.bits {
-			t.Errorf("roundtrip (%d,%#x) -> (%d,%#x)", c.round, c.bits, round, bits)
+		round, count := DecodeCounter(CounterWord(c.round, c.count))
+		if round != c.round&0xff || count != c.count {
+			t.Errorf("roundtrip (%d,%d) -> (%d,%d)", c.round, c.count, round, count)
 		}
 	}
-	// A full mask from round r must never equal round r+1's expectation
+	// A full count from round r must never equal round r+1's expectation
 	// unless the rounds are exactly 256 apart.
-	full := uint32(1<<4 - 1)
-	if MaskWord(7, full) == MaskWord(8, full) {
+	full := uint32(4)
+	if CounterWord(7, full) == CounterWord(8, full) {
 		t.Error("round tag does not separate adjacent rounds")
 	}
-	if MaskWord(7, full) != MaskWord(7+256, full) {
+	if CounterWord(7, full) != CounterWord(7+256, full) {
 		t.Error("tag arithmetic broken at wraparound")
+	}
+	// The in-place increment a transit applies stays within the count
+	// field for every addressable rank count: seeding with count 1 and
+	// incrementing through the largest rank count never carries into
+	// the tag.
+	w := CounterWord(9, 1) + (CounterRanks - 2)
+	if round, count := DecodeCounter(w); round != 9 || count != CounterRanks-1 {
+		t.Errorf("increment carried into the tag: (%d,%d)", round, count)
 	}
 }
 
 // TestTrapRollsBackReducerState is the regression test for handler
 // state surviving a trap: a transit whose vector combine is rolled back
 // (here by an overlapping cycle-burner overrunning the budget after the
-// Reducer committed) must not count those bytes toward its completion
-// bit, or the initiator would read a full mask over lanes that were
-// never combined.
+// Reducer committed) must not count those bytes toward its counter
+// increment, or the initiator would read a full count over lanes that
+// were never combined.
 func TestTrapRollsBackReducerState(t *testing.T) {
 	const (
-		hdrOff  = 0
-		maskOff = 4
-		vecOff  = 8
-		maxB    = 8
-		conOff  = 64
+		hdrOff = 0
+		ctrOff = 4
+		vecOff = 8
+		maxB   = 8
+		conOff = 64
 	)
 	mem := make([]byte, 128)
 	putWord(mem[conOff:], 100)
 	putWord(mem[conOff+4:], 200)
 	e := NewEngine(1, 20)
 	e.Install(hdrOff, 8+maxB, &Reducer{
-		HdrOff: hdrOff, VecOff: vecOff, MaskOff: maskOff,
-		MaxBytes: maxB, ContribOff: conOff, Bit: 1 << 1,
+		HdrOff: hdrOff, VecOff: vecOff, CtrOff: ctrOff,
+		MaxBytes: maxB, ContribOff: conOff,
 	})
 	burner := e.Install(vecOff, maxB, verdictFn(func(ctx *HandlerCtx, pkt Packet) Verdict {
 		ctx.Charge(1000)
@@ -282,16 +290,16 @@ func TestTrapRollsBackReducerState(t *testing.T) {
 			t.Fatalf("vec@%d payload not rolled back: %d", i, got)
 		}
 	}
-	// The mask packet must pass untouched: this node combined nothing
-	// that survived.
-	mask := make([]byte, 4)
-	putWord(mask, MaskWord(1, 0b1))
-	v, _, trapped := e.Run(ctx, Packet{Off: maskOff, Data: mask})
+	// The counter packet must pass untouched: this node combined
+	// nothing that survived.
+	ctr := make([]byte, 4)
+	putWord(ctr, CounterWord(1, 1))
+	v, _, trapped := e.Run(ctx, Packet{Off: ctrOff, Data: ctr})
 	if v != Forward || trapped {
-		t.Fatalf("mask: v=%v trapped=%v", v, trapped)
+		t.Fatalf("ctr: v=%v trapped=%v", v, trapped)
 	}
-	if got := word(mask); got != MaskWord(1, 0b1) {
-		t.Errorf("trapped transit still set its completion bit: %#x", got)
+	if got := word(ctr); got != CounterWord(1, 1) {
+		t.Errorf("trapped transit still bumped the counter: %#x", got)
 	}
 
 	// With the burner gone the same reducer must work again: trap
@@ -307,9 +315,9 @@ func TestTrapRollsBackReducerState(t *testing.T) {
 			t.Fatalf("recovery vec@%d: v=%v lane=%d", i, v, word(vec))
 		}
 	}
-	putWord(mask, MaskWord(2, 0b1))
-	if v, _, _ := e.Run(ctx, Packet{Off: maskOff, Data: mask}); v != Rewrite || word(mask) != MaskWord(2, 0b11) {
-		t.Fatalf("recovery mask: v=%v word=%#x", v, word(mask))
+	putWord(ctr, CounterWord(2, 1))
+	if v, _, _ := e.Run(ctx, Packet{Off: ctrOff, Data: ctr}); v != Rewrite || word(ctr) != CounterWord(2, 2) {
+		t.Fatalf("recovery ctr: v=%v word=%#x", v, word(ctr))
 	}
 }
 
@@ -318,11 +326,11 @@ func TestTrapRollsBackReducerState(t *testing.T) {
 // mutating the payload or committing its combined count.
 func TestReducerSelfOverrunCommitsNothing(t *testing.T) {
 	const (
-		hdrOff  = 0
-		maskOff = 4
-		vecOff  = 8
-		maxB    = 8
-		conOff  = 64
+		hdrOff = 0
+		ctrOff = 4
+		vecOff = 8
+		maxB   = 8
+		conOff = 64
 	)
 	mem := make([]byte, 128)
 	putWord(mem[conOff:], 7)
@@ -330,8 +338,8 @@ func TestReducerSelfOverrunCommitsNothing(t *testing.T) {
 	// vector packet costs 1+2 = 3 cycles and traps.
 	e := NewEngine(2, 2)
 	e.Install(hdrOff, 8+maxB, &Reducer{
-		HdrOff: hdrOff, VecOff: vecOff, MaskOff: maskOff,
-		MaxBytes: maxB, ContribOff: conOff, Bit: 1 << 2,
+		HdrOff: hdrOff, VecOff: vecOff, CtrOff: ctrOff,
+		MaxBytes: maxB, ContribOff: conOff,
 	})
 	ctx := &HandlerCtx{Node: 2, Bank: bankOf(mem)}
 	hdr := make([]byte, 4)
@@ -345,10 +353,10 @@ func TestReducerSelfOverrunCommitsNothing(t *testing.T) {
 	if !trapped || v != Forward || word(vec) != 1 {
 		t.Fatalf("vec: v=%v trapped=%v lane=%d", v, trapped, word(vec))
 	}
-	mask := make([]byte, 4)
-	putWord(mask, MaskWord(1, 0b1))
-	if v, _, _ := e.Run(ctx, Packet{Off: maskOff, Data: mask}); v != Forward || word(mask) != MaskWord(1, 0b1) {
-		t.Fatalf("mask gained a bit from a trapped combine: v=%v word=%#x", v, word(mask))
+	ctr := make([]byte, 4)
+	putWord(ctr, CounterWord(1, 1))
+	if v, _, _ := e.Run(ctx, Packet{Off: ctrOff, Data: ctr}); v != Forward || word(ctr) != CounterWord(1, 1) {
+		t.Fatalf("counter bumped by a trapped combine: v=%v word=%#x", v, word(ctr))
 	}
 }
 
@@ -392,19 +400,19 @@ func TestTrapDiscardsStagedInjection(t *testing.T) {
 
 func TestReducerRound(t *testing.T) {
 	const (
-		hdrOff  = 0
-		maskOff = 4
-		vecOff  = 8
-		maxB    = 16
-		conOff  = 64
+		hdrOff = 0
+		ctrOff = 4
+		vecOff = 8
+		maxB   = 16
+		conOff = 64
 	)
 	mem := make([]byte, 128)
 	putWord(mem[conOff:], 100)
 	putWord(mem[conOff+4:], 200)
 	e := NewEngine(2, 1000)
 	e.Install(hdrOff, 8+maxB, &Reducer{
-		HdrOff: hdrOff, VecOff: vecOff, MaskOff: maskOff,
-		MaxBytes: maxB, ContribOff: conOff, Bit: 1 << 2,
+		HdrOff: hdrOff, VecOff: vecOff, CtrOff: ctrOff,
+		MaxBytes: maxB, ContribOff: conOff,
 	})
 	ctx := &HandlerCtx{Node: 2, Bank: bankOf(mem)}
 	run := func(off int, data []byte) (Verdict, []byte) {
@@ -431,22 +439,23 @@ func TestReducerRound(t *testing.T) {
 	if verdict != Rewrite || word(out) != 202 {
 		t.Fatalf("vec1: v=%v lane=%d", verdict, word(out))
 	}
-	// All bytes combined: the mask packet gets our bit.
-	mask := make([]byte, 4)
-	putWord(mask, 0b1)
-	verdict, out = run(maskOff, mask)
-	if verdict != Rewrite || word(out) != 0b101 {
-		t.Fatalf("mask: v=%v bits=%b", verdict, word(out))
+	// All bytes combined: the counter packet gets our increment.
+	ctr := make([]byte, 4)
+	putWord(ctr, CounterWord(0, 1))
+	verdict, out = run(ctrOff, ctr)
+	if verdict != Rewrite || word(out) != CounterWord(0, 2) {
+		t.Fatalf("ctr: v=%v word=%#x", verdict, word(out))
 	}
 
-	// Second round loses a vector packet: the mask must pass untouched.
+	// Second round loses a vector packet: the counter must pass
+	// untouched.
 	putWord(hdr, HdrWord(OpSumU32, 8))
 	run(hdrOff, hdr)
 	run(vecOff, v1) // second packet "lost" — never transits
-	putWord(mask, 0b1)
-	verdict, out = run(maskOff, mask)
-	if verdict != Forward || word(out) != 0b1 {
-		t.Fatalf("lossy mask: v=%v bits=%b", verdict, word(out))
+	putWord(ctr, CounterWord(1, 1))
+	verdict, out = run(ctrOff, ctr)
+	if verdict != Forward || word(out) != CounterWord(1, 1) {
+		t.Fatalf("lossy ctr: v=%v word=%#x", verdict, word(out))
 	}
 
 	// A bad header (oversize vector) deactivates the round entirely.
@@ -456,9 +465,9 @@ func TestReducerRound(t *testing.T) {
 	if verdict, _ = run(vecOff, v1); verdict != Forward {
 		t.Fatalf("inactive vec verdict %v", verdict)
 	}
-	putWord(mask, 0)
-	if verdict, out = run(maskOff, mask); verdict != Forward || word(out) != 0 {
-		t.Fatalf("inactive mask: v=%v bits=%b", verdict, word(out))
+	putWord(ctr, 0)
+	if verdict, out = run(ctrOff, ctr); verdict != Forward || word(out) != 0 {
+		t.Fatalf("inactive ctr: v=%v word=%#x", verdict, word(out))
 	}
 }
 

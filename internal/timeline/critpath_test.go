@@ -1,0 +1,71 @@
+package timeline
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func pathSpan(id trace.SpanID, node int, start, end sim.Time) trace.SpanRec {
+	return trace.SpanRec{ID: id, Node: node, Start: start, End: end, Ended: true}
+}
+
+func usAt(v int) sim.Time { return sim.Time(0).Add(sim.Duration(v) * sim.Microsecond) }
+
+// TestCriticalPathCoordinatorChain mirrors the E14 host-barrier shape:
+// two ranks send arrivals concurrently, then the coordinator (node 0)
+// drains them back-to-back and multicasts the release. The backward
+// walk must attribute the whole serial tail to node 0 and only the
+// pre-drain stretch to the last-active sender.
+func TestCriticalPathCoordinatorChain(t *testing.T) {
+	spans := []trace.SpanRec{
+		pathSpan(1, 1, usAt(0), usAt(4)), // arrival sends, concurrent
+		pathSpan(2, 2, usAt(0), usAt(4)),
+		pathSpan(3, 0, usAt(4), usAt(10)),  // drain arrival 1
+		pathSpan(4, 0, usAt(10), usAt(16)), // drain arrival 2
+		pathSpan(5, 0, usAt(16), usAt(22)), // drain arrival 3
+		pathSpan(6, 0, usAt(22), usAt(30)), // release mcast
+	}
+	shares := CriticalPath(spans, usAt(0), usAt(30))
+	if len(shares) == 0 || shares[0].Node != 0 {
+		t.Fatalf("gating node = %+v, want node 0 first", shares)
+	}
+	if shares[0].Us != 26 || shares[0].Spans != 4 {
+		t.Errorf("node 0 share = %.1f µs over %d spans, want 26 µs over 4", shares[0].Us, shares[0].Spans)
+	}
+	var total float64
+	for _, s := range shares {
+		total += s.Us
+	}
+	if total != 30 {
+		t.Errorf("shares sum to %.1f µs, want the full 30 µs window", total)
+	}
+}
+
+// TestCriticalPathClampsAndSkipsIdle checks window clamping and that
+// uncovered stretches (true idle) are attributed to nobody.
+func TestCriticalPathClampsAndSkipsIdle(t *testing.T) {
+	spans := []trace.SpanRec{
+		pathSpan(1, 3, usAt(0), usAt(8)),                              // straddles the window start
+		pathSpan(2, 5, usAt(12), usAt(18)),                            // idle gap 8..12
+		pathSpan(3, 5, usAt(16), usAt(40)),                            // straddles the window end
+		{ID: 4, Node: 9, Start: usAt(2), End: usAt(25), Ended: false}, // unended: ignored
+	}
+	shares := CriticalPath(spans, usAt(4), usAt(20))
+	got := map[int]float64{}
+	for _, s := range shares {
+		got[s.Node] = s.Us
+	}
+	// Node 5: [16,20) from the clipped tail span + [12,16) from span 2.
+	if got[5] != 8 {
+		t.Errorf("node 5 share = %.1f µs, want 8", got[5])
+	}
+	// Node 3: clamped to [4,8).
+	if got[3] != 4 {
+		t.Errorf("node 3 share = %.1f µs, want 4", got[3])
+	}
+	if got[9] != 0 {
+		t.Errorf("unended span attributed %.1f µs", got[9])
+	}
+}
