@@ -64,6 +64,14 @@ SPIN_COVER_FLOOR := 80.0
 # refactoring room.
 TRACE_COVER_FLOOR := 85.0
 METRICS_COVER_FLOOR := 85.0
+# The partition-tolerance machinery (ISSUE 10): the detector's
+# cut-corroborated partition declaration, quorum election, and
+# fence/heal/resync transitions sit in internal/liveness (93% today),
+# and the scripted fault injection they are proven against — including
+# the link cut/splice actions and the build-time schedule validator —
+# in internal/fault (88% today).
+LIVENESS_COVER_FLOOR := 85.0
+FAULT_COVER_FLOOR := 80.0
 
 covercheck: build
 	@$(GO) test -coverprofile=.cover.mpi.out ./internal/mpi > /dev/null
@@ -102,6 +110,24 @@ covercheck: build
 		echo "internal/metrics statement coverage $$pct% fell below the $(METRICS_COVER_FLOOR)% floor"; \
 		exit 1; \
 	fi
+	@$(GO) test -coverprofile=.cover.liveness.out ./internal/liveness > /dev/null
+	@pct=$$($(GO) tool cover -func=.cover.liveness.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.liveness.out; \
+	if awk "BEGIN {exit !($$pct >= $(LIVENESS_COVER_FLOOR))}"; then \
+		echo "covercheck green: internal/liveness statement coverage $$pct% (floor $(LIVENESS_COVER_FLOOR)%)"; \
+	else \
+		echo "internal/liveness statement coverage $$pct% fell below the $(LIVENESS_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi
+	@$(GO) test -coverprofile=.cover.fault.out ./internal/fault > /dev/null
+	@pct=$$($(GO) tool cover -func=.cover.fault.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	rm -f .cover.fault.out; \
+	if awk "BEGIN {exit !($$pct >= $(FAULT_COVER_FLOOR))}"; then \
+		echo "covercheck green: internal/fault statement coverage $$pct% (floor $(FAULT_COVER_FLOOR)%)"; \
+	else \
+		echo "internal/fault statement coverage $$pct% fell below the $(FAULT_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi
 
 verify: lint test race covercheck timeline soak
 	@echo "verify tier green: lint + test + race + covercheck + timeline + soak"
@@ -113,9 +139,12 @@ verify: lint test race covercheck timeline soak
 # have reconverged to an all-alive membership view with the traffic
 # delivered intact. The false-positive property (loss windows alone
 # never kill anyone) and the MPI dead-peer acceptance test run in the
-# same package.
+# same package, as does the multi-seed partition/heal battery (ISSUE
+# 10): scripted double cuts must fence the minority, complete majority
+# collectives over the quorum, and deliver exactly-once across the
+# heal.
 soak: build
-	$(GO) test -race -count=1 -run 'TestSoak|TestLossWindowsNeverKill|TestMPIBarrierDeadPeer|TestFlappingNode' ./internal/liveness
+	$(GO) test -race -count=1 -run 'TestSoak|TestLossWindowsNeverKill|TestMPIBarrierDeadPeer|TestFlappingNode|TestPartitionSoak|TestMPIPartitionErrors|TestPartitionFenceAndHeal|TestSingleCutNoMPIErrors' ./internal/liveness
 	@echo "soak tier green: liveness battery survives scripted faults under -race"
 
 # Observability smoke tier: replay the E6 fault-sweep point at 15% loss

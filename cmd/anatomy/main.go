@@ -212,6 +212,8 @@ func crossCheck(rec *trace.Recorder, m *metrics.Registry, ring *scramnet.Network
 		{"detect", "bbp.recvs"},
 		{"consume", "bbp.recvs"},
 		{"handler", "spin.handlers_run"},
+		{"partition-fence", "liveness.partitions_detected"},
+		{"partition-heal", "liveness.partition_heals"},
 	} {
 		if got, want := int64(rec.Count(pc.event)), global(pc.metric); got != want {
 			fail("trace %q count %d != rollup %s %d", pc.event, got, pc.metric, want)

@@ -14,6 +14,7 @@ package report
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/myrinet"
+	"repro/internal/scramnet"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 	"repro/internal/trace"
@@ -71,7 +73,16 @@ import (
 // instead of a 24-rank bitmask, which leaves packet counts and E12
 // timings unchanged, and the rollup gained the always-present
 // ring.packets_combined instrument.
-const Schema = 6
+//
+// Schema 7: added partition_tolerance (E15): with link-cut faults and
+// the partition detector on, the delay from a scripted double cut to
+// the worst minority rank's PartitionError, the delay from the splice
+// to a fully resynced all-alive membership, and the one-way latency
+// penalty of the dual ring's wrap path under a single cut. Default-path
+// figures and the rollup are unchanged — no segment is ever cut there,
+// and the new ring.wrap_hops/link_cuts/link_splices instruments sit at
+// zero off the fault path.
+const Schema = 7
 
 // Options selects the sweep resolution. The default runs the figure
 // suite at the paper's panel sizes; Reduced is a fast subset for tests.
@@ -165,6 +176,12 @@ type Report struct {
 	// each variant. Check() gates the improvement, the scaling exponent,
 	// and the gating rank's bus relief.
 	BarrierScaling BarrierScaling `json:"barrier_scaling"`
+	// PartitionTolerance is the E15 measurement: how quickly a ring-cut
+	// partition is turned into typed fencing at the MPI layer, how
+	// quickly a splice is turned back into an all-alive resynced
+	// membership, and what the dual ring's wrap path costs in one-way
+	// latency while it heals a single cut. Check() gates all three.
+	PartitionTolerance PartitionTolerance `json:"partition_tolerance"`
 	// Rollup is the cluster-wide metrics snapshot of the canonical
 	// instrumented run (the 4-byte SCRAMNet ping-pong): protocol and
 	// hardware counters that must not drift silently.
@@ -255,6 +272,34 @@ type FailoverLatency struct {
 	// substrate. Bounded by the suspicion window: rerouting starts on
 	// suspicion, before confirmation.
 	HybridRerouteUs float64 `json:"hybrid_reroute_us"`
+}
+
+// PartitionTolerance is the E15 measurement (EXPERIMENTS.md): the
+// ring-cut partition lifecycle with link-cut faults and the partition
+// detector (liveness.DefaultConfig) on. Fence and heal delays are
+// measured from the instants the fault script cuts and splices the
+// fibers; the wrap penalty compares a clean dual ring against one
+// healing a single cut.
+type PartitionTolerance struct {
+	Nodes int `json:"nodes"`
+	// SuspectWindowUs / ConfirmWindowUs record the detector calibration
+	// the runs used, so the gated delays are self-describing.
+	SuspectWindowUs float64 `json:"suspect_window_us"`
+	ConfirmWindowUs float64 `json:"confirm_window_us"`
+	// FenceUs is the worst delay, across minority ranks, until a Barrier
+	// straddling a scripted double cut returns PartitionError. Bounded
+	// below by the suspicion window (the declaration needs a stable
+	// suspect arc) and above by the confirmation window plus scan slack.
+	FenceUs float64 `json:"fence_us"`
+	// HealResyncUs is the delay from the splice until every node reports
+	// no partition and an all-alive membership — the minority's
+	// incarnation-fenced rejoin and resync included.
+	HealResyncUs float64 `json:"heal_resync_us"`
+	// WrapPenaltyUs is the added one-way BBP latency of a small send
+	// whose path crosses a single cut segment: the cost of the secondary
+	// ring's wrap hops, and nothing else — delivery stays byte-identical
+	// and no partition is ever declared.
+	WrapPenaltyUs float64 `json:"wrap_penalty_us"`
 }
 
 // RndvPipeline is the E11 measurement (EXPERIMENTS.md): the one-way
@@ -411,6 +456,20 @@ const (
 	MaxHybridRerouteUs    = 1200.0
 )
 
+// MaxPartitionFenceUs, MaxHealResyncUs and MaxWrapPenaltyUs are the
+// `make bench` regression gates on E15. The fence must land within the
+// confirmation window plus scan slack (like the dead-peer gate above);
+// the heal must reconverge within a few detector periods of the splice
+// — drifting upward means rejoin/resync regressed toward waiting out
+// suspicion from scratch; and the wrap penalty must stay a pure wire
+// cost (a handful of extra hop delays), because the wrap path adds
+// latency only, never protocol work.
+const (
+	MaxPartitionFenceUs = 3500.0
+	MaxHealResyncUs     = 2000.0
+	MaxWrapPenaltyUs    = 5.0
+)
+
 // MinPollReductionPct is the `make bench` regression gate on the burst
 // poll path (ISSUE 4): the sink's poll read transactions at 0 B /
 // PollAggregationNodes nodes must drop by at least this percentage
@@ -441,6 +500,19 @@ func (r Report) Check() error {
 	if f.HybridRerouteUs <= f.SuspectWindowUs || f.HybridRerouteUs > MaxHybridRerouteUs {
 		return fmt.Errorf("failover gate: first proactive hybrid reroute took %.1f µs after the bypass; must be within (%.0f, %.0f] µs (suspicion window + probe spacing)",
 			f.HybridRerouteUs, f.SuspectWindowUs, MaxHybridRerouteUs)
+	}
+	pt := r.PartitionTolerance
+	if pt.FenceUs <= pt.SuspectWindowUs || pt.FenceUs > MaxPartitionFenceUs {
+		return fmt.Errorf("partition gate: minority PartitionError took %.1f µs after the double cut; must be within (%.0f, %.0f] µs (suspicion window .. confirmation window + scan slack)",
+			pt.FenceUs, pt.SuspectWindowUs, MaxPartitionFenceUs)
+	}
+	if pt.HealResyncUs <= 0 || pt.HealResyncUs > MaxHealResyncUs {
+		return fmt.Errorf("partition gate: all-alive resync took %.1f µs after the splice; must be within (0, %.0f] µs (a few detector periods)",
+			pt.HealResyncUs, MaxHealResyncUs)
+	}
+	if pt.WrapPenaltyUs <= 0 || pt.WrapPenaltyUs > MaxWrapPenaltyUs {
+		return fmt.Errorf("partition gate: single-cut wrap path added %.3f µs one-way; must be within (0, %.0f] µs (hop delays only — the wrap heal does no protocol work)",
+			pt.WrapPenaltyUs, MaxWrapPenaltyUs)
 	}
 	z := r.RndvPipeline
 	if z.SequentialUs <= 0 || z.PipelinedUs <= 0 {
@@ -711,6 +783,161 @@ func failoverLatency() FailoverLatency {
 		ConfirmWindowUs: round3(float64(lcfg.ConfirmAfter) / float64(sim.Microsecond)),
 		MPIErrorUs:      mpiDeadPeerLatency(lcfg),
 		HybridRerouteUs: hybridRerouteLatency(lcfg),
+	}
+}
+
+// partitionScript severs segments 1 (1→2) and 3 (3→4) of the 5-node
+// ring at cut, splitting it into a majority arc {4,0,1} and a minority
+// arc {2,3}, and splices both at heal.
+func partitionScript(cut, heal sim.Time) *fault.Script {
+	return &fault.Script{Seed: 103, Actions: []fault.Action{
+		{At: cut, Kind: fault.LinkCut, Node: 1},
+		{At: cut, Kind: fault.LinkCut, Node: 3},
+		{At: heal, Kind: fault.LinkSplice, Node: 1},
+		{At: heal, Kind: fault.LinkSplice, Node: 3},
+	}}
+}
+
+// partitionCluster builds the E15 cluster: the paper's PIO-only channel
+// device with retry and the failure detector on, under script.
+func partitionCluster(k *sim.Kernel, nodes int, script *fault.Script, lcfg *liveness.Config) *cluster.Cluster {
+	bbp := core.DefaultConfig()
+	bbp.Retry = core.DefaultRetryConfig()
+	bbp.Thresholds.SendDMA = 1 << 30
+	bbp.Thresholds.RecvDMA = 1 << 30
+	bbp.Thresholds.Adaptive = core.AdaptiveConfig{}
+	c, err := cluster.New(k, cluster.Options{
+		Nodes: nodes, Net: cluster.SCRAMNet, BBP: &bbp, Faults: script, Liveness: lcfg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// partitionFenceLatency double-cuts the ring under a Barrier entered
+// just after the cut lands and returns the worst delay, in µs after the
+// cut, until a minority rank's Barrier returns PartitionError.
+func partitionFenceLatency(lcfg liveness.Config) float64 {
+	const nodes = 5
+	cut := sim.Time(0).Add(2 * sim.Millisecond)
+	heal := sim.Time(0).Add(60 * sim.Millisecond) // after the errors land
+	k := sim.NewKernel()
+	defer k.Close()
+	c := partitionCluster(k, nodes, partitionScript(cut, heal), &lcfg)
+	w := mpi.NewWorld(c.Endpoints, mpi.DefaultConfig())
+	var worst sim.Time
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		p.Delay(cut.Sub(sim.Time(0)) + 100*sim.Microsecond)
+		err := cm.Barrier(p)
+		var pe *mpi.PartitionError
+		if !errors.As(err, &pe) {
+			panic(fmt.Sprintf("E15 rank %d: straddling barrier returned %v, want PartitionError", cm.Rank(), err))
+		}
+		if pe.Minority && p.Now() > worst {
+			worst = p.Now()
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return round3(float64(worst.Sub(cut)) / float64(sim.Microsecond))
+}
+
+// partitionHealLatency lets the same double cut be declared on every
+// node, splices both segments, and returns the delay, in µs after the
+// splice, until every node reports no partition and an all-alive view —
+// the minority's incarnation-fenced rejoin and resync included.
+func partitionHealLatency(lcfg liveness.Config) float64 {
+	const nodes = 5
+	cut := sim.Time(0).Add(2 * sim.Millisecond)
+	heal := sim.Time(0).Add(8 * sim.Millisecond)
+	k := sim.NewKernel()
+	defer k.Close()
+	c := partitionCluster(k, nodes, partitionScript(cut, heal), &lcfg)
+	converged := func() bool {
+		for i := 0; i < nodes; i++ {
+			e := c.Endpoints[i].(*core.Endpoint)
+			if _, ok := e.Partition(); ok {
+				return false
+			}
+			v := e.Liveness()
+			for n := 0; n < nodes; n++ {
+				if n != i && v.State(n) != liveness.Alive {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var done sim.Time
+	healed := false
+	deadline := heal.Add(20 * sim.Millisecond)
+	var poll func()
+	poll = func() {
+		if converged() {
+			done, healed = k.Now(), true
+			return
+		}
+		if k.Now() < deadline {
+			k.At(k.Now().Add(lcfg.Period), poll)
+		}
+	}
+	k.At(heal, poll)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	if !healed {
+		panic("E15: membership never reconverged after the splice")
+	}
+	for i := 0; i < nodes; i++ {
+		if st := c.Endpoints[i].(*core.Endpoint).LivenessStats(); st.Partitions != 1 || st.PartitionHeals != 1 {
+			panic(fmt.Sprintf("E15 node %d: partition lifecycle did not run (stats %+v)", i, st))
+		}
+	}
+	return round3(float64(done.Sub(heal)) / float64(sim.Microsecond))
+}
+
+// wrapPenalty returns the propagation cost, in µs, of the dual ring's
+// wrap path: the time for one replicated word write from node 0 to
+// finish circulating a clean 4-node ring vs the same write with segment
+// 1 (1→2, on the packet's path) severed. The delta is pure wire time —
+// the extra secondary-ring hops the wrap heal inserts.
+func wrapPenalty() float64 {
+	run := func(cutSeg int) float64 {
+		k := sim.NewKernel()
+		defer k.Close()
+		n, err := scramnet.New(k, scramnet.DefaultConfig(4))
+		if err != nil {
+			panic(err)
+		}
+		if cutSeg >= 0 {
+			n.CutLink(cutSeg)
+		}
+		k.Spawn("writer", func(p *sim.Proc) { n.NIC(0).WriteWord(p, 0, 7) })
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		if n.NIC(2).Peek(0, 4)[0] != 7 {
+			panic("E15: wrap-penalty write not delivered across the cut")
+		}
+		return float64(k.Now()) / float64(sim.Microsecond)
+	}
+	clean := run(-1)
+	cut := run(1)
+	return round3(cut - clean)
+}
+
+// partitionTolerance assembles the E15 row.
+func partitionTolerance() PartitionTolerance {
+	lcfg := liveness.DefaultConfig()
+	return PartitionTolerance{
+		Nodes:           5,
+		SuspectWindowUs: round3(float64(lcfg.SuspectAfter) / float64(sim.Microsecond)),
+		ConfirmWindowUs: round3(float64(lcfg.ConfirmAfter) / float64(sim.Microsecond)),
+		FenceUs:         partitionFenceLatency(lcfg),
+		HealResyncUs:    partitionHealLatency(lcfg),
+		WrapPenaltyUs:   wrapPenalty(),
 	}
 }
 
@@ -1066,6 +1293,7 @@ func Run(opts Options) Report {
 	r.RndvPipeline = rndvPipeline()
 	r.StreamAllreduce = streamAllreduce()
 	r.BarrierScaling = barrierScaling()
+	r.PartitionTolerance = partitionTolerance()
 	_, snap, _ := instrumented(4, nil)
 	r.Rollup = snap.Rollup()
 	return r

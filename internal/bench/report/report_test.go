@@ -21,12 +21,12 @@ func TestReportByteStable(t *testing.T) {
 	}
 }
 
-// TestReportSchemaAndShape pins the document structure a schema-6
+// TestReportSchemaAndShape pins the document structure a schema-7
 // consumer relies on.
 func TestReportSchemaAndShape(t *testing.T) {
 	r := Run(ReducedOptions())
-	if r.Schema != 6 {
-		t.Fatalf("schema = %d, want 6", r.Schema)
+	if r.Schema != 7 {
+		t.Fatalf("schema = %d, want 7", r.Schema)
 	}
 	wantFigs := []string{"fig1_small", "fig1", "fig2", "fig3", "fig4"}
 	if len(r.Figures) != len(wantFigs) {
@@ -117,6 +117,7 @@ func TestPollAggregationGate(t *testing.T) {
 		RndvPipeline:         rndvPipeline(),
 		StreamAllreduce:      passingStream,
 		BarrierScaling:       passingBarrier,
+		PartitionTolerance:   passingPartition,
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
@@ -138,7 +139,7 @@ func TestPollAggregationGate(t *testing.T) {
 // ~51 ms retry-exhaustion path the failure detector replaces.
 func TestFailoverLatencyGate(t *testing.T) {
 	f := failoverLatency()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline(), StreamAllreduce: passingStream, BarrierScaling: passingBarrier}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: f, RndvPipeline: rndvPipeline(), StreamAllreduce: passingStream, BarrierScaling: passingBarrier, PartitionTolerance: passingPartition}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFailoverLatencyGate(t *testing.T) {
 // stopped paying for the wire at all, i.e. the model broke.
 func TestRndvPipelineGate(t *testing.T) {
 	z := rndvPipeline()
-	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z, StreamAllreduce: passingStream, BarrierScaling: passingBarrier}
+	r := Report{PollAggregation: pollAggregation(), FailoverLatency: failoverLatency(), RndvPipeline: z, StreamAllreduce: passingStream, BarrierScaling: passingBarrier, PartitionTolerance: passingPartition}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -213,6 +214,13 @@ var passingBarrier = BarrierScaling{
 	NICPath:  BarrierPath{GatingRank: 0, PathUs: 30, PathFrac: 0.5, BusBusyFrac: 0.1},
 }
 
+// passingPartition is the E15 equivalent; TestPartitionToleranceGate
+// runs the real measurement.
+var passingPartition = PartitionTolerance{
+	Nodes: 5, SuspectWindowUs: 500, ConfirmWindowUs: 2500,
+	FenceUs: 605, HealResyncUs: 100, WrapPenaltyUs: 0.5,
+}
+
 // TestBarrierScalingGate runs the E14 measurement and enforces the
 // `make bench` gate in-tree: the NIC-combined barrier must beat the
 // 16-node mcast-coordinator baseline by MinBarrierImprovementPct, its
@@ -225,11 +233,12 @@ func TestBarrierScalingGate(t *testing.T) {
 	}
 	b := barrierScaling()
 	r := Report{
-		PollAggregation: pollAggregation(),
-		FailoverLatency: failoverLatency(),
-		RndvPipeline:    rndvPipeline(),
-		StreamAllreduce: passingStream,
-		BarrierScaling:  b,
+		PollAggregation:    pollAggregation(),
+		FailoverLatency:    failoverLatency(),
+		RndvPipeline:       rndvPipeline(),
+		StreamAllreduce:    passingStream,
+		BarrierScaling:     b,
+		PartitionTolerance: passingPartition,
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
@@ -264,11 +273,12 @@ func TestBarrierScalingGate(t *testing.T) {
 func TestStreamAllreduceGate(t *testing.T) {
 	s := streamAllreduce()
 	r := Report{
-		PollAggregation: pollAggregation(),
-		FailoverLatency: failoverLatency(),
-		RndvPipeline:    rndvPipeline(),
-		StreamAllreduce: s,
-		BarrierScaling:  passingBarrier,
+		PollAggregation:    pollAggregation(),
+		FailoverLatency:    failoverLatency(),
+		RndvPipeline:       rndvPipeline(),
+		StreamAllreduce:    s,
+		BarrierScaling:     passingBarrier,
+		PartitionTolerance: passingPartition,
 	}
 	if err := r.Check(); err != nil {
 		t.Fatal(err)
@@ -282,5 +292,39 @@ func TestStreamAllreduceGate(t *testing.T) {
 	wireUs := float64(cfg.Nodes) * (float64(cfg.HopDelay) + 615.0) / 1000.0
 	if s.HandlerUs < wireUs {
 		t.Errorf("handler latency %v µs beat the %v µs one-revolution bound — model broken", s.HandlerUs, wireUs)
+	}
+}
+
+// TestPartitionToleranceGate runs the E15 measurement and enforces the
+// `make bench` gate in-tree: the double cut must surface as a minority
+// PartitionError within the confirmation window (plus scan slack) but
+// not before suspicion can stabilize; the splice must reconverge to an
+// all-alive resynced membership within a few detector periods; and the
+// dual ring's single-cut wrap path must cost latency — some, but only
+// wire time.
+func TestPartitionToleranceGate(t *testing.T) {
+	pt := partitionTolerance()
+	r := Report{
+		PollAggregation:    pollAggregation(),
+		FailoverLatency:    failoverLatency(),
+		RndvPipeline:       rndvPipeline(),
+		StreamAllreduce:    passingStream,
+		BarrierScaling:     passingBarrier,
+		PartitionTolerance: pt,
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Fencing rides the partition declaration, not dead-peer
+	// confirmation: it must land well before the per-peer confirmation
+	// window would have expired.
+	if pt.FenceUs >= pt.ConfirmWindowUs {
+		t.Errorf("fence (%v µs) did not beat the confirmation window (%v µs); the declaration is not faster than mass death", pt.FenceUs, pt.ConfirmWindowUs)
+	}
+	// The wrap penalty is pure wire time: an integer number of
+	// secondary-ring hop delays.
+	hopUs := float64(scramnet.DefaultConfig(4).HopDelay) / 1000.0
+	if rem := math.Mod(pt.WrapPenaltyUs, hopUs); rem > 1e-9 && hopUs-rem > 1e-9 {
+		t.Errorf("wrap penalty %v µs is not a whole number of %v µs hop delays — the wrap path charges more than wire time", pt.WrapPenaltyUs, hopUs)
 	}
 }

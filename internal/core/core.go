@@ -307,6 +307,12 @@ var (
 	ErrTimeout   = errors.New("bbp: operation timed out")
 	ErrTruncated = errors.New("bbp: receive buffer smaller than message")
 	ErrBadRank   = errors.New("bbp: destination rank out of range or self")
+	// ErrFenced rejects a new send on the minority side of a declared
+	// ring partition: the quorum is on the far arc, and publishing new
+	// state that the majority cannot see would split-brain the
+	// billboard. Existing retry slots keep retransmitting (their
+	// delivery resumes when the ring heals); only new posts fence.
+	ErrFenced = errors.New("bbp: send fenced: node is on the minority side of a ring partition")
 )
 
 // layout computes the SCRAMNet memory map. All processes share the same
@@ -599,6 +605,7 @@ type Stats struct {
 	StaleDescs    int64 // flag toggles whose descriptor was stale or torn
 	// Liveness counters (zero unless Config.Liveness.Enabled).
 	DeadPeerReclaims int64 // (buffer, receiver) ACK obligations abandoned because the detector confirmed the receiver dead
+	FencedSends      int64 // posts rejected with ErrFenced on the minority side of a partition
 	// Streaming-allreduce counters (zero unless Config.Stream.Enabled).
 	StreamRounds    int64 // fast-path rounds attempted (gating declines not counted)
 	StreamFallbacks int64 // rounds degraded to the caller's tree path (suspicion, loss, or timeout)

@@ -246,6 +246,14 @@ func (e *Endpoint) post(p *sim.Proc, dests uint32, data []byte) error {
 	if len(data) > lay.dataSize {
 		return ErrTooLarge
 	}
+	if e.hb != nil && e.hb.det.Fenced() {
+		// Minority side of a declared ring partition: new posts would
+		// publish state the quorum cannot see. Heartbeats and existing
+		// retry slots keep running — only new billboard writes fence.
+		e.stats.FencedSends++
+		e.hb.fencedSends.Inc()
+		return ErrFenced
+	}
 	p.Delay(cfg.Costs.SendSetup)
 
 	slot, off, err := e.allocate(p, len(data))

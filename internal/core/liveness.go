@@ -63,6 +63,7 @@ type hbState struct {
 	beats        *metrics.Counter // liveness.beats
 	selfRejoins  *metrics.Counter // liveness.self_rejoins
 	deadReclaims *metrics.Counter // bbp.dead_peer_reclaims
+	fencedSends  *metrics.Counter // liveness.fenced_sends
 	incGauge     *metrics.Gauge   // liveness.incarnation
 }
 
@@ -76,6 +77,7 @@ func (e *Endpoint) initLiveness() {
 		beats:        m.Counter("liveness.beats", e.me),
 		selfRejoins:  m.Counter("liveness.self_rejoins", e.me),
 		deadReclaims: m.Counter("bbp.dead_peer_reclaims", e.me),
+		fencedSends:  m.Counter("liveness.fenced_sends", e.me),
 		incGauge:     m.Gauge("liveness.incarnation", e.me),
 	}
 	e.hb.incGauge.Set(int64(e.hb.inc))
@@ -88,6 +90,15 @@ func (e *Endpoint) Liveness() liveness.View {
 		return nil
 	}
 	return e.hb.det
+}
+
+// Partition exposes the endpoint's declared ring partition, if any
+// (liveness.PartitionView). Always false when liveness is disabled.
+func (e *Endpoint) Partition() (liveness.PartitionInfo, bool) {
+	if e.hb == nil {
+		return liveness.PartitionInfo{}, false
+	}
+	return e.hb.det.Partition()
 }
 
 // LivenessStats returns detector transition counts (zero when the
@@ -147,6 +158,11 @@ func (e *Endpoint) hbTick(p *sim.Proc) {
 		// link epoch turns over.
 		return
 	}
+	// Ring status sample: the severed-segment count is the hardware
+	// corroboration the partition machinery requires to distinguish an
+	// unreachable arc from dead peers, and its return to a healable
+	// level is what clears a declared partition.
+	hb.det.ObserveRing(now, e.nic.RingCuts())
 	// One wide read covers every peer's pair, like a burst poll of the
 	// MESSAGE flag region.
 	e.nic.ReadWords(p, 0, hb.buf)
@@ -158,10 +174,56 @@ func (e *Endpoint) hbTick(p *sim.Proc) {
 		hb.det.Observe(now, s, hb.buf[2*s], hb.buf[2*s+1])
 	}
 	hb.det.Tick(now)
+	if hb.det.TakeResync() {
+		e.partitionResync(p)
+	}
+}
+
+// partitionResync re-publishes this node's billboard state after it
+// returns from the minority side of a partition. The node takes a fresh
+// incarnation — peers accept the rejoin through the existing fencing
+// path — then every occupied retry slot is scheduled for an immediate
+// retransmission with a fresh backoff budget, and the MIN-UNACKED words
+// are force-republished. The receiver-side re-ack path reconciles the
+// rest: a retransmitted descriptor whose sequence was already consumed
+// is re-acknowledged without redelivery, so messages posted before or
+// during the fence deliver exactly once across the heal.
+func (e *Endpoint) partitionResync(p *sim.Proc) {
+	lay, hb := e.sys.lay, e.hb
+	hb.inc++
+	hb.det.AddSelfRejoin()
+	hb.selfRejoins.Inc()
+	hb.incGauge.Set(int64(hb.inc))
+	e.nic.WriteWord(p, lay.hbInc(e.me), hb.inc)
+	e.nic.WriteWord(p, lay.hbBeat(e.me), hb.beat)
+	slots := 0
+	if e.sys.cfg.Retry.Enabled {
+		for s := range e.live {
+			lb := &e.live[s]
+			if lb.used {
+				lb.posted = sim.Time(0)
+				lb.attempts = 0
+				slots++
+			}
+		}
+		e.syncMinUn(p, true)
+		e.retryWake.Signal()
+	}
+	e.sys.tracer.Emitf(p.Now(), trace.Live, e.me, "partition-resync", "inc=%d slots=%d", hb.inc, slots)
 }
 
 // deadPeer reports whether the detector has confirmed r dead. Safe to
-// call with liveness disabled (always false).
+// call with liveness disabled (always false). A confirmed-dead verdict
+// about a peer on the far side of a declared partition does not count:
+// the peer is unreachable, not dead, so its ACK obligations must
+// survive until the ring heals — reclaiming them would turn pre-cut
+// messages into ghosts the delivery oracle can see.
 func (e *Endpoint) deadPeer(r int) bool {
-	return e.hb != nil && e.hb.det.State(r) == liveness.Dead
+	if e.hb == nil || e.hb.det.State(r) != liveness.Dead {
+		return false
+	}
+	if part, ok := e.hb.det.Partition(); ok && part.Unreachable(r) {
+		return false
+	}
+	return true
 }

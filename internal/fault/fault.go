@@ -39,6 +39,13 @@ const (
 	LossStart
 	// LossStop closes the loss window (rate back to zero).
 	LossStop
+	// LinkCut severs ring segment Node (the fiber pair between ring
+	// nodes Node and Node+1). Applies only to targets implementing
+	// LinkTarget — the SCRAMNet ring; switched fabrics have no shared
+	// fiber to cut, and the action is skipped there.
+	LinkCut
+	// LinkSplice repairs ring segment Node, undoing LinkCut.
+	LinkSplice
 )
 
 func (k Kind) String() string {
@@ -51,6 +58,10 @@ func (k Kind) String() string {
 		return "loss-start"
 	case LossStop:
 		return "loss-stop"
+	case LinkCut:
+		return "link-cut"
+	case LinkSplice:
+		return "link-splice"
 	}
 	return fmt.Sprintf("fault.Kind(%d)", int(k))
 }
@@ -59,7 +70,7 @@ func (k Kind) String() string {
 type Action struct {
 	At   sim.Time
 	Kind Kind
-	Node int     // NodeFail / NodeRepair target
+	Node int     // NodeFail / NodeRepair target; LinkCut / LinkSplice segment
 	Rate float64 // LossStart drop probability in [0,1]
 }
 
@@ -78,6 +89,16 @@ type Target interface {
 	FailNode(i int)
 	RepairNode(i int)
 	SetLossRate(r float64)
+}
+
+// LinkTarget is the optional extension for targets with per-segment
+// link state — the SCRAMNet ring. LinkCut/LinkSplice actions apply (and
+// are counted and traced) only on targets that implement it; on others
+// they are skipped, so one script can drive a ring and a fabric to the
+// same node-level fault pattern while the cable cuts stay ring-only.
+type LinkTarget interface {
+	CutLink(i int)
+	SpliceLink(i int)
 }
 
 // Apply schedules every action of the script on kernel k against tgt.
@@ -111,6 +132,24 @@ func (s *Script) ApplyObserved(k *sim.Kernel, tgt Target, m *metrics.Registry, r
 			at = k.Now()
 		}
 		k.AtKind(at, "fault", func() {
+			if a.Kind == LinkCut || a.Kind == LinkSplice {
+				// Cable cuts only exist on link-stateful targets; a
+				// fabric skips them without counting, so the injected-
+				// event counters report what actually happened.
+				lt, ok := tgt.(LinkTarget)
+				if !ok {
+					return
+				}
+				m.Counter("fault.injected_events", metrics.NodeGlobal).Inc()
+				m.Counter("fault.injected_"+a.Kind.String(), metrics.NodeGlobal).Inc()
+				rec.Emitf(k.Now(), trace.Fault, metrics.NodeGlobal, a.Kind.String(), "segment=%d", a.Node)
+				if a.Kind == LinkCut {
+					lt.CutLink(a.Node)
+				} else {
+					lt.SpliceLink(a.Node)
+				}
+				return
+			}
 			node := metrics.NodeGlobal
 			if a.Kind == NodeFail || a.Kind == NodeRepair {
 				node = a.Node
@@ -157,6 +196,8 @@ func (s *Script) String() string {
 		switch a.Kind {
 		case NodeFail, NodeRepair:
 			out += fmt.Sprintf(" %s@%d(node %d)", a.Kind, a.At, a.Node)
+		case LinkCut, LinkSplice:
+			out += fmt.Sprintf(" %s@%d(seg %d)", a.Kind, a.At, a.Node)
 		case LossStart:
 			out += fmt.Sprintf(" %s@%d(%.2f)", a.Kind, a.At, a.Rate)
 		default:
@@ -164,6 +205,50 @@ func (s *Script) String() string {
 		}
 	}
 	return out + "}"
+}
+
+// Validate checks that the script's per-target action ordering is
+// realizable: for each node, fail/repair actions (in At order) must
+// alternate starting with a failure, and for each segment, cut/splice
+// actions likewise starting with a cut. A repair of a node that is not
+// down — or a second failure of one that is — marks a script whose
+// later actions are unreachable no-ops; such scripts used to slip out
+// of Generate when two randomly drawn fail→repair cycles for one node
+// overlapped. Loss windows are global and idempotent, so Validate does
+// not constrain them.
+func (s *Script) Validate() error {
+	if s == nil {
+		return nil
+	}
+	acts := append([]Action(nil), s.Actions...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	down := map[int]bool{}
+	cut := map[int]bool{}
+	for _, a := range acts {
+		switch a.Kind {
+		case NodeFail:
+			if down[a.Node] {
+				return fmt.Errorf("fault: node %d failed again at %d while already down", a.Node, a.At)
+			}
+			down[a.Node] = true
+		case NodeRepair:
+			if !down[a.Node] {
+				return fmt.Errorf("fault: node %d repaired at %d while not down", a.Node, a.At)
+			}
+			down[a.Node] = false
+		case LinkCut:
+			if cut[a.Node] {
+				return fmt.Errorf("fault: segment %d cut again at %d while already severed", a.Node, a.At)
+			}
+			cut[a.Node] = true
+		case LinkSplice:
+			if !cut[a.Node] {
+				return fmt.Errorf("fault: segment %d spliced at %d while intact", a.Node, a.At)
+			}
+			cut[a.Node] = false
+		}
+	}
+	return nil
 }
 
 // Flap builds a script that rapidly cycles one node through count
@@ -197,6 +282,9 @@ type GenConfig struct {
 	MaxLossRate float64
 	// NodeFailures is how many fail→repair cycles to schedule.
 	NodeFailures int
+	// LinkCuts is how many cut→splice cycles to schedule on random ring
+	// segments (skipped by targets without link state).
+	LinkCuts int
 	// Protect lists nodes that are never failed (e.g. the endpoints a
 	// test communicates through). Loss windows still affect them.
 	Protect []int
@@ -225,13 +313,51 @@ func Generate(seed uint64, cfg GenConfig) *Script {
 			Action{At: sim.Time(0).Add(start), Kind: LossStart, Rate: rate},
 			Action{At: sim.Time(0).Add(start + length), Kind: LossStop})
 	}
+	// Fail→repair cycles must not overlap for one node: a second
+	// failure inside an open cycle, once the actions are time-sorted,
+	// leaves a repair that fires while the node is already up — an
+	// unreachable action Validate rejects. Windows are drawn exactly as
+	// before (so seeds without collisions keep their scripts) and only
+	// redrawn — boundedly — when they would overlap an accepted window
+	// for the same target; a cycle that cannot be placed is dropped.
+	place := func(windows map[int][][2]sim.Duration, key int, down, up sim.Duration) bool {
+		for _, w := range windows[key] {
+			if down < w[1] && w[0] < up {
+				return false
+			}
+		}
+		windows[key] = append(windows[key], [2]sim.Duration{down, up})
+		return true
+	}
+	failWindows := map[int][][2]sim.Duration{}
 	for f := 0; f < cfg.NodeFailures && len(candidates) > 0; f++ {
 		node := candidates[rng.Intn(len(candidates))]
-		down := rng.Duration(cfg.Horizon)
-		up := down + rng.Duration(cfg.Horizon-down) + 1
-		s.Actions = append(s.Actions,
-			Action{At: sim.Time(0).Add(down), Kind: NodeFail, Node: node},
-			Action{At: sim.Time(0).Add(up), Kind: NodeRepair, Node: node})
+		for try := 0; try < 16; try++ {
+			down := rng.Duration(cfg.Horizon)
+			up := down + rng.Duration(cfg.Horizon-down) + 1
+			if !place(failWindows, node, down, up) {
+				continue
+			}
+			s.Actions = append(s.Actions,
+				Action{At: sim.Time(0).Add(down), Kind: NodeFail, Node: node},
+				Action{At: sim.Time(0).Add(up), Kind: NodeRepair, Node: node})
+			break
+		}
+	}
+	cutWindows := map[int][][2]sim.Duration{}
+	for c := 0; c < cfg.LinkCuts && cfg.Nodes > 0; c++ {
+		seg := rng.Intn(cfg.Nodes)
+		for try := 0; try < 16; try++ {
+			down := rng.Duration(cfg.Horizon)
+			up := down + rng.Duration(cfg.Horizon-down) + 1
+			if !place(cutWindows, seg, down, up) {
+				continue
+			}
+			s.Actions = append(s.Actions,
+				Action{At: sim.Time(0).Add(down), Kind: LinkCut, Node: seg},
+				Action{At: sim.Time(0).Add(up), Kind: LinkSplice, Node: seg})
+			break
+		}
 	}
 	sort.SliceStable(s.Actions, func(i, j int) bool { return s.Actions[i].At < s.Actions[j].At })
 	return s
@@ -249,3 +375,5 @@ func (r ring) Nodes() int            { return r.n.Nodes() }
 func (r ring) FailNode(i int)        { r.n.FailNode(i) }
 func (r ring) RepairNode(i int)      { r.n.RepairNode(i) }
 func (r ring) SetLossRate(x float64) { r.n.SetDropRate(x) }
+func (r ring) CutLink(i int)         { r.n.CutLink(i) }
+func (r ring) SpliceLink(i int)      { r.n.SpliceLink(i) }

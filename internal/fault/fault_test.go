@@ -3,6 +3,7 @@ package fault_test
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -198,5 +199,165 @@ func TestScriptReplayIsBitIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(a, want) {
 		t.Fatalf("delivered bytes differ from the sent workload: got %d bytes, want %d", len(a), len(want))
+	}
+}
+
+func TestGenerateLinkCuts(t *testing.T) {
+	cfg := fault.GenConfig{
+		Horizon:      10 * sim.Millisecond,
+		Nodes:        4,
+		NodeFailures: 2,
+		LinkCuts:     3,
+	}
+	s := fault.Generate(99, cfg)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated script invalid: %v\n%v", err, s)
+	}
+	cuts, splices := 0, 0
+	for _, a := range s.Actions {
+		switch a.Kind {
+		case fault.LinkCut:
+			cuts++
+		case fault.LinkSplice:
+			splices++
+		}
+		if (a.Kind == fault.LinkCut || a.Kind == fault.LinkSplice) && (a.Node < 0 || a.Node >= cfg.Nodes) {
+			t.Fatalf("segment out of range: %+v", a)
+		}
+	}
+	if cuts != cfg.LinkCuts || splices != cfg.LinkCuts {
+		t.Fatalf("got %d cuts / %d splices, want %d each", cuts, splices, cfg.LinkCuts)
+	}
+	// Adding link cuts must not change the failure schedule the same
+	// seed produced without them (seeded tests elsewhere rely on it).
+	plain := fault.Generate(99, fault.GenConfig{Horizon: cfg.Horizon, Nodes: cfg.Nodes, NodeFailures: cfg.NodeFailures})
+	var fails, wantFails []fault.Action
+	for _, a := range s.Actions {
+		if a.Kind == fault.NodeFail || a.Kind == fault.NodeRepair {
+			fails = append(fails, a)
+		}
+	}
+	wantFails = append(wantFails, plain.Actions...)
+	for i := range wantFails {
+		if wantFails[i].Kind == fault.LossStart || wantFails[i].Kind == fault.LossStop {
+			t.Fatalf("unexpected loss action in failure-only script: %+v", wantFails[i])
+		}
+	}
+	if !reflect.DeepEqual(fails, wantFails) {
+		t.Fatalf("link cuts perturbed the failure schedule:\n%v\n%v", fails, wantFails)
+	}
+}
+
+// TestGenerateAlwaysValid is the ordering property the validator
+// enforces at build time: for any seed, Generate's schedules never
+// repair before failing, never splice an intact segment, and never
+// stack overlapping windows on one target.
+func TestGenerateAlwaysValid(t *testing.T) {
+	cfg := fault.GenConfig{
+		Horizon:      5 * sim.Millisecond,
+		Nodes:        5,
+		LossWindows:  2,
+		MaxLossRate:  0.3,
+		NodeFailures: 4,
+		LinkCuts:     4,
+	}
+	for seed := uint64(0); seed < 64; seed++ {
+		if err := fault.Generate(seed, cfg).Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadScripts(t *testing.T) {
+	at := func(d sim.Duration) sim.Time { return sim.Time(0).Add(d) }
+	bad := []fault.Script{
+		{Actions: []fault.Action{ // repair before fail
+			{At: at(1 * sim.Millisecond), Kind: fault.NodeRepair, Node: 2},
+			{At: at(2 * sim.Millisecond), Kind: fault.NodeFail, Node: 2},
+		}},
+		{Actions: []fault.Action{ // double fail, no repair between
+			{At: at(1 * sim.Millisecond), Kind: fault.NodeFail, Node: 1},
+			{At: at(2 * sim.Millisecond), Kind: fault.NodeFail, Node: 1},
+		}},
+		{Actions: []fault.Action{ // splice an intact segment
+			{At: at(1 * sim.Millisecond), Kind: fault.LinkSplice, Node: 0},
+		}},
+		{Actions: []fault.Action{ // double cut of one segment
+			{At: at(1 * sim.Millisecond), Kind: fault.LinkCut, Node: 3},
+			{At: at(2 * sim.Millisecond), Kind: fault.LinkCut, Node: 3},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad script %d accepted: %v", i, &s)
+		}
+	}
+	good := fault.Script{Actions: []fault.Action{
+		{At: at(1 * sim.Millisecond), Kind: fault.LinkCut, Node: 3},
+		{At: at(2 * sim.Millisecond), Kind: fault.LinkSplice, Node: 3},
+		{At: at(3 * sim.Millisecond), Kind: fault.LinkCut, Node: 3},
+		{At: at(4 * sim.Millisecond), Kind: fault.LinkSplice, Node: 3},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("cut/splice cycle rejected: %v", err)
+	}
+}
+
+func TestScriptStringCoversLinkActions(t *testing.T) {
+	s := &fault.Script{Seed: 5, Actions: []fault.Action{
+		{At: sim.Time(0).Add(1 * sim.Millisecond), Kind: fault.LinkCut, Node: 2},
+		{At: sim.Time(0).Add(2 * sim.Millisecond), Kind: fault.LinkSplice, Node: 2},
+	}}
+	str := s.String()
+	if !strings.Contains(str, "link-cut") || !strings.Contains(str, "link-splice") {
+		t.Fatalf("String() misses link actions: %q", str)
+	}
+	if !strings.Contains(str, "seg 2") {
+		t.Fatalf("String() misses the segment number: %q", str)
+	}
+}
+
+// TestApplyLinkActionsDriveRing checks the LinkTarget plumbing end to
+// end on a real ring, and that a fabric (which has no link segments)
+// skips the same actions without counting them as injected.
+func TestApplyLinkActionsDriveRing(t *testing.T) {
+	k := sim.NewKernel()
+	c, err := cluster.New(k, cluster.Options{Nodes: 4, Net: cluster.SCRAMNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fault.Script{Seed: 7, Actions: []fault.Action{
+		{At: sim.Time(0).Add(1 * sim.Millisecond), Kind: fault.LinkCut, Node: 1},
+		{At: sim.Time(0).Add(3 * sim.Millisecond), Kind: fault.LinkSplice, Node: 1},
+	}}
+	s.Apply(k, fault.Ring(c.Ring))
+	k.RunFor(2 * sim.Millisecond)
+	if !c.Ring.LinkCut(1) {
+		t.Fatal("segment 1 not cut after LinkCut action")
+	}
+	k.RunFor(2 * sim.Millisecond)
+	if c.Ring.LinkCut(1) {
+		t.Fatal("segment 1 still cut after LinkSplice action")
+	}
+	k.Close()
+
+	// Fabrics have no ring segments: link actions are skipped.
+	k2 := sim.NewKernel()
+	defer k2.Close()
+	san, err := myrinet.New(k2, myrinet.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := fault.NewFabric(k2, san, 1)
+	s.Apply(k2, ff)
+	k2.RunFor(5 * sim.Millisecond)
+	// Nothing to assert on the fabric beyond not panicking; frames
+	// still flow.
+	var got int
+	ff.SetHandler(1, func(src int, frame []byte) { got++ })
+	ff.Transmit(0, 1, []byte{9})
+	k2.Run()
+	if got != 1 {
+		t.Fatal("fabric stopped forwarding after skipped link actions")
 	}
 }

@@ -67,6 +67,14 @@ type Endpoint struct {
 	// instead of after a send error (see Send).
 	live liveness.View
 
+	// partv is the low substrate's declared-partition view
+	// (liveness.PartitionView), nil without the partition machinery.
+	// Under a declared partition the detector's verdicts about far-arc
+	// peers reflect unreachability, not death, so the proactive steer
+	// stands down for them (see Send); reactive failover on an actual
+	// send error is kept.
+	partv liveness.PartitionView
+
 	sendSeq []uint32 // per destination
 	nextSeq []uint32 // per source: next sequence to release
 	held    []map[uint32][]byte
@@ -161,7 +169,30 @@ func New(low, high xport.Endpoint, cfg Config) (*Endpoint, error) {
 	if lp, ok := low.(liveness.Provider); ok {
 		e.live = lp.Liveness()
 	}
+	if pv, ok := low.(liveness.PartitionView); ok {
+		e.partv = pv
+	}
 	return e, nil
+}
+
+// Partition exposes the low substrate's declared ring partition
+// (liveness.PartitionView), so layers above the router (MPI) fence
+// partitioned operations instead of misreading them as dead peers.
+func (e *Endpoint) Partition() (liveness.PartitionInfo, bool) {
+	if e.partv == nil {
+		return liveness.PartitionInfo{}, false
+	}
+	return e.partv.Partition()
+}
+
+// partitioned reports whether a declared ring partition makes dst
+// unreachable from here (or this side lost quorum entirely).
+func (e *Endpoint) partitioned(dst int) bool {
+	if e.partv == nil {
+		return false
+	}
+	part, ok := e.partv.Partition()
+	return ok && (part.Minority || part.Unreachable(dst))
 }
 
 // Liveness exposes the low substrate's membership view, so layers above
@@ -216,7 +247,7 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, data []byte) error {
 	copy(msg[hdrBytes:], data)
 	sub := e.route(len(data))
 	proactive := false
-	if sub == e.low && !e.alive(dst) && len(msg) <= e.high.MaxMessage() {
+	if sub == e.low && !e.alive(dst) && len(msg) <= e.high.MaxMessage() && !e.partitioned(dst) {
 		// The ring's failure detector doubts dst (suspect or dead):
 		// steer the send onto the high-bandwidth substrate now rather
 		// than discover the problem through a send error or a

@@ -134,15 +134,55 @@ type Provider interface {
 	Liveness() View
 }
 
+// PartitionInfo describes a declared ring partition from the local
+// detector's point of view. A partition is declared — not mere death —
+// when the unresponsive peers form one contiguous arc of the ring and
+// the card's ring status register corroborates with at least two
+// severed segments: every arc of a doubly-cut ring borders both cuts,
+// so the evidence is arc-local. The winning arc (the quorum) is the
+// larger one, with node 0's arc breaking ties; the losing arc fences.
+type PartitionInfo struct {
+	// Minority is true when the local node is on the losing arc: new
+	// sends are fenced until the ring heals.
+	Minority bool
+	// Peers are the unreachable nodes — the far arc — ascending.
+	Peers []int
+	// Quorum are the winning arc's members, ascending.
+	Quorum []int
+}
+
+// Unreachable reports whether node is on the far side of the partition.
+func (p PartitionInfo) Unreachable(node int) bool {
+	for _, q := range p.Peers {
+		if q == node {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionView is the optional extension of Provider implemented by
+// transports whose detector distinguishes unreachable from dead
+// (core.Endpoint over a SCRAMNet ring; the hybrid router delegates to
+// its low side). Layers discover it by type assertion, so Providers
+// without partition awareness keep working unchanged.
+type PartitionView interface {
+	// Partition returns the declared partition, if any. The returned
+	// slices are copies.
+	Partition() (PartitionInfo, bool)
+}
+
 // Stats counts detector transitions since creation.
 type Stats struct {
-	Beats       int64 // heartbeats published by the local node
-	Suspects    int64 // alive → suspect transitions
-	Refutes     int64 // suspect → alive (a late beat refuted the suspicion)
-	Confirms    int64 // suspect → dead transitions
-	Rejoins     int64 // dead → alive via a fresh incarnation
-	FencedBeats int64 // beat advances ignored at a dead peer's stale incarnation
-	SelfRejoins int64 // local incarnation bumps after a link-down epoch
+	Beats          int64 // heartbeats published by the local node
+	Suspects       int64 // alive → suspect transitions
+	Refutes        int64 // suspect → alive (a late beat refuted the suspicion)
+	Confirms       int64 // suspect → dead transitions
+	Rejoins        int64 // dead → alive via a fresh incarnation
+	FencedBeats    int64 // beat advances ignored at a dead peer's stale incarnation
+	SelfRejoins    int64 // local incarnation bumps after a link-down epoch
+	Partitions     int64 // ring partitions declared (contiguous arc + cut evidence)
+	PartitionHeals int64 // partitions cleared (splice observed or arc dissolved)
 }
 
 // Detector is one node's failure detector over the replicated heartbeat
@@ -159,10 +199,23 @@ type Detector struct {
 	lastFresh  []sim.Time     // last time the peer's beat/incarnation advanced
 	suspectSpn []trace.SpanID // open suspect span per peer
 
+	// Partition state: cuts is the last ring status sample
+	// (ObserveRing); part is the declared partition, nil outside one;
+	// pend is the previous tick's candidate arc (a declaration requires
+	// the same arc on two consecutive ticks, because suspicions for one
+	// arc's members can trip a tick apart and a partial arc would
+	// mis-compute the quorum); resync latches a minority-side heal
+	// until the owning transport consumes it (TakeResync).
+	cuts   int
+	part   *PartitionInfo
+	pend   []int
+	resync bool
+
 	stats  Stats
 	tracer *trace.Recorder
 	im     struct {
 		suspects, refutes, confirms, rejoins, fenced *metrics.Counter
+		partitions, partitionHeals                   *metrics.Counter
 		deadPeers                                    *metrics.Gauge
 	}
 }
@@ -190,6 +243,8 @@ func NewDetector(me, n int, cfg Config, now sim.Time, tracer *trace.Recorder, re
 	d.im.confirms = reg.Counter("liveness.confirms_dead", me)
 	d.im.rejoins = reg.Counter("liveness.rejoins", me)
 	d.im.fenced = reg.Counter("liveness.fenced_beats", me)
+	d.im.partitions = reg.Counter("liveness.partitions_detected", me)
+	d.im.partitionHeals = reg.Counter("liveness.partition_heals", me)
 	d.im.deadPeers = reg.Gauge("liveness.dead_peers", me)
 	return d
 }
@@ -297,6 +352,164 @@ func (d *Detector) Tick(now sim.Time) {
 			}
 		}
 	}
+	d.checkPartition(now)
+}
+
+// ObserveRing feeds the card's ring status register — the number of
+// severed segments (scramnet.NIC.RingCuts) — sampled once per heartbeat
+// tick before the Observe pass. Two or more cuts are the hardware
+// corroboration a partition declaration requires; the count dropping
+// back below two is what heals one: the verdicts formed against the
+// partitioned arc are discarded wholesale, because the evidence that
+// justified them is gone — no incarnation bump is demanded of peers
+// that never actually died.
+func (d *Detector) ObserveRing(now sim.Time, cuts int) {
+	d.cuts = cuts
+	if d.part != nil && cuts < 2 {
+		d.heal(now, "spliced")
+	}
+}
+
+// checkPartition runs after the per-peer timeout pass: declare a
+// partition when the unresponsive peers form one contiguous arc under
+// double-cut evidence, or heal a declared one whose arc dissolved.
+func (d *Detector) checkPartition(now sim.Time) {
+	if d.part != nil {
+		// Dissolution heal: a formerly unreachable peer produced a
+		// fresh beat (refute or rejoin) while the cut count still reads
+		// partitioned — the arc evidence collapsed, so the declaration
+		// cannot stand.
+		for _, p := range d.part.Peers {
+			if d.state[p] == Alive {
+				d.heal(now, "dissolved")
+				break
+			}
+		}
+		return
+	}
+	if d.cuts < 2 {
+		d.pend = nil
+		return
+	}
+	var far []int
+	for node := 0; node < d.n; node++ {
+		if node != d.me && d.state[node] != Alive {
+			far = append(far, node)
+		}
+	}
+	if len(far) == 0 || !d.contiguousArc(far) {
+		d.pend = nil
+		return
+	}
+	if !equalInts(d.pend, far) {
+		d.pend = append(d.pend[:0], far...)
+		return
+	}
+	near := make([]int, 0, d.n-len(far))
+	unreach := make([]bool, d.n)
+	for _, p := range far {
+		unreach[p] = true
+	}
+	for node := 0; node < d.n; node++ {
+		if !unreach[node] {
+			near = append(near, node)
+		}
+	}
+	minority := false
+	switch {
+	case len(near) < len(far):
+		minority = true
+	case len(near) == len(far):
+		minority = near[0] != 0 // node 0's arc breaks the tie
+	}
+	quorum := near
+	if minority {
+		quorum = far
+	}
+	d.part = &PartitionInfo{Minority: minority, Peers: far, Quorum: quorum}
+	d.pend = nil
+	d.stats.Partitions++
+	d.im.partitions.Inc()
+	d.tracer.Emitf(now, trace.Live, d.me, "partition-fence",
+		"peers=%v quorum=%v minority=%v cuts=%d", far, quorum, minority, d.cuts)
+}
+
+// contiguousArc reports whether the given peers (never including me,
+// never empty) occupy one contiguous arc of the ring — equivalently,
+// the cyclic membership bitmap has exactly two boundaries.
+func (d *Detector) contiguousArc(peers []int) bool {
+	member := make([]bool, d.n)
+	for _, p := range peers {
+		member[p] = true
+	}
+	b := 0
+	for i := 0; i < d.n; i++ {
+		if member[i] != member[(i+1)%d.n] {
+			b++
+		}
+	}
+	return b == 2
+}
+
+// heal clears a declared partition: every far-arc verdict resets to
+// Alive with a fresh stall clock, and a minority-side node latches the
+// resync request its transport consumes via TakeResync.
+func (d *Detector) heal(now sim.Time, why string) {
+	p := d.part
+	d.part = nil
+	d.pend = nil
+	for _, node := range p.Peers {
+		if d.state[node] == Alive {
+			continue
+		}
+		d.closeSuspect(now, node, "partition-heal")
+		d.state[node] = Alive
+		d.lastFresh[node] = now
+	}
+	d.im.deadPeers.Set(d.deadCount())
+	d.stats.PartitionHeals++
+	d.im.partitionHeals.Inc()
+	if p.Minority {
+		d.resync = true
+	}
+	d.tracer.Emitf(now, trace.Live, d.me, "partition-heal", "peers=%v minority=%v %s", p.Peers, p.Minority, why)
+}
+
+// Partition implements PartitionView. Nil-safe on a nil *Detector.
+func (d *Detector) Partition() (PartitionInfo, bool) {
+	if d == nil || d.part == nil {
+		return PartitionInfo{}, false
+	}
+	p := *d.part
+	p.Peers = append([]int(nil), p.Peers...)
+	p.Quorum = append([]int(nil), p.Quorum...)
+	return p, true
+}
+
+// Fenced reports whether the local node sits on the minority side of a
+// declared partition: new sends must be rejected until the ring heals.
+// Nil-safe on a nil *Detector.
+func (d *Detector) Fenced() bool { return d != nil && d.part != nil && d.part.Minority }
+
+// TakeResync reports — once per heal — that the local node returned
+// from the minority side of a partition and must resync its published
+// state (billboard re-publish, retry-slot reconciliation).
+func (d *Detector) TakeResync() bool {
+	r := d.resync
+	d.resync = false
+	return r
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Reset forgets every verdict and restarts all stall clocks at now. The
@@ -309,6 +522,8 @@ func (d *Detector) Reset(now sim.Time) {
 		d.state[node] = Alive
 		d.lastFresh[node] = now
 	}
+	d.part = nil
+	d.pend = nil
 	d.im.deadPeers.Set(0)
 }
 

@@ -72,6 +72,16 @@ func (e *Engine) recvColl(p *sim.Proc, srcWorld int, group []int, op byte, seq u
 		deadline = p.Now().Add(e.cfg.WaitTimeout)
 	}
 	for {
+		if part, ok := e.partition(); ok {
+			if part.Minority {
+				return 0, e.partitionErr(part)
+			}
+			for _, w := range group {
+				if part.Unreachable(w) {
+					return 0, e.partitionErr(part)
+				}
+			}
+		}
 		if w := e.deadIn(group); w >= 0 {
 			return 0, &DeadPeerError{Rank: w}
 		}

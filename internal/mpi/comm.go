@@ -131,6 +131,13 @@ func (c *Comm) isend(p *sim.Proc, dst, tag int, data []byte) (*Request, error) {
 	e := c.eng
 	p.Delay(e.cfg.Costs.SendOverhead)
 	world := c.group[dst]
+	if part, ok := e.partition(); ok && (part.Minority || part.Unreachable(world)) {
+		// Fenced: the destination is on the other side of a declared
+		// ring partition (or this rank lost quorum). Fail before
+		// committing billboard buffers — the peer is unreachable until
+		// the fiber is spliced, not dead.
+		return nil, e.partitionErr(part)
+	}
 	if e.peerDead(world) {
 		// Fail before committing billboard buffers to a receiver the
 		// detector already confirmed dead; a false verdict cannot reach

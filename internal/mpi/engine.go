@@ -35,6 +35,14 @@ type Engine struct {
 	// ErrTimeout-after-5s.
 	live liveness.View
 
+	// partView is the transport's declared-partition view when it runs
+	// the ring-cut partition machinery (liveness.PartitionView); nil
+	// otherwise. A declared partition outranks per-peer Dead verdicts:
+	// far-side peers are unreachable, not dead, so blocking paths
+	// surface a PartitionError instead of DeadPeerError and the
+	// dead-peer reclaim paths leave their state alone until the heal.
+	partView liveness.PartitionView
+
 	// wnd is the transport's receiver-posted-window extension, set only
 	// when Config.RndvZeroCopy is on AND the endpoint implements
 	// xport.Windowed (the BillBoard Protocol on SCRAMNet). nil keeps
@@ -78,6 +86,7 @@ type engInstruments struct {
 	streamFalls  *metrics.Counter // mpi.stream_fallbacks
 	nicBarriers  *metrics.Counter // mpi.nic_barriers
 	collReplans  *metrics.Counter // mpi.coll_replans
+	partitionErr *metrics.Counter // mpi.partition_errors
 	unexpDepth   *metrics.Gauge   // mpi.unexpected_depth
 	// pipelineDepth tracks the windowed sender's in-flight chunk count;
 	// its Max() is the high-water mark. Like unexpDepth it has no
@@ -105,6 +114,7 @@ func (e *Engine) setMetrics(m *metrics.Registry) {
 		streamFalls:   m.Counter("mpi.stream_fallbacks", rank),
 		nicBarriers:   m.Counter("mpi.nic_barriers", rank),
 		collReplans:   m.Counter("mpi.coll_replans", rank),
+		partitionErr:  m.Counter("mpi.partition_errors", rank),
 		unexpDepth:    m.Gauge("mpi.unexpected_depth", rank),
 		pipelineDepth: m.Gauge("mpi.pipeline_depth", rank),
 	}
@@ -142,6 +152,11 @@ type EngineStats struct {
 	// a new release-tree plan epoch (mpi.coll_replans). See select.go.
 	NICBarriers int64
 	CollReplans int64
+	// PartitionErrors counts operations abandoned with a PartitionError
+	// because the transport declared a ring partition (minority fence,
+	// or a majority operation naming an unreachable peer). Mirrored
+	// into mpi.partition_errors.
+	PartitionErrors int64
 }
 
 // zombieWin is a posted window whose receive was abandoned while the
@@ -185,6 +200,9 @@ func newEngine(ep xport.Endpoint, cfg Config) *Engine {
 	}
 	if lp, ok := ep.(liveness.Provider); ok {
 		e.live = lp.Liveness()
+	}
+	if pv, ok := ep.(liveness.PartitionView); ok {
+		e.partView = pv
 	}
 	if cfg.RndvZeroCopy {
 		if w, ok := ep.(xport.Windowed); ok {
@@ -615,9 +633,16 @@ func minInt(a, b int) int {
 	return b
 }
 
-// sendControl transmits one envelope packet.
+// sendControl transmits one envelope packet. A transport refusal is a
+// protocol bug — except under a declared partition, where the fence can
+// race an operation's own partition check; then the packet is dropped
+// exactly as the severed fiber would have dropped it, and the caller's
+// blocking wait surfaces the PartitionError.
 func (e *Engine) sendControl(p *sim.Proc, dstWorld int, env envelope) {
 	if err := e.ep.Send(p, dstWorld, encodeEnv(env)); err != nil {
+		if part, ok := e.partition(); ok && (part.Minority || part.Unreachable(dstWorld)) {
+			return
+		}
 		panic(fmt.Sprintf("mpi: control send to %d: %v", dstWorld, err))
 	}
 }
@@ -705,8 +730,18 @@ func (e *Engine) commRank(ctx uint32, world int) int {
 
 // peerDead reports whether the failure detector (if any) has confirmed
 // world rank `world` dead.
+// peerDead reports a confirmed-dead verdict about world. A verdict
+// about a peer on the far side of a declared partition does not count:
+// the peer is unreachable, not dead, so window/zombie reclaim must wait
+// for the heal (checkPartition surfaces those peers as PartitionError).
 func (e *Engine) peerDead(world int) bool {
-	return e.live != nil && world >= 0 && world != e.ep.Rank() && e.live.State(world) == liveness.Dead
+	if e.live == nil || world < 0 || world == e.ep.Rank() || e.live.State(world) != liveness.Dead {
+		return false
+	}
+	if part, ok := e.partition(); ok && part.Unreachable(world) {
+		return false
+	}
+	return true
 }
 
 // deadIn returns the first world rank in group confirmed dead, or -1.
@@ -722,13 +757,82 @@ func (e *Engine) deadIn(group []int) int {
 	return -1
 }
 
+// partition returns the transport's declared ring partition, if any.
+func (e *Engine) partition() (liveness.PartitionInfo, bool) {
+	if e.partView == nil {
+		return liveness.PartitionInfo{}, false
+	}
+	return e.partView.Partition()
+}
+
+// partitionErr counts and builds the error for an operation fenced by
+// part. Callers decide whether part applies (minority side, or a
+// majority operation naming an unreachable peer).
+func (e *Engine) partitionErr(part liveness.PartitionInfo) error {
+	e.stats.PartitionErrors++
+	e.im.partitionErr.Inc()
+	return &PartitionError{Minority: part.Minority, Peers: append([]int(nil), part.Peers...)}
+}
+
+// checkPartition decides whether req is fenced by a declared partition:
+// everything on the minority side, and any majority operation that
+// depends on an unreachable peer (a send or specific receive naming
+// one, or a group operation spanning one). Returns nil when no
+// partition is declared or req only touches the quorum.
+func (e *Engine) checkPartition(req *Request) error {
+	part, ok := e.partition()
+	if !ok {
+		return nil
+	}
+	if part.Minority {
+		return e.partitionErr(part)
+	}
+	if req.isSend {
+		if part.Unreachable(req.dst) {
+			return e.partitionErr(part)
+		}
+		return nil
+	}
+	c := req.comm
+	if c == nil {
+		return nil
+	}
+	// A specific-source receive is judged by its named peer alone when
+	// the operation was planned around this partition: user
+	// point-to-point always is (it names exactly one peer), and an
+	// internal-tag tree receive is when the comm's plan generation
+	// matches the partition (a majority quorum collective — its tree
+	// deliberately spans only reachable members). An internal-tag
+	// receive under a *stale* plan belongs to a collective that
+	// straddled the declaration: its tree spans everyone, so it is
+	// abandoned group-wide — otherwise a rank gathered behind a fenced
+	// peer would sit out WaitTimeout instead of failing fast.
+	if req.src != AnySource && (req.tag >= 0 || bytesEq(c.lastPlanMask, c.partMask(part))) {
+		if part.Unreachable(c.group[req.src]) {
+			return e.partitionErr(part)
+		}
+		return nil
+	}
+	for _, w := range c.group {
+		if part.Unreachable(w) {
+			return e.partitionErr(part)
+		}
+	}
+	return nil
+}
+
 // checkDead decides whether req can still complete under the current
 // membership view. A send or a specific-source user receive depends on
 // exactly one peer; an AnySource receive or an internal-tag (collective
 // tree) operation is abandoned when any group member dies, because the
 // collective as a whole can never complete — failing fast here is what
 // turns a would-be distributed hang into an error on every survivor.
+// A declared partition is checked first: an unreachable peer must
+// surface as PartitionError, never as the terminal DeadPeerError.
 func (e *Engine) checkDead(req *Request) error {
+	if err := e.checkPartition(req); err != nil {
+		return err
+	}
 	if e.live == nil {
 		return nil
 	}

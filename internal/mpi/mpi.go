@@ -81,6 +81,27 @@ func (e *DeadPeerError) Error() string {
 	return fmt.Sprintf("mpi: peer (world rank %d) confirmed dead by the failure detector", e.Rank)
 }
 
+// PartitionError reports that a blocking operation was abandoned
+// because the transport declared a ring partition: the required peers
+// are unreachable, not dead, so the operation is fenced rather than
+// failed-over. On the minority side every operation returns it (the
+// arc lost quorum); on the majority side only operations naming an
+// unreachable peer do — majority collectives instead complete over the
+// quorum. Like DeadPeerError it surfaces within the detector's
+// confirmation window, never as a hang.
+type PartitionError struct {
+	Minority bool  // this rank is on the fenced (minority) side
+	Peers    []int // world ranks on the far side of the cut
+}
+
+func (e *PartitionError) Error() string {
+	side := "majority"
+	if e.Minority {
+		side = "minority"
+	}
+	return fmt.Sprintf("mpi: ring partition (%s side): peers %v unreachable", side, e.Peers)
+}
+
 // Status describes a completed receive.
 type Status struct {
 	Source int // communicator rank of the sender

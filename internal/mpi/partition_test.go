@@ -1,0 +1,204 @@
+package mpi_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/liveness"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// This battery drives the unified collectives through a declared ring
+// partition (DESIGN.md §16): minority ranks get a typed PartitionError
+// at the entry gate, majority ranks re-plan Barrier/Bcast/Allreduce
+// over the quorum subgroup, and a collective already in flight when
+// the declaration lands is abandoned group-wide on every rank.
+
+// doubleCut severs segments 1 (1→2) and 3 (3→4) of a 5-node ring at
+// cut, splitting it into a majority arc {4,0,1} and a minority arc
+// {2,3}, and splices both at heal.
+func doubleCut(cut, heal sim.Duration) *fault.Script {
+	return &fault.Script{Seed: 55, Actions: []fault.Action{
+		{At: sim.Time(0).Add(cut), Kind: fault.LinkCut, Node: 1},
+		{At: sim.Time(0).Add(cut), Kind: fault.LinkCut, Node: 3},
+		{At: sim.Time(0).Add(heal), Kind: fault.LinkSplice, Node: 1},
+		{At: sim.Time(0).Add(heal), Kind: fault.LinkSplice, Node: 3},
+	}}
+}
+
+// TestQuorumCollectives enters the collectives after the partition is
+// declared: the majority's Barrier, Allreduce and quorum-rooted Bcast
+// complete over the subgroup trees, a far-rooted Bcast fails typed,
+// and every minority rank is fenced at the gate.
+func TestQuorumCollectives(t *testing.T) {
+	const (
+		nodes = 5
+		cutAt = 2 * sim.Millisecond
+	)
+	live := liveness.DefaultConfig()
+	mcfg := mpi.DefaultConfig()
+	mcfg.WaitTimeout = 100 * sim.Millisecond
+	k, _, w := treeCluster(t, nodes, &live, doubleCut(cutAt, 80*sim.Millisecond), mcfg)
+	defer k.Close()
+
+	majority := map[int]bool{4: true, 0: true, 1: true}
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		me := cm.Rank()
+		p.Delay(cutAt + 4*sim.Millisecond) // past the declaration
+		if !majority[me] {
+			err := cm.Barrier(p)
+			var pe *mpi.PartitionError
+			if !errors.As(err, &pe) || !pe.Minority {
+				t.Errorf("minority rank %d barrier: %v, want minority PartitionError", me, err)
+				return
+			}
+			if msg := pe.Error(); !strings.Contains(msg, "minority") {
+				t.Errorf("minority rank %d error text %q names the wrong side", me, msg)
+			}
+			if err := cm.Allreduce(p, mpi.SumU32, make([]byte, 4), make([]byte, 4)); !errors.As(err, new(*mpi.PartitionError)) {
+				t.Errorf("minority rank %d allreduce: %v", me, err)
+			}
+			if err := cm.Bcast(p, 2, []byte{1}); !errors.As(err, new(*mpi.PartitionError)) {
+				t.Errorf("minority rank %d bcast: %v", me, err)
+			}
+			return
+		}
+		for round := 0; round < 2; round++ { // round 2 reuses the noted plan
+			if err := cm.Barrier(p); err != nil {
+				t.Errorf("majority rank %d round %d barrier: %v", me, round, err)
+				return
+			}
+		}
+		var in, out [4]byte
+		in[0] = byte(1 << me)
+		if err := cm.Allreduce(p, mpi.SumU32, in[:], out[:]); err != nil {
+			t.Errorf("majority rank %d allreduce: %v", me, err)
+			return
+		}
+		if want := byte(1<<4 | 1<<0 | 1<<1); out[0] != want {
+			t.Errorf("majority rank %d quorum sum %#x, want %#x", me, out[0], want)
+		}
+		buf := []byte{0}
+		if me == 4 {
+			buf[0] = 9 // root away from subs[0], exercising the rotated tree
+		}
+		if err := cm.Bcast(p, 4, buf); err != nil || buf[0] != 9 {
+			t.Errorf("majority rank %d quorum bcast: %v (payload %d)", me, err, buf[0])
+		}
+		if err := cm.Bcast(p, 3, buf); !errors.As(err, new(*mpi.PartitionError)) {
+			t.Errorf("majority rank %d far-rooted bcast: %v", me, err)
+		}
+		if err := cm.Send(p, 2, 5, []byte{1}); !errors.As(err, new(*mpi.PartitionError)) {
+			t.Errorf("majority rank %d cross-cut send: %v", me, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < nodes; r++ {
+		if pe := w.Engine(r).Stats().PartitionErrors; pe == 0 {
+			t.Errorf("rank %d counted no partition errors", r)
+		}
+	}
+}
+
+// TestStraddlingCollectiveAbandoned enters a Barrier between the cut
+// landing and the partition being declared: the fixed tree spans both
+// arcs, so every rank — majority ranks gathered behind an aborted
+// same-side peer included — must abandon it with a PartitionError of
+// the correct side instead of waiting out WaitTimeout.
+func TestStraddlingCollectiveAbandoned(t *testing.T) {
+	const (
+		nodes = 5
+		cutAt = 2 * sim.Millisecond
+	)
+	live := liveness.DefaultConfig()
+	mcfg := mpi.DefaultConfig()
+	mcfg.WaitTimeout = 100 * sim.Millisecond
+	k, _, w := treeCluster(t, nodes, &live, doubleCut(cutAt, 80*sim.Millisecond), mcfg)
+	defer k.Close()
+
+	majority := map[int]bool{4: true, 0: true, 1: true}
+	errAt := make([]sim.Time, nodes)
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		me := cm.Rank()
+		p.Delay(cutAt + 100*sim.Microsecond) // after the cut, before the declaration
+		err := cm.Barrier(p)
+		errAt[me] = p.Now()
+		var pe *mpi.PartitionError
+		if !errors.As(err, &pe) {
+			t.Errorf("rank %d straddling barrier: %v, want PartitionError", me, err)
+			return
+		}
+		if pe.Minority == majority[me] {
+			t.Errorf("rank %d error claims minority=%v", me, pe.Minority)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bound := live.ConfirmAfter + 20*live.Period
+	for r := 0; r < nodes; r++ {
+		delay := errAt[r].Sub(sim.Time(0).Add(cutAt))
+		if delay <= 0 || delay > bound {
+			t.Fatalf("rank %d abandoned the barrier %v after the cut, want (0, %v]", r, delay, bound)
+		}
+	}
+}
+
+// TestPartitionHealRestoresCollectives runs the full cycle inside MPI:
+// fenced during the partition, then — after the splice and resync —
+// the same world completes an all-member barrier and allreduce.
+func TestPartitionHealRestoresCollectives(t *testing.T) {
+	const (
+		nodes  = 5
+		cutAt  = 2 * sim.Millisecond
+		healAt = 10 * sim.Millisecond
+	)
+	live := liveness.DefaultConfig()
+	mcfg := mpi.DefaultConfig()
+	mcfg.WaitTimeout = 100 * sim.Millisecond
+	k, _, w := treeCluster(t, nodes, &live, doubleCut(cutAt, healAt), mcfg)
+	defer k.Close()
+
+	majority := map[int]bool{4: true, 0: true, 1: true}
+	w.RunSPMD(k, func(p *sim.Proc, cm *mpi.Comm) {
+		me := cm.Rank()
+		p.Delay(cutAt + 4*sim.Millisecond)
+		err := cm.Barrier(p)
+		if majority[me] {
+			if err != nil {
+				t.Errorf("majority rank %d mid-partition barrier: %v", me, err)
+				return
+			}
+		} else if !errors.As(err, new(*mpi.PartitionError)) {
+			t.Errorf("minority rank %d mid-partition barrier: %v", me, err)
+			return
+		}
+		// Wait out the heal and the resync, then rejoin a full
+		// collective: the post-heal plan mask change must re-fence the
+		// tree back to all five members.
+		if d := sim.Time(0).Add(healAt + 5*sim.Millisecond).Sub(p.Now()); d > 0 {
+			p.Delay(d)
+		}
+		if err := cm.Barrier(p); err != nil {
+			t.Errorf("rank %d post-heal barrier: %v", me, err)
+			return
+		}
+		var in, out [4]byte
+		in[0] = 1
+		if err := cm.Allreduce(p, mpi.SumU32, in[:], out[:]); err != nil {
+			t.Errorf("rank %d post-heal allreduce: %v", me, err)
+			return
+		}
+		if out[0] != nodes {
+			t.Errorf("rank %d post-heal sum=%d, want %d", me, out[0], nodes)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -209,6 +209,20 @@ func (c *Comm) chooseHostBarrier() Algorithm {
 // all-alive, or a packet was lost mid-round — the degradation verdict
 // is rank-uniform, so every member falls back together.
 func (c *Comm) Barrier(p *sim.Proc, opts ...CollectiveOption) error {
+	e := c.eng
+	if part, ok := e.partition(); ok {
+		if part.Minority {
+			return e.partitionErr(part)
+		}
+		if subs := c.quorumRanks(part); len(subs) < c.Size() {
+			span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "barrier", 0, e.tracer.Parent(), "algo=quorum size=%d of %d", len(subs), c.Size())
+			e.tracer.PushParent(span)
+			err := c.barrierQuorum(p, part, subs)
+			e.tracer.PopParent()
+			e.tracer.EndSpan(p.Now(), trace.MPI, e.ep.Rank(), "barrier-end", span, 0, "err=%v", err)
+			return err
+		}
+	}
 	o := collectiveOpts(opts)
 	algo := o.Algorithm
 	if algo == Auto {
@@ -218,7 +232,6 @@ func (c *Comm) Barrier(p *sim.Proc, opts ...CollectiveOption) error {
 			algo = c.chooseHostBarrier()
 		}
 	}
-	e := c.eng
 	span := e.tracer.BeginSpan(p.Now(), trace.MPI, e.ep.Rank(), "barrier", 0, e.tracer.Parent(), "algo=%v size=%d", algo, c.Size())
 	e.tracer.PushParent(span)
 	err := c.runBarrier(p, algo)
@@ -275,6 +288,24 @@ func (c *Comm) barrierNIC(p *sim.Proc) error {
 // the binomial tree (re-planned around suspected members when a
 // failure detector runs).
 func (c *Comm) Bcast(p *sim.Proc, root int, buf []byte, opts ...CollectiveOption) error {
+	e := c.eng
+	if part, ok := e.partition(); ok {
+		if part.Minority {
+			return e.partitionErr(part)
+		}
+		if subs := c.quorumRanks(part); len(subs) < c.Size() {
+			if err := c.checkRank(root); err != nil {
+				return err
+			}
+			if part.Unreachable(c.group[root]) {
+				// The payload source itself is behind the cut: no quorum
+				// re-plan can produce it.
+				return e.partitionErr(part)
+			}
+			c.notePartitionPlan(p, part, subs, c.rank == root)
+			return c.bcastSub(p, subs, subIndex(subs, root), tagBcast, buf)
+		}
+	}
 	o := collectiveOpts(opts)
 	algo := o.Algorithm
 	if algo == Auto {
@@ -300,6 +331,15 @@ func (c *Comm) Bcast(p *sim.Proc, root int, buf []byte, opts ...CollectiveOption
 // region, and the substrate is present; everything else runs the
 // Reduce+Bcast tree. Dissemination selects recursive doubling.
 func (c *Comm) Allreduce(p *sim.Proc, op Op, sendBuf, recvBuf []byte, opts ...CollectiveOption) error {
+	e := c.eng
+	if part, ok := e.partition(); ok {
+		if part.Minority {
+			return e.partitionErr(part)
+		}
+		if subs := c.quorumRanks(part); len(subs) < c.Size() {
+			return c.allreduceQuorum(p, part, subs, op, sendBuf, recvBuf)
+		}
+	}
 	o := collectiveOpts(opts)
 	algo := o.Algorithm
 	if algo == Auto {
@@ -611,4 +651,161 @@ func (c *Comm) barrierTree(p *sim.Proc) error {
 		mask <<= 1
 	}
 	return c.bcastTree(p, 0, nil)
+}
+
+// --- Quorum collectives under a declared partition -------------------
+//
+// When the transport declares a ring partition, majority-side
+// collectives re-plan over the quorum: the subgroup of communicator
+// members whose world rank is reachable. Unlike the suspect re-plan
+// above, no fence record is broadcast — the plan is derived by every
+// member independently from its own declared partition, which is safe
+// because the declaration itself is deterministic (hardware cut count
+// plus a contiguous stable suspect arc, converging on the shared
+// heartbeat tick). The minority side never reaches these paths: its
+// members get a PartitionError at the entry gate. Epoch bookkeeping
+// still runs (notePartitionPlan) so re-plan generations stay visible in
+// traces and the post-heal fencePlan sees the mask change.
+
+// quorumRanks returns the comm ranks on this side of the partition, in
+// rank order. The calling rank is always included (it is, by
+// construction, on the near side).
+func (c *Comm) quorumRanks(part liveness.PartitionInfo) []int {
+	subs := make([]int, 0, c.Size())
+	for r, w := range c.group {
+		if !part.Unreachable(w) {
+			subs = append(subs, r)
+		}
+	}
+	return subs
+}
+
+// subIndex returns r's position in subs, -1 when absent.
+func subIndex(subs []int, r int) int {
+	for i, s := range subs {
+		if s == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// partMask renders the partition's unreachable members as a comm-rank
+// bitmask, the same shape fencePlan uses for suspects, so plan
+// generations from both machineries compare with bytesEq.
+func (c *Comm) partMask(part liveness.PartitionInfo) []byte {
+	mask := make([]byte, (c.Size()+7)/8)
+	for r, w := range c.group {
+		if part.Unreachable(w) {
+			mask[r/8] |= 1 << (r % 8)
+		}
+	}
+	return mask
+}
+
+// notePartitionPlan records the quorum as a plan generation: same
+// epoch/mask bookkeeping as fencePlan, but updated symmetrically on
+// every member (there is no record broadcast to sync from). The
+// counter and trace fire only at the collective's root so CollReplans
+// keeps its one-per-replanned-collective meaning.
+func (c *Comm) notePartitionPlan(p *sim.Proc, part liveness.PartitionInfo, subs []int, isRoot bool) {
+	e := c.eng
+	mask := c.partMask(part)
+	if bytesEq(mask, c.lastPlanMask) {
+		return
+	}
+	c.planEpoch++
+	c.lastPlanMask = mask
+	if isRoot {
+		e.stats.CollReplans++
+		e.im.collReplans.Inc()
+		e.tracer.Emitf(p.Now(), trace.MPI, e.ep.Rank(), "coll-replan", "epoch=%d mask=%x quorum=%d", c.planEpoch, mask, len(subs))
+	}
+}
+
+// bcastSub is the binomial broadcast over the quorum subgroup, rooted
+// at position rootPos of subs.
+func (c *Comm) bcastSub(p *sim.Proc, subs []int, rootPos, tag int, buf []byte) error {
+	n := len(subs)
+	rel := (subIndex(subs, c.rank) - rootPos + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := subs[(rel-mask+rootPos)%n]
+			if _, err := c.Recv(p, src, tag, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := subs[(rel+mask+rootPos)%n]
+			if err := c.Send(p, dst, tag, buf); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// barrierQuorum gathers arrival tokens to the quorum's first member
+// and releases over the same subgroup tree.
+func (c *Comm) barrierQuorum(p *sim.Proc, part liveness.PartitionInfo, subs []int) error {
+	c.notePartitionPlan(p, part, subs, c.rank == subs[0])
+	n := len(subs)
+	pos := subIndex(subs, c.rank)
+	mask := 1
+	for mask < n {
+		if pos&mask != 0 {
+			if err := c.Send(p, subs[pos-mask], tagBarrier, nil); err != nil {
+				return err
+			}
+			break
+		}
+		if pos+mask < n {
+			if _, err := c.Recv(p, subs[pos+mask], tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	return c.bcastSub(p, subs, 0, tagBcast, nil)
+}
+
+// allreduceQuorum folds the quorum's contributions to its first member
+// over the binomial gather, then broadcasts the result back over the
+// subgroup. The unreachable arc's contributions are simply absent —
+// the quorum's result is the reduction over the quorum, which is the
+// only meaningful result a partitioned collective can produce.
+func (c *Comm) allreduceQuorum(p *sim.Proc, part liveness.PartitionInfo, subs []int, op Op, sendBuf, recvBuf []byte) error {
+	if len(recvBuf) < len(sendBuf) {
+		return ErrTruncated
+	}
+	c.notePartitionPlan(p, part, subs, c.rank == subs[0])
+	n := len(subs)
+	pos := subIndex(subs, c.rank)
+	acc := recvBuf[:len(sendBuf)]
+	copy(acc, sendBuf)
+	tmp := make([]byte, len(sendBuf))
+	mask := 1
+	for mask < n {
+		if pos&mask != 0 {
+			if err := c.Send(p, subs[pos-mask], tagReduce, acc); err != nil {
+				return err
+			}
+			break
+		}
+		if pos+mask < n {
+			if _, err := c.Recv(p, subs[pos+mask], tagReduce, tmp); err != nil {
+				return err
+			}
+			op(acc, tmp)
+		}
+		mask <<= 1
+	}
+	return c.bcastSub(p, subs, 0, tagBcast, acc)
 }

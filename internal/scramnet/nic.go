@@ -107,6 +107,12 @@ func (nic *NIC) Bus() *pci.Bus { return nic.bus }
 // fresh identity once the bypass is removed.
 func (nic *NIC) LinkUp() bool { return !nic.failed }
 
+// RingCuts returns the number of severed ring segments the card's ring
+// status register reports (Network.CutSegments). Hosts sample it
+// alongside LinkUp as the hardware evidence that distinguishes a
+// partitioned peer from a dead one.
+func (nic *NIC) RingCuts() int { return nic.net.cuts }
+
 // NetworkConfig returns the configuration of the ring this card sits
 // on (used by layers that need propagation bounds, e.g. scrsync).
 func (nic *NIC) NetworkConfig() Config { return nic.net.cfg }

@@ -239,14 +239,23 @@ type Network struct {
 	tracer *trace.Recorder
 	faults *sim.RNG
 	im     netInstruments
+
+	// cut[i] marks ring segment i — the fiber pair between node i and
+	// node (i+1)%Nodes — as severed; cuts is the count of severed
+	// segments (the ring status register, see CutSegments).
+	cut  []bool
+	cuts int
 }
 
 // netInstruments are the ring-wide metrics (nil = disabled no-ops).
 type netInstruments struct {
 	hops        *metrics.Counter // ring.hops: link traversals, incl. bypass
 	bypassHops  *metrics.Counter // ring.bypass_hops: traversals through optical bypass
+	wrapHops    *metrics.Counter // ring.wrap_hops: extra secondary-ring transits crossing a severed segment
 	nodeFails   *metrics.Counter // ring.node_fails
 	nodeRepairs *metrics.Counter // ring.node_repairs
+	linkCuts    *metrics.Counter // ring.link_cuts
+	linkSplices *metrics.Counter // ring.link_splices
 }
 
 // SetTracer installs an event recorder on the ring and every NIC's host
@@ -277,8 +286,11 @@ func (n *Network) SetMetrics(m *metrics.Registry) {
 	n.im = netInstruments{
 		hops:        m.Counter("ring.hops", metrics.NodeGlobal),
 		bypassHops:  m.Counter("ring.bypass_hops", metrics.NodeGlobal),
+		wrapHops:    m.Counter("ring.wrap_hops", metrics.NodeGlobal),
 		nodeFails:   m.Counter("ring.node_fails", metrics.NodeGlobal),
 		nodeRepairs: m.Counter("ring.node_repairs", metrics.NodeGlobal),
+		linkCuts:    m.Counter("ring.link_cuts", metrics.NodeGlobal),
+		linkSplices: m.Counter("ring.link_splices", metrics.NodeGlobal),
 	}
 	for _, nic := range n.nics {
 		nic.setMetrics(m)
@@ -301,6 +313,7 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 		cfg:    cfg,
 		owner:  &ownerTable{enabled: cfg.SingleWriterCheck, m: map[int]int{}},
 		faults: sim.NewRNG(cfg.Seed + 1),
+		cut:    make([]bool, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		nic := &NIC{
@@ -330,24 +343,92 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 // NIC returns node i's interface card.
 func (n *Network) NIC(i int) *NIC { return n.nics[i] }
 
-// nextActive returns the next non-bypassed node after i, and the number
-// of hops traversed (bypassed nodes still cost a hop through the optical
-// bypass switch). ok is false if the ring is broken before reaching a
-// live node.
-func (n *Network) nextActive(i int) (next, hops int, ok bool) {
-	next = i
-	for {
-		next = (next + 1) % n.cfg.Nodes
-		hops++
-		nic := n.nics[next]
-		if !nic.failed {
-			return next, hops, true
-		}
-		if n.cfg.DualRing {
-			continue // optical bypass: skip the dead node
-		}
-		return 0, 0, false // single ring: the dead node breaks the ring
+// BrokenRingError reports that a packet leaving node From found no
+// route to another live station: a severed segment on a single ring, a
+// dead node breaking a single ring, or (with DualRing) every node
+// bypassed. The forwarding path drops the packet and closes its span
+// with "ring-broken"; probes can call Route to ask the same question
+// without traffic.
+type BrokenRingError struct {
+	From int  // node the packet could not progress past
+	Cut  bool // a severed segment (vs. a dead node / fully bypassed ring)
+}
+
+func (e *BrokenRingError) Error() string {
+	if e.Cut {
+		return fmt.Sprintf("scramnet: ring broken at node %d: severed segment with no secondary path", e.From)
 	}
+	return fmt.Sprintf("scramnet: ring broken at node %d: no live station reachable", e.From)
+}
+
+// route computes the next station for a packet leaving node from: the
+// next non-bypassed node on the primary ring, crossing severed segments
+// via the counter-rotating secondary ring when DualRing permits. The
+// wrap is FDDI-style: the node upstream of a cut turns traffic back
+// onto the secondary, which carries it (applying nothing) until the
+// node just downstream of the nearest severed segment — found counter-
+// rotating — wraps it onto the primary again. With a single cut that
+// re-entry node is the cut's own far side, a full counter-revolution
+// away; with two cuts it is the start of the sender's arc, so each arc
+// closes into its own sub-ring and intra-arc delivery is preserved.
+//
+// hops counts logical primary advances (these age the packet exactly as
+// on an intact ring), wrap the extra secondary transits a wrap adds
+// (latency only), byp the optical-bypass transits through failed nodes.
+// err is a *BrokenRingError when no station past from is reachable —
+// including the previously unbounded case of every node bypassed on a
+// DualRing, which used to spin forever in the routing walk.
+func (n *Network) route(from int) (next, hops, wrap, byp int, err error) {
+	nn := n.cfg.Nodes
+	cur := from
+	for hops < nn {
+		if n.cut[cur] {
+			if !n.cfg.DualRing {
+				return 0, 0, 0, 0, &BrokenRingError{From: cur, Cut: true}
+			}
+			w := cur
+			dist := 0
+			for dist < nn {
+				prev := (w - 1 + nn) % nn
+				if n.cut[prev] {
+					break // prev→w is severed: w wraps secondary → primary
+				}
+				w = prev
+				dist++
+			}
+			hops++
+			if dist > 0 {
+				wrap += dist - 1
+			}
+			cur = w
+			if dist == 0 {
+				// Both segments adjacent to cur are severed: a single-
+				// node arc wraps straight back to the station itself.
+				return cur, hops, wrap, byp, nil
+			}
+		} else {
+			hops++
+			cur = (cur + 1) % nn
+		}
+		if !n.nics[cur].failed {
+			return cur, hops, wrap, byp, nil
+		}
+		if !n.cfg.DualRing {
+			return 0, 0, 0, 0, &BrokenRingError{From: cur}
+		}
+		byp++
+	}
+	// A full revolution of advances found no live station: every node
+	// is bypassed and the packet has nowhere to land.
+	return 0, 0, 0, 0, &BrokenRingError{From: from}
+}
+
+// Route exposes the forwarding decision for probes and tests: the next
+// station a packet leaving node from would reach, or a
+// *BrokenRingError when the topology leaves it none.
+func (n *Network) Route(from int) (next int, err error) {
+	next, _, _, _, err = n.route(from)
+	return next, err
 }
 
 // wireTime returns the serialization time of pkt on one link.
@@ -421,20 +502,33 @@ func (n *Network) inject(pkt *packet) {
 // forward moves pkt from node `from` to the next live node, applying the
 // write there and continuing until the packet returns to its origin.
 func (n *Network) forward(from int, pkt *packet) {
-	next, hops, ok := n.nextActive(from)
-	if !ok {
+	next, hops, wrap, byp, err := n.route(from)
+	if err != nil {
 		n.nics[pkt.origin].stats.PacketsLost++
 		n.nics[pkt.origin].im.crcDrops.Inc()
 		n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "ring-broken")
-		return // broken single ring: packet lost downstream
+		return // broken ring: packet lost downstream
 	}
 	pkt.hops += hops
 	n.im.hops.Add(int64(hops))
-	if hops > 1 {
-		n.im.bypassHops.Add(int64(hops - 1))
+	if byp > 0 {
+		n.im.bypassHops.Add(int64(byp))
+	}
+	if wrap > 0 {
+		n.im.wrapHops.Add(int64(wrap))
 	}
 	aged := pkt.hops >= n.cfg.Nodes
-	n.k.AfterKind(sim.Duration(hops)*n.cfg.HopDelay, "ring", func() {
+	// A single-node arc wraps the packet straight back to the station
+	// it just left; unless that station is the origin (normal strip),
+	// the origin sits across a cut and can never strip it — drop it.
+	isolated := next == from && next != pkt.origin
+	n.k.AfterKind(sim.Duration(hops+wrap)*n.cfg.HopDelay, "ring", func() {
+		if isolated {
+			n.nics[pkt.origin].stats.PacketsLost++
+			n.nics[pkt.origin].im.crcDrops.Inc()
+			n.tracer.EndSpan(n.k.Now(), trace.Ring, pkt.origin, "pkt-end", pkt.span, pkt.msg, "isolated node=%d", next)
+			return
+		}
 		if next == pkt.origin || aged {
 			// Stripped by the source after a full revolution — or aged
 			// out after as many hops, which is what removes a packet
@@ -501,6 +595,44 @@ func (n *Network) RepairNode(i int) {
 
 // NodeFailed reports whether node i is currently bypassed.
 func (n *Network) NodeFailed(i int) bool { return n.nics[i].failed }
+
+// CutLink severs ring segment i — the fiber pair between node i and
+// node (i+1)%Nodes, taking out both the primary and the co-routed
+// secondary direction, as one cable cut does. With DualRing a single
+// cut heals transparently: traffic wraps onto the secondary ring at the
+// two nodes adjacent to the cut (counted in ring.wrap_hops) with
+// byte-identical delivery and bounded added latency; a second cut
+// segments the ring into two isolated arcs. Cutting a segment that is
+// already severed is a no-op.
+func (n *Network) CutLink(i int) {
+	if n.cut[i] {
+		return
+	}
+	n.cut[i] = true
+	n.cuts++
+	n.im.linkCuts.Inc()
+}
+
+// SpliceLink repairs segment i, undoing CutLink. Splicing an intact
+// segment is a no-op.
+func (n *Network) SpliceLink(i int) {
+	if !n.cut[i] {
+		return
+	}
+	n.cut[i] = false
+	n.cuts--
+	n.im.linkSplices.Inc()
+}
+
+// LinkCut reports whether segment i is currently severed.
+func (n *Network) LinkCut(i int) bool { return n.cut[i] }
+
+// CutSegments returns the number of currently severed segments — the
+// ring status register every card can read. Each arc of a partitioned
+// ring borders both cuts, so the count is arc-local knowledge: failure
+// detectors use it as hardware corroboration when deciding whether an
+// unresponsive arc of peers is dead or merely unreachable.
+func (n *Network) CutSegments() int { return n.cuts }
 
 // SetDropRate adjusts the in-flight corruption probability at run time.
 // Fault-injection scripts use it to open and close transient loss
